@@ -1,0 +1,82 @@
+// Ablation for the cache-conscious join technique §2 singles out
+// ("radix-partitioned hash-join strongly improves performance"): the same
+// lineitem-orders equi-join executed with the plain streaming hash join
+// (one big hash table, random access across it) and with the radix-
+// partitioned join (partition until each table fits the cache). The gap
+// grows with the build side's working set.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "exec/plan.h"
+
+using namespace x100;
+using namespace x100::bench;
+
+namespace {
+
+int64_t CountRows(Operator* op) {
+  op->Open();
+  int64_t n = 0;
+  while (VectorBatch* b = op->Next()) n += b->sel_count();
+  op->Close();
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  double sf = ScaleFactor(0.5);
+  int reps = Reps(2);
+  std::unique_ptr<Catalog> db = MakeTpch(sf);
+  const Table& li = db->Get("lineitem");
+  const Table& ord = db->Get("orders");
+
+  // The *build* side is the big one (lineitem): the streaming hash join's
+  // probe then random-accesses a hash table much larger than the cache,
+  // which is exactly the case radix partitioning exists for.
+  auto make_hash = [&](ExecContext* ctx) {
+    return plan::Join(ctx, plan::Scan(ctx, ord, {"o_orderkey", "o_totalprice"}),
+                      plan::Scan(ctx, li, {"l_orderkey", "l_quantity"}),
+                      {"o_orderkey"}, {"l_orderkey"}, {"o_totalprice"},
+                      {"l_quantity"});
+  };
+  auto make_radix = [&](ExecContext* ctx, int bits) {
+    return std::make_unique<RadixJoinOp>(
+        ctx, plan::Scan(ctx, ord, {"o_orderkey", "o_totalprice"}),
+        plan::Scan(ctx, li, {"l_orderkey", "l_quantity"}),
+        std::vector<std::string>{"o_orderkey"},
+        std::vector<std::string>{"l_orderkey"},
+        std::vector<std::string>{"o_totalprice"},
+        std::vector<std::string>{"l_quantity"}, bits);
+  };
+
+  ExecContext ctx;
+  int64_t n_hash = CountRows(make_hash(&ctx).get());
+  {
+    auto r = make_radix(&ctx, 0);
+    int64_t n_radix = CountRows(r.get());
+    X100_CHECK(n_hash == n_radix);
+  }
+  std::printf("Radix-join ablation: lineitem \xe2\x8b\x88 orders at SF=%.4g "
+              "(%lld x %lld rows, %lld results)\n\n",
+              sf, static_cast<long long>(li.num_rows()),
+              static_cast<long long>(ord.num_rows()),
+              static_cast<long long>(n_hash));
+  std::printf("%-26s %12s\n", "join implementation", "ms");
+  double t_hash = BestSeconds(reps, [&] { CountRows(make_hash(&ctx).get()); });
+  std::printf("%-26s %12.1f\n", "streaming hash join", t_hash * 1e3);
+  for (int bits : {0, 4, 8, 12}) {
+    double t = BestSeconds(reps, [&] { CountRows(make_radix(&ctx, bits).get()); });
+    if (bits == 0) {
+      std::printf("%-26s %12.1f   (%.2fx vs hash)\n", "radix join (auto bits)",
+                  t * 1e3, t_hash / t);
+    } else {
+      char label[32];
+      std::snprintf(label, sizeof(label), "radix join (%d bits)", bits);
+      std::printf("%-26s %12.1f   (%.2fx vs hash)\n", label, t * 1e3,
+                  t_hash / t);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#ifndef X100_BENCH_BENCH_UTIL_H_
+#define X100_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/profiling.h"
+#include "tpch/dbgen.h"
+
+namespace x100::bench {
+
+/// Scale factor: env X100_SF overrides a bench's default. Paper experiments
+/// use SF=1/100; defaults here are laptop-and-single-core friendly. The
+/// *shape* of every result is SF-independent.
+inline double ScaleFactor(double default_sf) {
+  const char* env = std::getenv("X100_SF");
+  if (env != nullptr && *env != '\0') return std::atof(env);
+  return default_sf;
+}
+
+/// Repetitions: env X100_REPS (default per bench).
+inline int Reps(int default_reps) {
+  const char* env = std::getenv("X100_REPS");
+  if (env != nullptr && *env != '\0') return std::atoi(env);
+  return default_reps;
+}
+
+inline std::unique_ptr<Catalog> MakeTpch(double sf) {
+  std::fprintf(stderr, "[bench] generating TPC-H SF=%.4g ...\n", sf);
+  DbgenOptions opts;
+  opts.scale_factor = sf;
+  uint64_t t0 = NowNanos();
+  std::unique_ptr<Catalog> db = GenerateTpch(opts);
+  std::fprintf(stderr, "[bench] generated in %.1f s\n", (NowNanos() - t0) / 1e9);
+  return db;
+}
+
+/// Times `fn()` `reps` times, returns the best wall time in seconds
+/// (paper-style hot, in-memory numbers).
+template <typename Fn>
+double BestSeconds(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; i++) {
+    uint64_t t0 = NowNanos();
+    fn();
+    double s = (NowNanos() - t0) / 1e9;
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace x100::bench
+
+#endif  // X100_BENCH_BENCH_UTIL_H_

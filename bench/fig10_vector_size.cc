@@ -1,0 +1,44 @@
+// Reproduces Figure 10: TPC-H Query 1 execution time as a function of the
+// vector size, swept from 1 tuple (tuple-at-a-time interpretation overhead)
+// through the cache-sweet-spot (~1K) up to 4M tuples (full materialization —
+// X100 degenerating into MonetDB/MIL behaviour). The paper's shape is a
+// U-curve: steep improvement to ~1K, flat to ~8K, then cache-spill decay.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "tpch/queries.h"
+
+using namespace x100;
+using namespace x100::bench;
+
+int main() {
+  double sf = ScaleFactor(0.25);
+  int reps = Reps(2);
+  std::unique_ptr<Catalog> db = MakeTpch(sf);
+  // Warm-up.
+  {
+    ExecContext ctx;
+    RunX100Query(1, &ctx, *db);
+  }
+
+  std::printf("Figure 10 analogue: Q1 (SF=%.4g) vs vector size\n", sf);
+  std::printf("%12s %12s\n", "vector size", "seconds");
+  double best = 1e300, at_1 = 0, at_4m = 0;
+  for (int64_t vs = 1; vs <= 4 * 1024 * 1024; vs *= 4) {
+    ExecContext ctx;
+    ctx.vector_size = static_cast<int>(vs);
+    double secs = BestSeconds(vs == 1 ? 1 : reps,
+                              [&] { RunX100Query(1, &ctx, *db); });
+    std::printf("%12lld %12.4f\n", static_cast<long long>(vs), secs);
+    std::fflush(stdout);
+    if (secs < best) best = secs;
+    if (vs == 1) at_1 = secs;
+    if (vs == 4 * 1024 * 1024) at_4m = secs;
+  }
+  std::printf("\nvector size 1 vs optimum: %.1fx slower (interpretation "
+              "overhead)\n4M vs optimum: %.1fx slower (materialization, "
+              "MIL-like)\n",
+              at_1 / best, at_4m / best);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Table 5: the X100 per-primitive trace of TPC-H Q1 — for each
+// vectorized primitive the tuple count, data volume, time, bandwidth and
+// cycles per tuple, plus the coarser per-operator rollup. The paper's shape:
+// map primitives in ~2-3 cycles/tuple, fetch (enum decode) <2, aggregates ~6,
+// with in-cache bandwidths far above RAM bandwidth.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "tpch/queries.h"
+
+using namespace x100;
+using namespace x100::bench;
+
+int main() {
+  double sf = ScaleFactor(0.25);
+  std::unique_ptr<Catalog> db = MakeTpch(sf);
+
+  // Warm-up untraced run.
+  {
+    ExecContext ctx;
+    RunX100Query(1, &ctx, *db);
+  }
+  Profiler profiler;
+  ExecContext ctx;
+  ctx.profiler = &profiler;
+  uint64_t t0 = NowNanos();
+  RunX100Query(1, &ctx, *db);
+  double total_ms = (NowNanos() - t0) / 1e6;
+
+  std::printf("Table 5 analogue: X100 trace of TPC-H Q1, SF=%.4g\n\n", sf);
+  std::printf("%-12s %8s %10s %9s %8s  %s\n", "input count", "MB", "time(us)",
+              "MB/s", "cyc/tup", "X100 primitive");
+  // Primitive rows first (paper order: pipeline order), operator rollups after.
+  for (const auto& [name, s] : profiler.Rows()) {
+    bool is_operator = name.find('_') == std::string::npos;
+    if (is_operator) continue;
+    std::printf("%-12llu %8.1f %10.0f %9.0f %8.1f  %s\n",
+                static_cast<unsigned long long>(s->tuples), s->Megabytes(),
+                s->Micros(), s->Bandwidth(), s->CyclesPerTuple(), name.c_str());
+  }
+  std::printf("\n%-12s %10s  %s\n", "tuples", "time(us)", "X100 operator");
+  for (const auto& [name, s] : profiler.Rows()) {
+    bool is_operator = name.find('_') == std::string::npos;
+    if (!is_operator) continue;
+    std::printf("%-12llu %10.0f  %s\n",
+                static_cast<unsigned long long>(s->tuples), s->Micros(),
+                name.c_str());
+  }
+  std::printf("\ntotal elapsed: %.1f ms\n", total_ms);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Run any TPC-H query on either engine and print the result — the repository
+// as a command-line analytical database.
+//
+//   $ ./build/examples/tpch_runner <query 1-22> [sf=0.05] [engine=x100|mil|both]
+//   $ ./build/examples/tpch_runner 5 0.1 both
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/profiling.h"
+#include "storage/print.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+using namespace x100;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <query 1-22> [sf=0.05] [engine=x100|mil|both]\n",
+                 argv[0]);
+    return 2;
+  }
+  int q = std::atoi(argv[1]);
+  double sf = argc > 2 ? std::atof(argv[2]) : 0.05;
+  const char* engine = argc > 3 ? argv[3] : "x100";
+  if (q < 1 || q > kNumTpchQueries) {
+    std::fprintf(stderr, "query must be 1..22\n");
+    return 2;
+  }
+
+  std::printf("generating TPC-H SF=%.4g ...\n", sf);
+  DbgenOptions opts;
+  opts.scale_factor = sf;
+  std::unique_ptr<Catalog> db = GenerateTpch(opts);
+
+  if (std::strcmp(engine, "x100") == 0 || std::strcmp(engine, "both") == 0) {
+    ExecContext ctx;
+    uint64_t t0 = NowNanos();
+    std::unique_ptr<Table> r = RunX100Query(q, &ctx, *db);
+    double ms = (NowNanos() - t0) / 1e6;
+    std::printf("\n=== Q%d on MonetDB/X100: %.1f ms, %lld rows ===\n%s", q, ms,
+                static_cast<long long>(r->num_rows()),
+                FormatTable(*r, 30).c_str());
+  }
+  if (std::strcmp(engine, "mil") == 0 || std::strcmp(engine, "both") == 0) {
+    MilDatabase mil(*db);
+    MilSession warm;
+    RunMilQuery(q, &warm, &mil);  // materialize BATs outside the timing
+    MilSession s;
+    uint64_t t0 = NowNanos();
+    std::unique_ptr<Table> r = RunMilQuery(q, &s, &mil);
+    double ms = (NowNanos() - t0) / 1e6;
+    std::printf("\n=== Q%d on MonetDB/MIL: %.1f ms, %lld rows ===\n%s", q, ms,
+                static_cast<long long>(r->num_rows()),
+                FormatTable(*r, 30).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace x100 {
+
+char* Arena::Allocate(size_t size, size_t align) {
+  if (!blocks_.empty()) {
+    Block& b = blocks_.back();
+    size_t aligned = (b.used + align - 1) & ~(align - 1);
+    if (aligned + size <= b.size) {
+      b.used = aligned + size;
+      return b.data.get() + aligned;
+    }
+  }
+  size_t block_size = std::max(block_size_, size + align);
+  Block b;
+  b.data = std::make_unique<char[]>(block_size);
+  b.size = block_size;
+  b.used = 0;
+  bytes_reserved_ += block_size;
+  blocks_.push_back(std::move(b));
+  Block& nb = blocks_.back();
+  size_t aligned =
+      (reinterpret_cast<uintptr_t>(nb.data.get()) % align == 0) ? 0 : align;
+  nb.used = aligned + size;
+  return nb.data.get() + aligned;
+}
+
+void Arena::Reset() {
+  blocks_.clear();
+  bytes_reserved_ = 0;
+}
+
+}  // namespace x100

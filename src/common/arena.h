@@ -1,0 +1,44 @@
+#ifndef X100_COMMON_ARENA_H_
+#define X100_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace x100 {
+
+/// Bump allocator backing string heaps and hash-table spill areas.
+/// Allocations are never freed individually; the arena frees everything at
+/// destruction (or Reset()). Pointers remain stable for the arena's lifetime.
+class Arena {
+ public:
+  explicit Arena(size_t block_size = 64 * 1024) : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `size` bytes aligned to `align` (power of two).
+  char* Allocate(size_t size, size_t align = 8);
+
+  /// Drops all blocks; invalidates every pointer handed out.
+  void Reset();
+
+  /// Total bytes reserved from the system (capacity, not live bytes).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size;
+    size_t used;
+  };
+
+  size_t block_size_;
+  size_t bytes_reserved_ = 0;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace x100
+
+#endif  // X100_COMMON_ARENA_H_

@@ -1,0 +1,20 @@
+#ifndef X100_COMMON_CONFIG_H_
+#define X100_COMMON_CONFIG_H_
+
+#include <cstddef>
+
+namespace x100 {
+
+/// Default number of tuples per vector. The paper (§5.1.1, Figure 10) finds
+/// the optimum near 1000 with everything between 128 and 8K working well.
+inline constexpr int kDefaultVectorSize = 1024;
+
+/// Granularity of summary (min/max) indices — the paper's default (§4.3).
+inline constexpr int kSummaryIndexGranule = 1000;
+
+/// ColumnBM block size: "large (>1MB) chunks" (§4.3).
+inline constexpr size_t kColumnBmBlockSize = 1 << 20;
+
+}  // namespace x100
+
+#endif  // X100_COMMON_CONFIG_H_

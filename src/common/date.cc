@@ -1,0 +1,49 @@
+#include "common/date.h"
+
+#include <cstdio>
+
+#include "common/status.h"
+
+namespace x100 {
+
+// Howard Hinnant's days_from_civil / civil_from_days.
+int32_t DaysFromCivil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);             // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;   // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;            // [0, 146096]
+  return era * 146097 + static_cast<int>(doe) - 719468;
+}
+
+void CivilFromDays(int32_t days, int* y, unsigned* m, unsigned* d) {
+  int32_t z = days + 719468;
+  const int era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);          // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int yr = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);          // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                               // [0, 11]
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = yr + (*m <= 2);
+}
+
+int32_t ParseDate(const char* s) {
+  int y = 0;
+  unsigned m = 0, d = 0;
+  int n = std::sscanf(s, "%d-%u-%u", &y, &m, &d);
+  X100_CHECK(n == 3 && m >= 1 && m <= 12 && d >= 1 && d <= 31);
+  return DaysFromCivil(y, m, d);
+}
+
+std::string FormatDate(int32_t days) {
+  int y;
+  unsigned m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", y, m, d);
+  return buf;
+}
+
+}  // namespace x100

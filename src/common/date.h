@@ -1,0 +1,28 @@
+#ifndef X100_COMMON_DATE_H_
+#define X100_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace x100 {
+
+/// Dates are int32 days since 1970-01-01 (proleptic Gregorian), the same
+/// representation X100 uses for its `date` type. Conversion uses the standard
+/// civil-from-days / days-from-civil algorithms.
+
+/// Days since epoch for y-m-d, e.g. DaysFromCivil(1998, 9, 2).
+int32_t DaysFromCivil(int y, unsigned m, unsigned d);
+
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int32_t days, int* y, unsigned* m, unsigned* d);
+
+/// Parses "YYYY-MM-DD". Aborts on malformed input (dates in this codebase are
+/// compile-time literals in query plans and generator code).
+int32_t ParseDate(const char* s);
+
+/// Formats as "YYYY-MM-DD".
+std::string FormatDate(int32_t days);
+
+}  // namespace x100
+
+#endif  // X100_COMMON_DATE_H_

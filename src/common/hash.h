@@ -1,0 +1,47 @@
+#ifndef X100_COMMON_HASH_H_
+#define X100_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace x100 {
+
+/// Hash primitives used by hash aggregation and hash join. Kept branch-free
+/// and inlineable so the vectorized map_hash_* primitives loop-pipeline.
+
+inline uint64_t HashU64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return HashU64(seed ^ (v + 0x9E3779B97F4A7C15ull + (seed << 6) + (seed >> 2)));
+}
+
+inline uint64_t HashF64(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  // Normalize -0.0 to +0.0 so equal doubles hash equally.
+  if (d == 0.0) bits = 0;
+  return HashU64(bits);
+}
+
+inline uint64_t HashBytes(const char* s, size_t n) {
+  // FNV-1a; string keys are short in TPC-H (flags, modes, names).
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < n; i++) {
+    h ^= static_cast<unsigned char>(s[i]);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+inline uint64_t HashStr(const char* s) { return HashBytes(s, std::strlen(s)); }
+
+}  // namespace x100
+
+#endif  // X100_COMMON_HASH_H_

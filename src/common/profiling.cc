@@ -1,0 +1,88 @@
+#include "common/profiling.h"
+
+#include <chrono>
+#include <cstdio>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace x100 {
+
+uint64_t ReadCycleCounter() {
+#if defined(__x86_64__)
+  unsigned aux;
+  return __rdtscp(&aux);
+#else
+  return NowNanos();
+#endif
+}
+
+uint64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double CyclesPerNanosecond() {
+  static const double kRate = [] {
+    uint64_t c0 = ReadCycleCounter();
+    uint64_t n0 = NowNanos();
+    // Busy-wait ~2ms; enough to get a stable ratio.
+    while (NowNanos() - n0 < 2000000) {
+    }
+    uint64_t c1 = ReadCycleCounter();
+    uint64_t n1 = NowNanos();
+    return static_cast<double>(c1 - c0) / static_cast<double>(n1 - n0);
+  }();
+  return kRate;
+}
+
+double PrimitiveStats::Bandwidth() const {
+  double secs = static_cast<double>(cycles) / CyclesPerNanosecond() / 1e9;
+  return secs > 0 ? Megabytes() / secs : 0.0;
+}
+
+double PrimitiveStats::Micros() const {
+  return static_cast<double>(cycles) / CyclesPerNanosecond() / 1e3;
+}
+
+PrimitiveStats* Profiler::GetStats(const std::string& name) {
+  auto it = stats_.find(name);
+  if (it == stats_.end()) {
+    it = stats_.emplace(name, PrimitiveStats()).first;
+    order_.push_back(name);
+  }
+  return &it->second;
+}
+
+void Profiler::Clear() {
+  stats_.clear();
+  order_.clear();
+}
+
+std::vector<std::pair<std::string, const PrimitiveStats*>> Profiler::Rows() const {
+  std::vector<std::pair<std::string, const PrimitiveStats*>> rows;
+  rows.reserve(order_.size());
+  for (const std::string& name : order_) {
+    rows.emplace_back(name, &stats_.at(name));
+  }
+  return rows;
+}
+
+std::string Profiler::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-12s %8s %10s %9s %7s  %s\n", "input count",
+                "MB", "time(us)", "MB/s", "cyc/tup", "primitive");
+  out += line;
+  for (const auto& [name, s] : Rows()) {
+    std::snprintf(line, sizeof(line), "%-12llu %8.1f %10.0f %9.0f %7.1f  %s\n",
+                  static_cast<unsigned long long>(s->tuples), s->Megabytes(),
+                  s->Micros(), s->Bandwidth(), s->CyclesPerTuple(), name.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace x100

@@ -1,0 +1,75 @@
+#ifndef X100_COMMON_PROFILING_H_
+#define X100_COMMON_PROFILING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace x100 {
+
+/// Serializing cycle counter (rdtsc on x86-64, steady_clock-derived elsewhere).
+uint64_t ReadCycleCounter();
+
+/// Estimated cycles per nanosecond for converting counters to wall time;
+/// measured once at first use.
+double CyclesPerNanosecond();
+
+/// Monotonic wall-clock in nanoseconds.
+uint64_t NowNanos();
+
+/// Per-primitive execution statistics — the infrastructure behind the paper's
+/// Table 5 ("TPC-H Query 1 performance trace"): per primitive the invocation
+/// count, tuples processed, bytes moved and cycles burned.
+struct PrimitiveStats {
+  uint64_t calls = 0;
+  uint64_t tuples = 0;
+  uint64_t bytes = 0;   // input + output bytes, as in Table 3/5 bandwidth
+  uint64_t cycles = 0;
+
+  double CyclesPerTuple() const {
+    return tuples ? static_cast<double>(cycles) / static_cast<double>(tuples) : 0.0;
+  }
+  double Megabytes() const { return static_cast<double>(bytes) / 1e6; }
+  /// MB/s given the measured cycle frequency.
+  double Bandwidth() const;
+  double Micros() const;
+};
+
+/// Collects named PrimitiveStats rows in first-touch order; one per query run.
+/// Operators also register coarser rows (the bottom half of Table 5).
+class Profiler {
+ public:
+  /// Returns a stable pointer; accumulates across calls with the same name.
+  PrimitiveStats* GetStats(const std::string& name);
+
+  void Clear();
+
+  /// Rows in first-registration order (matches pipeline order for Q1).
+  std::vector<std::pair<std::string, const PrimitiveStats*>> Rows() const;
+
+  /// Renders a Table 5-style trace.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, PrimitiveStats> stats_;
+  std::vector<std::string> order_;
+};
+
+/// RAII cycle accounting into a PrimitiveStats row.
+class ScopedCycles {
+ public:
+  explicit ScopedCycles(PrimitiveStats* s) : stats_(s), start_(ReadCycleCounter()) {}
+  ~ScopedCycles() { stats_->cycles += ReadCycleCounter() - start_; }
+
+  ScopedCycles(const ScopedCycles&) = delete;
+  ScopedCycles& operator=(const ScopedCycles&) = delete;
+
+ private:
+  PrimitiveStats* stats_;
+  uint64_t start_;
+};
+
+}  // namespace x100
+
+#endif  // X100_COMMON_PROFILING_H_

@@ -1,0 +1,56 @@
+#ifndef X100_COMMON_RNG_H_
+#define X100_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace x100 {
+
+/// Deterministic counter-based RNG (SplitMix64 finalizer over a keyed counter).
+///
+/// The TPC-H generator keys a stream on (table, column) and indexes it by row,
+/// so any single row's values are computable independently and every run is
+/// bit-identical — the reproducibility requirement from DESIGN.md.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed * 0x9E3779B97F4A7C15ull + 1) {}
+
+  /// Stream keyed on several components (e.g. table id, column id).
+  static Rng Keyed(uint64_t a, uint64_t b = 0, uint64_t c = 0) {
+    return Rng(Mix(Mix(Mix(a + 0x632BE59BD9B4E019ull) ^ b) ^ c));
+  }
+
+  uint64_t Next() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    return Mix(state_);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Value for absolute index `i` of this stream, independent of call order.
+  uint64_t At(uint64_t i) const {
+    return Mix(state_ + (i + 1) * 0x9E3779B97F4A7C15ull);
+  }
+
+  int64_t UniformAt(uint64_t i, int64_t lo, int64_t hi) const {
+    return lo + static_cast<int64_t>(At(i) % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  static uint64_t Mix(uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace x100
+
+#endif  // X100_COMMON_RNG_H_

@@ -1,0 +1,51 @@
+#ifndef X100_COMMON_STATUS_H_
+#define X100_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace x100 {
+
+/// Minimal Status type for fallible public APIs (no exceptions, Google style).
+class Status {
+ public:
+  static Status OK() { return Status(); }
+  static Status Error(std::string msg) { return Status(std::move(msg)); }
+
+  Status() = default;
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return msg_; }
+
+ private:
+  explicit Status(std::string msg) : ok_(false), msg_(std::move(msg)) {}
+
+  bool ok_ = true;
+  std::string msg_;
+};
+
+namespace internal {
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+}  // namespace internal
+
+/// Invariant check that stays on in release builds; engine-internal invariants
+/// (vector bounds, type agreement after binding) use this rather than assert.
+#define X100_CHECK(cond)                                             \
+  do {                                                               \
+    if (!(cond)) ::x100::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (0)
+
+#define X100_CHECK_OK(status_expr)                                   \
+  do {                                                               \
+    ::x100::Status _s = (status_expr);                               \
+    if (!_s.ok()) ::x100::internal::CheckFailed(__FILE__, __LINE__, _s.message().c_str()); \
+  } while (0)
+
+}  // namespace x100
+
+#endif  // X100_COMMON_STATUS_H_

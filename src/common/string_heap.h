@@ -1,0 +1,38 @@
+#ifndef X100_COMMON_STRING_HEAP_H_
+#define X100_COMMON_STRING_HEAP_H_
+
+#include <cstring>
+#include <string_view>
+
+#include "common/arena.h"
+
+namespace x100 {
+
+/// Owns the bytes behind `const char*` values in string columns and vectors.
+/// Vectors of TypeId::kStr hold pointers into a StringHeap; the heap outlives
+/// every vector referencing it (columns own one, query intermediates use the
+/// ExecContext's heap).
+class StringHeap {
+ public:
+  StringHeap() = default;
+
+  StringHeap(const StringHeap&) = delete;
+  StringHeap& operator=(const StringHeap&) = delete;
+
+  /// Copies `s` into the heap, NUL-terminated; returns the stable pointer.
+  const char* Add(std::string_view s) {
+    char* p = arena_.Allocate(s.size() + 1, 1);
+    std::memcpy(p, s.data(), s.size());
+    p[s.size()] = '\0';
+    return p;
+  }
+
+  size_t bytes_reserved() const { return arena_.bytes_reserved(); }
+
+ private:
+  Arena arena_;
+};
+
+}  // namespace x100
+
+#endif  // X100_COMMON_STRING_HEAP_H_

@@ -1,0 +1,61 @@
+#include "common/types.h"
+
+namespace x100 {
+
+size_t TypeWidth(TypeId t) {
+  switch (t) {
+    case TypeId::kI8:
+    case TypeId::kU8:
+      return 1;
+    case TypeId::kI16:
+    case TypeId::kU16:
+      return 2;
+    case TypeId::kI32:
+    case TypeId::kF32:
+    case TypeId::kDate:
+      return 4;
+    case TypeId::kI64:
+    case TypeId::kF64:
+    case TypeId::kStr:
+      return 8;
+    case TypeId::kCount:
+      break;
+  }
+  return 0;
+}
+
+const char* TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kI8:   return "i8";
+    case TypeId::kU8:   return "u8";
+    case TypeId::kI16:  return "i16";
+    case TypeId::kU16:  return "u16";
+    case TypeId::kI32:  return "i32";
+    case TypeId::kI64:  return "i64";
+    case TypeId::kF32:  return "f32";
+    case TypeId::kF64:  return "f64";
+    case TypeId::kDate: return "date";
+    case TypeId::kStr:  return "str";
+    case TypeId::kCount: break;
+  }
+  return "?";
+}
+
+bool IsNumeric(TypeId t) { return t != TypeId::kStr && t != TypeId::kCount; }
+
+bool IsIntegral(TypeId t) {
+  switch (t) {
+    case TypeId::kI8:
+    case TypeId::kU8:
+    case TypeId::kI16:
+    case TypeId::kU16:
+    case TypeId::kI32:
+    case TypeId::kI64:
+    case TypeId::kDate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace x100

@@ -1,0 +1,64 @@
+#ifndef X100_COMMON_TYPES_H_
+#define X100_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace x100 {
+
+/// Physical type of a column / vector.
+///
+/// X100 (like MonetDB) operates on a small closed set of physical types; the
+/// primitive generator instantiates each primitive for every applicable type.
+/// TPC-H decimals are carried as kF64 (the paper's X100 plans use `flt`),
+/// dates as kDate (int32 days since 1970-01-01) and strings as pointers into a
+/// column-owned string heap.
+enum class TypeId : uint8_t {
+  kI8 = 0,   // int8_t   (single-char flags: l_returnflag, l_linestatus)
+  kU8,       // uint8_t  (enumeration codes with small domains)
+  kI16,      // int16_t
+  kU16,      // uint16_t (enumeration codes / direct-aggregation group ids)
+  kI32,      // int32_t
+  kI64,      // int64_t  (counts, keys)
+  kF32,      // float
+  kF64,      // double   (prices, discounts)
+  kDate,     // int32_t days since 1970-01-01
+  kStr,      // const char* into a StringHeap
+  kCount     // sentinel: number of types
+};
+
+inline constexpr int kNumTypes = static_cast<int>(TypeId::kCount);
+
+/// Byte width of a value of type `t` inside a Vector.
+size_t TypeWidth(TypeId t);
+
+/// Short lowercase name used in primitive signatures, e.g. "f64", "str".
+const char* TypeName(TypeId t);
+
+/// True for the integer / floating-point types on which arithmetic primitives
+/// are generated (everything except kStr).
+bool IsNumeric(TypeId t);
+
+/// True if `t` is stored as a fixed-width integer (including dates and codes).
+bool IsIntegral(TypeId t);
+
+/// Maps C++ types to TypeId (the inverse of the table in TypeWidth).
+template <typename T>
+struct TypeTraits;
+
+template <> struct TypeTraits<int8_t>      { static constexpr TypeId kId = TypeId::kI8; };
+template <> struct TypeTraits<uint8_t>     { static constexpr TypeId kId = TypeId::kU8; };
+template <> struct TypeTraits<int16_t>     { static constexpr TypeId kId = TypeId::kI16; };
+template <> struct TypeTraits<uint16_t>    { static constexpr TypeId kId = TypeId::kU16; };
+template <> struct TypeTraits<int32_t>     { static constexpr TypeId kId = TypeId::kI32; };
+template <> struct TypeTraits<uint32_t>    { static constexpr TypeId kId = TypeId::kI32; };
+template <> struct TypeTraits<int64_t>     { static constexpr TypeId kId = TypeId::kI64; };
+template <> struct TypeTraits<uint64_t>    { static constexpr TypeId kId = TypeId::kI64; };
+template <> struct TypeTraits<float>       { static constexpr TypeId kId = TypeId::kF32; };
+template <> struct TypeTraits<double>      { static constexpr TypeId kId = TypeId::kF64; };
+template <> struct TypeTraits<const char*> { static constexpr TypeId kId = TypeId::kStr; };
+
+}  // namespace x100
+
+#endif  // X100_COMMON_TYPES_H_

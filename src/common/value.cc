@@ -1,0 +1,26 @@
+#include "common/value.h"
+
+#include <cstdio>
+
+#include "common/date.h"
+
+namespace x100 {
+
+std::string Value::ToString() const {
+  char buf[64];
+  switch (type_) {
+    case TypeId::kStr:
+      return s_;
+    case TypeId::kDate:
+      return FormatDate(static_cast<int32_t>(v_.i));
+    case TypeId::kF32:
+    case TypeId::kF64:
+      std::snprintf(buf, sizeof(buf), "%.6g", v_.d);
+      return buf;
+    default:
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v_.i));
+      return buf;
+  }
+}
+
+}  // namespace x100

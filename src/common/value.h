@@ -1,0 +1,57 @@
+#ifndef X100_COMMON_VALUE_H_
+#define X100_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace x100 {
+
+/// Tagged constant used in expression trees and plan parameters
+/// (e.g. the `date('1998-09-03')` and `flt('1.0')` literals of Figure 9).
+class Value {
+ public:
+  Value() : type_(TypeId::kI64) { v_.i = 0; }
+
+  static Value I8(int8_t v)   { Value r(TypeId::kI8);  r.v_.i = v; return r; }
+  static Value U8(uint8_t v)  { Value r(TypeId::kU8);  r.v_.i = v; return r; }
+  static Value I16(int16_t v) { Value r(TypeId::kI16); r.v_.i = v; return r; }
+  static Value U16(uint16_t v){ Value r(TypeId::kU16); r.v_.i = v; return r; }
+  static Value I32(int32_t v) { Value r(TypeId::kI32); r.v_.i = v; return r; }
+  static Value I64(int64_t v) { Value r(TypeId::kI64); r.v_.i = v; return r; }
+  static Value F32(float v)   { Value r(TypeId::kF32); r.v_.d = v; return r; }
+  static Value F64(double v)  { Value r(TypeId::kF64); r.v_.d = v; return r; }
+  static Value Date(int32_t days) { Value r(TypeId::kDate); r.v_.i = days; return r; }
+  static Value Str(std::string s) {
+    Value r(TypeId::kStr);
+    r.s_ = std::move(s);
+    return r;
+  }
+
+  TypeId type() const { return type_; }
+
+  int64_t AsI64() const { X100_CHECK(IsIntegral(type_)); return v_.i; }
+  double AsF64() const {
+    if (type_ == TypeId::kF64 || type_ == TypeId::kF32) return v_.d;
+    return static_cast<double>(AsI64());
+  }
+  const std::string& AsStr() const { X100_CHECK(type_ == TypeId::kStr); return s_; }
+
+  std::string ToString() const;
+
+ private:
+  explicit Value(TypeId t) : type_(t) { v_.i = 0; }
+
+  TypeId type_;
+  union {
+    int64_t i;
+    double d;
+  } v_;
+  std::string s_;
+};
+
+}  // namespace x100
+
+#endif  // X100_COMMON_VALUE_H_

@@ -1,0 +1,140 @@
+#ifndef X100_EXEC_AGGR_H_
+#define X100_EXEC_AGGR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/bound_expr.h"
+#include "exec/operator.h"
+#include "storage/buffer.h"
+
+namespace x100 {
+
+/// Aggregate function of an AggrExp. AVG is not a physical aggregate: plans
+/// compute sum and count and divide in a Project, exactly as Figure 9 does.
+enum class AggrOp { kSum, kMin, kMax, kCount };
+
+/// One aggregate output column: op applied to an input expression.
+struct AggrSpec {
+  AggrOp op;
+  ExprPtr input;  // null for kCount
+  std::string output;
+};
+
+inline AggrSpec Sum(std::string out, ExprPtr e) {
+  return {AggrOp::kSum, std::move(e), std::move(out)};
+}
+inline AggrSpec Min(std::string out, ExprPtr e) {
+  return {AggrOp::kMin, std::move(e), std::move(out)};
+}
+inline AggrSpec Max(std::string out, ExprPtr e) {
+  return {AggrOp::kMax, std::move(e), std::move(out)};
+}
+inline AggrSpec CountAll(std::string out) {
+  return {AggrOp::kCount, nullptr, std::move(out)};
+}
+
+namespace aggr_internal {
+
+/// Bound aggregate machinery shared by the three physical operators
+/// (§4.1.2: direct, hash and ordered aggregation).
+struct BoundAggr {
+  AggrOp op;
+  std::string output;
+  int input_idx = -1;          // index into the input MultiExprEvaluator
+  TypeId input_type = TypeId::kI64;
+  TypeId state_type = TypeId::kI64;
+  const AggrPrimitive* prim = nullptr;
+  PrimitiveStats* stats = nullptr;
+  Buffer state;                // one slot per group
+  size_t slots = 0;            // current number of initialized slots
+
+  void EnsureSlots(size_t n);  // appends init values up to n slots
+  Value Result(size_t slot) const;
+};
+
+}  // namespace aggr_internal
+
+/// HashAggr: general grouped aggregation. Group keys are input columns
+/// (possibly undecoded enum codes — grouping on codes is both correct and
+/// cache-friendly; the dictionary travels on the output schema). Hashes are
+/// computed with the map_hash / map_rehash primitives; probe/insert is the
+/// operator loop.
+class HashAggrOp : public Operator {
+ public:
+  HashAggrOp(ExecContext* ctx, std::unique_ptr<Operator> child,
+             std::vector<std::string> group_by, std::vector<AggrSpec> aggrs);
+  ~HashAggrOp() override;
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override;
+  VectorBatch* Next() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  struct Impl;
+  void Build();
+
+  ExecContext* ctx_;
+  std::unique_ptr<Operator> child_;
+  std::vector<std::string> group_by_;
+  std::vector<AggrSpec> specs_;
+  Schema schema_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// DirectAggr: aggregation into a direct-mapped array when the combined
+/// bit-representation of the (at most two single-byte / one two-byte) group
+/// columns is a small domain — the hard-coded Q1 trick of §3.3 made a
+/// physical operator. Group ids come from the map_directgrp primitives.
+class DirectAggrOp : public Operator {
+ public:
+  DirectAggrOp(ExecContext* ctx, std::unique_ptr<Operator> child,
+               std::vector<std::string> group_by, std::vector<AggrSpec> aggrs);
+  ~DirectAggrOp() override;
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override;
+  VectorBatch* Next() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  struct Impl;
+  void Build();
+
+  ExecContext* ctx_;
+  std::unique_ptr<Operator> child_;
+  std::vector<std::string> group_by_;
+  std::vector<AggrSpec> specs_;
+  Schema schema_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// OrdAggr: chosen when all members of a group arrive adjacently in the
+/// source Dataflow (§4.1.2); streams with O(1) state per group.
+class OrdAggrOp : public Operator {
+ public:
+  OrdAggrOp(ExecContext* ctx, std::unique_ptr<Operator> child,
+            std::vector<std::string> group_by, std::vector<AggrSpec> aggrs);
+  ~OrdAggrOp() override;
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override;
+  VectorBatch* Next() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  struct Impl;
+
+  ExecContext* ctx_;
+  std::unique_ptr<Operator> child_;
+  std::vector<std::string> group_by_;
+  std::vector<AggrSpec> specs_;
+  Schema schema_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace x100
+
+#endif  // X100_EXEC_AGGR_H_

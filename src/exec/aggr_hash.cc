@@ -1,0 +1,241 @@
+#include <cstring>
+
+#include "exec/aggr_internal.h"
+
+namespace x100 {
+
+using aggr_internal::BoundAggr;
+
+// Hash aggregation (§4.1.2): per input vector, hash vectors are computed with
+// the map_hash / map_rehash primitives, then a probe/insert loop assigns each
+// tuple its group slot, and the aggr_* primitives update the accumulators
+// (the hash-table-maintenance half of Figure 6).
+struct HashAggrOp::Impl {
+  std::unique_ptr<MultiExprEvaluator> inputs;
+  std::vector<BoundAggr> aggrs;
+
+  std::vector<int> key_cols;       // child schema indices
+  std::vector<size_t> key_widths;  // physical widths
+  std::vector<bool> key_is_str;
+  std::vector<Buffer> key_store;   // per key column: one value per group
+
+  std::vector<uint32_t> buckets;   // group index + 1; 0 = empty
+  std::vector<uint64_t> group_hash;
+  size_t num_groups = 0;
+
+  // Hash pipeline: one map_hash step then rehash steps, ping-ponging between
+  // the two hash vectors (rehash reads one and writes the other).
+  struct HashStep {
+    const MapPrimitive* prim;
+    int col;  // child column index
+    PrimitiveStats* stats;
+    size_t bytes_per_tuple;
+  };
+  std::vector<HashStep> hash_steps;
+  Vector hash_a, hash_b;
+
+  std::unique_ptr<uint32_t[]> groups;
+  PrimitiveStats* op_stats = nullptr;
+
+  // Drain state.
+  bool built = false;
+  size_t emit_pos = 0;
+  VectorBatch out;
+
+  bool KeysEqual(const VectorBatch* batch, int pos, size_t g) const {
+    for (size_t c = 0; c < key_cols.size(); c++) {
+      const char* data =
+          static_cast<const char*>(batch->column(key_cols[c]).data());
+      const char* a = data + static_cast<size_t>(pos) * key_widths[c];
+      const char* b = static_cast<const char*>(key_store[c].data()) +
+                      g * key_widths[c];
+      if (key_is_str[c]) {
+        const char* sa = *reinterpret_cast<const char* const*>(a);
+        const char* sb = *reinterpret_cast<const char* const*>(b);
+        if (std::strcmp(sa, sb) != 0) return false;
+      } else if (std::memcmp(a, b, key_widths[c]) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void Rehash() {
+    size_t cap = buckets.size() * 2;
+    buckets.assign(cap, 0);
+    for (size_t g = 0; g < num_groups; g++) {
+      size_t b = group_hash[g] & (cap - 1);
+      while (buckets[b] != 0) b = (b + 1) & (cap - 1);
+      buckets[b] = static_cast<uint32_t>(g + 1);
+    }
+  }
+};
+
+HashAggrOp::HashAggrOp(ExecContext* ctx, std::unique_ptr<Operator> child,
+                       std::vector<std::string> group_by,
+                       std::vector<AggrSpec> aggrs)
+    : ctx_(ctx),
+      child_(std::move(child)),
+      group_by_(std::move(group_by)),
+      specs_(std::move(aggrs)) {
+  std::vector<BoundAggr> probe;
+  aggr_internal::BindAggrInputs(ctx_, child_->schema(), specs_, &probe,
+                                "HashAggr");
+  aggr_internal::BuildAggrSchema(child_->schema(), group_by_, probe, &schema_);
+}
+
+HashAggrOp::~HashAggrOp() = default;
+
+void HashAggrOp::Open() {
+  child_->Open();
+  impl_ = std::make_unique<Impl>();
+  Impl& im = *impl_;
+
+  im.inputs = aggr_internal::BindAggrInputs(ctx_, child_->schema(), specs_,
+                                            &im.aggrs, "HashAggr");
+  schema_ = Schema();
+  im.key_cols = aggr_internal::BuildAggrSchema(child_->schema(), group_by_,
+                                               im.aggrs, &schema_);
+  const Schema& cs = child_->schema();
+  for (int ci : im.key_cols) {
+    im.key_widths.push_back(TypeWidth(cs.field(ci).type));
+    im.key_is_str.push_back(cs.field(ci).type == TypeId::kStr &&
+                            !cs.field(ci).dict.valid());
+  }
+  im.key_store.resize(im.key_cols.size());
+
+  im.buckets.assign(1024, 0);
+  im.groups = std::make_unique<uint32_t[]>(ctx_->vector_size);
+  im.hash_a.Allocate(TypeId::kI64, ctx_->vector_size);
+  im.hash_b.Allocate(TypeId::kI64, ctx_->vector_size);
+  im.op_stats = ctx_->profiler ? ctx_->profiler->GetStats("HashAggr") : nullptr;
+
+  // Bind the hash pipeline.
+  for (size_t c = 0; c < im.key_cols.size(); c++) {
+    const Field& f = cs.field(im.key_cols[c]);
+    const char* tn = f.type == TypeId::kDate ? "i32" : TypeName(f.type);
+    std::string name = std::string(c == 0 ? "map_hash_" : "map_rehash_") + tn +
+                       "_col";
+    const MapPrimitive* prim = PrimitiveRegistry::Get().FindMap(name);
+    X100_CHECK(prim != nullptr);
+    im.hash_steps.push_back(
+        {prim, im.key_cols[c],
+         ctx_->profiler ? ctx_->profiler->GetStats(name) : nullptr,
+         TypeWidth(f.type) + 8});
+  }
+
+  if (group_by_.empty()) {
+    // Scalar aggregation: a single group exists even on empty input.
+    im.num_groups = 1;
+    for (BoundAggr& a : im.aggrs) a.EnsureSlots(1);
+  }
+}
+
+void HashAggrOp::Build() {
+  Impl& im = *impl_;
+  while (VectorBatch* batch = child_->Next()) {
+    if (im.inputs) im.inputs->Eval(batch);
+    int n = batch->sel_count();
+    const int* sel = batch->sel();
+
+    const uint32_t* groups_ptr = nullptr;
+    if (!im.key_cols.empty()) {
+      // Hash pipeline.
+      uint64_t* cur = im.hash_a.Data<uint64_t>();
+      uint64_t* other = im.hash_b.Data<uint64_t>();
+      for (size_t s = 0; s < im.hash_steps.size(); s++) {
+        Impl::HashStep& hs = im.hash_steps[s];
+        const void* args[2] = {batch->column(hs.col).data(), cur};
+        void* res = s == 0 ? cur : other;
+        if (hs.stats) {
+          ScopedCycles cyc(hs.stats);
+          hs.prim->fn(n, res, args, sel);
+          hs.stats->calls++;
+          hs.stats->tuples += static_cast<uint64_t>(n);
+          hs.stats->bytes += static_cast<uint64_t>(n) * hs.bytes_per_tuple;
+        } else {
+          hs.prim->fn(n, res, args, sel);
+        }
+        if (s != 0) std::swap(cur, other);
+      }
+
+      // Probe / insert (operator loop; accounted to the HashAggr row).
+      uint64_t t0 = im.op_stats ? ReadCycleCounter() : 0;
+      size_t mask = im.buckets.size() - 1;
+      for (int j = 0; j < n; j++) {
+        int i = sel ? sel[j] : j;
+        uint64_t h = cur[i];
+        size_t b = h & mask;
+        uint32_t g;
+        while (true) {
+          uint32_t slot = im.buckets[b];
+          if (slot == 0) {
+            g = static_cast<uint32_t>(im.num_groups++);
+            im.buckets[b] = g + 1;
+            im.group_hash.push_back(h);
+            for (size_t c = 0; c < im.key_cols.size(); c++) {
+              const char* data = static_cast<const char*>(
+                  batch->column(im.key_cols[c]).data());
+              im.key_store[c].Append(
+                  data + static_cast<size_t>(i) * im.key_widths[c],
+                  im.key_widths[c]);
+            }
+            for (BoundAggr& a : im.aggrs) a.EnsureSlots(im.num_groups);
+            // Grow before the table can fill up mid-batch (a full table
+            // would turn the probe loop into an infinite scan).
+            if (im.num_groups * 10 > im.buckets.size() * 7) {
+              im.Rehash();
+              mask = im.buckets.size() - 1;
+            }
+            break;
+          }
+          g = slot - 1;
+          if (im.group_hash[g] == h && im.KeysEqual(batch, i, g)) break;
+          b = (b + 1) & mask;
+        }
+        im.groups[i] = g;
+      }
+      if (im.op_stats) {
+        im.op_stats->calls++;
+        im.op_stats->tuples += static_cast<uint64_t>(n);
+        im.op_stats->cycles += ReadCycleCounter() - t0;
+      }
+      groups_ptr = im.groups.get();
+    }
+
+    for (BoundAggr& a : im.aggrs) {
+      aggr_internal::UpdateAggr(&a, im.inputs.get(), batch, groups_ptr);
+    }
+  }
+  im.built = true;
+  im.emit_pos = 0;
+  im.out = VectorBatch(schema_, ctx_->vector_size);
+}
+
+VectorBatch* HashAggrOp::Next() {
+  Impl& im = *impl_;
+  if (!im.built) Build();
+  if (im.emit_pos >= im.num_groups) return nullptr;
+
+  int n = static_cast<int>(
+      std::min<size_t>(ctx_->vector_size, im.num_groups - im.emit_pos));
+  for (size_t c = 0; c < im.key_cols.size(); c++) {
+    const char* src = static_cast<const char*>(im.key_store[c].data()) +
+                      im.emit_pos * im.key_widths[c];
+    std::memcpy(im.out.column(static_cast<int>(c)).data(), src,
+                static_cast<size_t>(n) * im.key_widths[c]);
+  }
+  for (size_t a = 0; a < im.aggrs.size(); a++) {
+    int col = static_cast<int>(im.key_cols.size() + a);
+    size_t w = TypeWidth(im.aggrs[a].state_type);
+    const char* src =
+        static_cast<const char*>(im.aggrs[a].state.data()) + im.emit_pos * w;
+    std::memcpy(im.out.column(col).data(), src, static_cast<size_t>(n) * w);
+  }
+  im.out.set_count(n);
+  im.out.ClearSel();
+  im.emit_pos += static_cast<size_t>(n);
+  return &im.out;
+}
+
+}  // namespace x100

@@ -1,0 +1,40 @@
+#ifndef X100_EXEC_AGGR_INTERNAL_H_
+#define X100_EXEC_AGGR_INTERNAL_H_
+
+// Shared internals of the three aggregation operators. Include only from
+// exec/aggr_*.cc.
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "exec/aggr.h"
+
+namespace x100::aggr_internal {
+
+/// Maps an AggrSpec to its primitive, given the widened input type.
+/// For kCount input_type is ignored.
+void BindAggr(ExecContext* ctx, const AggrSpec& spec, TypeId input_type,
+              BoundAggr* out);
+
+/// Builds the output schema: group fields (copied from the child schema, with
+/// dictionaries) followed by one field per aggregate (typed by its
+/// accumulator). Returns child schema indices of the group columns.
+std::vector<int> BuildAggrSchema(const Schema& child,
+                                 const std::vector<std::string>& group_by,
+                                 const std::vector<BoundAggr>& aggrs,
+                                 Schema* schema);
+
+/// Wraps each aggregate input in widen() and binds them all in one program.
+/// Fills input_idx on the BoundAggrs. Returns null if there are no inputs.
+std::unique_ptr<MultiExprEvaluator> BindAggrInputs(
+    ExecContext* ctx, const Schema& child, const std::vector<AggrSpec>& specs,
+    std::vector<BoundAggr>* bound, const std::string& label);
+
+/// Runs one aggregate update over the live positions of `batch`.
+void UpdateAggr(BoundAggr* a, MultiExprEvaluator* inputs, VectorBatch* batch,
+                const uint32_t* groups);
+
+}  // namespace x100::aggr_internal
+
+#endif  // X100_EXEC_AGGR_INTERNAL_H_

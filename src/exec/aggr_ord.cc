@@ -1,0 +1,198 @@
+#include <cstring>
+
+#include "exec/aggr_internal.h"
+
+namespace x100 {
+
+using aggr_internal::BoundAggr;
+
+// Ordered aggregation (§4.1.2): all members of a group arrive adjacently, so
+// one accumulator slot suffices. Group boundaries are detected per vector and
+// each run is aggregated with one primitive call over a selection-vector
+// slice — runs stay vectorized, only boundaries are scalar work.
+struct OrdAggrOp::Impl {
+  std::unique_ptr<MultiExprEvaluator> inputs;
+  std::vector<BoundAggr> aggrs;
+
+  std::vector<int> key_cols;
+  std::vector<size_t> key_widths;
+  std::vector<bool> key_is_str;
+
+  bool have_group = false;
+  std::vector<std::vector<char>> cur_key;  // current group's raw key bytes
+
+  // Finished groups pending emission.
+  std::vector<Buffer> done_keys;
+  std::vector<Buffer> done_states;
+  size_t done_count = 0;
+  size_t emit_pos = 0;
+  bool input_done = false;
+
+  std::unique_ptr<int[]> run_sel;
+  VectorBatch out;
+
+  bool KeyEquals(const VectorBatch* batch, int pos) const {
+    for (size_t c = 0; c < key_cols.size(); c++) {
+      const char* data =
+          static_cast<const char*>(batch->column(key_cols[c]).data());
+      const char* a = data + static_cast<size_t>(pos) * key_widths[c];
+      if (key_is_str[c]) {
+        const char* sa = *reinterpret_cast<const char* const*>(a);
+        const char* sb = *reinterpret_cast<const char* const*>(cur_key[c].data());
+        if (std::strcmp(sa, sb) != 0) return false;
+      } else if (std::memcmp(a, cur_key[c].data(), key_widths[c]) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void CaptureKey(const VectorBatch* batch, int pos) {
+    for (size_t c = 0; c < key_cols.size(); c++) {
+      const char* data =
+          static_cast<const char*>(batch->column(key_cols[c]).data());
+      std::memcpy(cur_key[c].data(),
+                  data + static_cast<size_t>(pos) * key_widths[c],
+                  key_widths[c]);
+    }
+  }
+
+  void FlushGroup() {
+    if (!have_group) return;
+    for (size_t c = 0; c < key_cols.size(); c++) {
+      done_keys[c].Append(cur_key[c].data(), key_widths[c]);
+    }
+    for (size_t a = 0; a < aggrs.size(); a++) {
+      size_t w = TypeWidth(aggrs[a].state_type);
+      done_states[a].Append(aggrs[a].state.data(), w);
+      // Reset the single accumulator slot.
+      aggrs[a].slots = 0;
+      aggrs[a].state.Clear();
+      aggrs[a].EnsureSlots(1);
+    }
+    done_count++;
+    have_group = false;
+  }
+};
+
+OrdAggrOp::OrdAggrOp(ExecContext* ctx, std::unique_ptr<Operator> child,
+                     std::vector<std::string> group_by,
+                     std::vector<AggrSpec> aggrs)
+    : ctx_(ctx),
+      child_(std::move(child)),
+      group_by_(std::move(group_by)),
+      specs_(std::move(aggrs)) {
+  X100_CHECK(!group_by_.empty());
+  std::vector<BoundAggr> probe;
+  aggr_internal::BindAggrInputs(ctx_, child_->schema(), specs_, &probe,
+                                "OrdAggr");
+  aggr_internal::BuildAggrSchema(child_->schema(), group_by_, probe, &schema_);
+}
+
+OrdAggrOp::~OrdAggrOp() = default;
+
+void OrdAggrOp::Open() {
+  child_->Open();
+  impl_ = std::make_unique<Impl>();
+  Impl& im = *impl_;
+
+  im.inputs = aggr_internal::BindAggrInputs(ctx_, child_->schema(), specs_,
+                                            &im.aggrs, "OrdAggr");
+  schema_ = Schema();
+  im.key_cols = aggr_internal::BuildAggrSchema(child_->schema(), group_by_,
+                                               im.aggrs, &schema_);
+  const Schema& cs = child_->schema();
+  for (int ci : im.key_cols) {
+    im.key_widths.push_back(TypeWidth(cs.field(ci).type));
+    im.key_is_str.push_back(cs.field(ci).type == TypeId::kStr &&
+                            !cs.field(ci).dict.valid());
+    im.cur_key.emplace_back(TypeWidth(cs.field(ci).type));
+  }
+  im.done_keys.resize(im.key_cols.size());
+  im.done_states.resize(im.aggrs.size());
+  im.run_sel = std::make_unique<int[]>(ctx_->vector_size);
+  for (BoundAggr& a : im.aggrs) a.EnsureSlots(1);
+  im.out = VectorBatch(schema_, ctx_->vector_size);
+}
+
+VectorBatch* OrdAggrOp::Next() {
+  Impl& im = *impl_;
+  // Consume input until a full output vector of groups is pending (or EOF).
+  while (!im.input_done &&
+         im.done_count - im.emit_pos < static_cast<size_t>(ctx_->vector_size)) {
+    VectorBatch* batch = child_->Next();
+    if (batch == nullptr) {
+      im.FlushGroup();
+      im.input_done = true;
+      break;
+    }
+    if (im.inputs) im.inputs->Eval(batch);
+    int n = batch->sel_count();
+    const int* sel = batch->sel();
+
+    int j = 0;
+    while (j < n) {
+      int pos = sel ? sel[j] : j;
+      if (im.have_group && !im.KeyEquals(batch, pos)) im.FlushGroup();
+      if (!im.have_group) {
+        im.CaptureKey(batch, pos);
+        im.have_group = true;
+      }
+      // Extend the run while keys match.
+      int run_end = j;
+      while (run_end < n) {
+        int p = sel ? sel[run_end] : run_end;
+        if (!im.KeyEquals(batch, p)) break;
+        run_end++;
+      }
+      // Aggregate the run [j, run_end) in one primitive call.
+      int run_len = run_end - j;
+      const int* run_positions;
+      if (sel) {
+        run_positions = sel + j;
+      } else {
+        for (int k = 0; k < run_len; k++) im.run_sel[k] = j + k;
+        run_positions = im.run_sel.get();
+      }
+      for (BoundAggr& a : im.aggrs) {
+        const void* col = nullptr;
+        if (a.input_idx >= 0) {
+          col = im.inputs->Result(a.input_idx, batch).data;
+        }
+        if (a.stats) {
+          ScopedCycles cyc(a.stats);
+          a.prim->fn(run_len, a.state.data(), nullptr, col, run_positions);
+          a.stats->calls++;
+          a.stats->tuples += static_cast<uint64_t>(run_len);
+        } else {
+          a.prim->fn(run_len, a.state.data(), nullptr, col, run_positions);
+        }
+      }
+      j = run_end;
+    }
+  }
+
+  if (im.emit_pos >= im.done_count) return nullptr;
+  int n = static_cast<int>(std::min<size_t>(ctx_->vector_size,
+                                            im.done_count - im.emit_pos));
+  for (size_t c = 0; c < im.key_cols.size(); c++) {
+    std::memcpy(im.out.column(static_cast<int>(c)).data(),
+                static_cast<const char*>(im.done_keys[c].data()) +
+                    im.emit_pos * im.key_widths[c],
+                static_cast<size_t>(n) * im.key_widths[c]);
+  }
+  for (size_t a = 0; a < im.aggrs.size(); a++) {
+    int col = static_cast<int>(im.key_cols.size() + a);
+    size_t w = TypeWidth(im.aggrs[a].state_type);
+    std::memcpy(im.out.column(col).data(),
+                static_cast<const char*>(im.done_states[a].data()) +
+                    im.emit_pos * w,
+                static_cast<size_t>(n) * w);
+  }
+  im.out.set_count(n);
+  im.out.ClearSel();
+  im.emit_pos += static_cast<size_t>(n);
+  return &im.out;
+}
+
+}  // namespace x100

@@ -1,0 +1,100 @@
+#include "exec/bm_scan.h"
+
+#include <cstring>
+
+namespace x100 {
+
+BmScanOp::BmScanOp(ExecContext* ctx, ColumnBm* bm, const Table& table,
+                   std::vector<std::string> cols, bool compress)
+    : ctx_(ctx), bm_(bm), table_(table), compress_(compress) {
+  X100_CHECK(table.frozen() && table.delta_rows() == 0 &&
+             table.num_deleted() == 0);
+  for (const std::string& name : cols) {
+    int ci = table.ColumnIndex(name);
+    const Column& col = table.column(ci);
+    X100_CHECK(col.type() != TypeId::kStr || col.is_enum());
+    col_idx_.push_back(ci);
+    Field f;
+    f.name = name;
+    f.type = col.storage_type();
+    if (col.is_enum()) {
+      f.dict = {true, nullptr, col.dict()->value_type(), 0};
+    }
+    schema_.Add(f);
+  }
+}
+
+void BmScanOp::Open() {
+  cols_.clear();
+  for (int i = 0; i < static_cast<int>(col_idx_.size()); i++) {
+    const Column& col = table_.column(col_idx_[i]);
+    if (col.is_enum()) {
+      Field* f = const_cast<Field*>(&schema_.field(i));
+      f->dict = {true, col.dict()->base(), col.dict()->value_type(),
+                 col.dict()->size()};
+    }
+    ColState st;
+    st.width = TypeWidth(col.storage_type());
+    st.compressed = compress_ && IsIntegral(col.storage_type());
+    st.file = table_.name() + "." + schema_.field(i).name +
+              (st.compressed ? ".for" : ".plain");
+    if (!bm_->Contains(st.file)) {
+      if (st.compressed) {
+        bm_->StoreCompressed(st.file, col);
+      } else {
+        bm_->Store(st.file, col);
+      }
+    }
+    cols_.push_back(std::move(st));
+  }
+  pos_ = 0;
+  batch_ = VectorBatch(schema_, ctx_->vector_size);
+}
+
+bool BmScanOp::FillColumn(int c, char* dst, int64_t n) {
+  ColState& st = cols_[c];
+  while (n > 0) {
+    if (st.avail == 0) {
+      st.block++;
+      if (st.block >= bm_->NumBlocks(st.file)) return false;
+      if (st.compressed) {
+        // Decompress the whole block at the I/O boundary.
+        int64_t count = bm_->CompressedBlockCount(st.file, st.block);
+        st.buf.resize(static_cast<size_t>(count) * st.width);
+        int64_t got = bm_->ReadDecompressed(st.file, st.block, st.buf.data());
+        X100_CHECK(got == count);
+        st.cur = st.buf.data();
+        st.avail = count;
+      } else {
+        ColumnBm::BlockRef ref = bm_->ReadBlock(st.file, st.block);
+        st.cur = static_cast<const char*>(ref.data);
+        st.avail = static_cast<int64_t>(ref.bytes / st.width);
+      }
+      st.off = 0;
+    }
+    int64_t take = std::min(n, st.avail);
+    std::memcpy(dst, st.cur + static_cast<size_t>(st.off) * st.width,
+                static_cast<size_t>(take) * st.width);
+    dst += static_cast<size_t>(take) * st.width;
+    st.off += take;
+    st.avail -= take;
+    n -= take;
+  }
+  return true;
+}
+
+VectorBatch* BmScanOp::Next() {
+  int64_t remaining = table_.fragment_rows() - pos_;
+  if (remaining <= 0) return nullptr;
+  int n = static_cast<int>(std::min<int64_t>(ctx_->vector_size, remaining));
+  for (int c = 0; c < static_cast<int>(cols_.size()); c++) {
+    bool ok = FillColumn(c, static_cast<char*>(batch_.column(c).data()), n);
+    X100_CHECK(ok);
+  }
+  pos_ += n;
+  batch_.set_count(n);
+  batch_.ClearSel();
+  return &batch_;
+}
+
+}  // namespace x100

@@ -1,0 +1,63 @@
+#ifndef X100_EXEC_BM_SCAN_H_
+#define X100_EXEC_BM_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "storage/columnbm.h"
+#include "storage/table.h"
+
+namespace x100 {
+
+/// Scan over ColumnBM block storage — the paper's goal (iii): the same
+/// vectorized pipeline fed by the lowest storage hierarchy instead of RAM
+/// (§4 "Disk"). Column data is served block-at-a-time from the buffer
+/// manager (optionally FOR-compressed, optionally behind a simulated I/O
+/// bandwidth ceiling) and sliced into vectors at the RAM/cache boundary.
+///
+/// Restrictions of the disk image: the table must be a pure frozen fragment
+/// (no deltas, no deletes — ColumnBM stores immutable fragments, §4.3) and
+/// non-enum string columns are not blockable (their heap pointers are not a
+/// disk format); enum-compressed strings work via their code columns.
+class BmScanOp : public Operator {
+ public:
+  /// Ensures each requested column of `table` is stored in `bm` under
+  /// "<table>.<column>" (FOR-compressed when `compress` and the physical
+  /// type is integral), then scans from those blocks.
+  BmScanOp(ExecContext* ctx, ColumnBm* bm, const Table& table,
+           std::vector<std::string> cols, bool compress);
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override;
+  VectorBatch* Next() override;
+
+ private:
+  struct ColState {
+    std::string file;
+    bool compressed = false;
+    size_t width = 0;
+    // Current block staging.
+    std::vector<char> buf;       // decompressed values (compressed files)
+    const char* cur = nullptr;   // current block data (plain files)
+    int64_t block = -1;
+    int64_t avail = 0;           // values left in the current block
+    int64_t off = 0;             // consumed values in the current block
+  };
+
+  bool FillColumn(int c, char* dst, int64_t n);
+
+  ExecContext* ctx_;
+  ColumnBm* bm_;
+  const Table& table_;
+  std::vector<int> col_idx_;
+  bool compress_;
+  Schema schema_;
+  std::vector<ColState> cols_;
+  int64_t pos_ = 0;
+  VectorBatch batch_;
+};
+
+}  // namespace x100
+
+#endif  // X100_EXEC_BM_SCAN_H_

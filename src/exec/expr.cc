@@ -1,0 +1,53 @@
+#include "exec/expr.h"
+
+namespace x100 {
+
+std::string Expr::Signature() const {
+  switch (kind_) {
+    case Kind::kColumn:
+      return "$" + name_;
+    case Kind::kConst:
+      return "#" + std::string(TypeName(value_.type())) + ":" + value_.ToString();
+    case Kind::kCall: {
+      std::string s = name_ + "(";
+      for (size_t i = 0; i < args_.size(); i++) {
+        if (i) s += ",";
+        s += args_[i]->Signature();
+      }
+      s += ")";
+      return s;
+    }
+  }
+  return "";
+}
+
+ExprPtr Expr::Clone() const {
+  switch (kind_) {
+    case Kind::kColumn:
+      return Column(name_);
+    case Kind::kConst:
+      return Const(value_);
+    case Kind::kCall: {
+      std::vector<ExprPtr> args;
+      args.reserve(args_.size());
+      for (const ExprPtr& a : args_) args.push_back(a->Clone());
+      return Call(name_, std::move(args));
+    }
+  }
+  return nullptr;
+}
+
+namespace exprs {
+
+ExprPtr In(ExprPtr a, std::vector<Value> values) {
+  X100_CHECK(!values.empty());
+  ExprPtr result = Eq(a->Clone(), Lit(values[0]));
+  for (size_t i = 1; i < values.size(); i++) {
+    result = Or(std::move(result), Eq(a->Clone(), Lit(values[i])));
+  }
+  return result;
+}
+
+}  // namespace exprs
+
+}  // namespace x100

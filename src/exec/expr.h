@@ -1,0 +1,122 @@
+#ifndef X100_EXEC_EXPR_H_
+#define X100_EXEC_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+#include "common/value.h"
+
+namespace x100 {
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Unbound expression tree, the Exp<*> of the X100 algebra (Figure 7).
+/// Leaf nodes are column references and constants; interior nodes name a
+/// logical function ("add", "lt", "and", "like", ...) that the binder resolves
+/// to vectorized primitives against an input Dataflow schema.
+class Expr {
+ public:
+  enum class Kind { kColumn, kConst, kCall };
+
+  static ExprPtr Column(std::string name) {
+    return ExprPtr(new Expr(Kind::kColumn, std::move(name), Value(), {}));
+  }
+  static ExprPtr Const(Value v) {
+    return ExprPtr(new Expr(Kind::kConst, "", std::move(v), {}));
+  }
+  static ExprPtr Call(std::string fn, std::vector<ExprPtr> args) {
+    return ExprPtr(new Expr(Kind::kCall, std::move(fn), Value(), std::move(args)));
+  }
+
+  Kind kind() const { return kind_; }
+  const std::string& name() const { return name_; }  // column or function name
+  const Value& value() const { return value_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+
+  /// Structural key used for common-subexpression elimination in the binder.
+  std::string Signature() const;
+
+  ExprPtr Clone() const;
+
+ private:
+  Expr(Kind k, std::string name, Value v, std::vector<ExprPtr> args)
+      : kind_(k), name_(std::move(name)), value_(std::move(v)), args_(std::move(args)) {}
+
+  Kind kind_;
+  std::string name_;
+  Value value_;
+  std::vector<ExprPtr> args_;
+};
+
+// ---- concise builders used by hand-written plans ---------------------------
+
+inline ExprPtr Col(std::string name) { return Expr::Column(std::move(name)); }
+inline ExprPtr Lit(Value v) { return Expr::Const(std::move(v)); }
+inline ExprPtr LitF64(double v) { return Expr::Const(Value::F64(v)); }
+inline ExprPtr LitI64(int64_t v) { return Expr::Const(Value::I64(v)); }
+inline ExprPtr LitI32(int32_t v) { return Expr::Const(Value::I32(v)); }
+inline ExprPtr LitChar(char c) { return Expr::Const(Value::I8(c)); }
+inline ExprPtr LitStr(std::string s) { return Expr::Const(Value::Str(std::move(s))); }
+inline ExprPtr LitDate(const char* ymd) { return Expr::Const(Value::Date(ParseDate(ymd))); }
+
+namespace exprs {
+
+inline ExprPtr Call2(const char* fn, ExprPtr a, ExprPtr b) {
+  std::vector<ExprPtr> args;
+  args.push_back(std::move(a));
+  args.push_back(std::move(b));
+  return Expr::Call(fn, std::move(args));
+}
+inline ExprPtr Call1(const char* fn, ExprPtr a) {
+  std::vector<ExprPtr> args;
+  args.push_back(std::move(a));
+  return Expr::Call(fn, std::move(args));
+}
+
+inline ExprPtr Add(ExprPtr a, ExprPtr b) { return Call2("add", std::move(a), std::move(b)); }
+inline ExprPtr Sub(ExprPtr a, ExprPtr b) { return Call2("sub", std::move(a), std::move(b)); }
+inline ExprPtr Mul(ExprPtr a, ExprPtr b) { return Call2("mul", std::move(a), std::move(b)); }
+inline ExprPtr Div(ExprPtr a, ExprPtr b) { return Call2("div", std::move(a), std::move(b)); }
+inline ExprPtr Sqrt(ExprPtr a) { return Call1("sqrt", std::move(a)); }
+inline ExprPtr Square(ExprPtr a) { return Call1("square", std::move(a)); }
+
+inline ExprPtr Lt(ExprPtr a, ExprPtr b) { return Call2("lt", std::move(a), std::move(b)); }
+inline ExprPtr Le(ExprPtr a, ExprPtr b) { return Call2("le", std::move(a), std::move(b)); }
+inline ExprPtr Gt(ExprPtr a, ExprPtr b) { return Call2("gt", std::move(a), std::move(b)); }
+inline ExprPtr Ge(ExprPtr a, ExprPtr b) { return Call2("ge", std::move(a), std::move(b)); }
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) { return Call2("eq", std::move(a), std::move(b)); }
+inline ExprPtr Ne(ExprPtr a, ExprPtr b) { return Call2("ne", std::move(a), std::move(b)); }
+inline ExprPtr Like(ExprPtr a, std::string pat) {
+  return Call2("like", std::move(a), LitStr(std::move(pat)));
+}
+inline ExprPtr NotLike(ExprPtr a, std::string pat) {
+  return Call2("notlike", std::move(a), LitStr(std::move(pat)));
+}
+
+inline ExprPtr And(ExprPtr a, ExprPtr b) { return Call2("and", std::move(a), std::move(b)); }
+inline ExprPtr Not(ExprPtr a) { return Call1("not", std::move(a)); }
+inline ExprPtr Or(ExprPtr a, ExprPtr b) { return Call2("or", std::move(a), std::move(b)); }
+inline ExprPtr Between(ExprPtr a, ExprPtr lo, ExprPtr hi) {
+  ExprPtr a2 = a->Clone();
+  return And(Ge(std::move(a), std::move(lo)), Le(std::move(a2), std::move(hi)));
+}
+/// a IN (v1, v2, ...) as a disjunction of equalities.
+ExprPtr In(ExprPtr a, std::vector<Value> values);
+
+}  // namespace exprs
+
+/// Named output column of a Project / group-by list.
+struct NamedExpr {
+  std::string name;
+  ExprPtr expr;
+};
+
+inline NamedExpr As(std::string name, ExprPtr e) { return {std::move(name), std::move(e)}; }
+inline NamedExpr Pass(std::string name) { return {name, Col(name)}; }
+
+}  // namespace x100
+
+#endif  // X100_EXEC_EXPR_H_

@@ -1,0 +1,435 @@
+#include <cstring>
+
+#include "common/hash.h"
+#include "exec/join.h"
+#include "exec/join_internal.h"
+
+namespace x100 {
+
+using join_internal::DrainedStore;
+using join_internal::GatherByPos;
+using join_internal::GatherByRow;
+
+// ---- HashJoinOp -------------------------------------------------------------
+
+struct HashJoinOp::Impl {
+  DrainedStore store;            // build keys first, then build outputs
+  size_t num_keys = 0;
+  std::vector<uint32_t> buckets;  // head row + 1; 0 = empty
+  std::vector<uint32_t> next;     // collision chain, per build row
+  std::vector<uint64_t> row_hash;
+
+  // Probe-side hash pipeline.
+  struct HashStep {
+    const MapPrimitive* prim;
+    int col;
+    PrimitiveStats* stats;
+    size_t bytes_per_tuple;
+  };
+  std::vector<HashStep> hash_steps;
+  std::vector<int> probe_key_cols;
+  std::vector<size_t> probe_key_widths;
+  std::vector<bool> key_is_str;
+  Vector hash_a, hash_b;
+
+  // Output machinery.
+  std::vector<int> probe_out_cols;
+  std::vector<size_t> probe_out_widths;
+  int num_probe_out = 0;
+  std::vector<size_t> build_out_store;  // store column index per build output
+
+  std::vector<int> pend_pos;
+  std::vector<int64_t> pend_row;
+  size_t pend_consumed = 0;
+
+  VectorBatch* cur_probe = nullptr;
+  bool probe_done = false;
+  bool built = false;
+  VectorBatch out;
+  PrimitiveStats* op_stats = nullptr;
+
+  bool KeysEqual(const VectorBatch* batch, int pos, size_t row) const {
+    for (size_t c = 0; c < num_keys; c++) {
+      const char* a =
+          static_cast<const char*>(batch->column(probe_key_cols[c]).data()) +
+          static_cast<size_t>(pos) * probe_key_widths[c];
+      const char* b = store.ColData(c) + row * store.widths[c];
+      if (key_is_str[c]) {
+        if (std::strcmp(*reinterpret_cast<const char* const*>(a),
+                        *reinterpret_cast<const char* const*>(b)) != 0) {
+          return false;
+        }
+      } else {
+        X100_CHECK(probe_key_widths[c] == store.widths[c]);
+        if (std::memcmp(a, b, store.widths[c]) != 0) return false;
+      }
+    }
+    return true;
+  }
+};
+
+HashJoinOp::HashJoinOp(ExecContext* ctx, std::unique_ptr<Operator> probe,
+                       std::unique_ptr<Operator> build,
+                       std::vector<std::string> probe_keys,
+                       std::vector<std::string> build_keys,
+                       std::vector<std::string> probe_out,
+                       std::vector<std::string> build_out, JoinType type)
+    : ctx_(ctx),
+      probe_(std::move(probe)),
+      build_(std::move(build)),
+      probe_keys_(std::move(probe_keys)),
+      build_keys_(std::move(build_keys)),
+      probe_out_(std::move(probe_out)),
+      build_out_(std::move(build_out)),
+      type_(type) {
+  X100_CHECK(probe_keys_.size() == build_keys_.size() && !probe_keys_.empty());
+  if (type_ == JoinType::kSemi || type_ == JoinType::kAnti) {
+    X100_CHECK(build_out_.empty());
+  }
+  for (const std::string& name : probe_out_) {
+    int ci = probe_->schema().Find(name);
+    X100_CHECK(ci >= 0);
+    schema_.Add(probe_->schema().field(ci));
+  }
+  for (const std::string& name : build_out_) {
+    int ci = build_->schema().Find(name);
+    X100_CHECK(ci >= 0);
+    schema_.Add(build_->schema().field(ci));
+  }
+}
+
+HashJoinOp::~HashJoinOp() = default;
+
+void HashJoinOp::Open() {
+  probe_->Open();
+  build_->Open();
+  impl_ = std::make_unique<Impl>();
+  Impl& im = *impl_;
+
+  // Refresh output fields (children resolve dictionary bases in Open).
+  {
+    int fi = 0;
+    for (const std::string& name : probe_out_) {
+      *const_cast<Field*>(&schema_.field(fi++)) =
+          probe_->schema().field(probe_->schema().Find(name));
+    }
+    for (const std::string& name : build_out_) {
+      *const_cast<Field*>(&schema_.field(fi++)) =
+          build_->schema().field(build_->schema().Find(name));
+    }
+  }
+
+  // Store layout: keys then outputs (outputs may repeat keys; simplicity
+  // beats the few duplicated bytes).
+  std::vector<std::string> store_cols = build_keys_;
+  store_cols.insert(store_cols.end(), build_out_.begin(), build_out_.end());
+  im.store.Init(build_->schema(), store_cols);
+  im.num_keys = build_keys_.size();
+  for (size_t i = 0; i < build_out_.size(); i++) {
+    im.build_out_store.push_back(im.num_keys + i);
+  }
+
+  const Schema& ps = probe_->schema();
+  for (size_t c = 0; c < probe_keys_.size(); c++) {
+    int ci = ps.Find(probe_keys_[c]);
+    X100_CHECK(ci >= 0);
+    im.probe_key_cols.push_back(ci);
+    im.probe_key_widths.push_back(TypeWidth(ps.field(ci).type));
+    // Keys are compared raw; undecoded enum codes only work if both sides
+    // share the dictionary object — plans join on plain key columns, so
+    // require value (non-code) types or matching str.
+    bool is_str = ps.field(ci).type == TypeId::kStr;
+    im.key_is_str.push_back(is_str);
+    const Field& bf = im.store.schema.field(c);
+    X100_CHECK(!ps.field(ci).dict.valid() && !bf.dict.valid());
+
+    const char* tn = ps.field(ci).type == TypeId::kDate
+                         ? "i32"
+                         : TypeName(ps.field(ci).type);
+    std::string name =
+        std::string(c == 0 ? "map_hash_" : "map_rehash_") + tn + "_col";
+    const MapPrimitive* prim = PrimitiveRegistry::Get().FindMap(name);
+    X100_CHECK(prim != nullptr);
+    im.hash_steps.push_back(
+        {prim, ci, ctx_->profiler ? ctx_->profiler->GetStats(name) : nullptr,
+         TypeWidth(ps.field(ci).type) + 8});
+  }
+
+  for (const std::string& name : probe_out_) {
+    int ci = ps.Find(name);
+    im.probe_out_cols.push_back(ci);
+    im.probe_out_widths.push_back(TypeWidth(ps.field(ci).type));
+  }
+  im.num_probe_out = static_cast<int>(probe_out_.size());
+
+  im.hash_a.Allocate(TypeId::kI64, ctx_->vector_size);
+  im.hash_b.Allocate(TypeId::kI64, ctx_->vector_size);
+  im.out = VectorBatch(schema_, ctx_->vector_size);
+  im.op_stats = ctx_->profiler ? ctx_->profiler->GetStats("HashJoin") : nullptr;
+}
+
+void HashJoinOp::BuildSide() {
+  Impl& im = *impl_;
+  while (VectorBatch* batch = build_->Next()) {
+    im.store.Append(batch);
+  }
+  // Hash all build rows.
+  size_t cap = 64;
+  while (cap < im.store.rows * 2) cap *= 2;
+  im.buckets.assign(cap, 0);
+  im.next.assign(im.store.rows, 0);
+  im.row_hash.resize(im.store.rows);
+  for (size_t r = 0; r < im.store.rows; r++) {
+    uint64_t h = 0;
+    for (size_t c = 0; c < im.num_keys; c++) {
+      const char* p = im.store.ColData(c) + r * im.store.widths[c];
+      uint64_t hv;
+      if (im.key_is_str[c]) {
+        hv = HashStr(*reinterpret_cast<const char* const*>(p));
+      } else {
+        uint64_t raw = 0;
+        std::memcpy(&raw, p, im.store.widths[c]);
+        hv = HashU64(raw);
+      }
+      h = c == 0 ? hv : HashCombine(h, hv);
+    }
+    im.row_hash[r] = h;
+    size_t b = h & (cap - 1);
+    im.next[r] = im.buckets[b];
+    im.buckets[b] = static_cast<uint32_t>(r + 1);
+  }
+  im.built = true;
+}
+
+void HashJoinOp::ProcessProbeBatch(VectorBatch* batch) {
+  Impl& im = *impl_;
+  int n = batch->sel_count();
+  const int* sel = batch->sel();
+
+  uint64_t* cur = im.hash_a.Data<uint64_t>();
+  uint64_t* other = im.hash_b.Data<uint64_t>();
+  for (size_t s = 0; s < im.hash_steps.size(); s++) {
+    Impl::HashStep& hs = im.hash_steps[s];
+    const void* args[2] = {batch->column(hs.col).data(), cur};
+    void* res = s == 0 ? cur : other;
+    if (hs.stats) {
+      ScopedCycles cyc(hs.stats);
+      hs.prim->fn(n, res, args, sel);
+      hs.stats->calls++;
+      hs.stats->tuples += static_cast<uint64_t>(n);
+      hs.stats->bytes += static_cast<uint64_t>(n) * hs.bytes_per_tuple;
+    } else {
+      hs.prim->fn(n, res, args, sel);
+    }
+    if (s != 0) std::swap(cur, other);
+  }
+
+  uint64_t t0 = im.op_stats ? ReadCycleCounter() : 0;
+  size_t mask = im.buckets.size() - 1;
+  for (int j = 0; j < n; j++) {
+    int i = sel ? sel[j] : j;
+    uint64_t h = cur[i];
+    uint32_t r = im.buckets[h & mask];
+    bool matched = false;
+    while (r != 0) {
+      size_t row = r - 1;
+      if (im.row_hash[row] == h && im.KeysEqual(batch, i, row)) {
+        matched = true;
+        if (type_ == JoinType::kInner || type_ == JoinType::kLeftOuterDefault) {
+          im.pend_pos.push_back(i);
+          im.pend_row.push_back(static_cast<int64_t>(row));
+        } else {
+          break;  // semi/anti need only existence
+        }
+      }
+      r = im.next[row];
+    }
+    if (!matched && (type_ == JoinType::kAnti ||
+                     type_ == JoinType::kLeftOuterDefault)) {
+      im.pend_pos.push_back(i);
+      im.pend_row.push_back(-1);
+    } else if (matched && type_ == JoinType::kSemi) {
+      im.pend_pos.push_back(i);
+      im.pend_row.push_back(-1);
+    }
+  }
+  if (im.op_stats) {
+    im.op_stats->calls++;
+    im.op_stats->tuples += static_cast<uint64_t>(n);
+    im.op_stats->cycles += ReadCycleCounter() - t0;
+  }
+}
+
+VectorBatch* HashJoinOp::Next() {
+  Impl& im = *impl_;
+  if (!im.built) BuildSide();
+  while (true) {
+    size_t avail = im.pend_pos.size() - im.pend_consumed;
+    if (avail == 0) {
+      im.pend_pos.clear();
+      im.pend_row.clear();
+      im.pend_consumed = 0;
+      if (im.probe_done) return nullptr;
+      im.cur_probe = probe_->Next();
+      if (im.cur_probe == nullptr) {
+        im.probe_done = true;
+        return nullptr;
+      }
+      ProcessProbeBatch(im.cur_probe);
+      continue;
+    }
+    int n = static_cast<int>(
+        std::min<size_t>(avail, static_cast<size_t>(ctx_->vector_size)));
+    const int* pos = im.pend_pos.data() + im.pend_consumed;
+    const int64_t* rows = im.pend_row.data() + im.pend_consumed;
+    for (int c = 0; c < im.num_probe_out; c++) {
+      GatherByPos(im.out.column(c).data(),
+                  im.cur_probe->column(im.probe_out_cols[c]).data(),
+                  im.probe_out_widths[c], pos, n);
+    }
+    for (size_t c = 0; c < im.build_out_store.size(); c++) {
+      size_t sc = im.build_out_store[c];
+      const Field& f = im.store.schema.field(static_cast<int>(sc));
+      GatherByRow(im.out.column(im.num_probe_out + static_cast<int>(c)).data(),
+                  im.store.ColData(sc), im.store.widths[sc], rows, n,
+                  f.type == TypeId::kStr, "");
+    }
+    im.pend_consumed += static_cast<size_t>(n);
+    im.out.set_count(n);
+    im.out.ClearSel();
+    return &im.out;
+  }
+}
+
+void HashJoinOp::Close() {
+  probe_->Close();
+  build_->Close();
+}
+
+// ---- CartProdOp -------------------------------------------------------------
+
+struct CartProdOp::Impl {
+  DrainedStore store;
+  std::vector<int> probe_out_cols;
+  std::vector<size_t> probe_out_widths;
+
+  VectorBatch* cur_probe = nullptr;
+  int probe_j = 0;       // index into the probe batch's live positions
+  int64_t build_r = 0;   // next build row to pair with the current tuple
+  bool done = false;
+  VectorBatch out;
+};
+
+CartProdOp::CartProdOp(ExecContext* ctx, std::unique_ptr<Operator> probe,
+                       std::unique_ptr<Operator> build,
+                       std::vector<std::string> probe_out,
+                       std::vector<std::string> build_out)
+    : ctx_(ctx),
+      probe_(std::move(probe)),
+      build_(std::move(build)),
+      probe_out_(std::move(probe_out)),
+      build_out_(std::move(build_out)) {
+  for (const std::string& name : probe_out_) {
+    int ci = probe_->schema().Find(name);
+    X100_CHECK(ci >= 0);
+    schema_.Add(probe_->schema().field(ci));
+  }
+  for (const std::string& name : build_out_) {
+    int ci = build_->schema().Find(name);
+    X100_CHECK(ci >= 0);
+    schema_.Add(build_->schema().field(ci));
+  }
+}
+
+CartProdOp::~CartProdOp() = default;
+
+void CartProdOp::Open() {
+  probe_->Open();
+  build_->Open();
+  impl_ = std::make_unique<Impl>();
+  Impl& im = *impl_;
+  {
+    int fi = 0;
+    for (const std::string& name : probe_out_) {
+      *const_cast<Field*>(&schema_.field(fi++)) =
+          probe_->schema().field(probe_->schema().Find(name));
+    }
+    for (const std::string& name : build_out_) {
+      *const_cast<Field*>(&schema_.field(fi++)) =
+          build_->schema().field(build_->schema().Find(name));
+    }
+  }
+  im.store.Init(build_->schema(), build_out_);
+  while (VectorBatch* batch = build_->Next()) im.store.Append(batch);
+  const Schema& ps = probe_->schema();
+  for (const std::string& name : probe_out_) {
+    int ci = ps.Find(name);
+    im.probe_out_cols.push_back(ci);
+    im.probe_out_widths.push_back(TypeWidth(ps.field(ci).type));
+  }
+  im.out = VectorBatch(schema_, ctx_->vector_size);
+}
+
+VectorBatch* CartProdOp::Next() {
+  Impl& im = *impl_;
+  if (im.done) return nullptr;
+  int emitted = 0;
+  int cap = ctx_->vector_size;
+  while (emitted < cap) {
+    if (im.cur_probe == nullptr) {
+      im.cur_probe = probe_->Next();
+      im.probe_j = 0;
+      im.build_r = 0;
+      if (im.cur_probe == nullptr) {
+        im.done = true;
+        break;
+      }
+    }
+    int pn = im.cur_probe->sel_count();
+    const int* psel = im.cur_probe->sel();
+    if (im.probe_j >= pn || im.store.rows == 0) {
+      im.cur_probe = nullptr;
+      if (im.store.rows == 0) {
+        im.done = true;
+        break;
+      }
+      continue;
+    }
+    int pos = psel ? psel[im.probe_j] : im.probe_j;
+    while (im.build_r < static_cast<int64_t>(im.store.rows) && emitted < cap) {
+      for (size_t c = 0; c < im.probe_out_cols.size(); c++) {
+        std::memcpy(static_cast<char*>(im.out.column(static_cast<int>(c)).data()) +
+                        static_cast<size_t>(emitted) * im.probe_out_widths[c],
+                    static_cast<const char*>(
+                        im.cur_probe->column(im.probe_out_cols[c]).data()) +
+                        static_cast<size_t>(pos) * im.probe_out_widths[c],
+                    im.probe_out_widths[c]);
+      }
+      for (size_t c = 0; c < im.store.src_cols.size(); c++) {
+        int oc = static_cast<int>(im.probe_out_cols.size() + c);
+        std::memcpy(static_cast<char*>(im.out.column(oc).data()) +
+                        static_cast<size_t>(emitted) * im.store.widths[c],
+                    im.store.ColData(c) +
+                        static_cast<size_t>(im.build_r) * im.store.widths[c],
+                    im.store.widths[c]);
+      }
+      im.build_r++;
+      emitted++;
+    }
+    if (im.build_r >= static_cast<int64_t>(im.store.rows)) {
+      im.probe_j++;
+      im.build_r = 0;
+    }
+  }
+  if (emitted == 0) return nullptr;
+  im.out.set_count(emitted);
+  im.out.ClearSel();
+  return &im.out;
+}
+
+void CartProdOp::Close() {
+  probe_->Close();
+  build_->Close();
+}
+
+}  // namespace x100

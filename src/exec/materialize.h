@@ -1,0 +1,42 @@
+#ifndef X100_EXEC_MATERIALIZE_H_
+#define X100_EXEC_MATERIALIZE_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/operator.h"
+#include "storage/table.h"
+
+namespace x100 {
+
+/// Drains a Dataflow into a (frozen) Table with logical column types — used
+/// for query results and for the materialized sub-plans with which the
+/// hand-translated TPC-H plans express SQL subqueries.
+std::unique_ptr<Table> MaterializeToTable(Operator* root, std::string name);
+
+/// Convenience: Open/drain/Close in one call.
+std::unique_ptr<Table> RunPlan(std::unique_ptr<Operator> root, std::string name);
+
+/// Array operator (§4.1.2): generates a Dataflow representing an
+/// N-dimensional array as an N-ary relation of all valid coordinates in
+/// column-major dimension order, as used by the RAM array front-end.
+class ArrayOp : public Operator {
+ public:
+  /// Dimensions sizes; output columns i64 "i0".."i{N-1}".
+  ArrayOp(ExecContext* ctx, std::vector<int64_t> dims);
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override;
+  VectorBatch* Next() override;
+
+ private:
+  ExecContext* ctx_;
+  std::vector<int64_t> dims_;
+  Schema schema_;
+  int64_t pos_ = 0, total_ = 0;
+  VectorBatch out_;
+};
+
+}  // namespace x100
+
+#endif  // X100_EXEC_MATERIALIZE_H_

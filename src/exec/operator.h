@@ -1,0 +1,44 @@
+#ifndef X100_EXEC_OPERATOR_H_
+#define X100_EXEC_OPERATOR_H_
+
+#include "common/config.h"
+#include "common/profiling.h"
+#include "vector/batch.h"
+
+namespace x100 {
+
+/// Per-query execution settings shared by all operators of a plan.
+struct ExecContext {
+  /// Tuples per vector (§5.1.1; Figure 10 sweeps this).
+  int vector_size = kDefaultVectorSize;
+  /// Use the predicated select primitives instead of the branching ones
+  /// (Figure 2's two code shapes).
+  bool predicated_selects = false;
+  /// Let the binder fuse recognized expression sub-trees into compound
+  /// primitives (§4.2: "dynamic compilation of compound primitives ...
+  /// mandated by an optimizer"). Off by default so the Table 5 trace shows
+  /// the paper's single-primitive pipeline.
+  bool fuse_compound_primitives = false;
+  /// When set, primitives and operators account calls/tuples/bytes/cycles
+  /// here (the Table 5 trace). Null disables tracing.
+  Profiler* profiler = nullptr;
+};
+
+/// X100 algebra operator: classical Volcano Open/Next/Close, but Next()
+/// returns a vector batch instead of a tuple (§4.1). The returned batch is
+/// owned by the operator and valid until the next call to Next() or Close().
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Output Dataflow shape; valid after construction.
+  virtual const Schema& schema() const = 0;
+
+  virtual void Open() = 0;
+  virtual VectorBatch* Next() = 0;
+  virtual void Close() {}
+};
+
+}  // namespace x100
+
+#endif  // X100_EXEC_OPERATOR_H_

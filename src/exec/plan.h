@@ -1,0 +1,119 @@
+#ifndef X100_EXEC_PLAN_H_
+#define X100_EXEC_PLAN_H_
+
+// Plan-builder DSL: thin factories so hand-translated query plans read like
+// the X100 algebra of Figure 9. Everything returns std::unique_ptr<Operator>.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/aggr.h"
+#include "exec/basic_ops.h"
+#include "exec/join.h"
+#include "exec/materialize.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+
+namespace x100::plan {
+
+using OpPtr = std::unique_ptr<Operator>;
+
+inline OpPtr Scan(ExecContext* ctx, const Table& t,
+                  std::vector<std::string> cols) {
+  return std::make_unique<ScanOp>(ctx, t, std::move(cols));
+}
+
+/// Scan with a summary-index range restriction (lo/hi inclusive; use
+/// ±infinity for open sides).
+inline OpPtr ScanRange(ExecContext* ctx, const Table& t,
+                       std::vector<std::string> cols, const std::string& col,
+                       double lo, double hi) {
+  auto s = std::make_unique<ScanOp>(ctx, t, std::move(cols));
+  s->RestrictRange(col, lo, hi);
+  return s;
+}
+
+inline OpPtr Select(ExecContext* ctx, OpPtr child, ExprPtr pred) {
+  return std::make_unique<SelectOp>(ctx, std::move(child), std::move(pred));
+}
+
+inline OpPtr Project(ExecContext* ctx, OpPtr child, std::vector<NamedExpr> e) {
+  return std::make_unique<ProjectOp>(ctx, std::move(child), std::move(e));
+}
+
+inline OpPtr HashAggr(ExecContext* ctx, OpPtr child,
+                      std::vector<std::string> group_by,
+                      std::vector<AggrSpec> aggrs) {
+  return std::make_unique<HashAggrOp>(ctx, std::move(child), std::move(group_by),
+                                      std::move(aggrs));
+}
+
+inline OpPtr DirectAggr(ExecContext* ctx, OpPtr child,
+                        std::vector<std::string> group_by,
+                        std::vector<AggrSpec> aggrs) {
+  return std::make_unique<DirectAggrOp>(ctx, std::move(child),
+                                        std::move(group_by), std::move(aggrs));
+}
+
+inline OpPtr OrdAggr(ExecContext* ctx, OpPtr child,
+                     std::vector<std::string> group_by,
+                     std::vector<AggrSpec> aggrs) {
+  return std::make_unique<OrdAggrOp>(ctx, std::move(child), std::move(group_by),
+                                     std::move(aggrs));
+}
+
+inline OpPtr Join(ExecContext* ctx, OpPtr probe, OpPtr build,
+                  std::vector<std::string> probe_keys,
+                  std::vector<std::string> build_keys,
+                  std::vector<std::string> probe_out,
+                  std::vector<std::string> build_out,
+                  JoinType type = JoinType::kInner) {
+  return std::make_unique<HashJoinOp>(
+      ctx, std::move(probe), std::move(build), std::move(probe_keys),
+      std::move(build_keys), std::move(probe_out), std::move(build_out), type);
+}
+
+inline OpPtr SemiJoin(ExecContext* ctx, OpPtr probe, OpPtr build,
+                      std::vector<std::string> probe_keys,
+                      std::vector<std::string> build_keys,
+                      std::vector<std::string> probe_out) {
+  return Join(ctx, std::move(probe), std::move(build), std::move(probe_keys),
+              std::move(build_keys), std::move(probe_out), {}, JoinType::kSemi);
+}
+
+inline OpPtr AntiJoin(ExecContext* ctx, OpPtr probe, OpPtr build,
+                      std::vector<std::string> probe_keys,
+                      std::vector<std::string> build_keys,
+                      std::vector<std::string> probe_out) {
+  return Join(ctx, std::move(probe), std::move(build), std::move(probe_keys),
+              std::move(build_keys), std::move(probe_out), {}, JoinType::kAnti);
+}
+
+inline OpPtr Fetch1Join(ExecContext* ctx, OpPtr child, const Table& target,
+                        std::string rowid_col,
+                        std::vector<std::pair<std::string, std::string>> fetch) {
+  return std::make_unique<Fetch1JoinOp>(ctx, std::move(child), target,
+                                        std::move(rowid_col), std::move(fetch));
+}
+
+inline OpPtr CartProd(ExecContext* ctx, OpPtr probe, OpPtr build,
+                      std::vector<std::string> probe_out,
+                      std::vector<std::string> build_out) {
+  return std::make_unique<CartProdOp>(ctx, std::move(probe), std::move(build),
+                                      std::move(probe_out), std::move(build_out));
+}
+
+inline OpPtr TopN(ExecContext* ctx, OpPtr child, std::vector<OrdKey> keys,
+                  int64_t n) {
+  return std::make_unique<TopNOp>(ctx, std::move(child), std::move(keys), n);
+}
+
+inline OpPtr Order(ExecContext* ctx, OpPtr child, std::vector<OrdKey> keys) {
+  return std::make_unique<OrderOp>(ctx, std::move(child), std::move(keys));
+}
+
+}  // namespace x100::plan
+
+#endif  // X100_EXEC_PLAN_H_

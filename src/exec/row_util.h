@@ -1,0 +1,78 @@
+#ifndef X100_EXEC_ROW_UTIL_H_
+#define X100_EXEC_ROW_UTIL_H_
+
+#include "common/value.h"
+#include "vector/batch.h"
+
+namespace x100 {
+
+/// Logical (dictionary-decoded) value at position `pos` of batch column
+/// `col`. Row-at-a-time by design: used only by materializing edges (Order,
+/// TopN, Materialize, result checking), never on the vectorized hot path.
+inline Value BatchValueAt(const VectorBatch& b, int col, int pos) {
+  const Field& f = b.schema().field(col);
+  const void* data = b.column(col).data();
+  int64_t raw;
+  switch (f.type) {
+    case TypeId::kI8:   raw = static_cast<const int8_t*>(data)[pos]; break;
+    case TypeId::kU8:   raw = static_cast<const uint8_t*>(data)[pos]; break;
+    case TypeId::kI16:  raw = static_cast<const int16_t*>(data)[pos]; break;
+    case TypeId::kU16:  raw = static_cast<const uint16_t*>(data)[pos]; break;
+    case TypeId::kI32:
+    case TypeId::kDate: raw = static_cast<const int32_t*>(data)[pos]; break;
+    case TypeId::kI64:  raw = static_cast<const int64_t*>(data)[pos]; break;
+    case TypeId::kF64:
+      return Value::F64(static_cast<const double*>(data)[pos]);
+    case TypeId::kStr:
+      return Value::Str(static_cast<const char* const*>(data)[pos]);
+    default:
+      X100_CHECK(false);
+      return Value();
+  }
+  if (f.dict.valid()) {
+    int code = static_cast<int>(raw);
+    X100_CHECK(code >= 0 && code < f.dict.size);
+    switch (f.dict.value_type) {
+      case TypeId::kStr:
+        return Value::Str(static_cast<const char* const*>(f.dict.base)[code]);
+      case TypeId::kF64:
+        return Value::F64(static_cast<const double*>(f.dict.base)[code]);
+      case TypeId::kI32:
+        return Value::I32(static_cast<const int32_t*>(f.dict.base)[code]);
+      case TypeId::kDate:
+        return Value::Date(static_cast<const int32_t*>(f.dict.base)[code]);
+      case TypeId::kI64:
+        return Value::I64(static_cast<const int64_t*>(f.dict.base)[code]);
+      default:
+        X100_CHECK(false);
+    }
+  }
+  switch (f.type) {
+    case TypeId::kDate: return Value::Date(static_cast<int32_t>(raw));
+    case TypeId::kI8:   return Value::I8(static_cast<int8_t>(raw));
+    case TypeId::kU8:   return Value::U8(static_cast<uint8_t>(raw));
+    case TypeId::kI16:  return Value::I16(static_cast<int16_t>(raw));
+    case TypeId::kU16:  return Value::U16(static_cast<uint16_t>(raw));
+    case TypeId::kI32:  return Value::I32(static_cast<int32_t>(raw));
+    default:            return Value::I64(raw);
+  }
+}
+
+/// Three-way comparison of two logical values of the same column.
+inline int CompareValues(const Value& a, const Value& b) {
+  if (a.type() == TypeId::kStr) {
+    int c = a.AsStr().compare(b.AsStr());
+    return c < 0 ? -1 : c > 0 ? 1 : 0;
+  }
+  if (a.type() == TypeId::kF64 || a.type() == TypeId::kF32 ||
+      b.type() == TypeId::kF64 || b.type() == TypeId::kF32) {
+    double x = a.AsF64(), y = b.AsF64();
+    return x < y ? -1 : x > y ? 1 : 0;
+  }
+  int64_t x = a.AsI64(), y = b.AsI64();
+  return x < y ? -1 : x > y ? 1 : 0;
+}
+
+}  // namespace x100
+
+#endif  // X100_EXEC_ROW_UTIL_H_

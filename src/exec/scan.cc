@@ -1,0 +1,168 @@
+#include "exec/scan.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace x100 {
+
+ScanOp::ScanOp(ExecContext* ctx, const Table& table, std::vector<std::string> cols)
+    : ctx_(ctx), table_(table) {
+  for (const std::string& name : cols) {
+    int ci = table.ColumnIndex(name);
+    col_idx_.push_back(ci);
+    const Column& col = table.column(ci);
+    Field f;
+    f.name = name;
+    f.type = col.storage_type();
+    if (col.is_enum()) {
+      // Dictionary base resolved at Open (delta inserts may grow the dict).
+      f.dict = {true, nullptr, col.dict()->value_type(), 0};
+    }
+    schema_.Add(f);
+  }
+}
+
+void ScanOp::EmitRowId(const std::string& name) {
+  X100_CHECK(!emit_rowid_);
+  emit_rowid_ = true;
+  rowid_field_ = schema_.num_fields();
+  schema_.Add(name, TypeId::kI64);
+}
+
+void ScanOp::RestrictRange(const std::string& col, double lo, double hi) {
+  restricted_ = true;
+  restrict_col_ = col;
+  restrict_lo_ = lo;
+  restrict_hi_ = hi;
+}
+
+void ScanOp::Open() {
+  // Refresh dictionary refs (bases are stable only between appends).
+  for (int i = 0; i < static_cast<int>(col_idx_.size()); i++) {
+    const Column& col = table_.column(col_idx_[i]);
+    if (col.is_enum()) {
+      Field* f = const_cast<Field*>(&schema_.field(i));
+      f->dict = {true, col.dict()->base(), col.dict()->value_type(),
+                 col.dict()->size()};
+    }
+  }
+
+  frag_begin_ = 0;
+  frag_end_ = table_.fragment_rows();
+  if (restricted_) {
+    int ci = table_.ColumnIndex(restrict_col_);
+    const SummaryIndex* sma = table_.summary_index(ci);
+    if (sma != nullptr) {
+      SummaryIndex::RowRange r = sma->Range(restrict_lo_, restrict_hi_);
+      frag_begin_ = r.begin;
+      frag_end_ = r.end;
+    }
+  }
+  pos_ = frag_begin_;
+  in_delta_ = false;
+
+  batch_ = VectorBatch(schema_, ctx_->vector_size);
+  copy_bufs_.clear();
+  for (int i = 0; i < schema_.num_fields(); i++) {
+    if (i == rowid_field_) continue;
+    copy_bufs_.emplace_back(schema_.field(i).type, ctx_->vector_size);
+  }
+  if (emit_rowid_) rowid_buf_.Allocate(TypeId::kI64, ctx_->vector_size);
+  stats_ = ctx_->profiler ? ctx_->profiler->GetStats("Scan") : nullptr;
+
+  if (table_.delta_rows() > 0) {
+    // Delta columns exist only for declared columns, not join-index columns;
+    // scanning a join-index column of a table with deltas requires a
+    // Reorganize() + join-index rebuild first.
+    for (int ci : col_idx_) {
+      X100_CHECK(ci < table_.num_delta_columns());
+    }
+  }
+}
+
+VectorBatch* ScanOp::Next() {
+  uint64_t t0 = stats_ ? ReadCycleCounter() : 0;
+  while (true) {
+    int64_t region_end = in_delta_ ? table_.total_rows() : frag_end_;
+    if (pos_ >= region_end) {
+      if (!in_delta_ && table_.delta_rows() > 0) {
+        in_delta_ = true;
+        pos_ = table_.fragment_rows();
+        continue;
+      }
+      return nullptr;
+    }
+
+    int64_t n = std::min<int64_t>(ctx_->vector_size, region_end - pos_);
+    int64_t lo = pos_, hi = pos_ + n;
+
+    // Deleted #rowIds inside the window.
+    const std::vector<int64_t>& dels = table_.deletion_list();
+    auto dbegin = std::lower_bound(dels.begin(), dels.end(), lo);
+    auto dend = std::lower_bound(dbegin, dels.end(), hi);
+    int64_t ndel = dend - dbegin;
+
+    batch_.ClearSel();
+    int out = 0;
+    for (int i = 0, bi = 0; i < schema_.num_fields(); i++) {
+      if (i == rowid_field_) continue;
+      const Column& col = in_delta_ ? table_.delta_column(col_idx_[bi])
+                                    : table_.column(col_idx_[bi]);
+      int64_t off = in_delta_ ? lo - table_.fragment_rows() : lo;
+      size_t w = TypeWidth(schema_.field(i).type);
+      const char* base = static_cast<const char*>(col.raw()) + off * w;
+      if (ndel == 0) {
+        batch_.column(i).SetView(schema_.field(i).type, base,
+                                 static_cast<int>(n));
+      } else {
+        // Compact live rows into the copy buffer.
+        char* dst = static_cast<char*>(copy_bufs_[bi].data());
+        auto d = dbegin;
+        int k = 0;
+        for (int64_t r = lo; r < hi; r++) {
+          if (d != dend && *d == r) {
+            ++d;
+            continue;
+          }
+          std::memcpy(dst + static_cast<size_t>(k) * w,
+                      base + static_cast<size_t>(r - lo) * w, w);
+          k++;
+        }
+        out = k;
+        batch_.column(i).SetView(schema_.field(i).type, copy_bufs_[bi].data(), k);
+      }
+      bi++;
+    }
+    int count = ndel == 0 ? static_cast<int>(n) : out;
+    if (emit_rowid_) {
+      int64_t* ids = rowid_buf_.Data<int64_t>();
+      auto d = dbegin;
+      int k = 0;
+      for (int64_t r = lo; r < hi; r++) {
+        if (d != dend && *d == r) {
+          ++d;
+          continue;
+        }
+        ids[k++] = r;
+      }
+      batch_.column(rowid_field_).SetView(TypeId::kI64, rowid_buf_.data(), k);
+    }
+    pos_ = hi;
+    if (count == 0) continue;  // fully deleted window; try the next one
+    batch_.set_count(count);
+
+    if (stats_) {
+      size_t width = 0;
+      for (int i = 0; i < schema_.num_fields(); i++) {
+        width += TypeWidth(schema_.field(i).type);
+      }
+      stats_->calls++;
+      stats_->tuples += static_cast<uint64_t>(count);
+      stats_->bytes += static_cast<uint64_t>(count) * width;
+      stats_->cycles += ReadCycleCounter() - t0;
+    }
+    return &batch_;
+  }
+}
+
+}  // namespace x100

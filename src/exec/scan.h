@@ -1,0 +1,64 @@
+#ifndef X100_EXEC_SCAN_H_
+#define X100_EXEC_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "storage/table.h"
+
+namespace x100 {
+
+/// Scan(Table): retrieves data vector-at-a-time from vertical fragments
+/// (§4.1.1). Only the requested columns are touched. Vectors are zero-copy
+/// views into fragment storage whenever the window contains no deleted rows;
+/// windows intersecting the deletion list are compacted by copy. After the
+/// fragment, the (uncompressed-code) delta columns are scanned the same way.
+///
+/// Enumeration-typed columns are emitted as their code vectors with the
+/// dictionary attached to the schema Field; the expression binder inserts the
+/// decoding Fetch1Join automatically (§4.3).
+class ScanOp : public Operator {
+ public:
+  ScanOp(ExecContext* ctx, const Table& table, std::vector<std::string> cols);
+
+  /// Narrows the fragment region via the summary index on `col` (§4.3):
+  /// only #rowIds that may satisfy lo <= col <= hi are scanned. No-op if the
+  /// table has no summary index on `col`. The delta region is always scanned;
+  /// the plan's Select still applies the exact predicate.
+  void RestrictRange(const std::string& col, double lo, double hi);
+
+  /// Also emit the virtual #rowId as an i64 column named `name`.
+  void EmitRowId(const std::string& name);
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override;
+  VectorBatch* Next() override;
+
+ private:
+  ExecContext* ctx_;
+  const Table& table_;
+  std::vector<int> col_idx_;
+  Schema schema_;
+  bool emit_rowid_ = false;
+  int rowid_field_ = -1;
+
+  // Range restriction (resolved against the summary index at Open).
+  bool restricted_ = false;
+  std::string restrict_col_;
+  double restrict_lo_ = 0, restrict_hi_ = 0;
+
+  // Scan state.
+  int64_t frag_begin_ = 0, frag_end_ = 0;  // fragment region after SMA pruning
+  int64_t pos_ = 0;                        // next #rowId to deliver
+  bool in_delta_ = false;
+
+  VectorBatch batch_;
+  std::vector<Vector> copy_bufs_;  // per output column, for delete compaction
+  Vector rowid_buf_;
+  PrimitiveStats* stats_ = nullptr;
+};
+
+}  // namespace x100
+
+#endif  // X100_EXEC_SCAN_H_

@@ -1,0 +1,74 @@
+#ifndef X100_EXEC_SORT_H_
+#define X100_EXEC_SORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/string_heap.h"
+#include "common/value.h"
+#include "exec/operator.h"
+
+namespace x100 {
+
+/// Sort key of Order / TopN.
+struct OrdKey {
+  std::string name;
+  bool desc = false;
+};
+
+inline OrdKey Asc(std::string name) { return {std::move(name), false}; }
+inline OrdKey Desc(std::string name) { return {std::move(name), true}; }
+
+/// Order: full materializing sort (§4.1.2's Order(Table, ...) — in this
+/// engine it drains its child, which is equivalent for query tails). Output
+/// columns are dictionary-decoded to logical types: ordering is a
+/// materializing boundary anyway, and result consumers want values.
+class OrderOp : public Operator {
+ public:
+  OrderOp(ExecContext* ctx, std::unique_ptr<Operator> child,
+          std::vector<OrdKey> keys);
+  ~OrderOp() override;
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override;
+  VectorBatch* Next() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  struct Impl;
+
+  ExecContext* ctx_;
+  std::unique_ptr<Operator> child_;
+  std::vector<OrdKey> keys_;
+  Schema schema_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// TopN (§4.1.2): bounded-heap selection of the first `n` tuples in key
+/// order; output decoded like Order.
+class TopNOp : public Operator {
+ public:
+  TopNOp(ExecContext* ctx, std::unique_ptr<Operator> child,
+         std::vector<OrdKey> keys, int64_t n);
+  ~TopNOp() override;
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override;
+  VectorBatch* Next() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  struct Impl;
+
+  ExecContext* ctx_;
+  std::unique_ptr<Operator> child_;
+  std::vector<OrdKey> keys_;
+  int64_t limit_;
+  Schema schema_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace x100
+
+#endif  // X100_EXEC_SORT_H_

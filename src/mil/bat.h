@@ -1,0 +1,78 @@
+#ifndef X100_MIL_BAT_H_
+#define X100_MIL_BAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/value.h"
+#include "storage/buffer.h"
+
+namespace x100 {
+
+/// A Binary Association Table with a void (virtual, densely ascending) head —
+/// the array case every BAT in these queries reduces to (§3.2, §3.3). The
+/// tail is a typed, fully materialized column. This is the MonetDB/MIL
+/// execution substrate: every MIL operator consumes whole BATs and
+/// materializes a whole result BAT.
+class Bat {
+ public:
+  Bat() = default;
+  explicit Bat(TypeId type) : type_(type) {}
+
+  Bat(Bat&&) = default;
+  Bat& operator=(Bat&&) = default;
+  Bat(const Bat&) = delete;
+  Bat& operator=(const Bat&) = delete;
+
+  TypeId type() const { return type_; }
+  int64_t size() const { return size_; }
+  size_t bytes() const { return data_.size_bytes(); }
+
+  const void* raw() const { return data_.data(); }
+  void* mutable_raw() { return data_.data(); }
+
+  template <typename T>
+  const T* Data() const {
+    return static_cast<const T*>(data_.data());
+  }
+  template <typename T>
+  T* MutableData() {
+    return static_cast<T*>(data_.data());
+  }
+
+  template <typename T>
+  void PushBack(T v) {
+    data_.PushBack(v);
+    size_++;
+  }
+
+  /// Preallocates for n values and marks them present (bulk kernels fill raw).
+  void ResizeUninitialized(int64_t n) {
+    data_.Reserve(static_cast<size_t>(n) * TypeWidth(type_));
+    // Buffer size bookkeeping: append zero bytes up to n values.
+    size_t want = static_cast<size_t>(n) * TypeWidth(type_);
+    if (data_.size_bytes() < want) {
+      static const char kZeros[4096] = {};
+      size_t missing = want - data_.size_bytes();
+      while (missing > 0) {
+        size_t chunk = missing < sizeof(kZeros) ? missing : sizeof(kZeros);
+        data_.Append(kZeros, chunk);
+        missing -= chunk;
+      }
+    }
+    size_ = n;
+  }
+
+  Value ValueAt(int64_t i) const;
+
+ private:
+  TypeId type_ = TypeId::kI64;
+  Buffer data_;
+  int64_t size_ = 0;
+};
+
+}  // namespace x100
+
+#endif  // X100_MIL_BAT_H_

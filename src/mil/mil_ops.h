@@ -1,0 +1,144 @@
+#ifndef X100_MIL_MIL_OPS_H_
+#define X100_MIL_MIL_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "mil/bat.h"
+#include "storage/table.h"
+
+namespace x100 {
+
+/// One executed MIL statement — a row of the Table 3 trace: elapsed time,
+/// bandwidth (input + output bytes, as the paper counts it) and result size.
+struct MilStmt {
+  std::string text;
+  double ms = 0;
+  double megabytes = 0;  // input + output MB
+  int64_t result_size = 0;
+
+  double Bandwidth() const { return ms > 0 ? megabytes / (ms / 1e3) : 0; }
+};
+
+/// Execution session: collects the per-statement trace when tracing is on.
+class MilSession {
+ public:
+  bool trace = false;
+  std::vector<MilStmt> stmts;
+
+  void Log(const char* text, double ms, size_t bytes, int64_t result_size) {
+    if (!trace) return;
+    stmts.push_back({text ? text : "?", ms,
+                     static_cast<double>(bytes) / 1e6, result_size});
+  }
+  double TotalMs() const {
+    double t = 0;
+    for (const MilStmt& s : stmts) t += s.ms;
+    return t;
+  }
+  std::string ToString() const;
+};
+
+// The MIL column algebra (§3.2): operators with *no* degree of freedom —
+// fixed arity, fixed types, full materialization. `label` is the statement
+// text recorded in the trace; comparisons use MilCmp to pick the operator.
+
+enum class MilCmp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// Materializes a stored column into a value BAT (MIL has no enum types; the
+/// SQL front-end decompresses on load). Deleted rows / deltas are merged so
+/// MIL sees the same visible relation as X100.
+Bat BatFromColumn(MilSession* s, const Table& table, const std::string& col,
+                  const char* label = nullptr);
+
+/// uselect + mark: positions (oids) of tuples matching `cmp val`.
+Bat MilUSelect(MilSession* s, const Bat& b, MilCmp cmp, const Value& v,
+               const char* label = nullptr);
+/// Range variant: lo <= b <= hi.
+Bat MilUSelectRange(MilSession* s, const Bat& b, const Value& lo, const Value& hi,
+                    const char* label = nullptr);
+/// LIKE / NOT LIKE on string BATs.
+Bat MilUSelectLike(MilSession* s, const Bat& b, const std::string& pat,
+                   bool negate, const char* label = nullptr);
+/// Positions where two BATs compare true.
+Bat MilUSelectColCol(MilSession* s, const Bat& a, const Bat& b, MilCmp cmp,
+                     const char* label = nullptr);
+
+/// Positional join (fetch): values of `b` at `oids` — the join(s0, col) of
+/// Table 3.
+Bat MilFetchJoin(MilSession* s, const Bat& oids, const Bat& b,
+                 const char* label = nullptr);
+
+/// Multiplexed binary arithmetic [op](a,b): full result materialization.
+enum class MilArith { kAdd, kSub, kMul, kDiv };
+Bat MilMap(MilSession* s, MilArith op, const Bat& a, const Bat& b,
+           const char* label = nullptr);
+Bat MilMapVal(MilSession* s, MilArith op, const Value& v, const Bat& b,
+              const char* label = nullptr);
+
+/// Calendar-year extraction: [year](dates) -> i32 BAT.
+Bat MilMapYear(MilSession* s, const Bat& dates, const char* label = nullptr);
+
+/// Equi-join on tail values: all matching pairs as two aligned oid BATs.
+struct MilJoinResult {
+  Bat left_oids;
+  Bat right_oids;
+};
+MilJoinResult MilJoin(MilSession* s, const Bat& a, const Bat& b,
+                      const char* label = nullptr);
+
+/// Oids of `a` whose value occurs (semijoin) / does not occur (antijoin) in b.
+Bat MilSemiJoin(MilSession* s, const Bat& a, const Bat& b,
+                const char* label = nullptr);
+Bat MilAntiJoin(MilSession* s, const Bat& a, const Bat& b,
+                const char* label = nullptr);
+
+/// group / group-refine: dense group ids per tuple; *ngroups gets the count.
+Bat MilGroup(MilSession* s, const Bat& b, int64_t* ngroups,
+             const char* label = nullptr);
+Bat MilGroupRefine(MilSession* s, const Bat& groups, int64_t ngroups_in,
+                   const Bat& b, int64_t* ngroups,
+                   const char* label = nullptr);
+
+/// First-occurrence position of each group id: the `unique(s8.mirror)` of
+/// Table 3. Result has `ngroups` oids into the grouped BATs.
+Bat MilGroupReps(MilSession* s, const Bat& groups, int64_t ngroups,
+                 const char* label = nullptr);
+
+/// Union of two ascending oid lists (for IN / OR rewrites).
+Bat MilUnionOids(MilSession* s, const Bat& a, const Bat& b,
+                 const char* label = nullptr);
+
+/// Grouped aggregates: result BAT has one slot per group.
+Bat MilSumGrouped(MilSession* s, const Bat& v, const Bat& groups, int64_t ng,
+                  const char* label = nullptr);
+Bat MilMinGrouped(MilSession* s, const Bat& v, const Bat& groups, int64_t ng,
+                  const char* label = nullptr);
+Bat MilMaxGrouped(MilSession* s, const Bat& v, const Bat& groups, int64_t ng,
+                  const char* label = nullptr);
+Bat MilCountGrouped(MilSession* s, const Bat& groups, int64_t ng,
+                    const char* label = nullptr);
+
+/// Scalar aggregates.
+double MilSum(MilSession* s, const Bat& v, const char* label = nullptr);
+int64_t MilCount(MilSession* s, const Bat& v, const char* label = nullptr);
+Value MilMin(MilSession* s, const Bat& v, const char* label = nullptr);
+Value MilMax(MilSession* s, const Bat& v, const char* label = nullptr);
+
+/// Distinct values of b (in first-occurrence order).
+Bat MilUnique(MilSession* s, const Bat& b, const char* label = nullptr);
+
+/// Permutation of oids ordering `keys` lexicographically (desc per key).
+Bat MilSortOids(MilSession* s, const std::vector<const Bat*>& keys,
+                const std::vector<bool>& desc, const char* label = nullptr);
+
+/// First n oids of `order`.
+Bat MilSlice(MilSession* s, const Bat& order, int64_t n,
+             const char* label = nullptr);
+
+/// Dense oid sequence [0, n).
+Bat MilMark(int64_t n);
+
+}  // namespace x100
+
+#endif  // X100_MIL_MIL_OPS_H_

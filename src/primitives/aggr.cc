@@ -1,0 +1,49 @@
+#include <cstdint>
+
+#include "primitives/kernels.h"
+#include "primitives/primitive.h"
+
+// Aggregate-update primitives (§4.2 "aggr_* primitives"). The operator owns
+// initialization and the epilogue (AVG = SUM/COUNT happens in a Project, as in
+// Figure 9); these primitives are the per-vector update step. Integer sums
+// accumulate into int64 so SF=100-scale sums cannot overflow.
+
+namespace x100 {
+namespace {
+
+using namespace x100::kernels;
+
+void AggrCount(int n, void* agg, const uint32_t* groups, const void* col,
+               const int* sel) {
+  (void)col;
+  int64_t* __restrict__ acc = static_cast<int64_t*>(agg);
+  if (groups) {
+    if (sel) {
+      for (int j = 0; j < n; j++) acc[groups[sel[j]]]++;
+    } else {
+      for (int i = 0; i < n; i++) acc[groups[i]]++;
+    }
+  } else {
+    acc[0] += n;
+  }
+}
+
+}  // namespace
+
+void RegisterAggrPrimitives(PrimitiveRegistry* r) {
+  r->RegisterAggr("aggr_sum_f64_col", TypeId::kF64, &AggrUpdate<double, double, SumOp>);
+  r->RegisterAggr("aggr_sum_i32_col", TypeId::kI64, &AggrUpdate<int64_t, int32_t, SumOp>);
+  r->RegisterAggr("aggr_sum_i64_col", TypeId::kI64, &AggrUpdate<int64_t, int64_t, SumOp>);
+
+  r->RegisterAggr("aggr_min_f64_col", TypeId::kF64, &AggrUpdate<double, double, MinOp>);
+  r->RegisterAggr("aggr_min_i32_col", TypeId::kI32, &AggrUpdate<int32_t, int32_t, MinOp>);
+  r->RegisterAggr("aggr_min_i64_col", TypeId::kI64, &AggrUpdate<int64_t, int64_t, MinOp>);
+
+  r->RegisterAggr("aggr_max_f64_col", TypeId::kF64, &AggrUpdate<double, double, MaxOp>);
+  r->RegisterAggr("aggr_max_i32_col", TypeId::kI32, &AggrUpdate<int32_t, int32_t, MaxOp>);
+  r->RegisterAggr("aggr_max_i64_col", TypeId::kI64, &AggrUpdate<int64_t, int64_t, MaxOp>);
+
+  r->RegisterAggr("aggr_count", TypeId::kI64, &AggrCount);
+}
+
+}  // namespace x100

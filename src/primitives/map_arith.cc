@@ -1,0 +1,63 @@
+#include <cmath>
+#include <cstdint>
+
+#include "primitives/kernels.h"
+#include "primitives/primitive.h"
+
+// Arithmetic map primitives. Analogue of the paper's pattern
+//   any::1 +(any::1 x, any::1 y) plus = x + y
+// expanded over the numeric types and the (col,val) cross-product requested by
+// the signature file (§4.2).
+
+namespace x100 {
+namespace {
+
+using namespace x100::kernels;
+
+struct SqrtOp {
+  static double Apply(double a) { return std::sqrt(a); }
+};
+struct SquareOp {
+  template <typename T> static T Apply(T a) { return a * a; }
+};
+struct NegOp {
+  template <typename T> static T Apply(T a) { return -a; }
+};
+
+template <typename T, typename Op>
+void RegisterBinary(PrimitiveRegistry* r, const char* op, const char* t) {
+  std::string base = std::string("map_") + op + "_" + t;
+  r->RegisterMap(base + "_col_" + t + "_col", TypeTraits<T>::kId, 2,
+                 &MapColCol<T, T, T, Op>);
+  r->RegisterMap(base + "_col_" + t + "_val", TypeTraits<T>::kId, 2,
+                 &MapColVal<T, T, T, Op>);
+  r->RegisterMap(base + "_val_" + t + "_col", TypeTraits<T>::kId, 2,
+                 &MapValCol<T, T, T, Op>);
+}
+
+template <typename T>
+void RegisterAllBinary(PrimitiveRegistry* r, const char* t) {
+  RegisterBinary<T, AddOp>(r, "add", t);
+  RegisterBinary<T, SubOp>(r, "sub", t);
+  RegisterBinary<T, MulOp>(r, "mul", t);
+  RegisterBinary<T, DivOp>(r, "div", t);
+}
+
+}  // namespace
+
+void RegisterMapArith(PrimitiveRegistry* r) {
+  RegisterAllBinary<int32_t>(r, "i32");
+  RegisterAllBinary<int64_t>(r, "i64");
+  RegisterAllBinary<double>(r, "f64");
+
+  r->RegisterMap("map_square_f64_col", TypeId::kF64, 1,
+                 &MapUnaryCol<double, double, SquareOp>);
+  r->RegisterMap("map_sqrt_f64_col", TypeId::kF64, 1,
+                 &MapUnaryCol<double, double, SqrtOp>);
+  r->RegisterMap("map_neg_f64_col", TypeId::kF64, 1,
+                 &MapUnaryCol<double, double, NegOp>);
+  r->RegisterMap("map_neg_i64_col", TypeId::kI64, 1,
+                 &MapUnaryCol<int64_t, int64_t, NegOp>);
+}
+
+}  // namespace x100

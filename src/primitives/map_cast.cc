@@ -1,0 +1,60 @@
+#include <cstdint>
+
+#include "common/date.h"
+#include "primitives/kernels.h"
+#include "primitives/primitive.h"
+
+// Cast map primitives: the `dbl(count_order)` style conversions of Figure 9
+// plus the widenings the binder inserts for mixed-type arithmetic.
+
+namespace x100 {
+namespace {
+
+using namespace x100::kernels;
+
+template <typename To>
+struct CastOp {
+  template <typename From>
+  static To Apply(From a) { return static_cast<To>(a); }
+};
+
+struct YearOp {
+  static int32_t Apply(int32_t days) {
+    int y;
+    unsigned m, d;
+    CivilFromDays(days, &y, &m, &d);
+    return y;
+  }
+};
+
+template <typename From, typename To>
+void RegisterCast(PrimitiveRegistry* r, const char* from, const char* to) {
+  r->RegisterMap(std::string("map_cast_") + to + "_" + from + "_col",
+                 TypeTraits<To>::kId, 1, &MapUnaryCol<To, From, CastOp<To>>);
+}
+
+}  // namespace
+
+void RegisterMapCast(PrimitiveRegistry* r) {
+  RegisterCast<int8_t, int32_t>(r, "i8", "i32");
+  RegisterCast<uint8_t, int32_t>(r, "u8", "i32");
+  RegisterCast<int16_t, int32_t>(r, "i16", "i32");
+  RegisterCast<uint16_t, int32_t>(r, "u16", "i32");
+  RegisterCast<int32_t, int64_t>(r, "i32", "i64");
+  RegisterCast<int32_t, double>(r, "i32", "f64");
+  RegisterCast<int64_t, double>(r, "i64", "f64");
+  RegisterCast<float, double>(r, "f32", "f64");
+  RegisterCast<double, int64_t>(r, "f64", "i64");
+  RegisterCast<int64_t, int32_t>(r, "i64", "i32");
+  RegisterCast<uint8_t, uint16_t>(r, "u8", "u16");
+  RegisterCast<uint8_t, int64_t>(r, "u8", "i64");
+  RegisterCast<uint16_t, int64_t>(r, "u16", "i64");
+  RegisterCast<int8_t, int64_t>(r, "i8", "i64");
+  RegisterCast<int16_t, int64_t>(r, "i16", "i64");
+
+  // Calendar-year extraction from a date column (EXTRACT(year ...)).
+  r->RegisterMap("map_year_i32_col", TypeId::kI32, 1,
+                 &MapUnaryCol<int32_t, int32_t, YearOp>);
+}
+
+}  // namespace x100

@@ -1,0 +1,108 @@
+#include <cstring>
+#include <string>
+
+#include "primitives/primitive.h"
+
+// String select primitives: comparisons on heap-pointer columns, plus SQL
+// LIKE matching. These give string-typed ADTs first-class primitive status,
+// the extensibility point §4.2 contrasts with UDF-style per-value calls.
+
+namespace x100 {
+
+// SQL LIKE with '%' (any run) and '_' (any single char); iterative
+// backtracking matcher, no allocation.
+bool LikeMatch(const char* s, const char* pat) {
+  const char* star_pat = nullptr;
+  const char* star_s = nullptr;
+  while (*s) {
+    if (*pat == '%') {
+      star_pat = ++pat;
+      star_s = s;
+      if (!*pat) return true;
+    } else if (*pat == '_' || *pat == *s) {
+      pat++;
+      s++;
+    } else if (star_pat) {
+      pat = star_pat;
+      s = ++star_s;
+    } else {
+      return false;
+    }
+  }
+  while (*pat == '%') pat++;
+  return *pat == '\0';
+}
+
+namespace {
+
+struct StrLt { static bool Apply(const char* a, const char* b) { return std::strcmp(a, b) < 0; } };
+struct StrLe { static bool Apply(const char* a, const char* b) { return std::strcmp(a, b) <= 0; } };
+struct StrGt { static bool Apply(const char* a, const char* b) { return std::strcmp(a, b) > 0; } };
+struct StrGe { static bool Apply(const char* a, const char* b) { return std::strcmp(a, b) >= 0; } };
+struct StrEq { static bool Apply(const char* a, const char* b) { return std::strcmp(a, b) == 0; } };
+struct StrNe { static bool Apply(const char* a, const char* b) { return std::strcmp(a, b) != 0; } };
+struct StrLike {
+  static bool Apply(const char* a, const char* b) { return LikeMatch(a, b); }
+};
+struct StrNotLike {
+  static bool Apply(const char* a, const char* b) { return !LikeMatch(a, b); }
+};
+
+template <typename Op>
+int SelectStrColVal(int n, int* res_sel, const void* const* args, const int* sel) {
+  const char* const* a = static_cast<const char* const*>(args[0]);
+  const char* v = *static_cast<const char* const*>(args[1]);
+  int k = 0;
+  if (sel) {
+    for (int j = 0; j < n; j++) {
+      int i = sel[j];
+      if (Op::Apply(a[i], v)) res_sel[k++] = i;
+    }
+  } else {
+    for (int i = 0; i < n; i++) {
+      if (Op::Apply(a[i], v)) res_sel[k++] = i;
+    }
+  }
+  return k;
+}
+
+template <typename Op>
+int SelectStrColCol(int n, int* res_sel, const void* const* args, const int* sel) {
+  const char* const* a = static_cast<const char* const*>(args[0]);
+  const char* const* b = static_cast<const char* const*>(args[1]);
+  int k = 0;
+  if (sel) {
+    for (int j = 0; j < n; j++) {
+      int i = sel[j];
+      if (Op::Apply(a[i], b[i])) res_sel[k++] = i;
+    }
+  } else {
+    for (int i = 0; i < n; i++) {
+      if (Op::Apply(a[i], b[i])) res_sel[k++] = i;
+    }
+  }
+  return k;
+}
+
+template <typename Op>
+void RegisterStrCmp(PrimitiveRegistry* r, const char* op) {
+  r->RegisterSelect(std::string("select_") + op + "_str_col_str_val", 2,
+                    &SelectStrColVal<Op>);
+  r->RegisterSelect(std::string("select_") + op + "_str_col_str_col", 2,
+                    &SelectStrColCol<Op>);
+}
+
+}  // namespace
+
+void RegisterStringPrimitives(PrimitiveRegistry* r) {
+  RegisterStrCmp<StrLt>(r, "lt");
+  RegisterStrCmp<StrLe>(r, "le");
+  RegisterStrCmp<StrGt>(r, "gt");
+  RegisterStrCmp<StrGe>(r, "ge");
+  RegisterStrCmp<StrEq>(r, "eq");
+  RegisterStrCmp<StrNe>(r, "ne");
+  RegisterStrCmp<StrLike>(r, "like");
+  RegisterStrCmp<StrNotLike>(r, "notlike");
+}
+
+}  // namespace x100

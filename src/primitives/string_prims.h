@@ -1,0 +1,12 @@
+#ifndef X100_PRIMITIVES_STRING_PRIMS_H_
+#define X100_PRIMITIVES_STRING_PRIMS_H_
+
+namespace x100 {
+
+/// SQL LIKE matcher ('%' any run, '_' any single char); exposed for the MIL
+/// and tuple engines, which interpret the same predicate per value.
+bool LikeMatch(const char* s, const char* pat);
+
+}  // namespace x100
+
+#endif  // X100_PRIMITIVES_STRING_PRIMS_H_

@@ -1,0 +1,61 @@
+#ifndef X100_STORAGE_CATALOG_H_
+#define X100_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace x100 {
+
+/// Named collection of tables — the MetaData box of Figure 5. Plans refer to
+/// tables by name; the catalog owns them.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Table* AddTable(std::string name, std::vector<Table::ColumnSpec> specs) {
+    auto t = std::make_unique<Table>(name, std::move(specs));
+    Table* raw = t.get();
+    X100_CHECK(tables_.emplace(std::move(name), std::move(t)).second);
+    return raw;
+  }
+
+  Table* Find(const std::string& name) {
+    auto it = tables_.find(name);
+    return it == tables_.end() ? nullptr : it->second.get();
+  }
+  const Table* Find(const std::string& name) const {
+    auto it = tables_.find(name);
+    return it == tables_.end() ? nullptr : it->second.get();
+  }
+
+  Table& Get(const std::string& name) {
+    Table* t = Find(name);
+    X100_CHECK(t != nullptr);
+    return *t;
+  }
+  const Table& Get(const std::string& name) const {
+    const Table* t = Find(name);
+    X100_CHECK(t != nullptr);
+    return *t;
+  }
+
+  std::vector<std::string> TableNames() const {
+    std::vector<std::string> names;
+    for (const auto& [name, table] : tables_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace x100
+
+#endif  // X100_STORAGE_CATALOG_H_

@@ -1,0 +1,109 @@
+#include "storage/columnbm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/profiling.h"
+#include "storage/compression.h"
+#include "common/status.h"
+
+namespace x100 {
+
+void ColumnBm::Store(const std::string& file, const Column& col) {
+  File f;
+  size_t total = col.bytes();
+  const char* src = static_cast<const char*>(col.raw());
+  for (size_t off = 0; off < total; off += block_size_) {
+    size_t n = std::min(block_size_, total - off);
+    auto blk = std::make_unique<char[]>(n);
+    std::memcpy(blk.get(), src + off, n);
+    f.blocks.push_back(std::move(blk));
+    f.block_bytes.push_back(n);
+  }
+  files_[file] = std::move(f);
+}
+
+int64_t ColumnBm::NumBlocks(const std::string& file) const {
+  auto it = files_.find(file);
+  X100_CHECK(it != files_.end());
+  return static_cast<int64_t>(it->second.blocks.size());
+}
+
+void ColumnBm::Throttle(size_t bytes) {
+  if (simulated_bandwidth_ <= 0) return;
+  double secs = static_cast<double>(bytes) / simulated_bandwidth_;
+  uint64_t start = NowNanos();
+  uint64_t wait = static_cast<uint64_t>(secs * 1e9);
+  while (NowNanos() - start < wait) {
+  }
+}
+
+ColumnBm::BlockRef ColumnBm::ReadBlock(const std::string& file, int64_t b) {
+  auto it = files_.find(file);
+  X100_CHECK(it != files_.end());
+  File& f = it->second;
+  X100_CHECK(b >= 0 && b < static_cast<int64_t>(f.blocks.size()));
+  blocks_read_++;
+  bytes_read_ += static_cast<int64_t>(f.block_bytes[b]);
+  Throttle(f.block_bytes[b]);
+  return {f.blocks[b].get(), f.block_bytes[b]};
+}
+
+size_t ColumnBm::StoreCompressed(const std::string& file, const Column& col,
+                                 int64_t values_per_block) {
+  X100_CHECK(IsIntegral(col.storage_type()) || col.is_enum());
+  size_t w = TypeWidth(col.storage_type());
+  File f;
+  f.compressed = true;
+  f.value_width = w;
+  const char* src = static_cast<const char*>(col.raw());
+  size_t total = 0;
+  for (int64_t off = 0; off < col.size(); off += values_per_block) {
+    int64_t n = std::min<int64_t>(values_per_block, col.size() - off);
+    Buffer enc;
+    size_t bytes = ForCodec::Encode(src + static_cast<size_t>(off) * w, n, w,
+                                    &enc);
+    auto blk = std::make_unique<char[]>(bytes);
+    std::memcpy(blk.get(), enc.data(), bytes);
+    f.blocks.push_back(std::move(blk));
+    f.block_bytes.push_back(bytes);
+    total += bytes;
+  }
+  files_[file] = std::move(f);
+  return total;
+}
+
+int64_t ColumnBm::ReadDecompressed(const std::string& file, int64_t b,
+                                   void* out) {
+  auto it = files_.find(file);
+  X100_CHECK(it != files_.end());
+  File& f = it->second;
+  X100_CHECK(f.compressed);
+  X100_CHECK(b >= 0 && b < static_cast<int64_t>(f.blocks.size()));
+  blocks_read_++;
+  bytes_read_ += static_cast<int64_t>(f.block_bytes[b]);
+  // Only the compressed bytes cross the simulated I/O boundary; decompression
+  // is CPU work on the cache side (§4 "Cache").
+  Throttle(f.block_bytes[b]);
+  return ForCodec::Decode(f.blocks[b].get(), out, f.value_width);
+}
+
+int64_t ColumnBm::CompressedBlockCount(const std::string& file,
+                                       int64_t b) const {
+  auto it = files_.find(file);
+  X100_CHECK(it != files_.end() && it->second.compressed);
+  X100_CHECK(b >= 0 && b < static_cast<int64_t>(it->second.blocks.size()));
+  return ForCodec::EncodedCount(it->second.blocks[b].get());
+}
+
+int64_t ColumnBm::FileBytes(const std::string& file) const {
+  auto it = files_.find(file);
+  X100_CHECK(it != files_.end());
+  int64_t total = 0;
+  for (size_t bytes : it->second.block_bytes) {
+    total += static_cast<int64_t>(bytes);
+  }
+  return total;
+}
+
+}  // namespace x100

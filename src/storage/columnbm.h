@@ -1,0 +1,102 @@
+#ifndef X100_STORAGE_COLUMNBM_H_
+#define X100_STORAGE_COLUMNBM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "storage/column.h"
+
+namespace x100 {
+
+/// ColumnBM buffer-manager simulation (§4, "Disk"; §4.3).
+///
+/// Where MonetDB stores each BAT in one continuous file, ColumnBM partitions
+/// column data into large (>1MB) chunks and serves them through a buffer pool
+/// geared to sequential access. The paper's ColumnBM was still under
+/// development (all its experiments run on in-memory BATs); we model the
+/// interface and accounting so scans can be driven block-at-a-time and I/O
+/// volume measured: reads are counted per block, and an optional simulated
+/// bandwidth ceiling converts bytes to stall nanoseconds for experiments that
+/// want the disk-bound regime.
+class ColumnBm {
+ public:
+  explicit ColumnBm(size_t block_size = kColumnBmBlockSize)
+      : block_size_(block_size) {}
+
+  ColumnBm(const ColumnBm&) = delete;
+  ColumnBm& operator=(const ColumnBm&) = delete;
+
+  /// Copies a column's physical data into chunked storage under `file`.
+  void Store(const std::string& file, const Column& col);
+
+  /// Stores an integral column FOR-compressed (§4.3 lightweight compression):
+  /// fixed-count blocks of bit-packed deltas. Decompression happens at read
+  /// time on the RAM->cache boundary. Returns the compressed byte size.
+  size_t StoreCompressed(const std::string& file, const Column& col,
+                         int64_t values_per_block = 1 << 16);
+
+  /// Reads block `b` of a compressed file, decompressing into `out`
+  /// (caller provides >= values_per_block * width bytes). Returns the value
+  /// count. Accounts only the *compressed* bytes as I/O.
+  int64_t ReadDecompressed(const std::string& file, int64_t b, void* out);
+
+  /// Total stored bytes of `file` (compressed size for compressed files).
+  int64_t FileBytes(const std::string& file) const;
+
+  /// Number of blocks in `file`.
+  int64_t NumBlocks(const std::string& file) const;
+
+  bool Contains(const std::string& file) const {
+    return files_.find(file) != files_.end();
+  }
+
+  /// Decoded value count of compressed block `b` (header peek; no I/O
+  /// accounting — callers size their decode buffer with this).
+  int64_t CompressedBlockCount(const std::string& file, int64_t b) const;
+
+  /// Returns block `b` (pointer + byte count), accounting the read. The
+  /// pointer stays valid for the ColumnBm's lifetime (pinning is a no-op in
+  /// this in-memory simulation).
+  struct BlockRef {
+    const void* data;
+    size_t bytes;
+  };
+  BlockRef ReadBlock(const std::string& file, int64_t b);
+
+  // -- accounting --
+  int64_t blocks_read() const { return blocks_read_; }
+  int64_t bytes_read() const { return bytes_read_; }
+  void ResetStats() { blocks_read_ = bytes_read_ = 0; }
+
+  /// If >0, ReadBlock busy-waits to cap throughput at this many bytes/sec,
+  /// simulating an I/O-bound substrate.
+  void set_simulated_bandwidth(double bytes_per_sec) {
+    simulated_bandwidth_ = bytes_per_sec;
+  }
+
+  size_t block_size() const { return block_size_; }
+
+ private:
+  struct File {
+    std::vector<std::unique_ptr<char[]>> blocks;
+    std::vector<size_t> block_bytes;
+    bool compressed = false;
+    size_t value_width = 0;  // compressed files: bytes per decoded value
+  };
+
+  void Throttle(size_t bytes);
+
+  size_t block_size_;
+  std::map<std::string, File> files_;
+  int64_t blocks_read_ = 0;
+  int64_t bytes_read_ = 0;
+  double simulated_bandwidth_ = 0;
+};
+
+}  // namespace x100
+
+#endif  // X100_STORAGE_COLUMNBM_H_

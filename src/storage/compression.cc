@@ -1,0 +1,163 @@
+#include "storage/compression.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/status.h"
+
+namespace x100 {
+
+namespace {
+
+struct Header {
+  int64_t reference;
+  uint16_t bits;
+  uint16_t reserved;
+  uint32_t count;
+};
+static_assert(sizeof(Header) == ForCodec::kHeaderBytes);
+
+template <typename T>
+void MinMax(const T* in, int64_t n, int64_t* lo, int64_t* hi) {
+  T mn = in[0], mx = in[0];
+  for (int64_t i = 1; i < n; i++) {
+    mn = std::min(mn, in[i]);
+    mx = std::max(mx, in[i]);
+  }
+  *lo = static_cast<int64_t>(mn);
+  *hi = static_cast<int64_t>(mx);
+}
+
+int BitsFor(uint64_t range) {
+  int bits = 0;
+  while (range != 0) {
+    bits++;
+    range >>= 1;
+  }
+  return bits;
+}
+
+/// Packs the low `bits` of each delta into consecutive 64-bit words.
+template <typename T>
+void Pack(const T* in, int64_t n, int64_t ref, int bits, uint64_t* words) {
+  uint64_t acc = 0;
+  int filled = 0;
+  size_t w = 0;
+  for (int64_t i = 0; i < n; i++) {
+    uint64_t delta =
+        static_cast<uint64_t>(static_cast<int64_t>(in[i]) - ref);
+    acc |= delta << filled;
+    if (filled + bits >= 64) {
+      words[w++] = acc;
+      int used = 64 - filled;
+      acc = used < bits ? delta >> used : 0;
+      filled = bits - used;
+    } else {
+      filled += bits;
+    }
+  }
+  if (filled > 0) words[w++] = acc;
+}
+
+template <typename T>
+void Unpack(const uint64_t* words, int64_t n, int64_t ref, int bits, T* out) {
+  if (bits == 0) {
+    for (int64_t i = 0; i < n; i++) out[i] = static_cast<T>(ref);
+    return;
+  }
+  const uint64_t mask = bits == 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+  uint64_t acc = words[0];
+  int avail = 64;
+  size_t w = 0;
+  for (int64_t i = 0; i < n; i++) {
+    uint64_t delta;
+    if (avail >= bits) {
+      delta = acc & mask;
+      // Shifting a uint64 by 64 is UB; guard the exactly-consumed case.
+      acc = bits < 64 ? acc >> bits : 0;
+      avail -= bits;
+    } else {
+      uint64_t lo = acc;
+      uint64_t hi = words[++w];
+      delta = (lo | (hi << avail)) & mask;
+      int taken = bits - avail;
+      acc = taken < 64 ? hi >> taken : 0;
+      avail = 64 - taken;
+    }
+    out[i] = static_cast<T>(ref + static_cast<int64_t>(delta));
+  }
+}
+
+template <typename T>
+size_t EncodeTyped(const T* in, int64_t n, Buffer* out) {
+  int64_t lo, hi;
+  MinMax(in, n, &lo, &hi);
+  uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+  int bits = BitsFor(range);
+  size_t nwords = (static_cast<size_t>(n) * bits + 63) / 64;
+  Header h{lo, static_cast<uint16_t>(bits), 0, static_cast<uint32_t>(n)};
+  size_t total = sizeof(Header) + nwords * 8;
+  size_t start = out->size_bytes();
+  out->Reserve(start + total);
+  out->Append(&h, sizeof(h));
+  if (nwords > 0) {
+    // Pack into a scratch then append (keeps Pack simple).
+    std::vector<uint64_t> words(nwords, 0);
+    Pack(in, n, lo, bits, words.data());
+    out->Append(words.data(), nwords * 8);
+  }
+  return total;
+}
+
+template <typename T>
+int64_t DecodeTyped(const void* encoded, T* out) {
+  Header h;
+  std::memcpy(&h, encoded, sizeof(h));
+  const uint64_t* words = reinterpret_cast<const uint64_t*>(
+      static_cast<const char*>(encoded) + sizeof(Header));
+  Unpack(words, h.count, h.reference, h.bits, out);
+  return h.count;
+}
+
+}  // namespace
+
+size_t ForCodec::Encode(const void* in, int64_t n, size_t width, Buffer* out) {
+  X100_CHECK(n > 0 && n <= static_cast<int64_t>(UINT32_MAX));
+  switch (width) {
+    case 1: return EncodeTyped(static_cast<const int8_t*>(in), n, out);
+    case 2: return EncodeTyped(static_cast<const int16_t*>(in), n, out);
+    case 4: return EncodeTyped(static_cast<const int32_t*>(in), n, out);
+    case 8: return EncodeTyped(static_cast<const int64_t*>(in), n, out);
+    default:
+      X100_CHECK(false);
+      return 0;
+  }
+}
+
+int64_t ForCodec::Decode(const void* encoded, void* out, size_t width) {
+  switch (width) {
+    case 1: return DecodeTyped(encoded, static_cast<int8_t*>(out));
+    case 2: return DecodeTyped(encoded, static_cast<int16_t*>(out));
+    case 4: return DecodeTyped(encoded, static_cast<int32_t*>(out));
+    case 8: return DecodeTyped(encoded, static_cast<int64_t*>(out));
+    default:
+      X100_CHECK(false);
+      return 0;
+  }
+}
+
+int64_t ForCodec::EncodedCount(const void* encoded) {
+  Header h;
+  std::memcpy(&h, encoded, sizeof(h));
+  return h.count;
+}
+
+size_t ForCodec::EncodedBytes(const void* encoded) {
+  Header h;
+  std::memcpy(&h, encoded, sizeof(h));
+  return sizeof(Header) +
+         (static_cast<size_t>(h.count) * h.bits + 63) / 64 * 8;
+}
+
+}  // namespace x100

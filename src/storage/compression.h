@@ -1,0 +1,49 @@
+#ifndef X100_STORAGE_COMPRESSION_H_
+#define X100_STORAGE_COMPRESSION_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "storage/buffer.h"
+
+namespace x100 {
+
+/// Lightweight frame-of-reference (FOR) compression for integer columns —
+/// the "lightweight data compression" §4.3 attaches to the vertically
+/// fragmented disk layout, and the future-work item on reducing I/O
+/// bandwidth. Values in a block are stored as bit-packed unsigned deltas
+/// from the block minimum; decompression is a tight, branch-poor loop meant
+/// to run at the RAM/cache boundary (§4 "Cache").
+///
+/// Encoded block layout:
+///   int64  reference (block minimum)
+///   uint16 bits per value (0..64)
+///   uint16 reserved
+///   uint32 value count
+///   uint64 words[ceil(n*bits/64)]
+class ForCodec {
+ public:
+  /// Bytes an encoded block of `n` values can take at worst.
+  static size_t MaxEncodedBytes(int64_t n) {
+    return kHeaderBytes + (static_cast<size_t>(n) * 64 + 63) / 64 * 8 + 8;
+  }
+
+  /// Encodes `n` values of width `width` (1, 2, 4 or 8 bytes, signed; 4-byte
+  /// dates included) into `out`, returning the encoded byte count.
+  static size_t Encode(const void* in, int64_t n, size_t width, Buffer* out);
+
+  /// Decodes a block produced by Encode back into `out` (same width).
+  /// Returns the number of values decoded.
+  static int64_t Decode(const void* encoded, void* out, size_t width);
+
+  /// Value count of an encoded block without decoding it.
+  static int64_t EncodedCount(const void* encoded);
+  /// Encoded byte size of a block (from its header).
+  static size_t EncodedBytes(const void* encoded);
+
+  static constexpr size_t kHeaderBytes = 16;
+};
+
+}  // namespace x100
+
+#endif  // X100_STORAGE_COMPRESSION_H_

@@ -1,0 +1,57 @@
+#ifndef X100_STORAGE_PRINT_H_
+#define X100_STORAGE_PRINT_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace x100 {
+
+/// Renders a Table as a column-aligned text grid (examples and debugging).
+inline std::string FormatTable(const Table& t, int64_t max_rows = 50) {
+  int nc = t.num_columns();
+  int64_t n = std::min(t.num_rows(), max_rows);
+  std::vector<std::vector<std::string>> cells;
+  std::vector<size_t> width(nc);
+  std::vector<std::string> header;
+  for (int c = 0; c < nc; c++) {
+    header.push_back(t.schema().field(c).name);
+    width[c] = header[c].size();
+  }
+  for (int64_t r = 0; r < n; r++) {
+    std::vector<std::string> row;
+    for (int c = 0; c < nc; c++) {
+      Value v = t.GetValue(r, c);
+      // Single-character columns (l_returnflag etc.) display as characters.
+      if (v.type() == TypeId::kI8 && v.AsI64() >= 32 && v.AsI64() < 127) {
+        row.push_back(std::string(1, static_cast<char>(v.AsI64())));
+      } else {
+        row.push_back(v.ToString());
+      }
+      width[c] = std::max(width[c], row.back().size());
+    }
+    cells.push_back(std::move(row));
+  }
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (int c = 0; c < nc; c++) {
+      out += row[c];
+      out.append(width[c] - row[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  emit(header);
+  for (int c = 0; c < nc; c++) out.append(width[c], '-'), out.append(2, ' ');
+  out += '\n';
+  for (const auto& row : cells) emit(row);
+  if (n < t.num_rows()) {
+    out += "... (" + std::to_string(t.num_rows() - n) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace x100
+
+#endif  // X100_STORAGE_PRINT_H_

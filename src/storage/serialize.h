@@ -1,0 +1,27 @@
+#ifndef X100_STORAGE_SERIALIZE_H_
+#define X100_STORAGE_SERIALIZE_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/catalog.h"
+
+namespace x100 {
+
+/// Binary persistence for the storage layer — the analogue of MonetDB
+/// storing each BAT in a continuous file (§3.2). A catalog is written as one
+/// file: per table the column specs, the raw vertical fragments (enum
+/// dictionaries + code buffers kept compressed as stored), the delta columns
+/// and the deletion list. Summary and join indices are not persisted; they
+/// are derived structures the caller rebuilds (they cost no maintenance to
+/// begin with, §4.3).
+Status SaveCatalog(const Catalog& catalog, const std::string& path);
+
+/// Loads a catalog written by SaveCatalog. Returns null and sets *error on
+/// failure (missing file, bad magic, truncation).
+std::unique_ptr<Catalog> LoadCatalog(const std::string& path,
+                                     std::string* error);
+
+}  // namespace x100
+
+#endif  // X100_STORAGE_SERIALIZE_H_

@@ -1,0 +1,53 @@
+#include "storage/summary_index.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace x100 {
+
+SummaryIndex SummaryIndex::Build(const Column& col, int granule) {
+  X100_CHECK(granule > 0 && IsNumeric(col.type()) && col.type() != TypeId::kStr);
+  SummaryIndex idx;
+  idx.granule_ = granule;
+  idx.rows_ = col.size();
+  int64_t nb = (col.size() + granule - 1) / granule;  // number of granules
+
+  idx.prefix_max_.resize(nb + 1);
+  idx.suffix_min_.resize(nb + 1);
+
+  idx.prefix_max_[0] = -std::numeric_limits<double>::infinity();
+  double run_max = -std::numeric_limits<double>::infinity();
+  for (int64_t k = 0; k < nb; k++) {
+    int64_t end = std::min<int64_t>((k + 1) * granule, col.size());
+    for (int64_t r = k * granule; r < end; r++) run_max = std::max(run_max, col.GetF64(r));
+    idx.prefix_max_[k + 1] = run_max;
+  }
+
+  idx.suffix_min_[nb] = std::numeric_limits<double>::infinity();
+  double run_min = std::numeric_limits<double>::infinity();
+  for (int64_t k = nb - 1; k >= 0; k--) {
+    int64_t end = std::min<int64_t>((k + 1) * granule, col.size());
+    for (int64_t r = k * granule; r < end; r++) run_min = std::min(run_min, col.GetF64(r));
+    idx.suffix_min_[k] = run_min;
+  }
+  return idx;
+}
+
+SummaryIndex::RowRange SummaryIndex::Range(double lo, double hi) const {
+  // begin: largest boundary k with prefix_max_[k] < lo — rows before k*granule
+  // are all < lo. prefix_max_ is nondecreasing: binary search.
+  auto pb = std::lower_bound(prefix_max_.begin(), prefix_max_.end(), lo);
+  int64_t bk = (pb - prefix_max_.begin());
+  bk = bk > 0 ? bk - 1 : 0;
+  // end: smallest boundary k with suffix_min_[k] > hi — rows from k*granule on
+  // are all > hi. suffix_min_ is nondecreasing: binary search.
+  auto se = std::upper_bound(suffix_min_.begin(), suffix_min_.end(), hi);
+  int64_t ek = se - suffix_min_.begin();
+
+  int64_t begin = std::min<int64_t>(bk * granule_, rows_);
+  int64_t end = std::min<int64_t>(ek * granule_, rows_);
+  if (end < begin) end = begin;
+  return {begin, end};
+}
+
+}  // namespace x100

@@ -1,0 +1,47 @@
+#ifndef X100_STORAGE_SUMMARY_INDEX_H_
+#define X100_STORAGE_SUMMARY_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/column.h"
+
+namespace x100 {
+
+/// Summary index (§4.3, after Moerkotte's small materialized aggregates):
+/// at a coarse granularity it records the running maximum from the start of
+/// the fragment and the reversely-running minimum from the end. For a column
+/// that is clustered (almost sorted), a range predicate lo <= v <= hi can be
+/// narrowed to a #rowId range before scanning. Built on immutable fragments,
+/// so it needs no maintenance; deltas are always scanned.
+class SummaryIndex {
+ public:
+  struct RowRange {
+    int64_t begin;
+    int64_t end;  // exclusive
+  };
+
+  /// Builds over the logical (decoded) numeric values of `col`.
+  static SummaryIndex Build(const Column& col, int granule);
+
+  /// Conservative #rowId bounds: every fragment row r with lo <= v[r] <= hi
+  /// satisfies begin <= r < end. Use ±infinity for one-sided predicates.
+  RowRange Range(double lo, double hi) const;
+
+  int granule() const { return granule_; }
+  int64_t rows() const { return rows_; }
+
+ private:
+  SummaryIndex() = default;
+
+  int granule_ = 0;
+  int64_t rows_ = 0;
+  // prefix_max_[k] = max(v[0 .. k*granule-1]); nondecreasing in k.
+  std::vector<double> prefix_max_;
+  // suffix_min_[k] = min(v[k*granule .. rows-1]); nondecreasing in k.
+  std::vector<double> suffix_min_;
+};
+
+}  // namespace x100
+
+#endif  // X100_STORAGE_SUMMARY_INDEX_H_

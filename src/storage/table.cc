@@ -1,0 +1,206 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/config.h"
+
+namespace x100 {
+
+Table::Table(std::string name, std::vector<ColumnSpec> specs)
+    : name_(std::move(name)), specs_(std::move(specs)) {
+  for (const ColumnSpec& s : specs_) {
+    schema_.Add(s.name, s.type);
+    columns_.push_back(std::make_unique<Column>(s.type, s.enum_encoded));
+  }
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  int i = schema_.Find(name);
+  X100_CHECK(i >= 0);
+  return i;
+}
+
+void Table::AppendRow(const std::vector<Value>& values) {
+  X100_CHECK(!frozen_);
+  X100_CHECK(values.size() == columns_.size());
+  for (size_t i = 0; i < values.size(); i++) columns_[i]->AppendValue(values[i]);
+  fragment_rows_++;
+}
+
+void Table::Freeze() {
+  if (frozen_) return;
+  // Loading may have gone through load_column(); trust the per-column counts.
+  if (!columns_.empty()) {
+    fragment_rows_ = columns_[0]->size();
+    for (const auto& c : columns_) X100_CHECK(c->size() == fragment_rows_);
+  }
+  frozen_ = true;
+}
+
+void Table::EnsureDeltas() {
+  if (!deltas_.empty()) return;
+  for (size_t i = 0; i < columns_.size(); i++) {
+    Column& frag = *columns_[i];
+    if (frag.is_enum()) {
+      deltas_.push_back(std::make_unique<Column>(
+          frag.type(), frag.mutable_dict(), frag.storage_type()));
+    } else {
+      deltas_.push_back(std::make_unique<Column>(frag.type(), false));
+    }
+  }
+}
+
+int64_t Table::num_rows() const {
+  return total_rows() - static_cast<int64_t>(deleted_sorted_.size());
+}
+
+void Table::Insert(const std::vector<Value>& values) {
+  X100_CHECK(frozen_);
+  EnsureDeltas();
+  X100_CHECK(values.size() == deltas_.size());
+  for (size_t i = 0; i < values.size(); i++) deltas_[i]->AppendValue(values[i]);
+}
+
+Status Table::Delete(int64_t rowid) {
+  if (rowid < 0 || rowid >= total_rows()) {
+    return Status::Error("Delete: rowid out of range");
+  }
+  auto it = std::lower_bound(deleted_sorted_.begin(), deleted_sorted_.end(), rowid);
+  if (it != deleted_sorted_.end() && *it == rowid) {
+    return Status::Error("Delete: row already deleted");
+  }
+  deleted_sorted_.insert(it, rowid);
+  return Status::OK();
+}
+
+Status Table::Update(int64_t rowid, const std::string& col, const Value& v) {
+  if (IsDeleted(rowid)) return Status::Error("Update: row is deleted");
+  int ci = schema_.Find(col);
+  if (ci < 0) return Status::Error("Update: no such column " + col);
+  // Delete + re-insert with the modified field (Figure 8).
+  std::vector<Value> row;
+  row.reserve(columns_.size());
+  for (int i = 0; i < num_columns(); i++) {
+    row.push_back(i == ci ? v : GetValue(rowid, i));
+  }
+  Status s = Delete(rowid);
+  if (!s.ok()) return s;
+  Insert(row);
+  return Status::OK();
+}
+
+bool Table::IsDeleted(int64_t rowid) const {
+  return std::binary_search(deleted_sorted_.begin(), deleted_sorted_.end(), rowid);
+}
+
+Value Table::GetValue(int64_t rowid, int col) const {
+  if (rowid < fragment_rows_) return columns_[col]->GetValue(rowid);
+  return deltas_[col]->GetValue(rowid - fragment_rows_);
+}
+
+void Table::Reorganize() {
+  X100_CHECK(frozen_);
+  std::vector<std::unique_ptr<Column>> fresh;
+  for (const ColumnSpec& s : specs_) {
+    fresh.push_back(std::make_unique<Column>(s.type, s.enum_encoded));
+  }
+  int64_t total = total_rows();
+  int64_t kept = 0;
+  for (int64_t r = 0; r < total; r++) {
+    if (IsDeleted(r)) continue;
+    for (int c = 0; c < static_cast<int>(specs_.size()); c++) {
+      fresh[c]->AppendValue(GetValue(r, c));
+    }
+    kept++;
+  }
+  // Join-index columns (appended after construction) are dropped: their
+  // target #rowIds may be stale anyway. Callers rebuild them.
+  columns_ = std::move(fresh);
+  schema_ = Schema();
+  for (const ColumnSpec& s : specs_) schema_.Add(s.name, s.type);
+  deltas_.clear();
+  deleted_sorted_.clear();
+  fragment_rows_ = kept;
+  // Summary indices are fragment-bound; rebuild the ones we had.
+  std::vector<std::string> indexed;
+  for (const auto& [col_name, idx] : summary_) indexed.push_back(col_name);
+  summary_.clear();
+  for (const std::string& col_name : indexed) BuildSummaryIndex(col_name);
+}
+
+void Table::BuildSummaryIndex(const std::string& col_name) {
+  int ci = ColumnIndex(col_name);
+  summary_.insert_or_assign(
+      col_name, SummaryIndex::Build(*columns_[ci], kSummaryIndexGranule));
+}
+
+const SummaryIndex* Table::summary_index(int col) const {
+  auto it = summary_.find(schema_.field(col).name);
+  return it == summary_.end() ? nullptr : &it->second;
+}
+
+std::string Table::JoinIndexName(const std::string& target_table) {
+  return "#ji_" + target_table;
+}
+
+Status Table::BuildJoinIndex(const std::string& fk_col, const Table& target,
+                             const std::string& key_col) {
+  return BuildJoinIndex(std::vector<std::string>{fk_col}, target,
+                        std::vector<std::string>{key_col});
+}
+
+Status Table::BuildJoinIndex(const std::vector<std::string>& fk_cols,
+                             const Table& target,
+                             const std::vector<std::string>& key_cols) {
+  X100_CHECK(!fk_cols.empty() && fk_cols.size() == key_cols.size());
+  std::vector<int> fk, key;
+  for (const std::string& c : fk_cols) {
+    int i = schema_.Find(c);
+    if (i < 0) return Status::Error("BuildJoinIndex: no column " + c);
+    fk.push_back(i);
+  }
+  for (const std::string& c : key_cols) {
+    int i = target.schema_.Find(c);
+    if (i < 0) return Status::Error("BuildJoinIndex: no target column " + c);
+    key.push_back(i);
+  }
+
+  auto composite = [&](const Table& t, int64_t r, const std::vector<int>& cols) {
+    uint64_t h = static_cast<uint64_t>(t.GetValue(r, cols[0]).AsI64());
+    for (size_t c = 1; c < cols.size(); c++) {
+      // Keys are i32 in practice; shifting keeps composites collision-free.
+      h = (h << 32) ^ static_cast<uint64_t>(t.GetValue(r, cols[c]).AsI64());
+    }
+    return static_cast<int64_t>(h);
+  };
+
+  std::unordered_map<int64_t, int64_t> key_to_row;
+  key_to_row.reserve(static_cast<size_t>(target.total_rows()));
+  for (int64_t r = 0; r < target.total_rows(); r++) {
+    if (target.IsDeleted(r)) continue;
+    key_to_row[composite(target, r, key)] = r;
+  }
+
+  auto ji = std::make_unique<Column>(TypeId::kI64, false);
+  for (int64_t r = 0; r < total_rows(); r++) {
+    auto it = key_to_row.find(composite(*this, r, fk));
+    if (it == key_to_row.end()) {
+      return Status::Error("BuildJoinIndex: dangling foreign key in " +
+                           fk_cols[0]);
+    }
+    ji->AppendI64(it->second);
+  }
+
+  std::string ji_name = JoinIndexName(target.name());
+  int existing = schema_.Find(ji_name);
+  if (existing >= 0) {
+    columns_[existing] = std::move(ji);
+  } else {
+    schema_.Add(ji_name, TypeId::kI64);
+    columns_.push_back(std::move(ji));
+  }
+  return Status::OK();
+}
+
+}  // namespace x100

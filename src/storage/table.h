@@ -1,0 +1,124 @@
+#ifndef X100_STORAGE_TABLE_H_
+#define X100_STORAGE_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/summary_index.h"
+#include "vector/schema.h"
+
+namespace x100 {
+
+/// A stored relation in vertically fragmented form (§4.3).
+///
+/// Lifecycle: bulk-load (AppendRow / direct column appends), then Freeze().
+/// After Freeze() the vertical fragments are *immutable*: inserts append to
+/// uncompressed-layout delta columns, deletes add the #rowId to a deletion
+/// list, updates are delete+insert (Figure 8). Reorganize() folds the deltas
+/// back into fresh fragments. Summary indices are built on fragments only
+/// (they never need maintenance); delta rows are always scanned.
+///
+/// Every table has a virtual #rowId: fragment rows are 0..F-1, delta rows
+/// F..F+D-1. Fetch1Join addresses rows positionally by #rowId.
+class Table {
+ public:
+  struct ColumnSpec {
+    std::string name;
+    TypeId type;
+    bool enum_encoded = false;
+  };
+
+  Table(std::string name, std::vector<ColumnSpec> specs);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }  // logical types
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int ColumnIndex(const std::string& name) const;
+
+  const Column& column(int i) const { return *columns_[i]; }
+  Column* load_column(int i) { return columns_[i].get(); }
+  const Column& delta_column(int i) const { return *deltas_[i]; }
+
+  // -- loading --
+  void AppendRow(const std::vector<Value>& values);
+  void Freeze();
+  bool frozen() const { return frozen_; }
+
+  // -- row accounting --
+  int64_t fragment_rows() const { return fragment_rows_; }
+  /// Number of columns that have delta storage (join-index columns do not).
+  int num_delta_columns() const { return static_cast<int>(deltas_.size()); }
+  int64_t delta_rows() const { return deltas_.empty() ? 0 : deltas_[0]->size(); }
+  /// #rowId address space (fragment + delta, including deleted rows).
+  int64_t total_rows() const { return fragment_rows_ + delta_rows(); }
+  /// Visible rows (total minus deleted).
+  int64_t num_rows() const;
+
+  // -- updates (post-Freeze) --
+  void Insert(const std::vector<Value>& values);
+  Status Delete(int64_t rowid);
+  Status Update(int64_t rowid, const std::string& col, const Value& v);
+
+  bool IsDeleted(int64_t rowid) const;
+  int64_t num_deleted() const { return static_cast<int64_t>(deleted_sorted_.size()); }
+  /// Deletion list, ascending.
+  const std::vector<int64_t>& deletion_list() const { return deleted_sorted_; }
+
+  /// Logical point read across fragment and delta regions.
+  Value GetValue(int64_t rowid, int col) const;
+
+  /// Folds deltas into fresh immutable fragments; #rowIds are reassigned and
+  /// summary indices rebuilt. Join indices referencing this table are stale
+  /// afterwards and must be rebuilt by the caller.
+  void Reorganize();
+
+  // -- summary indices (fragment only) --
+  void BuildSummaryIndex(const std::string& col_name);
+  const SummaryIndex* summary_index(int col) const;
+
+  /// Adds (or refreshes) a join-index column `#ji_<target>` of i64 target
+  /// #rowIds, one per row of this table, by joining `fk_col` against
+  /// `key_col` of `target` (precomputed foreign-key path, §4.1.2/§5).
+  Status BuildJoinIndex(const std::string& fk_col, const Table& target,
+                        const std::string& key_col);
+
+  /// Composite-key variant (e.g. lineitem (l_partkey,l_suppkey) -> partsupp).
+  Status BuildJoinIndex(const std::vector<std::string>& fk_cols,
+                        const Table& target,
+                        const std::vector<std::string>& key_cols);
+  /// Name of the join-index column for `target`, e.g. "#ji_orders".
+  static std::string JoinIndexName(const std::string& target_table);
+
+  // -- serialization support (storage/serialize.cc; not for general use) --
+  /// Materializes empty delta columns so they can be restored directly.
+  void EnsureDeltaStorage() { EnsureDeltas(); }
+  Column* mutable_delta_column(int i) { return deltas_[i].get(); }
+  void RestoreDeletionList(std::vector<int64_t> sorted_rowids) {
+    deleted_sorted_ = std::move(sorted_rowids);
+  }
+
+ private:
+  void EnsureDeltas();
+
+  std::string name_;
+  Schema schema_;
+  std::vector<ColumnSpec> specs_;
+  std::vector<std::unique_ptr<Column>> columns_;  // immutable after Freeze()
+  std::vector<std::unique_ptr<Column>> deltas_;
+  int64_t fragment_rows_ = 0;
+  bool frozen_ = false;
+
+  std::vector<int64_t> deleted_sorted_;
+  std::map<std::string, SummaryIndex> summary_;  // keyed by column name
+};
+
+}  // namespace x100
+
+#endif  // X100_STORAGE_TABLE_H_

@@ -1,0 +1,395 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/date.h"
+#include "common/rng.h"
+
+namespace x100 {
+namespace {
+
+// ---- fixed TPC-H vocabularies ----------------------------------------------
+
+struct NationDef {
+  const char* name;
+  int region;
+};
+constexpr NationDef kNations[25] = {
+    {"ALGERIA", 0},    {"ARGENTINA", 1}, {"BRAZIL", 1},     {"CANADA", 1},
+    {"EGYPT", 4},      {"ETHIOPIA", 0},  {"FRANCE", 3},     {"GERMANY", 3},
+    {"INDIA", 2},      {"INDONESIA", 2}, {"IRAN", 4},       {"IRAQ", 4},
+    {"JAPAN", 2},      {"JORDAN", 4},    {"KENYA", 0},      {"MOROCCO", 0},
+    {"MOZAMBIQUE", 0}, {"PERU", 1},      {"CHINA", 2},      {"ROMANIA", 3},
+    {"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},     {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+constexpr const char* kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                     "MIDDLE EAST"};
+constexpr const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                      "MACHINERY", "HOUSEHOLD"};
+constexpr const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                        "4-NOT SPECIFIED", "5-LOW"};
+constexpr const char* kShipModes[7] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                                       "TRUCK",   "MAIL", "FOB"};
+constexpr const char* kShipInstruct[4] = {"DELIVER IN PERSON", "COLLECT COD",
+                                          "NONE", "TAKE BACK RETURN"};
+constexpr const char* kTypeSyl1[6] = {"STANDARD", "SMALL",    "MEDIUM",
+                                      "LARGE",    "ECONOMY",  "PROMO"};
+constexpr const char* kTypeSyl2[5] = {"ANODIZED", "BURNISHED", "PLATED",
+                                      "POLISHED", "BRUSHED"};
+constexpr const char* kTypeSyl3[5] = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                      "COPPER"};
+constexpr const char* kContSyl1[5] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+constexpr const char* kContSyl2[8] = {"CASE", "BOX",  "BAG",  "JAR",
+                                      "PKG",  "PACK", "CAN",  "DRUM"};
+// Subset of dbgen's 92 colours; includes every colour a query probes.
+constexpr const char* kColors[40] = {
+    "almond",    "antique",  "aquamarine", "azure",    "beige",    "bisque",
+    "black",     "blanched", "blue",       "blush",    "brown",    "burlywood",
+    "chartreuse","chiffon",  "chocolate",  "coral",    "cornflower","cream",
+    "cyan",      "dark",     "deep",       "dim",      "dodger",   "drab",
+    "firebrick", "forest",   "frosted",    "gainsboro","ghost",    "goldenrod",
+    "green",     "grey",     "honeydew",   "hot",      "indian",   "ivory",
+    "khaki",     "lace",     "lavender",   "lemon"};
+constexpr const char* kWords[24] = {
+    "carefully", "quickly",  "furiously", "slyly",    "blithely", "deposits",
+    "accounts",  "packages", "theodolites", "pinto",  "beans",    "instructions",
+    "foxes",     "ideas",    "dependencies", "excuses", "platelets", "asymptotes",
+    "courts",    "dolphins", "multipliers", "sauternes", "warhorses", "braids"};
+
+constexpr int32_t kStartDate = 8035;    // 1992-01-01
+constexpr int32_t kCurrentDate = 9298;  // 1995-06-17
+constexpr int32_t kEndOrderSpan = 2405; // orderdate in [start, start+span]
+
+std::string MakeComment(Rng* rng, int min_words, int max_words) {
+  int n = static_cast<int>(rng->Uniform(min_words, max_words));
+  std::string out;
+  for (int i = 0; i < n; i++) {
+    if (i) out += ' ';
+    out += kWords[rng->Uniform(0, 23)];
+  }
+  return out;
+}
+
+double RetailPrice(int64_t pk) {
+  return (90000.0 + static_cast<double>((pk / 10) % 20001) +
+          100.0 * static_cast<double>(pk % 1000)) /
+         100.0;
+}
+
+}  // namespace
+
+int64_t TpchOrderCount(double sf) {
+  return std::max<int64_t>(1, static_cast<int64_t>(sf * 1500000));
+}
+int64_t TpchCustomerCount(double sf) {
+  return std::max<int64_t>(3, static_cast<int64_t>(sf * 150000));
+}
+int64_t TpchSupplierCount(double sf) {
+  return std::max<int64_t>(4, static_cast<int64_t>(sf * 10000));
+}
+int64_t TpchPartCount(double sf) {
+  return std::max<int64_t>(4, static_cast<int64_t>(sf * 200000));
+}
+
+std::unique_ptr<Catalog> GenerateTpch(const DbgenOptions& opts) {
+  auto catalog = std::make_unique<Catalog>();
+  const double sf = opts.scale_factor;
+  const int64_t n_orders = TpchOrderCount(sf);
+  const int64_t n_cust = TpchCustomerCount(sf);
+  const int64_t n_supp = TpchSupplierCount(sf);
+  const int64_t n_part = TpchPartCount(sf);
+
+  // -- region / nation --------------------------------------------------------
+  Table* region = catalog->AddTable(
+      "region", {{"r_regionkey", TypeId::kI32, false},
+                 {"r_name", TypeId::kStr, true},
+                 {"r_comment", TypeId::kStr, false}});
+  {
+    Rng rng = Rng::Keyed(1, 1);
+    for (int r = 0; r < 5; r++) {
+      region->AppendRow({Value::I32(r), Value::Str(kRegions[r]),
+                         Value::Str(MakeComment(&rng, 4, 12))});
+    }
+    region->Freeze();
+  }
+
+  Table* nation = catalog->AddTable(
+      "nation", {{"n_nationkey", TypeId::kI32, false},
+                 {"n_name", TypeId::kStr, true},
+                 {"n_regionkey", TypeId::kI32, false},
+                 {"n_comment", TypeId::kStr, false}});
+  {
+    Rng rng = Rng::Keyed(2, 1);
+    for (int n = 0; n < 25; n++) {
+      nation->AppendRow({Value::I32(n), Value::Str(kNations[n].name),
+                         Value::I32(kNations[n].region),
+                         Value::Str(MakeComment(&rng, 4, 12))});
+    }
+    nation->Freeze();
+  }
+
+  // -- supplier ----------------------------------------------------------------
+  Table* supplier = catalog->AddTable(
+      "supplier", {{"s_suppkey", TypeId::kI32, false},
+                   {"s_name", TypeId::kStr, false},
+                   {"s_address", TypeId::kStr, false},
+                   {"s_nationkey", TypeId::kI32, false},
+                   {"s_phone", TypeId::kStr, false},
+                   {"s_acctbal", TypeId::kF64, false},
+                   {"s_comment", TypeId::kStr, false}});
+  {
+    Rng rng = Rng::Keyed(3, 1);
+    char buf[64];
+    for (int64_t k = 1; k <= n_supp; k++) {
+      std::snprintf(buf, sizeof(buf), "Supplier#%09lld",
+                    static_cast<long long>(k));
+      int nat = static_cast<int>(rng.Uniform(0, 24));
+      char phone[24];
+      std::snprintf(phone, sizeof(phone), "%02d-%03d-%03d-%04d", 10 + nat,
+                    static_cast<int>(rng.Uniform(100, 999)),
+                    static_cast<int>(rng.Uniform(100, 999)),
+                    static_cast<int>(rng.Uniform(1000, 9999)));
+      std::string comment = MakeComment(&rng, 6, 18);
+      // ~0.05% of suppliers have complaint records (Q16 filters them out).
+      if (rng.Uniform(0, 1999) == 0) comment += " Customer Complaints noted";
+      supplier->AppendRow(
+          {Value::I32(static_cast<int32_t>(k)), Value::Str(buf),
+           Value::Str(MakeComment(&rng, 2, 4)), Value::I32(nat),
+           Value::Str(phone),
+           Value::F64(static_cast<double>(rng.Uniform(-99999, 999999)) / 100.0),
+           Value::Str(comment)});
+    }
+    supplier->Freeze();
+  }
+
+  // -- customer ----------------------------------------------------------------
+  Table* customer = catalog->AddTable(
+      "customer", {{"c_custkey", TypeId::kI32, false},
+                   {"c_name", TypeId::kStr, false},
+                   {"c_address", TypeId::kStr, false},
+                   {"c_nationkey", TypeId::kI32, false},
+                   {"c_phone", TypeId::kStr, false},
+                   {"c_acctbal", TypeId::kF64, false},
+                   {"c_mktsegment", TypeId::kStr, true},
+                   {"c_comment", TypeId::kStr, false}});
+  {
+    Rng rng = Rng::Keyed(4, 1);
+    char buf[64];
+    for (int64_t k = 1; k <= n_cust; k++) {
+      std::snprintf(buf, sizeof(buf), "Customer#%09lld",
+                    static_cast<long long>(k));
+      int nat = static_cast<int>(rng.Uniform(0, 24));
+      char phone[24];
+      std::snprintf(phone, sizeof(phone), "%02d-%03d-%03d-%04d", 10 + nat,
+                    static_cast<int>(rng.Uniform(100, 999)),
+                    static_cast<int>(rng.Uniform(100, 999)),
+                    static_cast<int>(rng.Uniform(1000, 9999)));
+      customer->AppendRow(
+          {Value::I32(static_cast<int32_t>(k)), Value::Str(buf),
+           Value::Str(MakeComment(&rng, 2, 4)), Value::I32(nat),
+           Value::Str(phone),
+           Value::F64(static_cast<double>(rng.Uniform(-99999, 999999)) / 100.0),
+           Value::Str(kSegments[rng.Uniform(0, 4)]),
+           Value::Str(MakeComment(&rng, 6, 20))});
+    }
+    customer->Freeze();
+  }
+
+  // -- part ---------------------------------------------------------------------
+  Table* part = catalog->AddTable(
+      "part", {{"p_partkey", TypeId::kI32, false},
+               {"p_name", TypeId::kStr, false},
+               {"p_mfgr", TypeId::kStr, true},
+               {"p_brand", TypeId::kStr, true},
+               {"p_type", TypeId::kStr, true},
+               {"p_size", TypeId::kI32, false},
+               {"p_container", TypeId::kStr, true},
+               {"p_retailprice", TypeId::kF64, false},
+               {"p_comment", TypeId::kStr, false}});
+  {
+    Rng rng = Rng::Keyed(5, 1);
+    char buf[96];
+    for (int64_t k = 1; k <= n_part; k++) {
+      // p_name: five distinct colour words.
+      int c[5];
+      c[0] = static_cast<int>(rng.Uniform(0, 39));
+      for (int i = 1; i < 5; i++) c[i] = static_cast<int>(rng.Uniform(0, 39));
+      std::string name;
+      for (int i = 0; i < 5; i++) {
+        if (i) name += ' ';
+        name += kColors[c[i]];
+      }
+      int m = static_cast<int>(rng.Uniform(1, 5));
+      int b = static_cast<int>(rng.Uniform(1, 5));
+      char mfgr[24], brand[16], type[64], cont[16];
+      std::snprintf(mfgr, sizeof(mfgr), "Manufacturer#%d", m);
+      std::snprintf(brand, sizeof(brand), "Brand#%d%d", m, b);
+      std::snprintf(type, sizeof(type), "%s %s %s",
+                    kTypeSyl1[rng.Uniform(0, 5)], kTypeSyl2[rng.Uniform(0, 4)],
+                    kTypeSyl3[rng.Uniform(0, 4)]);
+      std::snprintf(cont, sizeof(cont), "%s %s", kContSyl1[rng.Uniform(0, 4)],
+                    kContSyl2[rng.Uniform(0, 7)]);
+      std::snprintf(buf, sizeof(buf), "%s", MakeComment(&rng, 2, 5).c_str());
+      part->AppendRow({Value::I32(static_cast<int32_t>(k)), Value::Str(name),
+                       Value::Str(mfgr), Value::Str(brand), Value::Str(type),
+                       Value::I32(static_cast<int32_t>(rng.Uniform(1, 50))),
+                       Value::Str(cont), Value::F64(RetailPrice(k)),
+                       Value::Str(buf)});
+    }
+    part->Freeze();
+  }
+
+  // -- partsupp -----------------------------------------------------------------
+  Table* partsupp = catalog->AddTable(
+      "partsupp", {{"ps_partkey", TypeId::kI32, false},
+                   {"ps_suppkey", TypeId::kI32, false},
+                   {"ps_availqty", TypeId::kI32, false},
+                   {"ps_supplycost", TypeId::kF64, false},
+                   {"ps_comment", TypeId::kStr, false}});
+  {
+    Rng rng = Rng::Keyed(6, 1);
+    for (int64_t pk = 1; pk <= n_part; pk++) {
+      for (int64_t i = 0; i < 4; i++) {
+        // dbgen's supplier spread formula.
+        int64_t sk =
+            (pk + i * (n_supp / 4 + (pk - 1) / n_supp)) % n_supp + 1;
+        partsupp->AppendRow(
+            {Value::I32(static_cast<int32_t>(pk)),
+             Value::I32(static_cast<int32_t>(sk)),
+             Value::I32(static_cast<int32_t>(rng.Uniform(1, 9999))),
+             Value::F64(static_cast<double>(rng.Uniform(100, 100000)) / 100.0),
+             Value::Str(MakeComment(&rng, 4, 10))});
+      }
+    }
+    partsupp->Freeze();
+  }
+
+  // -- orders + lineitem (generated together, sorted on o_orderdate) -----------
+  // o_l_start / o_l_count address the order's lineitems positionally —
+  // lineitem is generated clustered with orders, so each order's lines are a
+  // dense #rowId range: the natural input of FetchNJoin (§4.1.2).
+  Table* orders = catalog->AddTable(
+      "orders", {{"o_orderkey", TypeId::kI32, false},
+                 {"o_custkey", TypeId::kI32, false},
+                 {"o_orderstatus", TypeId::kI8, false},
+                 {"o_totalprice", TypeId::kF64, false},
+                 {"o_orderdate", TypeId::kDate, false},
+                 {"o_orderpriority", TypeId::kStr, true},
+                 {"o_clerk", TypeId::kStr, false},
+                 {"o_shippriority", TypeId::kI32, false},
+                 {"o_comment", TypeId::kStr, false},
+                 {"o_l_start", TypeId::kI64, false},
+                 {"o_l_count", TypeId::kI64, false}});
+  Table* lineitem = catalog->AddTable(
+      "lineitem", {{"l_orderkey", TypeId::kI32, false},
+                   {"l_partkey", TypeId::kI32, false},
+                   {"l_suppkey", TypeId::kI32, false},
+                   {"l_linenumber", TypeId::kI32, false},
+                   {"l_quantity", TypeId::kF64, true},
+                   {"l_extendedprice", TypeId::kF64, false},
+                   {"l_discount", TypeId::kF64, true},
+                   {"l_tax", TypeId::kF64, true},
+                   {"l_returnflag", TypeId::kI8, false},
+                   {"l_linestatus", TypeId::kI8, false},
+                   {"l_shipdate", TypeId::kDate, false},
+                   {"l_commitdate", TypeId::kDate, false},
+                   {"l_receiptdate", TypeId::kDate, false},
+                   {"l_shipinstruct", TypeId::kStr, true},
+                   {"l_shipmode", TypeId::kStr, true},
+                   {"l_comment", TypeId::kStr, false}});
+  {
+    Rng rng = Rng::Keyed(7, 1);
+    char clerk[24];
+    int64_t n_clerks = std::max<int64_t>(1, n_orders / 1500);
+    for (int64_t o = 1; o <= n_orders; o++) {
+      // Sorted dates: order o gets the o-th quantile of the date range.
+      int32_t odate =
+          kStartDate +
+          static_cast<int32_t>(((o - 1) * static_cast<int64_t>(kEndOrderSpan)) /
+                               std::max<int64_t>(1, n_orders - 1));
+      int64_t cust;
+      do {
+        cust = rng.Uniform(1, n_cust);
+      } while (cust % 3 == 0);
+      std::snprintf(clerk, sizeof(clerk), "Clerk#%09lld",
+                    static_cast<long long>(rng.Uniform(1, n_clerks)));
+      int prio = static_cast<int>(rng.Uniform(0, 4));
+      std::string ocomment = MakeComment(&rng, 5, 16);
+      // ~0.7% of orders carry "special ... requests" (Q13 excludes them).
+      if (rng.Uniform(0, 149) == 0) ocomment += " special bold requests";
+
+      int nlines = static_cast<int>(rng.Uniform(1, 7));
+      int64_t first_line_row = lineitem->load_column(0)->size();
+      double total = 0;
+      int n_f = 0, n_o = 0;
+      for (int l = 1; l <= nlines; l++) {
+        int64_t pk = rng.Uniform(1, n_part);
+        int64_t i4 = rng.Uniform(0, 3);
+        int64_t sk = (pk + i4 * (n_supp / 4 + (pk - 1) / n_supp)) % n_supp + 1;
+        double qty = static_cast<double>(rng.Uniform(1, 50));
+        double extprice = qty * RetailPrice(pk);
+        double disc = static_cast<double>(rng.Uniform(0, 10)) / 100.0;
+        double tax = static_cast<double>(rng.Uniform(0, 8)) / 100.0;
+        int32_t sdate = odate + static_cast<int32_t>(rng.Uniform(1, 121));
+        int32_t cdate = odate + static_cast<int32_t>(rng.Uniform(30, 90));
+        int32_t rdate = sdate + static_cast<int32_t>(rng.Uniform(1, 30));
+        char rflag =
+            rdate <= kCurrentDate ? (rng.Uniform(0, 1) ? 'R' : 'A') : 'N';
+        char lstatus = sdate > kCurrentDate ? 'O' : 'F';
+        if (lstatus == 'F') {
+          n_f++;
+        } else {
+          n_o++;
+        }
+        total += extprice * (1.0 + tax) * (1.0 - disc);
+
+        lineitem->AppendRow(
+            {Value::I32(static_cast<int32_t>(o)),
+             Value::I32(static_cast<int32_t>(pk)),
+             Value::I32(static_cast<int32_t>(sk)), Value::I32(l),
+             Value::F64(qty), Value::F64(extprice), Value::F64(disc),
+             Value::F64(tax), Value::I8(rflag), Value::I8(lstatus),
+             Value::Date(sdate), Value::Date(cdate), Value::Date(rdate),
+             Value::Str(kShipInstruct[rng.Uniform(0, 3)]),
+             Value::Str(kShipModes[rng.Uniform(0, 6)]),
+             Value::Str(MakeComment(&rng, 2, 8))});
+      }
+      char status = n_o == 0 ? 'F' : (n_f == 0 ? 'O' : 'P');
+      orders->AppendRow({Value::I32(static_cast<int32_t>(o)),
+                         Value::I32(static_cast<int32_t>(cust)),
+                         Value::I8(status), Value::F64(total),
+                         Value::Date(odate), Value::Str(kPriorities[prio]),
+                         Value::Str(clerk), Value::I32(0),
+                         Value::Str(ocomment), Value::I64(first_line_row),
+                         Value::I64(nlines)});
+    }
+    orders->Freeze();
+    lineitem->Freeze();
+  }
+
+  if (opts.build_summary_indices) {
+    orders->BuildSummaryIndex("o_orderdate");
+    lineitem->BuildSummaryIndex("l_shipdate");
+    lineitem->BuildSummaryIndex("l_commitdate");
+    lineitem->BuildSummaryIndex("l_receiptdate");
+  }
+  if (opts.build_join_indices) {
+    X100_CHECK_OK(lineitem->BuildJoinIndex("l_orderkey", *orders, "o_orderkey"));
+    X100_CHECK_OK(lineitem->BuildJoinIndex("l_partkey", *part, "p_partkey"));
+    X100_CHECK_OK(lineitem->BuildJoinIndex("l_suppkey", *supplier, "s_suppkey"));
+    X100_CHECK_OK(orders->BuildJoinIndex("o_custkey", *customer, "c_custkey"));
+    X100_CHECK_OK(customer->BuildJoinIndex("c_nationkey", *nation, "n_nationkey"));
+    X100_CHECK_OK(supplier->BuildJoinIndex("s_nationkey", *nation, "n_nationkey"));
+    X100_CHECK_OK(nation->BuildJoinIndex("n_regionkey", *region, "r_regionkey"));
+    X100_CHECK_OK(partsupp->BuildJoinIndex("ps_partkey", *part, "p_partkey"));
+    X100_CHECK_OK(partsupp->BuildJoinIndex("ps_suppkey", *supplier, "s_suppkey"));
+    X100_CHECK_OK(lineitem->BuildJoinIndex(
+        std::vector<std::string>{"l_partkey", "l_suppkey"}, *partsupp,
+        std::vector<std::string>{"ps_partkey", "ps_suppkey"}));
+  }
+  return catalog;
+}
+
+}  // namespace x100

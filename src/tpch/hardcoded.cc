@@ -1,0 +1,34 @@
+#include "tpch/hardcoded.h"
+
+namespace x100 {
+
+void HardcodedQ1(int64_t n, int32_t hi_date,
+                 const int8_t* __restrict__ p_returnflag,
+                 const int8_t* __restrict__ p_linestatus,
+                 const double* __restrict__ p_quantity,
+                 const double* __restrict__ p_extendedprice,
+                 const double* __restrict__ p_discount,
+                 const double* __restrict__ p_tax,
+                 const int32_t* __restrict__ p_shipdate,
+                 Q1Slot* __restrict__ hashtab) {
+  for (int64_t i = 0; i < n; i++) {
+    if (p_shipdate[i] <= hi_date) {
+      Q1Slot* entry =
+          hashtab + ((static_cast<uint32_t>(static_cast<uint8_t>(
+                          p_returnflag[i]))
+                      << 8) +
+                     static_cast<uint32_t>(static_cast<uint8_t>(
+                         p_linestatus[i])));
+      double discount = p_discount[i];
+      double extprice = p_extendedprice[i];
+      entry->count++;
+      entry->sum_qty += p_quantity[i];
+      entry->sum_disc += discount;
+      entry->sum_base_price += extprice;
+      entry->sum_disc_price += (extprice *= (1 - discount));
+      entry->sum_charge += extprice * (1 + p_tax[i]);
+    }
+  }
+}
+
+}  // namespace x100

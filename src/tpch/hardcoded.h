@@ -1,0 +1,37 @@
+#ifndef X100_TPCH_HARDCODED_H_
+#define X100_TPCH_HARDCODED_H_
+
+#include <cstdint>
+
+namespace x100 {
+
+/// Aggregation slot of the hard-coded Q1 (Figure 4): indexed directly by
+/// (l_returnflag << 8) | l_linestatus. 65536 slots.
+struct Q1Slot {
+  double sum_qty = 0;
+  double sum_base_price = 0;
+  double sum_disc = 0;
+  double sum_disc_price = 0;
+  double sum_charge = 0;
+  int64_t count = 0;
+};
+
+inline constexpr int kQ1SlotCount = 1 << 16;
+
+/// The paper's hard-coded UDF for TPC-H Query 1 (§3.3, Figure 4), verbatim
+/// modulo naming: one loop over restrict-qualified column arrays with the
+/// common-subexpression eliminations the paper applied (one minus and the
+/// three AVGs are recovered from sums and count afterwards).
+void HardcodedQ1(int64_t n, int32_t hi_date,
+                 const int8_t* __restrict__ p_returnflag,
+                 const int8_t* __restrict__ p_linestatus,
+                 const double* __restrict__ p_quantity,
+                 const double* __restrict__ p_extendedprice,
+                 const double* __restrict__ p_discount,
+                 const double* __restrict__ p_tax,
+                 const int32_t* __restrict__ p_shipdate,
+                 Q1Slot* __restrict__ hashtab);
+
+}  // namespace x100
+
+#endif  // X100_TPCH_HARDCODED_H_

@@ -1,0 +1,1029 @@
+// Hand-translated MIL (column-at-a-time, fully materializing) programs for
+// all 22 TPC-H queries — the MonetDB/MIL side of Table 4, and for Q1 the
+// Table 3 trace. Each program mirrors its X100 counterpart's semantics so
+// results are bit-comparable; positional joins exploit the dense 1-based
+// keys exactly as MIL's fetchjoin-into-void exploits join indices (§3.2).
+
+#include <algorithm>
+
+#include "common/date.h"
+#include "common/profiling.h"
+#include "tpch/queries.h"
+
+namespace x100 {
+namespace {
+
+struct Mq {
+  MilSession* s;
+  MilDatabase* db;
+
+  const Bat& B(const char* t, const char* c) { return db->Get(t, c); }
+};
+
+/// Dense 1-based (or 0-based with bias 0) i32 keys -> positional oids.
+Bat KeyOids(Mq& q, const Bat& keys, int64_t bias,
+            const char* label = nullptr) {
+  uint64_t t0 = NowNanos();
+  Bat out(TypeId::kI64);
+  out.ResizeUninitialized(keys.size());
+  const int32_t* k = keys.Data<int32_t>();
+  int64_t* o = out.MutableData<int64_t>();
+  for (int64_t i = 0; i < keys.size(); i++) {
+    o[i] = static_cast<int64_t>(k[i]) - bias;
+  }
+  if (q.s && q.s->trace) {
+    q.s->Log(label ? label : "[-](keys,1).oid", (NowNanos() - t0) / 1e6,
+             keys.bytes() + out.bytes(), out.size());
+  }
+  return out;
+}
+
+Bat F(Mq& q, const Bat& oids, const Bat& src, const char* label = nullptr) {
+  return MilFetchJoin(q.s, oids, src, label);
+}
+
+/// (partkey, suppkey) -> one i64 key.
+Bat ComboKey(const Bat& a, const Bat& b) {
+  Bat out(TypeId::kI64);
+  out.ResizeUninitialized(a.size());
+  const int32_t* da = a.Data<int32_t>();
+  const int32_t* db = b.Data<int32_t>();
+  int64_t* o = out.MutableData<int64_t>();
+  for (int64_t i = 0; i < a.size(); i++) {
+    o[i] = (static_cast<int64_t>(da[i]) << 32) | static_cast<uint32_t>(db[i]);
+  }
+  return out;
+}
+
+/// out[pos[i]] = vals[i], everything else `def`; out has n slots.
+Bat ScatterI64(int64_t n, const Bat& pos, const Bat& vals, int64_t def) {
+  Bat out(TypeId::kI64);
+  out.ResizeUninitialized(n);
+  int64_t* o = out.MutableData<int64_t>();
+  for (int64_t i = 0; i < n; i++) o[i] = def;
+  const int64_t* p = pos.Data<int64_t>();
+  const int64_t* v = vals.Data<int64_t>();
+  for (int64_t i = 0; i < pos.size(); i++) o[p[i]] = v[i];
+  return out;
+}
+
+Bat ScatterF64(int64_t n, const Bat& pos, const Bat& vals, double def) {
+  Bat out(TypeId::kF64);
+  out.ResizeUninitialized(n);
+  double* o = out.MutableData<double>();
+  for (int64_t i = 0; i < n; i++) o[i] = def;
+  const int64_t* p = pos.Data<int64_t>();
+  const double* v = vals.Data<double>();
+  for (int64_t i = 0; i < pos.size(); i++) o[p[i]] = v[i];
+  return out;
+}
+
+struct ResCol {
+  const char* name;
+  const Bat* bat;
+};
+
+/// Assembles aligned BATs into a result Table, optionally permuted by
+/// `order` (oids) and truncated to `limit`.
+std::unique_ptr<Table> MakeResult(const char* name, std::vector<ResCol> cols,
+                                  const Bat* order = nullptr,
+                                  int64_t limit = -1) {
+  std::vector<Table::ColumnSpec> specs;
+  specs.reserve(cols.size());
+  for (const ResCol& c : cols) specs.push_back({c.name, c.bat->type(), false});
+  auto out = std::make_unique<Table>(name, std::move(specs));
+  int64_t n = cols.empty() ? 0 : cols[0].bat->size();
+  if (order) n = order->size();
+  if (limit >= 0) n = std::min(n, limit);
+  std::vector<Value> row(cols.size());
+  for (int64_t i = 0; i < n; i++) {
+    int64_t r = order ? order->Data<int64_t>()[i] : i;
+    for (size_t c = 0; c < cols.size(); c++) row[c] = cols[c].bat->ValueAt(r);
+    out->AppendRow(row);
+  }
+  out->Freeze();
+  return out;
+}
+
+std::unique_ptr<Table> ScalarResult(const char* name, const char* col, Value v) {
+  auto out = std::make_unique<Table>(
+      name, std::vector<Table::ColumnSpec>{{col, v.type(), false}});
+  out->AppendRow({v});
+  out->Freeze();
+  return out;
+}
+
+Value D(const char* ymd) { return Value::Date(ParseDate(ymd)); }
+
+// ------------------------------ Q1 -------------------------------------------
+std::unique_ptr<Table> MQ1(Mq& q) {
+  const Bat& shipdate = q.B("lineitem", "l_shipdate");
+  Bat s0 = MilUSelect(q.s, shipdate, MilCmp::kLe, D("1998-09-02"),
+                      "s0 := select(l_shipdate).mark");
+  Bat rf = F(q, s0, q.B("lineitem", "l_returnflag"), "s1 := join(s0,l_returnflag)");
+  Bat ls = F(q, s0, q.B("lineitem", "l_linestatus"), "s2 := join(s0,l_linestatus)");
+  Bat ext = F(q, s0, q.B("lineitem", "l_extendedprice"), "s3 := join(s0,l_extprice)");
+  Bat disc = F(q, s0, q.B("lineitem", "l_discount"), "s4 := join(s0,l_discount)");
+  Bat tax = F(q, s0, q.B("lineitem", "l_tax"), "s5 := join(s0,l_tax)");
+  Bat qty = F(q, s0, q.B("lineitem", "l_quantity"), "s6 := join(s0,l_quantity)");
+
+  int64_t ng = 0, ng2 = 0;
+  Bat g1 = MilGroup(q.s, rf, &ng, "s7 := group(s1)");
+  Bat g = MilGroupRefine(q.s, g1, ng, ls, &ng2, "s8 := group(s7,s2)");
+  Bat reps = MilGroupReps(q.s, g, ng2, "s9 := unique(s8.mirror)");
+
+  Bat r0 = MilMapVal(q.s, MilArith::kAdd, Value::F64(1.0), tax,
+                     "r0 := [+](1.0,s5)");
+  Bat r1 = MilMapVal(q.s, MilArith::kSub, Value::F64(1.0), disc,
+                     "r1 := [-](1.0,s4)");
+  Bat r2 = MilMap(q.s, MilArith::kMul, ext, r1, "r2 := [*](s3,r1)");
+  Bat r3 = MilMap(q.s, MilArith::kMul, r2, r0, "r3 := [*](r2,r0)");
+
+  Bat sum_charge = MilSumGrouped(q.s, r3, g, ng2, "r4 := {sum}(r3,s8,s9)");
+  Bat sum_disc_price = MilSumGrouped(q.s, r2, g, ng2, "r5 := {sum}(r2,s8,s9)");
+  Bat sum_base = MilSumGrouped(q.s, ext, g, ng2, "r6 := {sum}(s3,s8,s9)");
+  Bat sum_disc = MilSumGrouped(q.s, disc, g, ng2, "r7 := {sum}(s4,s8,s9)");
+  Bat sum_qty = MilSumGrouped(q.s, qty, g, ng2, "r8 := {sum}(s6,s8,s9)");
+  Bat cnt = MilCountGrouped(q.s, g, ng2, "r9 := {count}(s7,s8,s9)");
+
+  Bat avg_qty = MilMap(q.s, MilArith::kDiv, sum_qty, cnt, "[/](r8,r9)");
+  Bat avg_price = MilMap(q.s, MilArith::kDiv, sum_base, cnt, "[/](r6,r9)");
+  Bat avg_disc = MilMap(q.s, MilArith::kDiv, sum_disc, cnt, "[/](r7,r9)");
+
+  Bat rf_g = F(q, reps, rf, "join(s9,s1)");
+  Bat ls_g = F(q, reps, ls, "join(s9,s2)");
+  Bat order = MilSortOids(q.s, {&rf_g, &ls_g}, {false, false}, "sort(rf,ls)");
+  return MakeResult("q1", {{"l_returnflag", &rf_g},
+                           {"l_linestatus", &ls_g},
+                           {"sum_qty", &sum_qty},
+                           {"sum_base_price", &sum_base},
+                           {"sum_disc_price", &sum_disc_price},
+                           {"sum_charge", &sum_charge},
+                           {"avg_qty", &avg_qty},
+                           {"avg_price", &avg_price},
+                           {"avg_disc", &avg_disc},
+                           {"count_order", &cnt}},
+                    &order);
+}
+
+// ------------------------------ Q2 -------------------------------------------
+std::unique_ptr<Table> MQ2(Mq& q) {
+  Bat a = MilUSelect(q.s, q.B("part", "p_size"), MilCmp::kEq, Value::I32(15));
+  Bat t_a = F(q, a, q.B("part", "p_type"));
+  Bat b = MilUSelectLike(q.s, t_a, "%BRASS", false);
+  Bat pp = F(q, b, a);
+  Bat pkeys = F(q, pp, q.B("part", "p_partkey"));
+
+  Bat snat = KeyOids(q, q.B("supplier", "s_nationkey"), 0);
+  Bat sreg = KeyOids(q, F(q, snat, q.B("nation", "n_regionkey")), 0);
+  Bat srname = F(q, sreg, q.B("region", "r_name"));
+  Bat es = MilUSelect(q.s, srname, MilCmp::kEq, Value::Str("EUROPE"));
+  Bat esk = F(q, es, q.B("supplier", "s_suppkey"));
+
+  Bat m1 = MilSemiJoin(q.s, q.B("partsupp", "ps_suppkey"), esk);
+  Bat pk_e = F(q, m1, q.B("partsupp", "ps_partkey"));
+  Bat m2 = MilSemiJoin(q.s, pk_e, pkeys);
+  Bat psp = F(q, m2, m1);
+
+  Bat cost = F(q, psp, q.B("partsupp", "ps_supplycost"));
+  Bat pk2 = F(q, psp, q.B("partsupp", "ps_partkey"));
+  Bat sk2 = F(q, psp, q.B("partsupp", "ps_suppkey"));
+  int64_t ng = 0;
+  Bat g = MilGroup(q.s, pk2, &ng);
+  Bat minc = MilMinGrouped(q.s, cost, g, ng);
+  Bat row_min = F(q, g, minc);
+  Bat w = MilUSelectColCol(q.s, cost, row_min, MilCmp::kEq);
+
+  Bat wp = F(q, w, pk2);
+  Bat ws = F(q, w, sk2);
+  Bat soid = KeyOids(q, ws, 1);
+  Bat acct = F(q, soid, q.B("supplier", "s_acctbal"));
+  Bat sname = F(q, soid, q.B("supplier", "s_name"));
+  Bat saddr = F(q, soid, q.B("supplier", "s_address"));
+  Bat sphone = F(q, soid, q.B("supplier", "s_phone"));
+  Bat scomm = F(q, soid, q.B("supplier", "s_comment"));
+  Bat nname = F(q, KeyOids(q, F(q, soid, q.B("supplier", "s_nationkey")), 0),
+                q.B("nation", "n_name"));
+  Bat mfgr = F(q, KeyOids(q, wp, 1), q.B("part", "p_mfgr"));
+
+  Bat order =
+      MilSortOids(q.s, {&acct, &nname, &sname, &wp}, {true, false, false, false});
+  return MakeResult("q2", {{"s_acctbal", &acct},
+                           {"s_name", &sname},
+                           {"n_name", &nname},
+                           {"p_partkey", &wp},
+                           {"p_mfgr", &mfgr},
+                           {"s_address", &saddr},
+                           {"s_phone", &sphone},
+                           {"s_comment", &scomm}},
+                    &order, 100);
+}
+
+// ------------------------------ Q3 -------------------------------------------
+std::unique_ptr<Table> MQ3(Mq& q) {
+  Bat s0 = MilUSelect(q.s, q.B("lineitem", "l_shipdate"), MilCmp::kGt,
+                      D("1995-03-15"));
+  Bat ok0 = F(q, s0, q.B("lineitem", "l_orderkey"));
+  Bat od0 = F(q, KeyOids(q, ok0, 1), q.B("orders", "o_orderdate"));
+  Bat s1 = MilUSelect(q.s, od0, MilCmp::kLt, D("1995-03-15"));
+  Bat rows1 = F(q, s1, s0);
+  Bat ok1 = F(q, s1, ok0);
+  Bat od1 = F(q, s1, od0);
+  Bat seg =
+      F(q, KeyOids(q, F(q, KeyOids(q, ok1, 1), q.B("orders", "o_custkey")), 1),
+        q.B("customer", "c_mktsegment"));
+  Bat s2 = MilUSelect(q.s, seg, MilCmp::kEq, Value::Str("BUILDING"));
+  Bat rows = F(q, s2, rows1);
+  Bat ok = F(q, s2, ok1);
+  Bat od = F(q, s2, od1);
+  Bat prio = F(q, KeyOids(q, ok, 1), q.B("orders", "o_shippriority"));
+
+  Bat disc = F(q, rows, q.B("lineitem", "l_discount"));
+  Bat ext = F(q, rows, q.B("lineitem", "l_extendedprice"));
+  Bat rev = MilMap(q.s, MilArith::kMul,
+                   MilMapVal(q.s, MilArith::kSub, Value::F64(1.0), disc), ext);
+
+  int64_t ng = 0;
+  Bat g = MilGroup(q.s, ok, &ng);  // orderkey determines odate and priority
+  Bat sums = MilSumGrouped(q.s, rev, g, ng);
+  Bat reps = MilGroupReps(q.s, g, ng);
+  Bat ok_g = F(q, reps, ok);
+  Bat od_g = F(q, reps, od);
+  Bat pr_g = F(q, reps, prio);
+  Bat order = MilSortOids(q.s, {&sums, &od_g, &ok_g}, {true, false, false});
+  return MakeResult("q3", {{"l_orderkey", &ok_g},
+                           {"revenue", &sums},
+                           {"o_orderdate", &od_g},
+                           {"o_shippriority", &pr_g}},
+                    &order, 10);
+}
+
+// ------------------------------ Q4 -------------------------------------------
+std::unique_ptr<Table> MQ4(Mq& q) {
+  Bat late = MilUSelectColCol(q.s, q.B("lineitem", "l_commitdate"),
+                              q.B("lineitem", "l_receiptdate"), MilCmp::kLt);
+  Bat lok = F(q, late, q.B("lineitem", "l_orderkey"));
+  Bat o1 = MilUSelectRange(q.s, q.B("orders", "o_orderdate"), D("1993-07-01"),
+                           Value::Date(ParseDate("1993-10-01") - 1));
+  Bat okeys = F(q, o1, q.B("orders", "o_orderkey"));
+  Bat m = MilSemiJoin(q.s, okeys, lok);
+  Bat prio_o1 = F(q, o1, q.B("orders", "o_orderpriority"));
+  Bat prio = F(q, m, prio_o1);
+  int64_t ng = 0;
+  Bat g = MilGroup(q.s, prio, &ng);
+  Bat cnt = MilCountGrouped(q.s, g, ng);
+  Bat reps = MilGroupReps(q.s, g, ng);
+  Bat pv = F(q, reps, prio);
+  Bat order = MilSortOids(q.s, {&pv}, {false});
+  return MakeResult("q4", {{"o_orderpriority", &pv}, {"order_count", &cnt}},
+                    &order);
+}
+
+// ------------------------------ Q5 -------------------------------------------
+std::unique_ptr<Table> MQ5(Mq& q) {
+  Bat looid = KeyOids(q, q.B("lineitem", "l_orderkey"), 1);
+  Bat od = F(q, looid, q.B("orders", "o_orderdate"));
+  Bat s0 = MilUSelectRange(q.s, od, D("1994-01-01"),
+                           Value::Date(ParseDate("1995-01-01") - 1));
+  Bat ck = F(q, s0, F(q, looid, q.B("orders", "o_custkey")));
+  Bat cnat = F(q, KeyOids(q, ck, 1), q.B("customer", "c_nationkey"));
+  Bat snat = F(q, KeyOids(q, F(q, s0, q.B("lineitem", "l_suppkey")), 1),
+               q.B("supplier", "s_nationkey"));
+  Bat s1 = MilUSelectColCol(q.s, cnat, snat, MilCmp::kEq);
+  Bat nk = F(q, s1, snat);
+  Bat nname = F(q, KeyOids(q, nk, 0), q.B("nation", "n_name"));
+  Bat rname =
+      F(q, KeyOids(q, F(q, KeyOids(q, nk, 0), q.B("nation", "n_regionkey")), 0),
+        q.B("region", "r_name"));
+  Bat s2 = MilUSelect(q.s, rname, MilCmp::kEq, Value::Str("ASIA"));
+  Bat nname2 = F(q, s2, nname);
+  Bat rows = F(q, s2, F(q, s1, s0));
+  Bat disc = F(q, rows, q.B("lineitem", "l_discount"));
+  Bat ext = F(q, rows, q.B("lineitem", "l_extendedprice"));
+  Bat rev = MilMap(q.s, MilArith::kMul,
+                   MilMapVal(q.s, MilArith::kSub, Value::F64(1.0), disc), ext);
+  int64_t ng = 0;
+  Bat g = MilGroup(q.s, nname2, &ng);
+  Bat sums = MilSumGrouped(q.s, rev, g, ng);
+  Bat reps = MilGroupReps(q.s, g, ng);
+  Bat nv = F(q, reps, nname2);
+  Bat order = MilSortOids(q.s, {&sums, &nv}, {true, false});
+  return MakeResult("q5", {{"n_name", &nv}, {"revenue", &sums}}, &order);
+}
+
+// ------------------------------ Q6 -------------------------------------------
+std::unique_ptr<Table> MQ6(Mq& q) {
+  Bat s0 = MilUSelectRange(q.s, q.B("lineitem", "l_shipdate"), D("1994-01-01"),
+                           Value::Date(ParseDate("1995-01-01") - 1));
+  Bat disc = F(q, s0, q.B("lineitem", "l_discount"));
+  Bat s1 = MilUSelectRange(q.s, disc, Value::F64(0.05), Value::F64(0.07));
+  Bat qty = F(q, s1, F(q, s0, q.B("lineitem", "l_quantity")));
+  Bat s2 = MilUSelect(q.s, qty, MilCmp::kLt, Value::F64(24.0));
+  Bat rows = F(q, s2, F(q, s1, s0));
+  Bat rev =
+      MilMap(q.s, MilArith::kMul, F(q, rows, q.B("lineitem", "l_extendedprice")),
+             F(q, rows, q.B("lineitem", "l_discount")));
+  return ScalarResult("q6", "revenue", Value::F64(MilSum(q.s, rev)));
+}
+
+// ------------------------------ Q7 -------------------------------------------
+std::unique_ptr<Table> MQ7(Mq& q) {
+  Bat s0 = MilUSelectRange(q.s, q.B("lineitem", "l_shipdate"), D("1995-01-01"),
+                           D("1996-12-31"));
+  Bat snn =
+      F(q,
+        KeyOids(q,
+                F(q, KeyOids(q, F(q, s0, q.B("lineitem", "l_suppkey")), 1),
+                  q.B("supplier", "s_nationkey")),
+                0),
+        q.B("nation", "n_name"));
+  Bat cnn = F(
+      q,
+      KeyOids(
+          q,
+          F(q,
+            KeyOids(q,
+                    F(q, KeyOids(q, F(q, s0, q.B("lineitem", "l_orderkey")), 1),
+                      q.B("orders", "o_custkey")),
+                    1),
+            q.B("customer", "c_nationkey")),
+          0),
+      q.B("nation", "n_name"));
+
+  Bat a = MilUSelect(q.s, snn, MilCmp::kEq, Value::Str("FRANCE"));
+  Bat ca = F(q, a, cnn);
+  Bat a2 = MilUSelect(q.s, ca, MilCmp::kEq, Value::Str("GERMANY"));
+  Bat pa = F(q, a2, a);
+  Bat b = MilUSelect(q.s, snn, MilCmp::kEq, Value::Str("GERMANY"));
+  Bat cb = F(q, b, cnn);
+  Bat b2 = MilUSelect(q.s, cb, MilCmp::kEq, Value::Str("FRANCE"));
+  Bat pb = F(q, b2, b);
+  Bat u = MilUnionOids(q.s, pa, pb);
+
+  Bat sn_u = F(q, u, snn);
+  Bat cn_u = F(q, u, cnn);
+  Bat rows = F(q, u, s0);
+  Bat year = MilMapYear(q.s, F(q, rows, q.B("lineitem", "l_shipdate")));
+  Bat rev = MilMap(q.s, MilArith::kMul,
+                   MilMapVal(q.s, MilArith::kSub, Value::F64(1.0),
+                             F(q, rows, q.B("lineitem", "l_discount"))),
+                   F(q, rows, q.B("lineitem", "l_extendedprice")));
+
+  int64_t ng = 0, ng2 = 0, ng3 = 0;
+  Bat g1 = MilGroup(q.s, sn_u, &ng);
+  Bat g2 = MilGroupRefine(q.s, g1, ng, cn_u, &ng2);
+  Bat g = MilGroupRefine(q.s, g2, ng2, year, &ng3);
+  Bat sums = MilSumGrouped(q.s, rev, g, ng3);
+  Bat reps = MilGroupReps(q.s, g, ng3);
+  Bat sv = F(q, reps, sn_u);
+  Bat cv = F(q, reps, cn_u);
+  Bat yv = F(q, reps, year);
+  Bat order = MilSortOids(q.s, {&sv, &cv, &yv}, {false, false, false});
+  return MakeResult("q7", {{"supp_nation", &sv},
+                           {"cust_nation", &cv},
+                           {"l_year", &yv},
+                           {"revenue", &sums}},
+                    &order);
+}
+
+// ------------------------------ Q8 -------------------------------------------
+std::unique_ptr<Table> MQ8(Mq& q) {
+  Bat pt =
+      F(q, KeyOids(q, q.B("lineitem", "l_partkey"), 1), q.B("part", "p_type"));
+  Bat s0 = MilUSelect(q.s, pt, MilCmp::kEq, Value::Str("ECONOMY ANODIZED STEEL"));
+  Bat ook = KeyOids(q, F(q, s0, q.B("lineitem", "l_orderkey")), 1);
+  Bat od = F(q, ook, q.B("orders", "o_orderdate"));
+  Bat s1 = MilUSelectRange(q.s, od, D("1995-01-01"), D("1996-12-31"));
+  Bat rows1 = F(q, s1, s0);
+  Bat od1 = F(q, s1, od);
+  Bat cnat =
+      F(q, KeyOids(q, F(q, F(q, s1, ook), q.B("orders", "o_custkey")), 1),
+        q.B("customer", "c_nationkey"));
+  Bat crname =
+      F(q,
+        KeyOids(q, F(q, KeyOids(q, cnat, 0), q.B("nation", "n_regionkey")), 0),
+        q.B("region", "r_name"));
+  Bat s2 = MilUSelect(q.s, crname, MilCmp::kEq, Value::Str("AMERICA"));
+  Bat rows2 = F(q, s2, rows1);
+  Bat od2 = F(q, s2, od1);
+  Bat snname =
+      F(q,
+        KeyOids(q,
+                F(q, KeyOids(q, F(q, rows2, q.B("lineitem", "l_suppkey")), 1),
+                  q.B("supplier", "s_nationkey")),
+                0),
+        q.B("nation", "n_name"));
+  Bat year = MilMapYear(q.s, od2);
+  Bat rev = MilMap(q.s, MilArith::kMul,
+                   MilMapVal(q.s, MilArith::kSub, Value::F64(1.0),
+                             F(q, rows2, q.B("lineitem", "l_discount"))),
+                   F(q, rows2, q.B("lineitem", "l_extendedprice")));
+
+  int64_t ng = 0;
+  Bat g = MilGroup(q.s, year, &ng);
+  Bat tot = MilSumGrouped(q.s, rev, g, ng);
+  Bat reps = MilGroupReps(q.s, g, ng);
+  Bat yv = F(q, reps, year);
+
+  Bat bsel = MilUSelect(q.s, snname, MilCmp::kEq, Value::Str("BRAZIL"));
+  Bat yb = F(q, bsel, year);
+  Bat rb = F(q, bsel, rev);
+  int64_t ngb = 0;
+  Bat gb = MilGroup(q.s, yb, &ngb);
+  Bat sb = MilSumGrouped(q.s, rb, gb, ngb);
+  Bat repsb = MilGroupReps(q.s, gb, ngb);
+  Bat yvb = F(q, repsb, yb);
+
+  MilJoinResult jr = MilJoin(q.s, yv, yvb);
+  Bat bra = ScatterF64(yv.size(), jr.left_oids, F(q, jr.right_oids, sb), 0.0);
+  Bat share = MilMap(q.s, MilArith::kDiv, bra, tot);
+  Bat order = MilSortOids(q.s, {&yv}, {false});
+  return MakeResult("q8", {{"o_year", &yv}, {"mkt_share", &share}}, &order);
+}
+
+// ------------------------------ Q9 -------------------------------------------
+std::unique_ptr<Table> MQ9(Mq& q) {
+  Bat pn =
+      F(q, KeyOids(q, q.B("lineitem", "l_partkey"), 1), q.B("part", "p_name"));
+  Bat s0 = MilUSelectLike(q.s, pn, "%green%", false);
+  Bat pk = F(q, s0, q.B("lineitem", "l_partkey"));
+  Bat sk = F(q, s0, q.B("lineitem", "l_suppkey"));
+  Bat nname =
+      F(q,
+        KeyOids(q, F(q, KeyOids(q, sk, 1), q.B("supplier", "s_nationkey")), 0),
+        q.B("nation", "n_name"));
+  Bat year =
+      MilMapYear(q.s, F(q, KeyOids(q, F(q, s0, q.B("lineitem", "l_orderkey")), 1),
+                        q.B("orders", "o_orderdate")));
+
+  Bat li_combo = ComboKey(pk, sk);
+  Bat ps_combo =
+      ComboKey(q.B("partsupp", "ps_partkey"), q.B("partsupp", "ps_suppkey"));
+  MilJoinResult jr = MilJoin(q.s, li_combo, ps_combo);
+  // Each lineitem matches exactly one partsupp row; left oids are ascending
+  // and unique, so everything below is aligned through left_oids.
+  Bat cost = F(q, jr.right_oids, q.B("partsupp", "ps_supplycost"));
+  Bat qty = F(q, jr.left_oids, F(q, s0, q.B("lineitem", "l_quantity")));
+  Bat disc = F(q, jr.left_oids, F(q, s0, q.B("lineitem", "l_discount")));
+  Bat ext = F(q, jr.left_oids, F(q, s0, q.B("lineitem", "l_extendedprice")));
+  Bat nn = F(q, jr.left_oids, nname);
+  Bat yy = F(q, jr.left_oids, year);
+
+  Bat rev = MilMap(q.s, MilArith::kMul,
+                   MilMapVal(q.s, MilArith::kSub, Value::F64(1.0), disc), ext);
+  Bat amount =
+      MilMap(q.s, MilArith::kSub, rev, MilMap(q.s, MilArith::kMul, cost, qty));
+
+  int64_t ng = 0, ng2 = 0;
+  Bat g1 = MilGroup(q.s, nn, &ng);
+  Bat g = MilGroupRefine(q.s, g1, ng, yy, &ng2);
+  Bat sums = MilSumGrouped(q.s, amount, g, ng2);
+  Bat reps = MilGroupReps(q.s, g, ng2);
+  Bat nv = F(q, reps, nn);
+  Bat yv = F(q, reps, yy);
+  Bat order = MilSortOids(q.s, {&nv, &yv}, {false, true});
+  return MakeResult("q9",
+                    {{"nation", &nv}, {"o_year", &yv}, {"sum_profit", &sums}},
+                    &order);
+}
+
+// ------------------------------ Q10 ------------------------------------------
+std::unique_ptr<Table> MQ10(Mq& q) {
+  Bat s0 = MilUSelect(q.s, q.B("lineitem", "l_returnflag"), MilCmp::kEq,
+                      Value::I64('R'));
+  Bat od = F(q, KeyOids(q, F(q, s0, q.B("lineitem", "l_orderkey")), 1),
+             q.B("orders", "o_orderdate"));
+  Bat s1 = MilUSelectRange(q.s, od, D("1993-10-01"),
+                           Value::Date(ParseDate("1994-01-01") - 1));
+  Bat rows = F(q, s1, s0);
+  Bat ck = F(q, KeyOids(q, F(q, rows, q.B("lineitem", "l_orderkey")), 1),
+             q.B("orders", "o_custkey"));
+  Bat rev = MilMap(q.s, MilArith::kMul,
+                   MilMapVal(q.s, MilArith::kSub, Value::F64(1.0),
+                             F(q, rows, q.B("lineitem", "l_discount"))),
+                   F(q, rows, q.B("lineitem", "l_extendedprice")));
+
+  int64_t ng = 0;
+  Bat g = MilGroup(q.s, ck, &ng);
+  Bat sums = MilSumGrouped(q.s, rev, g, ng);
+  Bat reps = MilGroupReps(q.s, g, ng);
+  Bat ckv = F(q, reps, ck);
+  Bat coid = KeyOids(q, ckv, 1);
+  Bat cname = F(q, coid, q.B("customer", "c_name"));
+  Bat cacct = F(q, coid, q.B("customer", "c_acctbal"));
+  Bat cphone = F(q, coid, q.B("customer", "c_phone"));
+  Bat caddr = F(q, coid, q.B("customer", "c_address"));
+  Bat ccomm = F(q, coid, q.B("customer", "c_comment"));
+  Bat nname = F(q, KeyOids(q, F(q, coid, q.B("customer", "c_nationkey")), 0),
+                q.B("nation", "n_name"));
+  Bat order = MilSortOids(q.s, {&sums, &ckv}, {true, false});
+  return MakeResult("q10", {{"c_custkey", &ckv},
+                            {"c_name", &cname},
+                            {"revenue", &sums},
+                            {"c_acctbal", &cacct},
+                            {"n_name", &nname},
+                            {"c_address", &caddr},
+                            {"c_phone", &cphone},
+                            {"c_comment", &ccomm}},
+                    &order, 20);
+}
+
+// ------------------------------ Q11 ------------------------------------------
+std::unique_ptr<Table> MQ11(Mq& q) {
+  double sf = static_cast<double>(q.B("orders", "o_orderkey").size()) / 1500000.0;
+  Bat nname = F(q,
+                KeyOids(q,
+                        F(q, KeyOids(q, q.B("partsupp", "ps_suppkey"), 1),
+                          q.B("supplier", "s_nationkey")),
+                        0),
+                q.B("nation", "n_name"));
+  Bat s0 = MilUSelect(q.s, nname, MilCmp::kEq, Value::Str("GERMANY"));
+  Bat value =
+      MilMap(q.s, MilArith::kMul, F(q, s0, q.B("partsupp", "ps_supplycost")),
+             F(q, s0, q.B("partsupp", "ps_availqty")));
+  double threshold = MilSum(q.s, value) * 0.0001 / std::max(sf, 1e-9);
+  Bat pk = F(q, s0, q.B("partsupp", "ps_partkey"));
+  int64_t ng = 0;
+  Bat g = MilGroup(q.s, pk, &ng);
+  Bat sums = MilSumGrouped(q.s, value, g, ng);
+  Bat reps = MilGroupReps(q.s, g, ng);
+  Bat pkv = F(q, reps, pk);
+  Bat sel = MilUSelect(q.s, sums, MilCmp::kGt, Value::F64(threshold));
+  Bat pks = F(q, sel, pkv);
+  Bat vs = F(q, sel, sums);
+  Bat order = MilSortOids(q.s, {&vs, &pks}, {true, false});
+  return MakeResult("q11", {{"ps_partkey", &pks}, {"value", &vs}}, &order);
+}
+
+// ------------------------------ Q12 ------------------------------------------
+std::unique_ptr<Table> MQ12(Mq& q) {
+  Bat s0 = MilUSelectRange(q.s, q.B("lineitem", "l_receiptdate"), D("1994-01-01"),
+                           Value::Date(ParseDate("1995-01-01") - 1));
+  Bat mode = F(q, s0, q.B("lineitem", "l_shipmode"));
+  Bat m1 = MilUSelect(q.s, mode, MilCmp::kEq, Value::Str("MAIL"));
+  Bat m2 = MilUSelect(q.s, mode, MilCmp::kEq, Value::Str("SHIP"));
+  Bat u = MilUnionOids(q.s, m1, m2);
+  Bat rows1 = F(q, u, s0);
+  Bat mode1 = F(q, u, mode);
+  Bat cd = F(q, rows1, q.B("lineitem", "l_commitdate"));
+  Bat rd = F(q, rows1, q.B("lineitem", "l_receiptdate"));
+  Bat c1 = MilUSelectColCol(q.s, cd, rd, MilCmp::kLt);
+  Bat rows2 = F(q, c1, rows1);
+  Bat mode2 = F(q, c1, mode1);
+  Bat sd = F(q, rows2, q.B("lineitem", "l_shipdate"));
+  Bat cd2 = F(q, c1, cd);
+  Bat c2 = MilUSelectColCol(q.s, sd, cd2, MilCmp::kLt);
+  Bat rows3 = F(q, c2, rows2);
+  Bat mode3 = F(q, c2, mode2);
+  Bat prio = F(q, KeyOids(q, F(q, rows3, q.B("lineitem", "l_orderkey")), 1),
+               q.B("orders", "o_orderpriority"));
+
+  int64_t ng = 0;
+  Bat g = MilGroup(q.s, mode3, &ng);
+  Bat tot = MilCountGrouped(q.s, g, ng);
+  Bat reps = MilGroupReps(q.s, g, ng);
+  Bat mv = F(q, reps, mode3);
+
+  Bat h1 = MilUSelect(q.s, prio, MilCmp::kEq, Value::Str("1-URGENT"));
+  Bat h2 = MilUSelect(q.s, prio, MilCmp::kEq, Value::Str("2-HIGH"));
+  Bat hu = MilUnionOids(q.s, h1, h2);
+  Bat mh = F(q, hu, mode3);
+  int64_t ngh = 0;
+  Bat gh = MilGroup(q.s, mh, &ngh);
+  Bat hc = MilCountGrouped(q.s, gh, ngh);
+  Bat repsh = MilGroupReps(q.s, gh, ngh);
+  Bat mvh = F(q, repsh, mh);
+
+  MilJoinResult jr = MilJoin(q.s, mv, mvh);
+  Bat high = ScatterI64(mv.size(), jr.left_oids, F(q, jr.right_oids, hc), 0);
+  Bat low(TypeId::kI64);
+  low.ResizeUninitialized(mv.size());
+  for (int64_t i = 0; i < mv.size(); i++) {
+    low.MutableData<int64_t>()[i] =
+        tot.Data<int64_t>()[i] - high.Data<int64_t>()[i];
+  }
+  Bat order = MilSortOids(q.s, {&mv}, {false});
+  return MakeResult("q12", {{"l_shipmode", &mv},
+                            {"high_line_count", &high},
+                            {"low_line_count", &low}},
+                    &order);
+}
+
+// ------------------------------ Q13 ------------------------------------------
+std::unique_ptr<Table> MQ13(Mq& q) {
+  Bat o1 =
+      MilUSelectLike(q.s, q.B("orders", "o_comment"), "%special%requests%", true);
+  Bat ck = F(q, o1, q.B("orders", "o_custkey"));
+  int64_t ng = 0;
+  Bat g = MilGroup(q.s, ck, &ng);
+  Bat cnt = MilCountGrouped(q.s, g, ng);
+  Bat reps = MilGroupReps(q.s, g, ng);
+  Bat ckv = F(q, reps, ck);
+  int64_t n_cust = q.B("customer", "c_custkey").size();
+  Bat counts = ScatterI64(n_cust, KeyOids(q, ckv, 1), cnt, 0);
+  int64_t ng2 = 0;
+  Bat g2 = MilGroup(q.s, counts, &ng2);
+  Bat dist = MilCountGrouped(q.s, g2, ng2);
+  Bat reps2 = MilGroupReps(q.s, g2, ng2);
+  Bat cv = F(q, reps2, counts);
+  Bat order = MilSortOids(q.s, {&dist, &cv}, {true, true});
+  return MakeResult("q13", {{"c_count", &cv}, {"custdist", &dist}}, &order);
+}
+
+// ------------------------------ Q14 ------------------------------------------
+std::unique_ptr<Table> MQ14(Mq& q) {
+  Bat s0 = MilUSelectRange(q.s, q.B("lineitem", "l_shipdate"), D("1995-09-01"),
+                           Value::Date(ParseDate("1995-10-01") - 1));
+  Bat pt = F(q, KeyOids(q, F(q, s0, q.B("lineitem", "l_partkey")), 1),
+             q.B("part", "p_type"));
+  Bat rev = MilMap(q.s, MilArith::kMul,
+                   MilMapVal(q.s, MilArith::kSub, Value::F64(1.0),
+                             F(q, s0, q.B("lineitem", "l_discount"))),
+                   F(q, s0, q.B("lineitem", "l_extendedprice")));
+  double total = MilSum(q.s, rev);
+  Bat pm = MilUSelectLike(q.s, pt, "PROMO%", false);
+  double promo = MilSum(q.s, F(q, pm, rev));
+  return ScalarResult("q14", "promo_revenue", Value::F64(100.0 * promo / total));
+}
+
+// ------------------------------ Q15 ------------------------------------------
+std::unique_ptr<Table> MQ15(Mq& q) {
+  Bat s0 = MilUSelectRange(q.s, q.B("lineitem", "l_shipdate"), D("1996-01-01"),
+                           Value::Date(ParseDate("1996-04-01") - 1));
+  Bat sk = F(q, s0, q.B("lineitem", "l_suppkey"));
+  Bat rev = MilMap(q.s, MilArith::kMul,
+                   MilMapVal(q.s, MilArith::kSub, Value::F64(1.0),
+                             F(q, s0, q.B("lineitem", "l_discount"))),
+                   F(q, s0, q.B("lineitem", "l_extendedprice")));
+  int64_t ng = 0;
+  Bat g = MilGroup(q.s, sk, &ng);
+  Bat sums = MilSumGrouped(q.s, rev, g, ng);
+  Bat reps = MilGroupReps(q.s, g, ng);
+  Bat skv = F(q, reps, sk);
+  Value mx = MilMax(q.s, sums);
+  Bat w = MilUSelect(q.s, sums, MilCmp::kEq, mx);
+  Bat wk = F(q, w, skv);
+  Bat wr = F(q, w, sums);
+  Bat soid = KeyOids(q, wk, 1);
+  Bat sname = F(q, soid, q.B("supplier", "s_name"));
+  Bat saddr = F(q, soid, q.B("supplier", "s_address"));
+  Bat sphone = F(q, soid, q.B("supplier", "s_phone"));
+  Bat order = MilSortOids(q.s, {&wk}, {false});
+  return MakeResult("q15", {{"s_suppkey", &wk},
+                            {"s_name", &sname},
+                            {"s_address", &saddr},
+                            {"s_phone", &sphone},
+                            {"total_revenue", &wr}},
+                    &order);
+}
+
+// ------------------------------ Q16 ------------------------------------------
+std::unique_ptr<Table> MQ16(Mq& q) {
+  Bat b1 =
+      MilUSelect(q.s, q.B("part", "p_brand"), MilCmp::kNe, Value::Str("Brand#45"));
+  Bat t1 = F(q, b1, q.B("part", "p_type"));
+  Bat b2 = MilUSelectLike(q.s, t1, "MEDIUM POLISHED%", true);
+  Bat pp = F(q, b2, b1);
+  Bat sz = F(q, pp, q.B("part", "p_size"));
+  Bat in_set(TypeId::kI64);
+  {
+    const int sizes[8] = {49, 14, 23, 45, 19, 3, 36, 9};
+    bool first = true;
+    for (int v : sizes) {
+      Bat m = MilUSelect(q.s, sz, MilCmp::kEq, Value::I32(v));
+      if (first) {
+        in_set = std::move(m);
+        first = false;
+      } else {
+        in_set = MilUnionOids(q.s, in_set, m);
+      }
+    }
+  }
+  Bat pp2 = F(q, in_set, pp);
+  Bat pkeys = F(q, pp2, q.B("part", "p_partkey"));
+
+  Bat sb = MilUSelectLike(q.s, q.B("supplier", "s_comment"),
+                          "%Customer%Complaints%", false);
+  Bat bad_keys = F(q, sb, q.B("supplier", "s_suppkey"));
+  Bat m1 = MilAntiJoin(q.s, q.B("partsupp", "ps_suppkey"), bad_keys);
+  Bat m2 = MilSemiJoin(q.s, F(q, m1, q.B("partsupp", "ps_partkey")), pkeys);
+  Bat psr = F(q, m2, m1);
+
+  Bat poid = KeyOids(q, F(q, psr, q.B("partsupp", "ps_partkey")), 1);
+  Bat br = F(q, poid, q.B("part", "p_brand"));
+  Bat ty = F(q, poid, q.B("part", "p_type"));
+  Bat szr = F(q, poid, q.B("part", "p_size"));
+  Bat skr = F(q, psr, q.B("partsupp", "ps_suppkey"));
+
+  int64_t ng = 0, ng2 = 0, ng3 = 0, ng4 = 0;
+  Bat g1 = MilGroup(q.s, br, &ng);
+  Bat g2 = MilGroupRefine(q.s, g1, ng, ty, &ng2);
+  Bat g3 = MilGroupRefine(q.s, g2, ng2, szr, &ng3);
+  Bat g4 = MilGroupRefine(q.s, g3, ng3, skr, &ng4);
+  Bat dreps = MilGroupReps(q.s, g4, ng4);
+  Bat br_d = F(q, dreps, br);
+  Bat ty_d = F(q, dreps, ty);
+  Bat sz_d = F(q, dreps, szr);
+
+  int64_t h1 = 0, h2 = 0, h3 = 0;
+  Bat k1 = MilGroup(q.s, br_d, &h1);
+  Bat k2 = MilGroupRefine(q.s, k1, h1, ty_d, &h2);
+  Bat k3 = MilGroupRefine(q.s, k2, h2, sz_d, &h3);
+  Bat cnt = MilCountGrouped(q.s, k3, h3);
+  Bat kreps = MilGroupReps(q.s, k3, h3);
+  Bat bv = F(q, kreps, br_d);
+  Bat tv = F(q, kreps, ty_d);
+  Bat sv = F(q, kreps, sz_d);
+  Bat order =
+      MilSortOids(q.s, {&cnt, &bv, &tv, &sv}, {true, false, false, false});
+  return MakeResult("q16", {{"p_brand", &bv},
+                            {"p_type", &tv},
+                            {"p_size", &sv},
+                            {"supplier_cnt", &cnt}},
+                    &order);
+}
+
+// ------------------------------ Q17 ------------------------------------------
+std::unique_ptr<Table> MQ17(Mq& q) {
+  Bat pa =
+      MilUSelect(q.s, q.B("part", "p_brand"), MilCmp::kEq, Value::Str("Brand#23"));
+  Bat ct = F(q, pa, q.B("part", "p_container"));
+  Bat pb = MilUSelect(q.s, ct, MilCmp::kEq, Value::Str("MED BOX"));
+  Bat pkeys = F(q, F(q, pb, pa), q.B("part", "p_partkey"));
+
+  Bat m = MilSemiJoin(q.s, q.B("lineitem", "l_partkey"), pkeys);
+  Bat pk = F(q, m, q.B("lineitem", "l_partkey"));
+  Bat qty = F(q, m, q.B("lineitem", "l_quantity"));
+  Bat ext = F(q, m, q.B("lineitem", "l_extendedprice"));
+  int64_t ng = 0;
+  Bat g = MilGroup(q.s, pk, &ng);
+  Bat sums = MilSumGrouped(q.s, qty, g, ng);
+  Bat cnts = MilCountGrouped(q.s, g, ng);
+  Bat lim = MilMapVal(q.s, MilArith::kMul, Value::F64(0.2),
+                      MilMap(q.s, MilArith::kDiv, sums, cnts));
+  Bat row_lim = F(q, g, lim);
+  Bat sel = MilUSelectColCol(q.s, qty, row_lim, MilCmp::kLt);
+  double total = MilSum(q.s, F(q, sel, ext));
+  return ScalarResult("q17", "avg_yearly", Value::F64(total / 7.0));
+}
+
+// ------------------------------ Q18 ------------------------------------------
+std::unique_ptr<Table> MQ18(Mq& q) {
+  const Bat& ok = q.B("lineitem", "l_orderkey");
+  int64_t ng = 0;
+  Bat g = MilGroup(q.s, ok, &ng);
+  Bat sums = MilSumGrouped(q.s, q.B("lineitem", "l_quantity"), g, ng);
+  Bat reps = MilGroupReps(q.s, g, ng);
+  Bat okv = F(q, reps, ok);
+  Bat w = MilUSelect(q.s, sums, MilCmp::kGt, Value::F64(300.0));
+  Bat ok_big = F(q, w, okv);
+  Bat sq = F(q, w, sums);
+  Bat ooid = KeyOids(q, ok_big, 1);
+  Bat ckey = F(q, ooid, q.B("orders", "o_custkey"));
+  Bat tp = F(q, ooid, q.B("orders", "o_totalprice"));
+  Bat od = F(q, ooid, q.B("orders", "o_orderdate"));
+  Bat cname = F(q, KeyOids(q, ckey, 1), q.B("customer", "c_name"));
+  Bat order = MilSortOids(q.s, {&tp, &od, &ok_big}, {true, false, false});
+  return MakeResult("q18", {{"c_name", &cname},
+                            {"c_custkey", &ckey},
+                            {"o_orderkey", &ok_big},
+                            {"o_orderdate", &od},
+                            {"o_totalprice", &tp},
+                            {"sum_qty", &sq}},
+                    &order, 100);
+}
+
+// ------------------------------ Q19 ------------------------------------------
+std::unique_ptr<Table> MQ19(Mq& q) {
+  Bat ma =
+      MilUSelect(q.s, q.B("lineitem", "l_shipmode"), MilCmp::kEq, Value::Str("AIR"));
+  Bat mb = MilUSelect(q.s, q.B("lineitem", "l_shipmode"), MilCmp::kEq,
+                      Value::Str("REG AIR"));
+  Bat u = MilUnionOids(q.s, ma, mb);
+  Bat instr = F(q, u, q.B("lineitem", "l_shipinstruct"));
+  Bat i1 = MilUSelect(q.s, instr, MilCmp::kEq, Value::Str("DELIVER IN PERSON"));
+  Bat rows = F(q, i1, u);
+
+  Bat poid = KeyOids(q, F(q, rows, q.B("lineitem", "l_partkey")), 1);
+  Bat brand = F(q, poid, q.B("part", "p_brand"));
+  Bat cont = F(q, poid, q.B("part", "p_container"));
+  Bat size = F(q, poid, q.B("part", "p_size"));
+  Bat qty = F(q, rows, q.B("lineitem", "l_quantity"));
+
+  auto grp = [&](const char* brand_name, std::vector<const char*> conts,
+                 double qlo, double qhi, int smax) {
+    Bat s1 = MilUSelect(q.s, brand, MilCmp::kEq, Value::Str(brand_name));
+    Bat c1 = F(q, s1, cont);
+    Bat cu(TypeId::kI64);
+    bool first = true;
+    for (const char* c : conts) {
+      Bat m = MilUSelect(q.s, c1, MilCmp::kEq, Value::Str(c));
+      if (first) {
+        cu = std::move(m);
+        first = false;
+      } else {
+        cu = MilUnionOids(q.s, cu, m);
+      }
+    }
+    Bat s2 = F(q, cu, s1);
+    Bat q2 = F(q, s2, qty);
+    Bat s3sel = MilUSelectRange(q.s, q2, Value::F64(qlo), Value::F64(qhi));
+    Bat s3 = F(q, s3sel, s2);
+    Bat z = F(q, s3, size);
+    Bat s4sel = MilUSelectRange(q.s, z, Value::I32(1), Value::I32(smax));
+    return F(q, s4sel, s3);
+  };
+  Bat g1 = grp("Brand#12", {"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, 1, 11, 5);
+  Bat g2 =
+      grp("Brand#23", {"MED BAG", "MED BOX", "MED PKG", "MED PACK"}, 10, 20, 10);
+  Bat g3 = grp("Brand#34", {"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 20, 30, 15);
+  Bat all = MilUnionOids(q.s, MilUnionOids(q.s, g1, g2), g3);
+
+  Bat rows_f = F(q, all, rows);
+  Bat rev = MilMap(q.s, MilArith::kMul,
+                   MilMapVal(q.s, MilArith::kSub, Value::F64(1.0),
+                             F(q, rows_f, q.B("lineitem", "l_discount"))),
+                   F(q, rows_f, q.B("lineitem", "l_extendedprice")));
+  return ScalarResult("q19", "revenue", Value::F64(MilSum(q.s, rev)));
+}
+
+// ------------------------------ Q20 ------------------------------------------
+std::unique_ptr<Table> MQ20(Mq& q) {
+  Bat fp = MilUSelectLike(q.s, q.B("part", "p_name"), "forest%", false);
+  Bat pkeys = F(q, fp, q.B("part", "p_partkey"));
+  Bat s0 = MilUSelectRange(q.s, q.B("lineitem", "l_shipdate"), D("1994-01-01"),
+                           Value::Date(ParseDate("1995-01-01") - 1));
+  Bat m = MilSemiJoin(q.s, F(q, s0, q.B("lineitem", "l_partkey")), pkeys);
+  Bat rows = F(q, m, s0);
+  Bat pk = F(q, rows, q.B("lineitem", "l_partkey"));
+  Bat sk = F(q, rows, q.B("lineitem", "l_suppkey"));
+  Bat qty = F(q, rows, q.B("lineitem", "l_quantity"));
+  Bat combo = ComboKey(pk, sk);
+  int64_t ng = 0;
+  Bat g = MilGroup(q.s, combo, &ng);
+  Bat sums = MilSumGrouped(q.s, qty, g, ng);
+  Bat reps = MilGroupReps(q.s, g, ng);
+  Bat pk_r = F(q, reps, pk);
+  Bat sk_r = F(q, reps, sk);
+
+  Bat ps_combo =
+      ComboKey(q.B("partsupp", "ps_partkey"), q.B("partsupp", "ps_suppkey"));
+  MilJoinResult jr = MilJoin(q.s, ps_combo, ComboKey(pk_r, sk_r));
+  Bat avail = F(q, jr.left_oids, q.B("partsupp", "ps_availqty"));
+  Bat half =
+      MilMapVal(q.s, MilArith::kMul, Value::F64(0.5), F(q, jr.right_oids, sums));
+  Bat sel = MilUSelectColCol(q.s, avail, half, MilCmp::kGt);
+  Bat sks =
+      MilUnique(q.s, F(q, F(q, sel, jr.left_oids), q.B("partsupp", "ps_suppkey")));
+
+  Bat nn =
+      F(q, KeyOids(q, q.B("supplier", "s_nationkey"), 0), q.B("nation", "n_name"));
+  Bat cs = MilUSelect(q.s, nn, MilCmp::kEq, Value::Str("CANADA"));
+  Bat m2 = MilSemiJoin(q.s, F(q, cs, q.B("supplier", "s_suppkey")), sks);
+  Bat fin = F(q, m2, cs);
+  Bat sname = F(q, fin, q.B("supplier", "s_name"));
+  Bat saddr = F(q, fin, q.B("supplier", "s_address"));
+  Bat order = MilSortOids(q.s, {&sname}, {false});
+  return MakeResult("q20", {{"s_name", &sname}, {"s_address", &saddr}}, &order);
+}
+
+// ------------------------------ Q21 ------------------------------------------
+std::unique_ptr<Table> MQ21(Mq& q) {
+  Bat late = MilUSelectColCol(q.s, q.B("lineitem", "l_receiptdate"),
+                              q.B("lineitem", "l_commitdate"), MilCmp::kGt);
+  Bat lok = F(q, late, q.B("lineitem", "l_orderkey"));
+  Bat lsk = F(q, late, q.B("lineitem", "l_suppkey"));
+
+  Bat combo_all =
+      ComboKey(q.B("lineitem", "l_orderkey"), q.B("lineitem", "l_suppkey"));
+  int64_t ng = 0;
+  Bat g = MilGroup(q.s, combo_all, &ng);
+  Bat reps = MilGroupReps(q.s, g, ng);
+  Bat ok_d = F(q, reps, q.B("lineitem", "l_orderkey"));
+  int64_t ng2 = 0;
+  Bat g2 = MilGroup(q.s, ok_d, &ng2);
+  Bat nsupp = MilCountGrouped(q.s, g2, ng2);
+  Bat reps2 = MilGroupReps(q.s, g2, ng2);
+  Bat ok_v = F(q, reps2, ok_d);
+  Bat msel = MilUSelect(q.s, nsupp, MilCmp::kGe, Value::I64(2));
+  Bat multi_ok = F(q, msel, ok_v);
+
+  Bat combo_late = ComboKey(lok, lsk);
+  int64_t ng3 = 0;
+  Bat g3 = MilGroup(q.s, combo_late, &ng3);
+  Bat reps3 = MilGroupReps(q.s, g3, ng3);
+  Bat lok_d = F(q, reps3, lok);
+  int64_t ng4 = 0;
+  Bat g4 = MilGroup(q.s, lok_d, &ng4);
+  Bat nlate = MilCountGrouped(q.s, g4, ng4);
+  Bat reps4 = MilGroupReps(q.s, g4, ng4);
+  Bat lok_v = F(q, reps4, lok_d);
+  Bat ssel = MilUSelect(q.s, nlate, MilCmp::kEq, Value::I64(1));
+  Bat single_ok = F(q, ssel, lok_v);
+
+  Bat nn =
+      F(q, KeyOids(q, q.B("supplier", "s_nationkey"), 0), q.B("nation", "n_name"));
+  Bat ss = MilUSelect(q.s, nn, MilCmp::kEq, Value::Str("SAUDI ARABIA"));
+  Bat saudi_keys = F(q, ss, q.B("supplier", "s_suppkey"));
+
+  Bat fsel = MilUSelect(q.s, q.B("orders", "o_orderstatus"), MilCmp::kEq,
+                        Value::I64('F'));
+  Bat fok = F(q, fsel, q.B("orders", "o_orderkey"));
+
+  Bat p1 = MilSemiJoin(q.s, lsk, saudi_keys);
+  Bat ok1 = F(q, p1, lok);
+  Bat sk1 = F(q, p1, lsk);
+  Bat p2 = MilSemiJoin(q.s, ok1, fok);
+  Bat ok2 = F(q, p2, ok1);
+  Bat sk2 = F(q, p2, sk1);
+  Bat p3 = MilSemiJoin(q.s, ok2, multi_ok);
+  Bat ok3 = F(q, p3, ok2);
+  Bat sk3 = F(q, p3, sk2);
+  Bat p4 = MilSemiJoin(q.s, ok3, single_ok);
+  Bat sk4 = F(q, p4, sk3);
+
+  Bat sname = F(q, KeyOids(q, sk4, 1), q.B("supplier", "s_name"));
+  int64_t ng5 = 0;
+  Bat g5 = MilGroup(q.s, sname, &ng5);
+  Bat cnt = MilCountGrouped(q.s, g5, ng5);
+  Bat reps5 = MilGroupReps(q.s, g5, ng5);
+  Bat sv = F(q, reps5, sname);
+  Bat order = MilSortOids(q.s, {&cnt, &sv}, {true, false});
+  return MakeResult("q21", {{"s_name", &sv}, {"numwait", &cnt}}, &order, 100);
+}
+
+// ------------------------------ Q22 ------------------------------------------
+std::unique_ptr<Table> MQ22(Mq& q) {
+  const std::vector<std::string> codes = {"13", "17", "18", "23",
+                                          "29", "30", "31"};
+  Bat cset(TypeId::kI64);
+  for (size_t i = 0; i < codes.size(); i++) {
+    Bat m = MilUSelectLike(q.s, q.B("customer", "c_phone"), codes[i] + "%", false);
+    if (i == 0) {
+      cset = std::move(m);
+    } else {
+      cset = MilUnionOids(q.s, cset, m);
+    }
+  }
+  Bat acct = F(q, cset, q.B("customer", "c_acctbal"));
+  Bat pos = MilUSelect(q.s, acct, MilCmp::kGt, Value::F64(0.0));
+  Bat pacct = F(q, pos, acct);
+  double avg = MilSum(q.s, pacct) /
+               std::max<double>(1.0, static_cast<double>(pacct.size()));
+  Bat c2 = MilUSelect(q.s, acct, MilCmp::kGt, Value::F64(avg));
+  Bat rows = F(q, c2, cset);
+  Bat acct2 = F(q, c2, acct);
+  Bat ckeys = F(q, rows, q.B("customer", "c_custkey"));
+  Bat no_ord = MilAntiJoin(q.s, ckeys, q.B("orders", "o_custkey"));
+  Bat phone = F(q, no_ord, F(q, rows, q.B("customer", "c_phone")));
+  Bat acct3 = F(q, no_ord, acct2);
+
+  auto out = std::make_unique<Table>(
+      "q22", std::vector<Table::ColumnSpec>{{"cntrycode", TypeId::kStr, false},
+                                            {"numcust", TypeId::kI64, false},
+                                            {"totacctbal", TypeId::kF64, false}});
+  for (const std::string& code : codes) {
+    Bat m = MilUSelectLike(q.s, phone, code + "%", false);
+    if (m.size() == 0) continue;
+    double total = MilSum(q.s, F(q, m, acct3));
+    out->AppendRow({Value::Str(code), Value::I64(m.size()), Value::F64(total)});
+  }
+  out->Freeze();
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<Table> RunMilQuery(int query, MilSession* session,
+                                   MilDatabase* db) {
+  Mq q{session, db};
+  switch (query) {
+    case 1:  return MQ1(q);
+    case 2:  return MQ2(q);
+    case 3:  return MQ3(q);
+    case 4:  return MQ4(q);
+    case 5:  return MQ5(q);
+    case 6:  return MQ6(q);
+    case 7:  return MQ7(q);
+    case 8:  return MQ8(q);
+    case 9:  return MQ9(q);
+    case 10: return MQ10(q);
+    case 11: return MQ11(q);
+    case 12: return MQ12(q);
+    case 13: return MQ13(q);
+    case 14: return MQ14(q);
+    case 15: return MQ15(q);
+    case 16: return MQ16(q);
+    case 17: return MQ17(q);
+    case 18: return MQ18(q);
+    case 19: return MQ19(q);
+    case 20: return MQ20(q);
+    case 21: return MQ21(q);
+    case 22: return MQ22(q);
+    default:
+      X100_CHECK(false);
+      return nullptr;
+  }
+}
+
+}  // namespace x100

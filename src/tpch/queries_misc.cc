@@ -1,0 +1,159 @@
+// Tuple-at-a-time Q1/Q6 and the hard-coded Q1 runner (the Table 1 baselines).
+
+#include <algorithm>
+#include <memory>
+
+#include "common/date.h"
+#include "tpch/hardcoded.h"
+#include "tpch/queries.h"
+#include "tuple/row_ops.h"
+
+namespace x100 {
+
+namespace {
+
+std::vector<Table::ColumnSpec> Q1ResultSpecs() {
+  return {{"l_returnflag", TypeId::kI8, false},
+          {"l_linestatus", TypeId::kI8, false},
+          {"sum_qty", TypeId::kF64, false},
+          {"sum_base_price", TypeId::kF64, false},
+          {"sum_disc_price", TypeId::kF64, false},
+          {"sum_charge", TypeId::kF64, false},
+          {"avg_qty", TypeId::kF64, false},
+          {"avg_price", TypeId::kF64, false},
+          {"avg_disc", TypeId::kF64, false},
+          {"count_order", TypeId::kI64, false}};
+}
+
+}  // namespace
+
+std::unique_ptr<RowStore> MakeTupleQ1Store(const Catalog& db) {
+  return std::make_unique<RowStore>(
+      db.Get("lineitem"),
+      std::vector<std::string>{"l_returnflag", "l_linestatus", "l_quantity",
+                               "l_extendedprice", "l_discount", "l_tax",
+                               "l_shipdate"});
+}
+
+std::unique_ptr<Table> RunTupleQ1(const RowStore& store, TupleProfile* prof) {
+  int f_rf = store.FieldIndex("l_returnflag");
+  int f_ls = store.FieldIndex("l_linestatus");
+  int f_qty = store.FieldIndex("l_quantity");
+  int f_ext = store.FieldIndex("l_extendedprice");
+  int f_disc = store.FieldIndex("l_discount");
+  int f_tax = store.FieldIndex("l_tax");
+  int f_ship = store.FieldIndex("l_shipdate");
+
+  RowOpPtr scan = std::make_unique<RowScan>(store, prof);
+  ItemPtr pred = ICmp(ItemCmpOp::kLe, IField(f_ship),
+                      IConst(static_cast<double>(ParseDate("1998-09-02"))));
+  RowOpPtr sel = std::make_unique<RowSelect>(std::move(scan), std::move(pred),
+                                             store, prof);
+
+  std::vector<ItemPtr> group;
+  group.push_back(IField(f_rf));
+  group.push_back(IField(f_ls));
+
+  auto disc_price = [&] {
+    return IMul(IMinus(IConst(1.0), IField(f_disc)), IField(f_ext));
+  };
+  std::vector<RowHashAggr::Spec> specs;
+  specs.push_back({RowHashAggr::Op::kSum, IField(f_qty)});
+  specs.push_back({RowHashAggr::Op::kSum, IField(f_ext)});
+  specs.push_back({RowHashAggr::Op::kSum, disc_price()});
+  specs.push_back({RowHashAggr::Op::kSum,
+                   IMul(IPlus(IConst(1.0), IField(f_tax)), disc_price())});
+  specs.push_back({RowHashAggr::Op::kAvg, IField(f_qty)});
+  specs.push_back({RowHashAggr::Op::kAvg, IField(f_ext)});
+  specs.push_back({RowHashAggr::Op::kAvg, IField(f_disc)});
+  specs.push_back({RowHashAggr::Op::kCount, nullptr});
+
+  RowHashAggr aggr(std::move(sel), std::move(group), {false, false},
+                   std::move(specs), store, prof);
+  std::vector<std::vector<Value>> rows = aggr.Run();
+  std::sort(rows.begin(), rows.end(),
+            [](const std::vector<Value>& a, const std::vector<Value>& b) {
+              if (a[0].AsF64() != b[0].AsF64()) return a[0].AsF64() < b[0].AsF64();
+              return a[1].AsF64() < b[1].AsF64();
+            });
+
+  auto out = std::make_unique<Table>("tuple_q1", Q1ResultSpecs());
+  for (const std::vector<Value>& r : rows) {
+    out->AppendRow({Value::I8(static_cast<int8_t>(r[0].AsF64())),
+                    Value::I8(static_cast<int8_t>(r[1].AsF64())), r[2], r[3],
+                    r[4], r[5], r[6], r[7], r[8], r[9]});
+  }
+  out->Freeze();
+  return out;
+}
+
+std::unique_ptr<RowStore> MakeTupleQ6Store(const Catalog& db) {
+  return std::make_unique<RowStore>(
+      db.Get("lineitem"),
+      std::vector<std::string>{"l_shipdate", "l_discount", "l_quantity",
+                               "l_extendedprice"});
+}
+
+std::unique_ptr<Table> RunTupleQ6(const RowStore& store, TupleProfile* prof) {
+  int f_ship = store.FieldIndex("l_shipdate");
+  int f_disc = store.FieldIndex("l_discount");
+  int f_qty = store.FieldIndex("l_quantity");
+  int f_ext = store.FieldIndex("l_extendedprice");
+
+  RowOpPtr scan = std::make_unique<RowScan>(store, prof);
+  ItemPtr pred = IAnd(
+      ICmp(ItemCmpOp::kGe, IField(f_ship),
+           IConst(static_cast<double>(ParseDate("1994-01-01")))),
+      IAnd(ICmp(ItemCmpOp::kLt, IField(f_ship),
+                IConst(static_cast<double>(ParseDate("1995-01-01")))),
+           IAnd(ICmp(ItemCmpOp::kGe, IField(f_disc), IConst(0.05)),
+                IAnd(ICmp(ItemCmpOp::kLe, IField(f_disc), IConst(0.07)),
+                     ICmp(ItemCmpOp::kLt, IField(f_qty), IConst(24.0))))));
+  RowOpPtr sel = std::make_unique<RowSelect>(std::move(scan), std::move(pred),
+                                             store, prof);
+  std::vector<RowHashAggr::Spec> specs;
+  specs.push_back({RowHashAggr::Op::kSum, IMul(IField(f_ext), IField(f_disc))});
+  RowHashAggr aggr(std::move(sel), {}, {}, std::move(specs), store, prof);
+  std::vector<std::vector<Value>> rows = aggr.Run();
+
+  auto out = std::make_unique<Table>(
+      "tuple_q6",
+      std::vector<Table::ColumnSpec>{{"revenue", TypeId::kF64, false}});
+  X100_CHECK(rows.size() == 1);
+  out->AppendRow({rows[0][0]});
+  out->Freeze();
+  return out;
+}
+
+std::unique_ptr<Table> RunHardcodedQ1(MilDatabase* db) {
+  const Bat& rf = db->Get("lineitem", "l_returnflag");
+  const Bat& ls = db->Get("lineitem", "l_linestatus");
+  const Bat& qty = db->Get("lineitem", "l_quantity");
+  const Bat& ext = db->Get("lineitem", "l_extendedprice");
+  const Bat& disc = db->Get("lineitem", "l_discount");
+  const Bat& tax = db->Get("lineitem", "l_tax");
+  const Bat& ship = db->Get("lineitem", "l_shipdate");
+
+  std::vector<Q1Slot> hashtab(kQ1SlotCount);
+  HardcodedQ1(rf.size(), ParseDate("1998-09-02"), rf.Data<int8_t>(),
+              ls.Data<int8_t>(), qty.Data<double>(), ext.Data<double>(),
+              disc.Data<double>(), tax.Data<double>(), ship.Data<int32_t>(),
+              hashtab.data());
+
+  auto out = std::make_unique<Table>("hardcoded_q1", Q1ResultSpecs());
+  for (int slot = 0; slot < kQ1SlotCount; slot++) {
+    const Q1Slot& s = hashtab[slot];
+    if (s.count == 0) continue;
+    double n = static_cast<double>(s.count);
+    out->AppendRow({Value::I8(static_cast<int8_t>(slot >> 8)),
+                    Value::I8(static_cast<int8_t>(slot & 0xFF)),
+                    Value::F64(s.sum_qty), Value::F64(s.sum_base_price),
+                    Value::F64(s.sum_disc_price), Value::F64(s.sum_charge),
+                    Value::F64(s.sum_qty / n), Value::F64(s.sum_base_price / n),
+                    Value::F64(s.sum_disc / n), Value::I64(s.count)});
+  }
+  out->Freeze();
+  return out;
+}
+
+}  // namespace x100

@@ -1,0 +1,70 @@
+#include "tuple/item.h"
+
+namespace x100 {
+
+double ItemFunc::val(const char* rec, const RowStore& store, TupleProfile* prof) {
+  double a = a_->val(rec, store, prof);
+  double b = b_->val(rec, store, prof);
+  // Exclusive timing (gprof-style): children already accounted above.
+  uint64_t t0 = prof->timing ? ReadCycleCounter() : 0;
+  double r = 0;
+  switch (op_) {
+    case ItemArith::kPlus:
+      prof->item_func_plus.calls++;
+      r = a + b;
+      if (prof->timing) prof->item_func_plus.cycles += ReadCycleCounter() - t0;
+      break;
+    case ItemArith::kMinus:
+      prof->item_func_minus.calls++;
+      r = a - b;
+      if (prof->timing) prof->item_func_minus.cycles += ReadCycleCounter() - t0;
+      break;
+    case ItemArith::kMul:
+      prof->item_func_mul.calls++;
+      r = a * b;
+      if (prof->timing) prof->item_func_mul.cycles += ReadCycleCounter() - t0;
+      break;
+    case ItemArith::kDiv:
+      prof->item_func_div.calls++;
+      r = a / b;
+      if (prof->timing) prof->item_func_div.cycles += ReadCycleCounter() - t0;
+      break;
+  }
+  return r;
+}
+
+double ItemCmp::val(const char* rec, const RowStore& store, TupleProfile* prof) {
+  prof->item_cmp.calls++;
+  bool r;
+  if (numeric_) {
+    double a = a_->val(rec, store, prof);
+    double b = b_->val(rec, store, prof);
+    uint64_t t0 = prof->timing ? ReadCycleCounter() : 0;
+    switch (op_) {
+      case ItemCmpOp::kLt: r = a < b; break;
+      case ItemCmpOp::kLe: r = a <= b; break;
+      case ItemCmpOp::kGt: r = a > b; break;
+      case ItemCmpOp::kGe: r = a >= b; break;
+      case ItemCmpOp::kEq: r = a == b; break;
+      default:             r = a != b; break;
+    }
+    if (prof->timing) prof->item_cmp.cycles += ReadCycleCounter() - t0;
+  } else {
+    const char* sa = a_->val_str(rec, store, prof);
+    const char* sb = b_->val_str(rec, store, prof);
+    uint64_t t0 = prof->timing ? ReadCycleCounter() : 0;
+    int c = std::strcmp(sa, sb);
+    switch (op_) {
+      case ItemCmpOp::kLt: r = c < 0; break;
+      case ItemCmpOp::kLe: r = c <= 0; break;
+      case ItemCmpOp::kGt: r = c > 0; break;
+      case ItemCmpOp::kGe: r = c >= 0; break;
+      case ItemCmpOp::kEq: r = c == 0; break;
+      default:             r = c != 0; break;
+    }
+    if (prof->timing) prof->item_cmp.cycles += ReadCycleCounter() - t0;
+  }
+  return r ? 1 : 0;
+}
+
+}  // namespace x100

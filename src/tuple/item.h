@@ -1,0 +1,144 @@
+#ifndef X100_TUPLE_ITEM_H_
+#define X100_TUPLE_ITEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "primitives/string_prims.h"
+#include "tuple/row_store.h"
+
+namespace x100 {
+
+/// MySQL-style Item expression interpreter: one virtual val() call per tuple
+/// per node — the Item_func_plus::val of Table 2. The virtual dispatch, the
+/// per-call record navigation and the one-operation-per-call shape are the
+/// pathologies §3.1 diagnoses; this class hierarchy reproduces them on
+/// purpose.
+class Item {
+ public:
+  virtual ~Item() = default;
+  virtual double val(const char* rec, const RowStore& store,
+                     TupleProfile* prof) = 0;
+  virtual int64_t val_int(const char* rec, const RowStore& store,
+                          TupleProfile* prof) {
+    return static_cast<int64_t>(val(rec, store, prof));
+  }
+  virtual const char* val_str(const char* rec, const RowStore& store,
+                              TupleProfile* prof) {
+    (void)rec;
+    (void)store;
+    (void)prof;
+    X100_CHECK(false);
+    return nullptr;
+  }
+};
+
+using ItemPtr = std::unique_ptr<Item>;
+
+class ItemField : public Item {
+ public:
+  explicit ItemField(int field) : field_(field) {}
+  double val(const char* rec, const RowStore& store, TupleProfile* prof) override {
+    return store.GetF64(rec, field_, prof);
+  }
+  int64_t val_int(const char* rec, const RowStore& store,
+                  TupleProfile* prof) override {
+    return store.GetI64(rec, field_, prof);
+  }
+  const char* val_str(const char* rec, const RowStore& store,
+                      TupleProfile* prof) override {
+    return store.GetStr(rec, field_, prof);
+  }
+
+ private:
+  int field_;
+};
+
+class ItemConst : public Item {
+ public:
+  explicit ItemConst(double v) : v_(v) {}
+  double val(const char*, const RowStore&, TupleProfile*) override { return v_; }
+
+ private:
+  double v_;
+};
+
+enum class ItemArith { kPlus, kMinus, kMul, kDiv };
+
+class ItemFunc : public Item {
+ public:
+  ItemFunc(ItemArith op, ItemPtr a, ItemPtr b)
+      : op_(op), a_(std::move(a)), b_(std::move(b)) {}
+  double val(const char* rec, const RowStore& store, TupleProfile* prof) override;
+
+ private:
+  ItemArith op_;
+  ItemPtr a_, b_;
+};
+
+enum class ItemCmpOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// Boolean items return 0/1 from val().
+class ItemCmp : public Item {
+ public:
+  ItemCmp(ItemCmpOp op, ItemPtr a, ItemPtr b, bool numeric = true)
+      : op_(op), a_(std::move(a)), b_(std::move(b)), numeric_(numeric) {}
+  double val(const char* rec, const RowStore& store, TupleProfile* prof) override;
+
+ private:
+  ItemCmpOp op_;
+  ItemPtr a_, b_;
+  bool numeric_;
+};
+
+class ItemAnd : public Item {
+ public:
+  ItemAnd(ItemPtr a, ItemPtr b) : a_(std::move(a)), b_(std::move(b)) {}
+  double val(const char* rec, const RowStore& store, TupleProfile* prof) override {
+    return a_->val(rec, store, prof) != 0 && b_->val(rec, store, prof) != 0 ? 1
+                                                                            : 0;
+  }
+
+ private:
+  ItemPtr a_, b_;
+};
+
+class ItemLike : public Item {
+ public:
+  ItemLike(ItemPtr a, std::string pat, bool negate)
+      : a_(std::move(a)), pat_(std::move(pat)), negate_(negate) {}
+  double val(const char* rec, const RowStore& store, TupleProfile* prof) override {
+    prof->item_cmp.calls++;
+    bool m = LikeMatch(a_->val_str(rec, store, prof), pat_.c_str());
+    return (m != negate_) ? 1 : 0;
+  }
+
+ private:
+  ItemPtr a_;
+  std::string pat_;
+  bool negate_;
+};
+
+// -- concise builders --
+inline ItemPtr IField(int f) { return std::make_unique<ItemField>(f); }
+inline ItemPtr IConst(double v) { return std::make_unique<ItemConst>(v); }
+inline ItemPtr IPlus(ItemPtr a, ItemPtr b) {
+  return std::make_unique<ItemFunc>(ItemArith::kPlus, std::move(a), std::move(b));
+}
+inline ItemPtr IMinus(ItemPtr a, ItemPtr b) {
+  return std::make_unique<ItemFunc>(ItemArith::kMinus, std::move(a), std::move(b));
+}
+inline ItemPtr IMul(ItemPtr a, ItemPtr b) {
+  return std::make_unique<ItemFunc>(ItemArith::kMul, std::move(a), std::move(b));
+}
+inline ItemPtr ICmp(ItemCmpOp op, ItemPtr a, ItemPtr b) {
+  return std::make_unique<ItemCmp>(op, std::move(a), std::move(b));
+}
+inline ItemPtr IAnd(ItemPtr a, ItemPtr b) {
+  return std::make_unique<ItemAnd>(std::move(a), std::move(b));
+}
+
+}  // namespace x100
+
+#endif  // X100_TUPLE_ITEM_H_

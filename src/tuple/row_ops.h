@@ -1,0 +1,95 @@
+#ifndef X100_TUPLE_ROW_OPS_H_
+#define X100_TUPLE_ROW_OPS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "tuple/item.h"
+
+namespace x100 {
+
+/// Volcano operator of the tuple-at-a-time engine: Next() returns one record
+/// pointer per call — the execution model whose interpretation overhead §3.1
+/// quantifies.
+class RowOperator {
+ public:
+  virtual ~RowOperator() = default;
+  virtual void Open() = 0;
+  virtual const char* Next() = 0;  // nullptr = exhausted
+};
+
+using RowOpPtr = std::unique_ptr<RowOperator>;
+
+class RowScan : public RowOperator {
+ public:
+  RowScan(const RowStore& store, TupleProfile* prof)
+      : store_(store), prof_(prof) {}
+  void Open() override { pos_ = 0; }
+  const char* Next() override {
+    prof_->row_next.calls++;
+    if (pos_ >= store_.num_rows()) return nullptr;
+    return store_.Record(pos_++);
+  }
+
+ private:
+  const RowStore& store_;
+  TupleProfile* prof_;
+  int64_t pos_ = 0;
+};
+
+class RowSelect : public RowOperator {
+ public:
+  RowSelect(RowOpPtr child, ItemPtr pred, const RowStore& store,
+            TupleProfile* prof)
+      : child_(std::move(child)), pred_(std::move(pred)), store_(store),
+        prof_(prof) {}
+  void Open() override { child_->Open(); }
+  const char* Next() override {
+    prof_->row_next.calls++;
+    while (const char* rec = child_->Next()) {
+      if (pred_->val(rec, store_, prof_) != 0) return rec;
+    }
+    return nullptr;
+  }
+
+ private:
+  RowOpPtr child_;
+  ItemPtr pred_;
+  const RowStore& store_;
+  TupleProfile* prof_;
+};
+
+/// Grouped aggregation, one tuple at a time: per tuple a key is assembled
+/// from the group items, looked up in a hash table, and each aggregate Item
+/// is evaluated and applied — Item_sum_sum::update_field and the 28% hash
+/// overhead of Table 2.
+class RowHashAggr {
+ public:
+  enum class Op { kSum, kCount, kAvg, kMin, kMax };
+  struct Spec {
+    Op op;
+    ItemPtr input;  // null for kCount
+  };
+
+  RowHashAggr(RowOpPtr child, std::vector<ItemPtr> group_items,
+              std::vector<bool> group_is_str, std::vector<Spec> specs,
+              const RowStore& store, TupleProfile* prof);
+
+  /// Drains the child; returns one row per group: group values (as F64/Str)
+  /// then aggregate values.
+  std::vector<std::vector<Value>> Run();
+
+ private:
+  RowOpPtr child_;
+  std::vector<ItemPtr> group_items_;
+  std::vector<bool> group_is_str_;
+  std::vector<Spec> specs_;
+  const RowStore& store_;
+  TupleProfile* prof_;
+};
+
+}  // namespace x100
+
+#endif  // X100_TUPLE_ROW_OPS_H_

@@ -1,0 +1,191 @@
+#include "tuple/row_store.h"
+
+#include <cstring>
+
+namespace x100 {
+
+RowStore::RowStore(const Table& table, std::vector<std::string> cols) {
+  std::vector<int> col_idx;
+  for (const std::string& name : cols) {
+    int ci = table.ColumnIndex(name);
+    col_idx.push_back(ci);
+    types_.push_back(table.schema().field(ci).type);
+    names_.push_back(name);
+  }
+  int nf = static_cast<int>(types_.size());
+
+  // Layout: uint16 offset per field, then packed fields.
+  size_t header = sizeof(uint16_t) * static_cast<size_t>(nf);
+  std::vector<size_t> widths;
+  size_t off = header;
+  std::vector<uint16_t> offsets;
+  for (TypeId t : types_) {
+    size_t w = TypeWidth(t);
+    off = (off + w - 1) & ~(w - 1);  // natural alignment
+    offsets.push_back(static_cast<uint16_t>(off));
+    widths.push_back(w);
+    off += w;
+  }
+  record_size_ = (off + 7) & ~size_t{7};
+
+  num_rows_ = table.num_rows();
+  data_ = std::make_unique<char[]>(static_cast<size_t>(num_rows_) * record_size_);
+
+  int64_t out = 0;
+  for (int64_t r = 0; r < table.total_rows(); r++) {
+    if (table.IsDeleted(r)) continue;
+    char* rec = data_.get() + static_cast<size_t>(out) * record_size_;
+    std::memcpy(rec, offsets.data(), header);
+    for (int f = 0; f < nf; f++) {
+      char* p = rec + offsets[f];
+      Value v = table.GetValue(r, col_idx[f]);
+      switch (types_[f]) {
+        case TypeId::kI8: {
+          int8_t x = static_cast<int8_t>(v.AsI64());
+          std::memcpy(p, &x, 1);
+          break;
+        }
+        case TypeId::kU8: {
+          uint8_t x = static_cast<uint8_t>(v.AsI64());
+          std::memcpy(p, &x, 1);
+          break;
+        }
+        case TypeId::kI16: {
+          int16_t x = static_cast<int16_t>(v.AsI64());
+          std::memcpy(p, &x, 2);
+          break;
+        }
+        case TypeId::kU16: {
+          uint16_t x = static_cast<uint16_t>(v.AsI64());
+          std::memcpy(p, &x, 2);
+          break;
+        }
+        case TypeId::kI32:
+        case TypeId::kDate: {
+          int32_t x = static_cast<int32_t>(v.AsI64());
+          std::memcpy(p, &x, 4);
+          break;
+        }
+        case TypeId::kI64: {
+          int64_t x = v.AsI64();
+          std::memcpy(p, &x, 8);
+          break;
+        }
+        case TypeId::kF64: {
+          double x = v.AsF64();
+          std::memcpy(p, &x, 8);
+          break;
+        }
+        case TypeId::kStr: {
+          // Point into the column's stable heap / dictionary.
+          const Column& src = r < table.fragment_rows()
+                                  ? table.column(col_idx[f])
+                                  : table.delta_column(col_idx[f]);
+          int64_t rr = r < table.fragment_rows() ? r : r - table.fragment_rows();
+          const char* sp = src.GetStr(rr);
+          std::memcpy(p, &sp, 8);
+          break;
+        }
+        default:
+          X100_CHECK(false);
+      }
+    }
+    out++;
+  }
+  X100_CHECK(out == num_rows_);
+}
+
+int RowStore::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); i++) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  X100_CHECK(false);
+  return -1;
+}
+
+double RowStore::GetF64(const char* rec, int f, TupleProfile* prof) const {
+  const char* p = GetFieldPtr(rec, f, prof);
+  prof->field_val.calls++;
+  uint64_t t0 = prof->timing ? ReadCycleCounter() : 0;
+  double out;
+  switch (types_[f]) {
+    case TypeId::kF64: {
+      double x;
+      std::memcpy(&x, p, 8);
+      out = x;
+      break;
+    }
+    case TypeId::kI32:
+    case TypeId::kDate: {
+      int32_t x;
+      std::memcpy(&x, p, 4);
+      out = x;
+      break;
+    }
+    case TypeId::kI8: {
+      int8_t x;
+      std::memcpy(&x, p, 1);
+      out = x;
+      break;
+    }
+    default:
+      out = static_cast<double>(GetI64(rec, f, prof));
+  }
+  if (prof->timing) prof->field_val.cycles += ReadCycleCounter() - t0;
+  return out;
+}
+
+int64_t RowStore::GetI64(const char* rec, int f, TupleProfile* prof) const {
+  const char* p = GetFieldPtr(rec, f, prof);
+  switch (types_[f]) {
+    case TypeId::kI8: {
+      int8_t x;
+      std::memcpy(&x, p, 1);
+      return x;
+    }
+    case TypeId::kU8: {
+      uint8_t x;
+      std::memcpy(&x, p, 1);
+      return x;
+    }
+    case TypeId::kI16: {
+      int16_t x;
+      std::memcpy(&x, p, 2);
+      return x;
+    }
+    case TypeId::kU16: {
+      uint16_t x;
+      std::memcpy(&x, p, 2);
+      return x;
+    }
+    case TypeId::kI32:
+    case TypeId::kDate: {
+      int32_t x;
+      std::memcpy(&x, p, 4);
+      return x;
+    }
+    case TypeId::kI64: {
+      int64_t x;
+      std::memcpy(&x, p, 8);
+      return x;
+    }
+    case TypeId::kF64: {
+      double x;
+      std::memcpy(&x, p, 8);
+      return static_cast<int64_t>(x);
+    }
+    default:
+      X100_CHECK(false);
+      return 0;
+  }
+}
+
+const char* RowStore::GetStr(const char* rec, int f, TupleProfile* prof) const {
+  const char* p = GetFieldPtr(rec, f, prof);
+  X100_CHECK(types_[f] == TypeId::kStr);
+  const char* sp;
+  std::memcpy(&sp, p, 8);
+  return sp;
+}
+
+}  // namespace x100

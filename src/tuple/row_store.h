@@ -1,0 +1,65 @@
+#ifndef X100_TUPLE_ROW_STORE_H_
+#define X100_TUPLE_ROW_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/profiling.h"
+#include "storage/table.h"
+#include "tuple/tuple_profile.h"
+
+namespace x100 {
+
+/// NSM (row-wise) storage for the tuple-at-a-time engine, built once from a
+/// columnar Table (the conversion is load time, not query time — MySQL reads
+/// resident InnoDB pages too).
+///
+/// Record layout deliberately mirrors the indirection Table 2 exposes: every
+/// record starts with a per-field offset array that accessors walk on every
+/// call (rec_get_nth_field), followed by the packed field bytes. Numerics are
+/// stored in their logical width; strings as pointers into the source table's
+/// heaps.
+class RowStore {
+ public:
+  RowStore(const Table& table, std::vector<std::string> cols);
+
+  int64_t num_rows() const { return num_rows_; }
+  size_t record_size() const { return record_size_; }
+  int num_fields() const { return static_cast<int>(types_.size()); }
+  TypeId field_type(int f) const { return types_[f]; }
+  int FieldIndex(const std::string& name) const;
+
+  const char* Record(int64_t r) const {
+    return data_.get() + static_cast<size_t>(r) * record_size_;
+  }
+
+  /// rec_get_nth_field: walks the record's offset array, then unpacks.
+  /// The walk is the point — this is the navigation cost of Table 2.
+  const char* GetFieldPtr(const char* rec, int f, TupleProfile* prof) const {
+    prof->rec_get_nth_field.calls++;
+    uint64_t t0 = prof->timing ? ReadCycleCounter() : 0;
+    const uint16_t* offsets = reinterpret_cast<const uint16_t*>(rec);
+    // Walk (don't index) the offset table, like rec_1_get_field_start_offs.
+    uint16_t off = 0;
+    for (int i = 0; i <= f; i++) off = offsets[i];
+    const char* p = rec + off;
+    if (prof->timing) prof->rec_get_nth_field.cycles += ReadCycleCounter() - t0;
+    return p;
+  }
+
+  double GetF64(const char* rec, int f, TupleProfile* prof) const;
+  int64_t GetI64(const char* rec, int f, TupleProfile* prof) const;
+  const char* GetStr(const char* rec, int f, TupleProfile* prof) const;
+
+ private:
+  std::vector<TypeId> types_;
+  std::vector<std::string> names_;
+  size_t record_size_ = 0;
+  int64_t num_rows_ = 0;
+  std::unique_ptr<char[]> data_;
+};
+
+}  // namespace x100
+
+#endif  // X100_TUPLE_ROW_STORE_H_

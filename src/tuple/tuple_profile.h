@@ -1,0 +1,50 @@
+#ifndef X100_TUPLE_TUPLE_PROFILE_H_
+#define X100_TUPLE_TUPLE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace x100 {
+
+/// Per-routine call/cycle counters for the tuple-at-a-time engine — the
+/// analogue of the MySQL gprof trace in Table 2. Call counts are always
+/// exact; per-call cycle attribution is only collected when `timing` is on
+/// (rdtsc around single-tuple routines perturbs them, so Table 1 timings run
+/// with it off and Table 2 runs it on).
+struct TupleProfile {
+  bool timing = false;
+
+  struct Routine {
+    uint64_t calls = 0;
+    uint64_t cycles = 0;
+  };
+
+  // The routines Table 2 highlights, by role.
+  Routine rec_get_nth_field;      // record navigation
+  Routine field_val;              // Field*::val_real-style unpacking
+  Routine item_func_plus;         // the "real work" items
+  Routine item_func_minus;
+  Routine item_func_mul;
+  Routine item_func_div;
+  Routine item_cmp;
+  Routine item_sum_update;        // Item_sum_sum::update_field
+  Routine hash_lookup;            // aggregation hash table create/lookup
+  Routine row_next;               // Volcano next() chain overhead
+
+  void Reset() { *this = TupleProfile{timing}; }
+
+  /// Rows as (name, calls, cycles), Table 2 style.
+  std::vector<std::tuple<std::string, uint64_t, uint64_t>> Rows() const;
+  std::string ToString() const;
+
+ private:
+  explicit TupleProfile(bool t) : timing(t) {}
+
+ public:
+  TupleProfile() = default;
+};
+
+}  // namespace x100
+
+#endif  // X100_TUPLE_TUPLE_PROFILE_H_

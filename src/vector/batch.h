@@ -1,0 +1,74 @@
+#ifndef X100_VECTOR_BATCH_H_
+#define X100_VECTOR_BATCH_H_
+
+#include <vector>
+
+#include "vector/schema.h"
+#include "vector/vector.h"
+
+namespace x100 {
+
+/// One pipelined unit of a Dataflow: `count` tuples across aligned column
+/// vectors, plus an optional selection vector restricting which positions are
+/// live. Operators pass VectorBatch pointers through Next() (Volcano on the
+/// granularity of a vector, §4.1).
+class VectorBatch {
+ public:
+  VectorBatch() = default;
+
+  /// Owning batch matching `schema` with room for `capacity` tuples.
+  VectorBatch(const Schema& schema, int capacity) : schema_(schema) {
+    columns_.resize(schema.num_fields());
+    for (int i = 0; i < schema.num_fields(); i++) {
+      columns_[i].Allocate(schema.field(i).type, capacity);
+    }
+    sel_.Allocate(capacity);
+    capacity_ = capacity;
+  }
+
+  VectorBatch(VectorBatch&&) = default;
+  VectorBatch& operator=(VectorBatch&&) = default;
+
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+
+  int count() const { return count_; }
+  void set_count(int n) { count_ = n; }
+  int capacity() const { return capacity_; }
+
+  Vector& column(int i) { return columns_[i]; }
+  const Vector& column(int i) const { return columns_[i]; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  /// nullptr when every position in [0, count) is live; otherwise the
+  /// positions of live tuples, ascending.
+  const int* sel() const { return sel_active_ ? sel_.data() : nullptr; }
+  int sel_count() const { return sel_active_ ? sel_.count() : count_; }
+
+  SelectionVector* mutable_sel() { return &sel_; }
+  void ActivateSel(int n) {
+    sel_.set_count(n);
+    sel_active_ = true;
+  }
+  void ClearSel() { sel_active_ = false; }
+  bool sel_active() const { return sel_active_; }
+
+  /// Appends a column (used by Project to add computed expressions).
+  Vector* AddColumn(const std::string& name, TypeId t, int capacity) {
+    schema_.Add(name, t);
+    columns_.emplace_back(t, capacity);
+    return &columns_.back();
+  }
+
+ private:
+  Schema schema_;
+  std::vector<Vector> columns_;
+  SelectionVector sel_;
+  bool sel_active_ = false;
+  int count_ = 0;
+  int capacity_ = 0;
+};
+
+}  // namespace x100
+
+#endif  // X100_VECTOR_BATCH_H_

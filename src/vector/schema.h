@@ -1,0 +1,72 @@
+#ifndef X100_VECTOR_SCHEMA_H_
+#define X100_VECTOR_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace x100 {
+
+/// Decode information carried by a Dataflow column whose vectors hold
+/// enumeration codes (§4.3): `base` is the dictionary array (value_type-typed,
+/// `size` entries). The exec binder auto-inserts a fetch (the paper's
+/// automatic Fetch1Join) when such a column is used by value.
+struct DictRef {
+  bool present = false;
+  const void* base = nullptr;  // refreshed at Open (appends can move it)
+  TypeId value_type = TypeId::kI64;
+  int size = 0;
+
+  bool valid() const { return present; }
+};
+
+struct Field {
+  std::string name;
+  TypeId type;          // physical type of the vectors (code type when dict set)
+  DictRef dict;         // set iff vectors carry enum codes
+
+  /// Type of the column's values after any dictionary decode.
+  TypeId logical_type() const { return dict.valid() ? dict.value_type : type; }
+};
+
+/// Ordered column names and types of a Dataflow or Table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  void Add(std::string name, TypeId t) { fields_.push_back({std::move(name), t, {}}); }
+  void Add(Field f) { fields_.push_back(std::move(f)); }
+
+  /// Index of `name`, or -1.
+  int Find(const std::string& name) const {
+    for (size_t i = 0; i < fields_.size(); i++) {
+      if (fields_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  std::string ToString() const {
+    std::string s = "(";
+    for (size_t i = 0; i < fields_.size(); i++) {
+      if (i) s += ", ";
+      s += fields_[i].name;
+      s += ":";
+      s += TypeName(fields_[i].type);
+    }
+    s += ")";
+    return s;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace x100
+
+#endif  // X100_VECTOR_SCHEMA_H_

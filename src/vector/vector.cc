@@ -1,0 +1,18 @@
+#include "vector/vector.h"
+
+namespace x100 {
+
+void Vector::Allocate(TypeId t, int capacity) {
+  type_ = t;
+  capacity_ = capacity;
+  size_t bytes = TypeWidth(t) * static_cast<size_t>(capacity);
+  // 64-byte alignment: full cache lines, and lets the compiler vectorize.
+  if (bytes == 0) bytes = 64;
+  bytes = (bytes + 63) & ~size_t{63};
+  void* p = std::aligned_alloc(64, bytes);
+  X100_CHECK(p != nullptr);
+  owned_.reset(p);
+  data_ = p;
+}
+
+}  // namespace x100

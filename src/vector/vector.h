@@ -1,0 +1,97 @@
+#ifndef X100_VECTOR_VECTOR_H_
+#define X100_VECTOR_VECTOR_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace x100 {
+
+/// A vector: the unit of operation of X100 execution primitives (§4 "Cache").
+/// A small (~1000 value) vertical chunk of a single column, either *owning*
+/// a cache-aligned buffer (intermediate results) or a zero-copy *view* into
+/// storage (what Scan yields — vertical fragments are already in vector-
+/// compatible layout, so scanning costs no copy).
+class Vector {
+ public:
+  Vector() = default;
+
+  /// An owning vector with room for `capacity` values of type `t`.
+  Vector(TypeId t, int capacity) { Allocate(t, capacity); }
+
+  Vector(Vector&&) = default;
+  Vector& operator=(Vector&&) = default;
+  Vector(const Vector&) = delete;
+  Vector& operator=(const Vector&) = delete;
+
+  void Allocate(TypeId t, int capacity);
+
+  /// Points this vector at external storage (no ownership, no copy).
+  void SetView(TypeId t, const void* data, int capacity) {
+    type_ = t;
+    capacity_ = capacity;
+    owned_.reset();
+    data_ = const_cast<void*>(data);
+  }
+
+  TypeId type() const { return type_; }
+  int capacity() const { return capacity_; }
+  bool is_view() const { return owned_ == nullptr && data_ != nullptr; }
+
+  void* data() { return data_; }
+  const void* data() const { return data_; }
+
+  template <typename T>
+  T* Data() {
+    X100_CHECK(TypeTraits<T>::kId == type_ || sizeof(T) == TypeWidth(type_));
+    return static_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* Data() const {
+    X100_CHECK(TypeTraits<T>::kId == type_ || sizeof(T) == TypeWidth(type_));
+    return static_cast<const T*>(data_);
+  }
+
+ private:
+  TypeId type_ = TypeId::kI64;
+  int capacity_ = 0;
+  void* data_ = nullptr;
+
+  struct AlignedFree {
+    void operator()(void* p) const { std::free(p); }
+  };
+  std::unique_ptr<void, AlignedFree> owned_;
+};
+
+/// Positions of qualifying tuples inside a vector — the "selection-vector" of
+/// §4.1.1. Select operators fill it; map/aggr primitives take it so data
+/// vectors are left intact after a selection instead of being compacted.
+class SelectionVector {
+ public:
+  SelectionVector() = default;
+  explicit SelectionVector(int capacity) { Allocate(capacity); }
+
+  void Allocate(int capacity) {
+    buf_ = std::make_unique<int[]>(capacity);
+    capacity_ = capacity;
+    count_ = 0;
+  }
+
+  int* data() { return buf_.get(); }
+  const int* data() const { return buf_.get(); }
+  int count() const { return count_; }
+  void set_count(int n) { count_ = n; }
+  int capacity() const { return capacity_; }
+
+ private:
+  std::unique_ptr<int[]> buf_;
+  int capacity_ = 0;
+  int count_ = 0;
+};
+
+}  // namespace x100
+
+#endif  // X100_VECTOR_VECTOR_H_

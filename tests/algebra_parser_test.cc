@@ -1,0 +1,138 @@
+// Tests for the textual X100 algebra parser (Figure 5's "X100 Parser"):
+// the paper's own plan texts must parse and produce the same results as the
+// equivalent hand-built plans.
+
+#include <gtest/gtest.h>
+
+#include "exec/algebra_parser.h"
+#include "exec/plan.h"
+#include "tests/test_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace x100 {
+namespace {
+
+using namespace x100::exprs;
+using testing::ExpectTablesEqual;
+
+class AlgebraParserTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DbgenOptions opts;
+    opts.scale_factor = 0.005;
+    db_ = GenerateTpch(opts).release();
+  }
+
+  std::unique_ptr<Table> Run(const std::string& text) {
+    ExecContext ctx;
+    AlgebraParser parser(&ctx, *db_);
+    std::string error;
+    std::unique_ptr<Operator> op = parser.Parse(text, &error);
+    EXPECT_NE(op, nullptr) << error;
+    if (op == nullptr) return nullptr;
+    return RunPlan(std::move(op), "parsed");
+  }
+
+  static Catalog* db_;
+};
+Catalog* AlgebraParserTest::db_ = nullptr;
+
+TEST_F(AlgebraParserTest, PaperFigure61SimplifiedQ1) {
+  // The §4.1.1 example, verbatim except for full column names.
+  std::unique_ptr<Table> r = Run(R"(
+      Aggr(
+        Project(
+          Select(
+            Table(lineitem),
+            < (l_shipdate, date('1998-09-03'))),
+          [ l_returnflag,
+            discountprice = *( -( flt('1.0'), l_discount), l_extendedprice) ]),
+        [ l_returnflag ],
+        [ sum_disc_price = sum(discountprice) ]))");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->num_rows(), 3);  // R, A, N
+  EXPECT_EQ(r->schema().field(0).name, "l_returnflag");
+  EXPECT_EQ(r->schema().field(1).name, "sum_disc_price");
+  double total = 0;
+  for (int64_t i = 0; i < r->num_rows(); i++) total += r->GetValue(i, 1).AsF64();
+  EXPECT_GT(total, 0);
+}
+
+TEST_F(AlgebraParserTest, FullQ1MatchesHandBuiltPlan) {
+  // Figure 9's Q1, restated in the parser grammar; must equal RunX100Query(1).
+  std::unique_ptr<Table> parsed = Run(R"(
+      Order(
+        Project(
+          DirectAggr(
+            Select(
+              Table(lineitem, l_returnflag, l_linestatus, l_quantity,
+                    l_extendedprice, l_discount, l_tax, l_shipdate),
+              <= (l_shipdate, date('1998-09-02'))),
+            [ l_returnflag, l_linestatus ],
+            [ sum_qty = sum(l_quantity),
+              sum_base_price = sum(l_extendedprice),
+              sum_disc_price = sum(*( -( flt('1.0'), l_discount),
+                                      l_extendedprice)),
+              sum_charge = sum(*( +( flt('1.0'), l_tax),
+                                  *( -( flt('1.0'), l_discount),
+                                     l_extendedprice))),
+              sum_disc = sum(l_discount),
+              count_order = count() ]),
+          [ l_returnflag, l_linestatus, sum_qty, sum_base_price,
+            sum_disc_price, sum_charge,
+            avg_qty = /( sum_qty, dbl(count_order)),
+            avg_price = /( sum_base_price, dbl(count_order)),
+            avg_disc = /( sum_disc, dbl(count_order)),
+            count_order ]),
+        [ l_returnflag ASC, l_linestatus ASC ]))");
+  ASSERT_NE(parsed, nullptr);
+  ExecContext ctx;
+  std::unique_ptr<Table> built = RunX100Query(1, &ctx, *db_);
+  ExpectTablesEqual(*built, *parsed, 0.0);
+}
+
+TEST_F(AlgebraParserTest, TopNWorks) {
+  std::unique_ptr<Table> r = Run(R"(
+      TopN(
+        Fetch1Join(
+          Select(Table(orders, o_orderkey, o_orderpriority, o_totalprice,
+                       #ji_customer),
+                 and(> (o_totalprice, 100000.0),
+                     like(o_orderpriority, '1%'))),
+          customer, #ji_customer, [ c_name AS customer_name ]),
+        [ o_totalprice DESC, o_orderkey ASC ], 5))");
+  ASSERT_NE(r, nullptr);
+  EXPECT_LE(r->num_rows(), 5);
+  for (int64_t i = 1; i < r->num_rows(); i++) {
+    EXPECT_GE(r->GetValue(i - 1, 2).AsF64(), r->GetValue(i, 2).AsF64());
+  }
+}
+
+TEST_F(AlgebraParserTest, ScalarAggrAndYear) {
+  std::unique_ptr<Table> r = Run(R"(
+      Aggr(
+        Select(Table(orders, o_orderdate, o_totalprice),
+               == (year(o_orderdate), 1995)),
+        [], [ n = count(), total = sum(o_totalprice) ]))");
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(r->num_rows(), 1);
+  EXPECT_GT(r->GetValue(0, 0).AsI64(), 0);
+}
+
+TEST_F(AlgebraParserTest, ErrorsAreReported) {
+  ExecContext ctx;
+  AlgebraParser parser(&ctx, *db_);
+  std::string error;
+  EXPECT_EQ(parser.Parse("Frobnicate(Table(lineitem))", &error), nullptr);
+  EXPECT_NE(error.find("unknown operator"), std::string::npos);
+  EXPECT_EQ(parser.Parse("Table(nonexistent)", &error), nullptr);
+  EXPECT_NE(error.find("unknown table"), std::string::npos);
+  EXPECT_EQ(parser.Parse("Select(Table(orders), )", &error), nullptr);
+  EXPECT_EQ(parser.Parse("Table(orders) trailing", &error), nullptr);
+  EXPECT_EQ(parser.Parse("Select(Table(orders), < (o_orderdate, date('x", &error),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace x100

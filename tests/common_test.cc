@@ -1,0 +1,103 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/arena.h"
+#include "common/date.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/string_heap.h"
+#include "common/value.h"
+
+namespace x100 {
+namespace {
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  EXPECT_EQ(ParseDate("1998-09-02"), DaysFromCivil(1998, 9, 2));
+  EXPECT_EQ(FormatDate(ParseDate("1992-01-01")), "1992-01-01");
+  EXPECT_EQ(FormatDate(ParseDate("1995-06-17")), "1995-06-17");
+}
+
+TEST(DateTest, RoundTripSweep) {
+  // Every day across the TPC-H range plus leap-year edges.
+  for (int32_t d = DaysFromCivil(1992, 1, 1); d <= DaysFromCivil(1999, 1, 1);
+       d++) {
+    int y;
+    unsigned m, dd;
+    CivilFromDays(d, &y, &m, &dd);
+    EXPECT_EQ(DaysFromCivil(y, m, dd), d);
+  }
+  EXPECT_EQ(FormatDate(ParseDate("1996-02-29")), "1996-02-29");
+  EXPECT_EQ(ParseDate("1996-03-01") - ParseDate("1996-02-28"), 2);
+  EXPECT_EQ(ParseDate("1995-03-01") - ParseDate("1995-02-28"), 1);
+}
+
+TEST(RngTest, DeterministicStreams) {
+  Rng a = Rng::Keyed(7, 1);
+  Rng b = Rng::Keyed(7, 1);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.Next(), b.Next());
+  Rng c = Rng::Keyed(7, 2);
+  EXPECT_NE(Rng::Keyed(7, 1).Next(), c.Next());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng r(42);
+  for (int i = 0; i < 10000; i++) {
+    int64_t v = r.Uniform(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+  // All values of a small range appear.
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; i++) seen.insert(r.Uniform(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, IndexedAccessMatchesOrder) {
+  Rng r = Rng::Keyed(3);
+  EXPECT_EQ(r.At(5), r.At(5));
+  EXPECT_NE(r.At(5), r.At(6));
+}
+
+TEST(ArenaTest, AlignmentAndStability) {
+  Arena arena(128);
+  std::vector<char*> ptrs;
+  for (int i = 0; i < 100; i++) {
+    char* p = arena.Allocate(33, 8);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+    std::memset(p, i, 33);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(ptrs[i][0], static_cast<char>(i));  // earlier blocks intact
+  }
+}
+
+TEST(StringHeapTest, StablePointers) {
+  StringHeap heap;
+  const char* a = heap.Add("hello");
+  std::vector<const char*> more;
+  for (int i = 0; i < 10000; i++) more.push_back(heap.Add("x" + std::to_string(i)));
+  EXPECT_STREQ(a, "hello");
+  EXPECT_STREQ(more[9999], "x9999");
+  EXPECT_STREQ(more[0], "x0");
+}
+
+TEST(HashTest, F64NormalizesNegativeZero) {
+  EXPECT_EQ(HashF64(0.0), HashF64(-0.0));
+  EXPECT_NE(HashF64(1.0), HashF64(2.0));
+}
+
+TEST(ValueTest, Conversions) {
+  EXPECT_EQ(Value::I32(42).AsI64(), 42);
+  EXPECT_DOUBLE_EQ(Value::I64(7).AsF64(), 7.0);
+  EXPECT_EQ(Value::Str("abc").AsStr(), "abc");
+  EXPECT_EQ(Value::Date(ParseDate("1994-01-01")).ToString(), "1994-01-01");
+  EXPECT_EQ(Value::F64(2.5).ToString(), "2.5");
+}
+
+}  // namespace
+}  // namespace x100

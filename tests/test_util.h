@@ -1,0 +1,63 @@
+#ifndef X100_TESTS_TEST_UTIL_H_
+#define X100_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "storage/table.h"
+
+namespace x100::testing {
+
+/// Pretty-prints a result table (first `max_rows` rows) for failure messages.
+inline std::string TableToString(const Table& t, int64_t max_rows = 20) {
+  std::string out = t.name() + " " + t.schema().ToString() + " rows=" +
+                    std::to_string(t.num_rows()) + "\n";
+  for (int64_t r = 0; r < std::min<int64_t>(t.num_rows(), max_rows); r++) {
+    for (int c = 0; c < t.num_columns(); c++) {
+      out += t.GetValue(r, c).ToString();
+      out += (c + 1 < t.num_columns()) ? " | " : "\n";
+    }
+  }
+  return out;
+}
+
+/// Asserts two result tables are equal: same shape, same row order, numerics
+/// within relative epsilon (independent engines sum doubles in potentially
+/// different orders), strings exactly.
+inline void ExpectTablesEqual(const Table& a, const Table& b,
+                              double eps = 1e-9) {
+  ASSERT_EQ(a.num_columns(), b.num_columns())
+      << TableToString(a) << "\nvs\n" << TableToString(b);
+  ASSERT_EQ(a.num_rows(), b.num_rows())
+      << TableToString(a) << "\nvs\n" << TableToString(b);
+  for (int64_t r = 0; r < a.num_rows(); r++) {
+    for (int c = 0; c < a.num_columns(); c++) {
+      Value va = a.GetValue(r, c);
+      Value vb = b.GetValue(r, c);
+      if (va.type() == TypeId::kStr || vb.type() == TypeId::kStr) {
+        ASSERT_EQ(va.AsStr(), vb.AsStr()) << "row " << r << " col " << c << "\n"
+                                          << TableToString(a) << "\nvs\n"
+                                          << TableToString(b);
+      } else if (va.type() == TypeId::kF64 || vb.type() == TypeId::kF64) {
+        double x = va.AsF64(), y = vb.AsF64();
+        double tol = eps * std::max({1.0, std::fabs(x), std::fabs(y)});
+        ASSERT_NEAR(x, y, tol) << "row " << r << " col " << c << " ("
+                               << a.schema().field(c).name << ")\n"
+                               << TableToString(a) << "\nvs\n"
+                               << TableToString(b);
+      } else {
+        ASSERT_EQ(va.AsI64(), vb.AsI64())
+            << "row " << r << " col " << c << " (" << a.schema().field(c).name
+            << ")\n"
+            << TableToString(a) << "\nvs\n" << TableToString(b);
+      }
+    }
+  }
+}
+
+}  // namespace x100::testing
+
+#endif  // X100_TESTS_TEST_UTIL_H_

@@ -1,0 +1,105 @@
+// Unit tests for the vector substrate: owned vs view vectors, alignment,
+// selection-vector semantics and batch column management.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "vector/batch.h"
+
+namespace x100 {
+namespace {
+
+TEST(VectorTest, OwnedAllocationIsCacheAligned) {
+  for (TypeId t : {TypeId::kI8, TypeId::kI32, TypeId::kF64, TypeId::kStr}) {
+    Vector v(t, 1024);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % 64, 0u)
+        << TypeName(t);
+    EXPECT_FALSE(v.is_view());
+    EXPECT_EQ(v.capacity(), 1024);
+  }
+}
+
+TEST(VectorTest, ViewSharesStorage) {
+  double storage[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  Vector v;
+  v.SetView(TypeId::kF64, storage, 8);
+  EXPECT_TRUE(v.is_view());
+  EXPECT_EQ(v.Data<double>()[3], 4);
+  storage[3] = 42;
+  EXPECT_EQ(v.Data<double>()[3], 42);  // zero-copy: same memory
+}
+
+TEST(VectorTest, TypedAccessorsAcceptSameWidth) {
+  Vector v(TypeId::kI64, 4);
+  v.Data<int64_t>()[0] = -1;
+  // uint64_t has the same width; reinterpreting is allowed (hash vectors).
+  EXPECT_EQ(v.Data<uint64_t>()[0], ~uint64_t{0});
+}
+
+TEST(SelectionVectorTest, CountWithinCapacity) {
+  SelectionVector sel(16);
+  EXPECT_EQ(sel.count(), 0);
+  for (int i = 0; i < 5; i++) sel.data()[i] = i * 2;
+  sel.set_count(5);
+  EXPECT_EQ(sel.count(), 5);
+  EXPECT_EQ(sel.data()[4], 8);
+  EXPECT_EQ(sel.capacity(), 16);
+}
+
+TEST(BatchTest, SchemaAndSelectionLifecycle) {
+  Schema s;
+  s.Add("a", TypeId::kI32);
+  s.Add("b", TypeId::kF64);
+  VectorBatch batch(s, 64);
+  EXPECT_EQ(batch.num_columns(), 2);
+  EXPECT_EQ(batch.capacity(), 64);
+
+  batch.set_count(10);
+  EXPECT_EQ(batch.sel(), nullptr);      // no selection: all live
+  EXPECT_EQ(batch.sel_count(), 10);
+
+  batch.mutable_sel()->data()[0] = 3;
+  batch.mutable_sel()->data()[1] = 7;
+  batch.ActivateSel(2);
+  EXPECT_NE(batch.sel(), nullptr);
+  EXPECT_EQ(batch.sel_count(), 2);
+  EXPECT_EQ(batch.sel()[1], 7);
+
+  batch.ClearSel();
+  EXPECT_EQ(batch.sel(), nullptr);
+  EXPECT_EQ(batch.sel_count(), 10);
+}
+
+TEST(BatchTest, AddColumnExtendsSchema) {
+  Schema s;
+  s.Add("a", TypeId::kI32);
+  VectorBatch batch(s, 8);
+  Vector* v = batch.AddColumn("computed", TypeId::kF64, 8);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(batch.num_columns(), 2);
+  EXPECT_EQ(batch.schema().Find("computed"), 1);
+  EXPECT_EQ(batch.schema().field(1).type, TypeId::kF64);
+}
+
+TEST(SchemaTest, FieldLookupAndLogicalTypes) {
+  Schema s;
+  s.Add("plain", TypeId::kF64);
+  Field enum_field;
+  enum_field.name = "coded";
+  enum_field.type = TypeId::kU8;
+  double dict[2] = {0.5, 1.5};
+  enum_field.dict = {true, dict, TypeId::kF64, 2};
+  s.Add(enum_field);
+
+  EXPECT_EQ(s.Find("plain"), 0);
+  EXPECT_EQ(s.Find("coded"), 1);
+  EXPECT_EQ(s.Find("missing"), -1);
+  EXPECT_EQ(s.field(0).logical_type(), TypeId::kF64);
+  EXPECT_EQ(s.field(1).type, TypeId::kU8);           // physical: codes
+  EXPECT_EQ(s.field(1).logical_type(), TypeId::kF64);  // logical: values
+  EXPECT_NE(s.ToString().find("coded:u8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace x100
