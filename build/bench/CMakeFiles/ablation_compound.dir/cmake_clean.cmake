@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compound.dir/ablation_compound.cc.o"
+  "CMakeFiles/ablation_compound.dir/ablation_compound.cc.o.d"
+  "ablation_compound"
+  "ablation_compound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_radix.dir/ablation_radix.cc.o"
+  "CMakeFiles/ablation_radix.dir/ablation_radix.cc.o.d"
+  "ablation_radix"
+  "ablation_radix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_radix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

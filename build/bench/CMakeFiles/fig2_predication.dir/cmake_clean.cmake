@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_predication.dir/fig2_predication.cc.o"
+  "CMakeFiles/fig2_predication.dir/fig2_predication.cc.o.d"
+  "fig2_predication"
+  "fig2_predication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_predication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_mil_trace.dir/table3_mil_trace.cc.o"
+  "CMakeFiles/table3_mil_trace.dir/table3_mil_trace.cc.o.d"
+  "table3_mil_trace"
+  "table3_mil_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_mil_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_tpch.dir/table4_tpch.cc.o"
+  "CMakeFiles/table4_tpch.dir/table4_tpch.cc.o.d"
+  "table4_tpch"
+  "table4_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

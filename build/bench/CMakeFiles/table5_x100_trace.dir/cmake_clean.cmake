@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_x100_trace.dir/table5_x100_trace.cc.o"
+  "CMakeFiles/table5_x100_trace.dir/table5_x100_trace.cc.o.d"
+  "table5_x100_trace"
+  "table5_x100_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_x100_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

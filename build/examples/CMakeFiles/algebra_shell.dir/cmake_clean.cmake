@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algebra_shell.dir/algebra_shell.cpp.o"
+  "CMakeFiles/algebra_shell.dir/algebra_shell.cpp.o.d"
+  "algebra_shell"
+  "algebra_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algebra_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

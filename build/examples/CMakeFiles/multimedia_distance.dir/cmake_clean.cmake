@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimedia_distance.dir/multimedia_distance.cpp.o"
+  "CMakeFiles/multimedia_distance.dir/multimedia_distance.cpp.o.d"
+  "multimedia_distance"
+  "multimedia_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimedia_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_q1_trace.dir/tpch_q1_trace.cpp.o"
+  "CMakeFiles/tpch_q1_trace.dir/tpch_q1_trace.cpp.o.d"
+  "tpch_q1_trace"
+  "tpch_q1_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_q1_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_runner.dir/tpch_runner.cpp.o"
+  "CMakeFiles/tpch_runner.dir/tpch_runner.cpp.o.d"
+  "tpch_runner"
+  "tpch_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updates_and_indices.dir/updates_and_indices.cpp.o"
+  "CMakeFiles/updates_and_indices.dir/updates_and_indices.cpp.o.d"
+  "updates_and_indices"
+  "updates_and_indices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updates_and_indices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for updates_and_indices.
+# This may be replaced when dependencies are built.

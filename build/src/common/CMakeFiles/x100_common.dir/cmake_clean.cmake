@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x100_common.dir/arena.cc.o"
+  "CMakeFiles/x100_common.dir/arena.cc.o.d"
+  "CMakeFiles/x100_common.dir/date.cc.o"
+  "CMakeFiles/x100_common.dir/date.cc.o.d"
+  "CMakeFiles/x100_common.dir/profiling.cc.o"
+  "CMakeFiles/x100_common.dir/profiling.cc.o.d"
+  "CMakeFiles/x100_common.dir/types.cc.o"
+  "CMakeFiles/x100_common.dir/types.cc.o.d"
+  "CMakeFiles/x100_common.dir/value.cc.o"
+  "CMakeFiles/x100_common.dir/value.cc.o.d"
+  "libx100_common.a"
+  "libx100_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x100_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

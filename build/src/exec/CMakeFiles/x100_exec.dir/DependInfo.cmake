@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/aggr_common.cc" "src/exec/CMakeFiles/x100_exec.dir/aggr_common.cc.o" "gcc" "src/exec/CMakeFiles/x100_exec.dir/aggr_common.cc.o.d"
+  "/root/repo/src/exec/aggr_direct.cc" "src/exec/CMakeFiles/x100_exec.dir/aggr_direct.cc.o" "gcc" "src/exec/CMakeFiles/x100_exec.dir/aggr_direct.cc.o.d"
+  "/root/repo/src/exec/aggr_hash.cc" "src/exec/CMakeFiles/x100_exec.dir/aggr_hash.cc.o" "gcc" "src/exec/CMakeFiles/x100_exec.dir/aggr_hash.cc.o.d"
+  "/root/repo/src/exec/aggr_ord.cc" "src/exec/CMakeFiles/x100_exec.dir/aggr_ord.cc.o" "gcc" "src/exec/CMakeFiles/x100_exec.dir/aggr_ord.cc.o.d"
+  "/root/repo/src/exec/algebra_parser.cc" "src/exec/CMakeFiles/x100_exec.dir/algebra_parser.cc.o" "gcc" "src/exec/CMakeFiles/x100_exec.dir/algebra_parser.cc.o.d"
+  "/root/repo/src/exec/basic_ops.cc" "src/exec/CMakeFiles/x100_exec.dir/basic_ops.cc.o" "gcc" "src/exec/CMakeFiles/x100_exec.dir/basic_ops.cc.o.d"
+  "/root/repo/src/exec/bm_scan.cc" "src/exec/CMakeFiles/x100_exec.dir/bm_scan.cc.o" "gcc" "src/exec/CMakeFiles/x100_exec.dir/bm_scan.cc.o.d"
+  "/root/repo/src/exec/bound_expr.cc" "src/exec/CMakeFiles/x100_exec.dir/bound_expr.cc.o" "gcc" "src/exec/CMakeFiles/x100_exec.dir/bound_expr.cc.o.d"
+  "/root/repo/src/exec/expr.cc" "src/exec/CMakeFiles/x100_exec.dir/expr.cc.o" "gcc" "src/exec/CMakeFiles/x100_exec.dir/expr.cc.o.d"
+  "/root/repo/src/exec/join_fetch.cc" "src/exec/CMakeFiles/x100_exec.dir/join_fetch.cc.o" "gcc" "src/exec/CMakeFiles/x100_exec.dir/join_fetch.cc.o.d"
+  "/root/repo/src/exec/join_hash.cc" "src/exec/CMakeFiles/x100_exec.dir/join_hash.cc.o" "gcc" "src/exec/CMakeFiles/x100_exec.dir/join_hash.cc.o.d"
+  "/root/repo/src/exec/join_radix.cc" "src/exec/CMakeFiles/x100_exec.dir/join_radix.cc.o" "gcc" "src/exec/CMakeFiles/x100_exec.dir/join_radix.cc.o.d"
+  "/root/repo/src/exec/materialize.cc" "src/exec/CMakeFiles/x100_exec.dir/materialize.cc.o" "gcc" "src/exec/CMakeFiles/x100_exec.dir/materialize.cc.o.d"
+  "/root/repo/src/exec/predicate.cc" "src/exec/CMakeFiles/x100_exec.dir/predicate.cc.o" "gcc" "src/exec/CMakeFiles/x100_exec.dir/predicate.cc.o.d"
+  "/root/repo/src/exec/scan.cc" "src/exec/CMakeFiles/x100_exec.dir/scan.cc.o" "gcc" "src/exec/CMakeFiles/x100_exec.dir/scan.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/exec/CMakeFiles/x100_exec.dir/sort.cc.o" "gcc" "src/exec/CMakeFiles/x100_exec.dir/sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/x100_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/x100_vector.dir/DependInfo.cmake"
+  "/root/repo/build/src/primitives/CMakeFiles/x100_primitives.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/x100_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

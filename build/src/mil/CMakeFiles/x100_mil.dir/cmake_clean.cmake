@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x100_mil.dir/mil_ops.cc.o"
+  "CMakeFiles/x100_mil.dir/mil_ops.cc.o.d"
+  "libx100_mil.a"
+  "libx100_mil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x100_mil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/primitives/aggr.cc" "src/primitives/CMakeFiles/x100_primitives.dir/aggr.cc.o" "gcc" "src/primitives/CMakeFiles/x100_primitives.dir/aggr.cc.o.d"
+  "/root/repo/src/primitives/compound.cc" "src/primitives/CMakeFiles/x100_primitives.dir/compound.cc.o" "gcc" "src/primitives/CMakeFiles/x100_primitives.dir/compound.cc.o.d"
+  "/root/repo/src/primitives/fetch_hash.cc" "src/primitives/CMakeFiles/x100_primitives.dir/fetch_hash.cc.o" "gcc" "src/primitives/CMakeFiles/x100_primitives.dir/fetch_hash.cc.o.d"
+  "/root/repo/src/primitives/map_arith.cc" "src/primitives/CMakeFiles/x100_primitives.dir/map_arith.cc.o" "gcc" "src/primitives/CMakeFiles/x100_primitives.dir/map_arith.cc.o.d"
+  "/root/repo/src/primitives/map_cast.cc" "src/primitives/CMakeFiles/x100_primitives.dir/map_cast.cc.o" "gcc" "src/primitives/CMakeFiles/x100_primitives.dir/map_cast.cc.o.d"
+  "/root/repo/src/primitives/registry.cc" "src/primitives/CMakeFiles/x100_primitives.dir/registry.cc.o" "gcc" "src/primitives/CMakeFiles/x100_primitives.dir/registry.cc.o.d"
+  "/root/repo/src/primitives/select_cmp.cc" "src/primitives/CMakeFiles/x100_primitives.dir/select_cmp.cc.o" "gcc" "src/primitives/CMakeFiles/x100_primitives.dir/select_cmp.cc.o.d"
+  "/root/repo/src/primitives/string_prims.cc" "src/primitives/CMakeFiles/x100_primitives.dir/string_prims.cc.o" "gcc" "src/primitives/CMakeFiles/x100_primitives.dir/string_prims.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/x100_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/x100_vector.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x100_primitives.dir/aggr.cc.o"
+  "CMakeFiles/x100_primitives.dir/aggr.cc.o.d"
+  "CMakeFiles/x100_primitives.dir/compound.cc.o"
+  "CMakeFiles/x100_primitives.dir/compound.cc.o.d"
+  "CMakeFiles/x100_primitives.dir/fetch_hash.cc.o"
+  "CMakeFiles/x100_primitives.dir/fetch_hash.cc.o.d"
+  "CMakeFiles/x100_primitives.dir/map_arith.cc.o"
+  "CMakeFiles/x100_primitives.dir/map_arith.cc.o.d"
+  "CMakeFiles/x100_primitives.dir/map_cast.cc.o"
+  "CMakeFiles/x100_primitives.dir/map_cast.cc.o.d"
+  "CMakeFiles/x100_primitives.dir/registry.cc.o"
+  "CMakeFiles/x100_primitives.dir/registry.cc.o.d"
+  "CMakeFiles/x100_primitives.dir/select_cmp.cc.o"
+  "CMakeFiles/x100_primitives.dir/select_cmp.cc.o.d"
+  "CMakeFiles/x100_primitives.dir/string_prims.cc.o"
+  "CMakeFiles/x100_primitives.dir/string_prims.cc.o.d"
+  "libx100_primitives.a"
+  "libx100_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x100_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/column.cc" "src/storage/CMakeFiles/x100_storage.dir/column.cc.o" "gcc" "src/storage/CMakeFiles/x100_storage.dir/column.cc.o.d"
+  "/root/repo/src/storage/columnbm.cc" "src/storage/CMakeFiles/x100_storage.dir/columnbm.cc.o" "gcc" "src/storage/CMakeFiles/x100_storage.dir/columnbm.cc.o.d"
+  "/root/repo/src/storage/compression.cc" "src/storage/CMakeFiles/x100_storage.dir/compression.cc.o" "gcc" "src/storage/CMakeFiles/x100_storage.dir/compression.cc.o.d"
+  "/root/repo/src/storage/serialize.cc" "src/storage/CMakeFiles/x100_storage.dir/serialize.cc.o" "gcc" "src/storage/CMakeFiles/x100_storage.dir/serialize.cc.o.d"
+  "/root/repo/src/storage/summary_index.cc" "src/storage/CMakeFiles/x100_storage.dir/summary_index.cc.o" "gcc" "src/storage/CMakeFiles/x100_storage.dir/summary_index.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/storage/CMakeFiles/x100_storage.dir/table.cc.o" "gcc" "src/storage/CMakeFiles/x100_storage.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/x100_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/x100_vector.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

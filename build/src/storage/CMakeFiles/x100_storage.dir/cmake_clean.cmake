@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x100_storage.dir/column.cc.o"
+  "CMakeFiles/x100_storage.dir/column.cc.o.d"
+  "CMakeFiles/x100_storage.dir/columnbm.cc.o"
+  "CMakeFiles/x100_storage.dir/columnbm.cc.o.d"
+  "CMakeFiles/x100_storage.dir/compression.cc.o"
+  "CMakeFiles/x100_storage.dir/compression.cc.o.d"
+  "CMakeFiles/x100_storage.dir/serialize.cc.o"
+  "CMakeFiles/x100_storage.dir/serialize.cc.o.d"
+  "CMakeFiles/x100_storage.dir/summary_index.cc.o"
+  "CMakeFiles/x100_storage.dir/summary_index.cc.o.d"
+  "CMakeFiles/x100_storage.dir/table.cc.o"
+  "CMakeFiles/x100_storage.dir/table.cc.o.d"
+  "libx100_storage.a"
+  "libx100_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x100_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x100_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/x100_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/x100_tpch.dir/hardcoded.cc.o"
+  "CMakeFiles/x100_tpch.dir/hardcoded.cc.o.d"
+  "CMakeFiles/x100_tpch.dir/queries_mil.cc.o"
+  "CMakeFiles/x100_tpch.dir/queries_mil.cc.o.d"
+  "CMakeFiles/x100_tpch.dir/queries_misc.cc.o"
+  "CMakeFiles/x100_tpch.dir/queries_misc.cc.o.d"
+  "CMakeFiles/x100_tpch.dir/queries_x100_a.cc.o"
+  "CMakeFiles/x100_tpch.dir/queries_x100_a.cc.o.d"
+  "CMakeFiles/x100_tpch.dir/queries_x100_b.cc.o"
+  "CMakeFiles/x100_tpch.dir/queries_x100_b.cc.o.d"
+  "libx100_tpch.a"
+  "libx100_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x100_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

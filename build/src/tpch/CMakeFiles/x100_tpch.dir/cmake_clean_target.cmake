@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libx100_tpch.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x100_tuple.dir/item.cc.o"
+  "CMakeFiles/x100_tuple.dir/item.cc.o.d"
+  "CMakeFiles/x100_tuple.dir/row_ops.cc.o"
+  "CMakeFiles/x100_tuple.dir/row_ops.cc.o.d"
+  "CMakeFiles/x100_tuple.dir/row_store.cc.o"
+  "CMakeFiles/x100_tuple.dir/row_store.cc.o.d"
+  "libx100_tuple.a"
+  "libx100_tuple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x100_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

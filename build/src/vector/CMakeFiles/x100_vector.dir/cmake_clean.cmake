@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x100_vector.dir/vector.cc.o"
+  "CMakeFiles/x100_vector.dir/vector.cc.o.d"
+  "libx100_vector.a"
+  "libx100_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x100_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

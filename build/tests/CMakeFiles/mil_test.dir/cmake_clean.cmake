@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mil_test.dir/mil_test.cc.o"
+  "CMakeFiles/mil_test.dir/mil_test.cc.o.d"
+  "mil_test"
+  "mil_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tpch_queries_test.cc" "tests/CMakeFiles/tpch_queries_test.dir/tpch_queries_test.cc.o" "gcc" "tests/CMakeFiles/tpch_queries_test.dir/tpch_queries_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpch/CMakeFiles/x100_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/x100_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mil/CMakeFiles/x100_mil.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/x100_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/x100_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/primitives/CMakeFiles/x100_primitives.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/x100_vector.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/x100_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

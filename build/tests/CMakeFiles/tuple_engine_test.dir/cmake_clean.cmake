@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_engine_test.dir/tuple_engine_test.cc.o"
+  "CMakeFiles/tuple_engine_test.dir/tuple_engine_test.cc.o.d"
+  "tuple_engine_test"
+  "tuple_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

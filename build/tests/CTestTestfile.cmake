@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(algebra_parser_test "/root/repo/build/tests/algebra_parser_test")
+set_tests_properties(algebra_parser_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;x100_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;x100_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dbgen_test "/root/repo/build/tests/dbgen_test")
+set_tests_properties(dbgen_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;x100_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(exec_test "/root/repo/build/tests/exec_test")
+set_tests_properties(exec_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;x100_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(golden_test "/root/repo/build/tests/golden_test")
+set_tests_properties(golden_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;15;x100_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mil_test "/root/repo/build/tests/mil_test")
+set_tests_properties(mil_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;x100_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(predicate_test "/root/repo/build/tests/predicate_test")
+set_tests_properties(predicate_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;x100_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(primitives_test "/root/repo/build/tests/primitives_test")
+set_tests_properties(primitives_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;x100_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(serialize_test "/root/repo/build/tests/serialize_test")
+set_tests_properties(serialize_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;x100_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(storage_test "/root/repo/build/tests/storage_test")
+set_tests_properties(storage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;x100_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tpch_queries_test "/root/repo/build/tests/tpch_queries_test")
+set_tests_properties(tpch_queries_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;x100_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tuple_engine_test "/root/repo/build/tests/tuple_engine_test")
+set_tests_properties(tuple_engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;22;x100_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vector_test "/root/repo/build/tests/vector_test")
+set_tests_properties(vector_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;23;x100_test;/root/repo/tests/CMakeLists.txt;0;")
