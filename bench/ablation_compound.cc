@@ -80,12 +80,19 @@ int main() {
 
   std::printf("Compound-primitive ablation (4M tuples, vectors of %d)\n\n", kVec);
   std::printf("%-34s %10s %12s\n", "expression", "ms", "vs chained");
-  double c1 = BestSeconds(reps, run_chained_mahal) * 1e3;
-  double f1 = BestSeconds(reps, run_fused_mahal) * 1e3;
+  BenchExport ex("ablation_compound");
+  RepSet rc1 = MeasureReps(reps, run_chained_mahal);
+  RepSet rf1 = MeasureReps(reps, run_fused_mahal);
+  ex.AddReps("mahalanobis_chained", rc1);
+  ex.AddReps("mahalanobis_compound", rf1);
+  double c1 = rc1.Best() * 1e3, f1 = rf1.Best() * 1e3;
   std::printf("%-34s %10.2f %12s\n", "mahalanobis: sub,square,div chain", c1, "1.00x");
   std::printf("%-34s %10.2f %11.2fx\n", "mahalanobis: compound", f1, c1 / f1);
-  double c2 = BestSeconds(reps, run_chained_submul) * 1e3;
-  double f2 = BestSeconds(reps, run_fused_submul) * 1e3;
+  RepSet rc2 = MeasureReps(reps, run_chained_submul);
+  RepSet rf2 = MeasureReps(reps, run_fused_submul);
+  ex.AddReps("submul_chained", rc2);
+  ex.AddReps("submul_compound", rf2);
+  double c2 = rc2.Best() * 1e3, f2 = rf2.Best() * 1e3;
   std::printf("%-34s %10.2f %12s\n", "(1-d)*p: sub,mul chain", c2, "1.00x");
   std::printf("%-34s %10.2f %11.2fx\n", "(1-d)*p: compound", f2, c2 / f2);
   std::printf("\n(paper §4.2: compound primitives often perform twice as fast)\n");
@@ -96,12 +103,14 @@ int main() {
   ExecContext fused;
   fused.fuse_compound_primitives = true;
   RunX100Query(1, &plain, *db);  // warm-up
-  double t_plain =
-      BestSeconds(reps, [&] { RunX100Query(1, &plain, *db); }) * 1e3;
-  double t_fused =
-      BestSeconds(reps, [&] { RunX100Query(1, &fused, *db); }) * 1e3;
+  RepSet rp = MeasureReps(reps, [&] { RunX100Query(1, &plain, *db); });
+  RepSet rf = MeasureReps(reps, [&] { RunX100Query(1, &fused, *db); });
+  ex.AddReps("q1_single_primitives", rp);
+  ex.AddReps("q1_binder_fusion", rf);
+  double t_plain = rp.Best() * 1e3, t_fused = rf.Best() * 1e3;
   std::printf("\nTPC-H Q1 end-to-end: %.1f ms single primitives, %.1f ms with "
               "binder fusion (%.2fx)\n",
               t_plain, t_fused, t_plain / t_fused);
+  ex.Write();
   return 0;
 }

@@ -64,19 +64,27 @@ int main() {
               static_cast<long long>(ord.num_rows()),
               static_cast<long long>(n_hash));
   std::printf("%-26s %12s\n", "join implementation", "ms");
-  double t_hash = BestSeconds(reps, [&] { CountRows(make_hash(&ctx).get()); });
+  BenchExport ex("ablation_radix");
+  ex.AddScalar("scale_factor", sf);
+  RepSet r_hash = MeasureReps(reps, [&] { CountRows(make_hash(&ctx).get()); });
+  ex.AddReps("streaming_hash", r_hash);
+  double t_hash = r_hash.Best();
   std::printf("%-26s %12.1f\n", "streaming hash join", t_hash * 1e3);
   for (int bits : {0, 4, 8, 12}) {
-    double t = BestSeconds(reps, [&] { CountRows(make_radix(&ctx, bits).get()); });
+    RepSet r = MeasureReps(reps, [&] { CountRows(make_radix(&ctx, bits).get()); });
+    double t = r.Best();
     if (bits == 0) {
+      ex.AddReps("radix_auto", r);
       std::printf("%-26s %12.1f   (%.2fx vs hash)\n", "radix join (auto bits)",
                   t * 1e3, t_hash / t);
     } else {
       char label[32];
       std::snprintf(label, sizeof(label), "radix join (%d bits)", bits);
+      ex.AddReps("radix_" + std::to_string(bits) + "bits", r);
       std::printf("%-26s %12.1f   (%.2fx vs hash)\n", label, t * 1e3,
                   t_hash / t);
     }
   }
+  ex.Write();
   return 0;
 }

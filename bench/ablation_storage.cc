@@ -52,8 +52,12 @@ int main() {
   plain->Freeze();
 
   ExecContext ctx;
-  double t_enc = BestSeconds(reps, [&] { SumColumn(&ctx, *enc, "v"); });
-  double t_plain = BestSeconds(reps, [&] { SumColumn(&ctx, *plain, "v"); });
+  BenchExport ex("ablation_storage");
+  RepSet r_enc = MeasureReps(reps, [&] { SumColumn(&ctx, *enc, "v"); });
+  RepSet r_plain = MeasureReps(reps, [&] { SumColumn(&ctx, *plain, "v"); });
+  ex.AddReps("sum_enum", r_enc);
+  ex.AddReps("sum_plain", r_plain);
+  double t_enc = r_enc.Best(), t_plain = r_plain.Best();
   std::printf("Enumeration-compression ablation: sum over %d low-cardinality "
               "f64 values\n", kN);
   std::printf("%-26s %10s %12s\n", "storage", "bytes", "scan+sum ms");
@@ -85,8 +89,11 @@ int main() {
   auto r1 = run(false);
   auto r2 = run(true);
   X100_CHECK(r1->GetValue(0, 1).AsI64() == r2->GetValue(0, 1).AsI64());
-  double t_full = BestSeconds(reps, [&] { run(false); });
-  double t_sma = BestSeconds(reps, [&] { run(true); });
+  RepSet r_full = MeasureReps(reps, [&] { run(false); });
+  RepSet r_sma = MeasureReps(reps, [&] { run(true); });
+  ex.AddReps("range_full_scan", r_full);
+  ex.AddReps("range_sma_pruned", r_sma);
+  double t_full = r_full.Best(), t_sma = r_sma.Best();
   std::printf("Summary-index ablation: one-month range over clustered "
               "l_shipdate (%lld of %lld rows qualify)\n",
               static_cast<long long>(r1->GetValue(0, 1).AsI64()),
@@ -123,8 +130,12 @@ int main() {
     return sum;
   };
   X100_CHECK(scan_plain() == scan_comp());
-  double t_plain_io = BestSeconds(reps, [&] { scan_plain(); });
-  double t_comp_io = BestSeconds(reps, [&] { scan_comp(); });
+  bm.ResetStats();
+  RepSet r_plain_io = MeasureReps(reps, [&] { scan_plain(); });
+  RepSet r_comp_io = MeasureReps(reps, [&] { scan_comp(); });
+  ex.AddReps("io_plain_blocks", r_plain_io);
+  ex.AddReps("io_for_compressed", r_comp_io);
+  double t_plain_io = r_plain_io.Best(), t_comp_io = r_comp_io.Best();
   std::printf("\nColumnBM at a simulated 200 MB/s I/O boundary (l_shipdate, "
               "%lld values):\n", static_cast<long long>(dates.size()));
   std::printf("%-26s %10zu B %10.2f ms\n", "plain blocks",
@@ -133,5 +144,9 @@ int main() {
               "FOR-compressed blocks", comp_bytes, t_comp_io * 1e3,
               static_cast<double>(dates.bytes()) / comp_bytes,
               t_plain_io / t_comp_io);
+  ex.AddScalar("plain_bytes", static_cast<double>(dates.bytes()), "B");
+  ex.AddScalar("compressed_bytes", static_cast<double>(comp_bytes), "B");
+  ex.AddScalar("io_stall_ms", bm.stall_nanos() / 1e6, "ms");
+  ex.Write();
   return 0;
 }

@@ -1,11 +1,16 @@
 #ifndef X100_BENCH_BENCH_UTIL_H_
 #define X100_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/json.h"
+#include "common/metrics.h"
 #include "common/profiling.h"
 #include "tpch/dbgen.h"
 
@@ -37,19 +42,143 @@ inline std::unique_ptr<Catalog> MakeTpch(double sf) {
   return db;
 }
 
-/// Times `fn()` `reps` times, returns the best wall time in seconds
-/// (paper-style hot, in-memory numbers).
+/// All repetitions of one measurement, in run order. Tables print the best
+/// (paper-style hot, in-memory numbers); the JSON export keeps the full
+/// distribution so regressions can be told apart from noise.
+struct RepSet {
+  std::vector<double> seconds;
+
+  double Best() const {
+    double best = 1e300;
+    for (double s : seconds) best = s < best ? s : best;
+    return seconds.empty() ? 0.0 : best;
+  }
+  double Mean() const {
+    if (seconds.empty()) return 0.0;
+    double sum = 0;
+    for (double s : seconds) sum += s;
+    return sum / static_cast<double>(seconds.size());
+  }
+  double Stddev() const {
+    if (seconds.size() < 2) return 0.0;
+    double m = Mean(), ss = 0;
+    for (double s : seconds) ss += (s - m) * (s - m);
+    return std::sqrt(ss / static_cast<double>(seconds.size() - 1));
+  }
+};
+
+/// Times `fn()` `reps` times, recording every rep.
 template <typename Fn>
-double BestSeconds(int reps, Fn&& fn) {
-  double best = 1e300;
+RepSet MeasureReps(int reps, Fn&& fn) {
+  RepSet r;
+  r.seconds.reserve(static_cast<size_t>(reps));
   for (int i = 0; i < reps; i++) {
     uint64_t t0 = NowNanos();
     fn();
-    double s = (NowNanos() - t0) / 1e9;
-    if (s < best) best = s;
+    r.seconds.push_back((NowNanos() - t0) / 1e9);
   }
-  return best;
+  return r;
 }
+
+/// Best wall time in seconds over `reps` runs (paper-style hot numbers).
+/// Prefer MeasureReps + BenchExport so the full distribution is kept.
+template <typename Fn>
+double BestSeconds(int reps, Fn&& fn) {
+  return MeasureReps(reps, static_cast<Fn&&>(fn)).Best();
+}
+
+/// Collects a bench binary's results and writes BENCH_<name>.json — the
+/// machine-readable record every bench leaves behind: per-measurement rep
+/// distributions (best/mean/stddev + raw reps), scalar facts, optional
+/// raw-JSON sections (e.g. a Profiler trace), and a metrics-registry
+/// snapshot taken at write time. Output lands in the working directory, or
+/// $X100_BENCH_DIR when set.
+class BenchExport {
+ public:
+  explicit BenchExport(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  /// Records one timed measurement (all reps).
+  void AddReps(const std::string& key, const RepSet& reps) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("name"); w.Value(key);
+    w.Key("unit"); w.Value("s");
+    w.Key("best"); w.Value(reps.Best());
+    w.Key("mean"); w.Value(reps.Mean());
+    w.Key("stddev"); w.Value(reps.Stddev());
+    w.Key("reps");
+    w.BeginArray();
+    for (double s : reps.seconds) w.Value(s);
+    w.EndArray();
+    w.EndObject();
+    results_.push_back(std::move(w).Take());
+  }
+
+  /// Records one scalar result (a count, a ratio, a wall time already
+  /// reduced by the bench).
+  void AddScalar(const std::string& key, double value,
+                 const std::string& unit = "") {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("name"); w.Value(key);
+    if (!unit.empty()) {
+      w.Key("unit");
+      w.Value(unit);
+    }
+    w.Key("value"); w.Value(value);
+    w.EndObject();
+    results_.push_back(std::move(w).Take());
+  }
+
+  /// Attaches a pre-rendered JSON value as a top-level section
+  /// (e.g. AddJson("profiler", profiler.ToJson())).
+  void AddJson(const std::string& key, std::string json) {
+    sections_.emplace_back(key, std::move(json));
+  }
+
+  /// Renders and writes BENCH_<name>.json; returns the path ("" on I/O
+  /// failure). Call once, at the end of main.
+  std::string Write() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("X100_BENCH_DIR")) {
+      if (*env != '\0') dir = env;
+    }
+    std::string path = dir + "/BENCH_" + name_ + ".json";
+
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("bench"); w.Value(name_);
+    w.Key("results");
+    w.BeginArray();
+    for (const std::string& r : results_) w.Raw(r);
+    w.EndArray();
+    for (const auto& [key, json] : sections_) {
+      w.Key(key);
+      w.Raw(json);
+    }
+    w.Key("metrics");
+    w.Raw(MetricsRegistry::Get().ToJson());
+    w.EndObject();
+
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+      return "";
+    }
+    const std::string& json = w.str();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> results_;  // pre-rendered JSON objects
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
 
 }  // namespace x100::bench
 

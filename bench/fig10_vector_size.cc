@@ -24,12 +24,16 @@ int main() {
 
   std::printf("Figure 10 analogue: Q1 (SF=%.4g) vs vector size\n", sf);
   std::printf("%12s %12s\n", "vector size", "seconds");
+  BenchExport ex("fig10_vector_size");
+  ex.AddScalar("scale_factor", sf);
   double best = 1e300, at_1 = 0, at_4m = 0;
   for (int64_t vs = 1; vs <= 4 * 1024 * 1024; vs *= 4) {
     ExecContext ctx;
     ctx.vector_size = static_cast<int>(vs);
-    double secs = BestSeconds(vs == 1 ? 1 : reps,
-                              [&] { RunX100Query(1, &ctx, *db); });
+    RepSet r = MeasureReps(vs == 1 ? 1 : reps,
+                           [&] { RunX100Query(1, &ctx, *db); });
+    double secs = r.Best();
+    ex.AddReps("vec" + std::to_string(vs), r);
     std::printf("%12lld %12.4f\n", static_cast<long long>(vs), secs);
     std::fflush(stdout);
     if (secs < best) best = secs;
@@ -40,5 +44,8 @@ int main() {
               "overhead)\n4M vs optimum: %.1fx slower (materialization, "
               "MIL-like)\n",
               at_1 / best, at_4m / best);
+  ex.AddScalar("slowdown_vec1", at_1 / best, "x");
+  ex.AddScalar("slowdown_vec4m", at_4m / best, "x");
+  ex.Write();
   return 0;
 }

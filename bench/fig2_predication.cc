@@ -30,15 +30,19 @@ int main() {
 
   std::printf("Figure 2 analogue: select_lt on 1M uniform [0,100) tuples\n");
   std::printf("%12s %14s %14s\n", "selectivity%", "branch (ms)", "predicated (ms)");
+  BenchExport ex("fig2_predication");
   double branch_at_50 = 0, branch_at_0 = 0, pred_sum = 0;
   int pred_n = 0;
   for (int x = 0; x <= 100; x += 10) {
     int32_t v = x;
     const void* args[2] = {data.data(), &v};
     volatile int sink = 0;
-    double tb = BestSeconds(reps, [&] { sink = branch->fn(kN, out.data(), args, nullptr); });
-    double tp = BestSeconds(reps, [&] { sink = pred->fn(kN, out.data(), args, nullptr); });
+    RepSet rb = MeasureReps(reps, [&] { sink = branch->fn(kN, out.data(), args, nullptr); });
+    RepSet rp = MeasureReps(reps, [&] { sink = pred->fn(kN, out.data(), args, nullptr); });
     (void)sink;
+    double tb = rb.Best(), tp = rp.Best();
+    ex.AddReps("branch_sel" + std::to_string(x), rb);
+    ex.AddReps("pred_sel" + std::to_string(x), rp);
     std::printf("%12d %14.3f %14.3f\n", x, tb * 1e3, tp * 1e3);
     if (x == 50) branch_at_50 = tb;
     if (x == 0) branch_at_0 = tb;
@@ -50,5 +54,7 @@ int main() {
               branch_at_50 / branch_at_0);
   std::printf("predicated mean: %.3f ms, selectivity-independent\n",
               pred_sum / pred_n * 1e3);
+  ex.AddScalar("branch_50_vs_0", branch_at_50 / branch_at_0, "x");
+  ex.Write();
   return 0;
 }

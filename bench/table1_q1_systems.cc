@@ -27,37 +27,40 @@ int main() {
   std::printf("Table 1 analogue: TPC-H Query 1, SF=%.4g (in-memory, 1 CPU)\n", sf);
   std::printf("%-28s %12s %16s\n", "system", "sec", "sec/(SF), norm");
 
+  BenchExport ex("table1_q1_systems");
+  ex.AddScalar("scale_factor", sf);
   double base = 0;
-  auto report = [&](const char* name, double secs) {
-    if (base == 0) base = secs;
-    std::printf("%-28s %12.4f %16.2f\n", name, secs, secs / (base / 1.0));
+  auto report = [&](const char* name, const char* key, const RepSet& r) {
+    if (base == 0) base = r.Best();
+    std::printf("%-28s %12.4f %16.2f\n", name, r.Best(), r.Best() / base);
+    ex.AddReps(key, r);
   };
 
   // Tuple-at-a-time (NSM records, Item interpreter).
   {
     std::unique_ptr<RowStore> store = MakeTupleQ1Store(*db);
     TupleProfile prof;  // timing off: pure run
-    double secs = BestSeconds(reps, [&] { RunTupleQ1(*store, &prof); });
-    report("tuple-at-a-time (MySQL-ish)", secs);
+    report("tuple-at-a-time (MySQL-ish)", "tuple_at_a_time",
+           MeasureReps(reps, [&] { RunTupleQ1(*store, &prof); }));
   }
   // MonetDB/MIL.
   {
     MilSession s;
-    double secs = BestSeconds(reps, [&] { RunMilQuery(1, &s, &mil); });
-    std::printf("%-28s %12.4f %16.2f\n", "MonetDB/MIL", secs, secs / base);
+    report("MonetDB/MIL", "mil",
+           MeasureReps(reps, [&] { RunMilQuery(1, &s, &mil); }));
   }
   // MonetDB/X100.
   {
     ExecContext ctx;
-    double secs = BestSeconds(reps, [&] { RunX100Query(1, &ctx, *db); });
-    std::printf("%-28s %12.4f %16.2f\n", "MonetDB/X100", secs, secs / base);
+    report("MonetDB/X100", "x100",
+           MeasureReps(reps, [&] { RunX100Query(1, &ctx, *db); }));
   }
   // Hard-coded UDF (Figure 4).
-  {
-    double secs = BestSeconds(reps, [&] { RunHardcodedQ1(&mil); });
-    std::printf("%-28s %12.4f %16.2f\n", "hard-coded", secs, secs / base);
-  }
+  report("hard-coded", "hardcoded",
+         MeasureReps(reps, [&] { RunHardcodedQ1(&mil); }));
+
   std::printf("\n(normalized column: 1.00 = tuple-at-a-time; the paper reports"
               "\n ~26s MySQL vs 3.7s MIL vs 0.50s X100 vs 0.22s hard-coded at SF=1)\n");
+  ex.Write();
   return 0;
 }

@@ -33,9 +33,17 @@ int main() {
   uint64_t total = work + prof.rec_get_nth_field.cycles +
                    prof.field_val.cycles + prof.item_cmp.cycles +
                    prof.hash_lookup.cycles + prof.row_next.cycles;
+  double work_pct =
+      100.0 * static_cast<double>(work) / static_cast<double>(total);
   std::printf("\n\"real work\" (+,-,*,aggregates): %.1f%% of profiled cycles"
               "\n(the paper measures <10%% for MySQL; interpretation overhead"
-              "\n dominates either way)\n",
-              100.0 * static_cast<double>(work) / static_cast<double>(total));
+              "\n dominates either way)\n", work_pct);
+
+  BenchExport ex("table2_tuple_profile");
+  ex.AddScalar("scale_factor", sf);
+  ex.AddScalar("real_work_pct", work_pct, "%");
+  ex.AddScalar("work_cycles", static_cast<double>(work), "cycles");
+  ex.AddScalar("profiled_cycles", static_cast<double>(total), "cycles");
+  ex.Write();
   return 0;
 }

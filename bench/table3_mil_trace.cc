@@ -60,13 +60,20 @@ int main() {
       n_small++;
     }
   }
+  BenchExport ex("table3_mil_trace");
+  ex.AddScalar("scale_factor", big_sf);
   if (n_big && n_small) {
     std::printf("mean multiplex-map bandwidth: %.0f MB/s at SF=%.4g vs %.0f "
                 "MB/s cache-resident (%.2fx)\n",
                 bw_big / n_big, big_sf, bw_small / n_small,
                 (bw_small / n_small) / (bw_big / n_big));
+    ex.AddScalar("map_bandwidth_ram", bw_big / n_big, "MB/s");
+    ex.AddScalar("map_bandwidth_cache", bw_small / n_small, "MB/s");
   }
   std::printf("total: %.1f ms at SF=%.4g, %.2f ms at SF=0.001\n", big_ms,
               big_sf, small_ms);
+  ex.AddScalar("total_ms_ram", big_ms, "ms");
+  ex.AddScalar("total_ms_cache", small_ms, "ms");
+  ex.Write();
   return 0;
 }

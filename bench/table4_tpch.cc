@@ -21,6 +21,8 @@ int main() {
   std::printf("%3s %14s %14s %10s\n", "Q", "MonetDB/MIL", "MonetDB/X100",
               "MIL/X100");
 
+  BenchExport ex("table4_tpch");
+  ex.AddScalar("scale_factor", sf);
   double mil_total = 0, x100_total = 0;
   for (int q = 1; q <= kNumTpchQueries; q++) {
     // Warm both engines once (first MIL touch materializes its BATs).
@@ -30,21 +32,27 @@ int main() {
       ExecContext ctx;
       RunX100Query(q, &ctx, *db);
     }
-    double mil_s = BestSeconds(reps, [&] {
+    RepSet mil_r = MeasureReps(reps, [&] {
       MilSession s;
       RunMilQuery(q, &s, &mil);
     });
-    double x100_s = BestSeconds(reps, [&] {
+    RepSet x100_r = MeasureReps(reps, [&] {
       ExecContext ctx;
       RunX100Query(q, &ctx, *db);
     });
+    double mil_s = mil_r.Best(), x100_s = x100_r.Best();
     mil_total += mil_s;
     x100_total += x100_s;
+    ex.AddReps("q" + std::to_string(q) + "_mil", mil_r);
+    ex.AddReps("q" + std::to_string(q) + "_x100", x100_r);
     std::printf("%3d %14.4f %14.4f %9.1fx\n", q, mil_s, x100_s, mil_s / x100_s);
   }
   std::printf("%3s %14.4f %14.4f %9.1fx\n", "sum", mil_total, x100_total,
               mil_total / x100_total);
   std::printf("\n(MIL BAT storage resident: %.1f MB)\n",
               mil.resident_bytes() / 1e6);
+  ex.AddScalar("mil_total", mil_total, "s");
+  ex.AddScalar("x100_total", x100_total, "s");
+  ex.Write();
   return 0;
 }

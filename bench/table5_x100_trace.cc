@@ -49,5 +49,11 @@ int main() {
                 name.c_str());
   }
   std::printf("\ntotal elapsed: %.1f ms\n", total_ms);
+
+  BenchExport ex("table5_x100_trace");
+  ex.AddScalar("scale_factor", sf);
+  ex.AddScalar("total_ms", total_ms, "ms");
+  ex.AddJson("profiler", profiler.ToJson());
+  ex.Write();
   return 0;
 }

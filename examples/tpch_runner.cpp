@@ -3,12 +3,17 @@
 //
 //   $ ./build/examples/tpch_runner <query 1-22> [sf=0.05] [engine=x100|mil|both]
 //   $ ./build/examples/tpch_runner 5 0.1 both
+//   $ ./build/examples/tpch_runner --explain-analyze 1
+//
+// --explain-analyze (or env X100_TRACE=1) prints the executed X100 plan
+// annotated with per-node Next() calls, batches, tuples and cycles.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/profiling.h"
+#include "exec/trace.h"
 #include "storage/print.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
@@ -16,15 +21,29 @@
 using namespace x100;
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  bool explain = false;
+  if (const char* env = std::getenv("X100_TRACE")) {
+    explain = *env != '\0' && std::strcmp(env, "0") != 0;
+  }
+  const char* pos[3] = {nullptr, nullptr, nullptr};
+  int npos = 0;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--explain-analyze") == 0) {
+      explain = true;
+    } else if (npos < 3) {
+      pos[npos++] = argv[i];
+    }
+  }
+  if (npos < 1) {
     std::fprintf(stderr,
-                 "usage: %s <query 1-22> [sf=0.05] [engine=x100|mil|both]\n",
+                 "usage: %s [--explain-analyze] <query 1-22> [sf=0.05] "
+                 "[engine=x100|mil|both]\n",
                  argv[0]);
     return 2;
   }
-  int q = std::atoi(argv[1]);
-  double sf = argc > 2 ? std::atof(argv[2]) : 0.05;
-  const char* engine = argc > 3 ? argv[3] : "x100";
+  int q = std::atoi(pos[0]);
+  double sf = npos > 1 ? std::atof(pos[1]) : 0.05;
+  const char* engine = npos > 2 ? pos[2] : "x100";
   if (q < 1 || q > kNumTpchQueries) {
     std::fprintf(stderr, "query must be 1..22\n");
     return 2;
@@ -36,13 +55,19 @@ int main(int argc, char** argv) {
   std::unique_ptr<Catalog> db = GenerateTpch(opts);
 
   if (std::strcmp(engine, "x100") == 0 || std::strcmp(engine, "both") == 0) {
+    QueryTrace trace;
     ExecContext ctx;
+    if (explain) ctx.trace = &trace;
     uint64_t t0 = NowNanos();
     std::unique_ptr<Table> r = RunX100Query(q, &ctx, *db);
     double ms = (NowNanos() - t0) / 1e6;
     std::printf("\n=== Q%d on MonetDB/X100: %.1f ms, %lld rows ===\n%s", q, ms,
                 static_cast<long long>(r->num_rows()),
                 FormatTable(*r, 30).c_str());
+    if (explain) {
+      std::printf("\n=== EXPLAIN ANALYZE (Q%d) ===\n%s", q,
+                  trace.ToString().c_str());
+    }
   }
   if (std::strcmp(engine, "mil") == 0 || std::strcmp(engine, "both") == 0) {
     MilDatabase mil(*db);

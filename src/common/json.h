@@ -1,0 +1,108 @@
+#ifndef X100_COMMON_JSON_H_
+#define X100_COMMON_JSON_H_
+
+// Minimal JSON writer for the observability layer (metrics snapshots,
+// profiler traces, bench exports). Write-only by design: the repo emits
+// machine-readable data for external tooling but never parses JSON itself.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace x100 {
+
+/// Streaming JSON writer with automatic comma placement. Usage:
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("rows"); w.Value(int64_t{42});
+///   w.Key("reps"); w.BeginArray(); w.Value(0.5); w.EndArray();
+///   w.EndObject();
+///   std::string json = std::move(w).Take();
+///
+/// The caller is responsible for well-formedness (matching Begin/End,
+/// Key before each object member); the writer only handles commas and
+/// escaping.
+class JsonWriter {
+ public:
+  void BeginObject() { Comma(); out_ += '{'; first_ = true; }
+  void EndObject() { out_ += '}'; first_ = false; }
+  void BeginArray() { Comma(); out_ += '['; first_ = true; }
+  void EndArray() { out_ += ']'; first_ = false; }
+
+  void Key(const std::string& k) {
+    Comma();
+    AppendEscaped(k);
+    out_ += ':';
+    first_ = true;  // the upcoming value must not emit a comma
+  }
+
+  void Value(const std::string& s) { Comma(); AppendEscaped(s); }
+  void Value(const char* s) { Value(std::string(s)); }
+  void Value(bool b) { Comma(); out_ += b ? "true" : "false"; }
+  void Value(int64_t v) {
+    Comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out_ += buf;
+  }
+  void Value(uint64_t v) {
+    Comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    out_ += buf;
+  }
+  void Value(int v) { Value(static_cast<int64_t>(v)); }
+  void Value(double v) {
+    Comma();
+    if (!std::isfinite(v)) {  // JSON has no inf/nan
+      out_ += "null";
+      return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+  }
+
+  /// Splices a pre-rendered JSON value (e.g. another writer's output).
+  void Raw(const std::string& json) { Comma(); out_ += json; }
+
+  const std::string& str() const { return out_; }
+  std::string Take() && { return std::move(out_); }
+
+ private:
+  void Comma() {
+    if (!first_) out_ += ',';
+    first_ = false;
+  }
+
+  void AppendEscaped(const std::string& s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool first_ = true;
+};
+
+}  // namespace x100
+
+#endif  // X100_COMMON_JSON_H_

@@ -1,0 +1,170 @@
+#include "common/metrics.h"
+
+#include <bit>
+
+#include "common/json.h"
+
+namespace x100 {
+
+namespace {
+
+/// Bucket index for value v: 0 for 0, else 1 + floor(log2(v)).
+int BucketIndex(uint64_t v) {
+  if (v == 0) return 0;
+  return 64 - std::countl_zero(v);
+}
+
+/// Atomic min via CAS (no fetch_min before C++26).
+void AtomicMin(std::atomic<uint64_t>* a, uint64_t v) {
+  uint64_t cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* a, uint64_t v) {
+  uint64_t cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  AtomicMin(&min_, v);
+  AtomicMax(&max_, v);
+}
+
+uint64_t Histogram::Min() const {
+  uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == ~uint64_t{0} ? 0 : m;
+}
+
+double Histogram::Mean() const {
+  uint64_t n = Count();
+  return n ? static_cast<double>(Sum()) / static_cast<double>(n) : 0.0;
+}
+
+uint64_t Histogram::BucketUpperBound(int i) {
+  if (i == 0) return 0;
+  if (i >= 64) return ~uint64_t{0};
+  return (uint64_t{1} << i) - 1;
+}
+
+uint64_t Histogram::ApproxPercentile(double p) const {
+  uint64_t n = Count();
+  if (n == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the target observation, 1-based.
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(n));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; i++) {
+    seen += BucketCount(i);
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  return Max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Get();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Get();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramRow row;
+    row.count = h->Count();
+    row.sum = h->Sum();
+    row.min = h->Min();
+    row.max = h->Max();
+    row.mean = h->Mean();
+    row.p50 = static_cast<double>(h->ApproxPercentile(50));
+    row.p99 = static_cast<double>(h->ApproxPercentile(99));
+    snap.histograms[name] = row;
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, v] : counters) {
+    w.Key(name);
+    w.Value(v);
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, v] : gauges) {
+    w.Key(name);
+    w.Value(v);
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, h] : histograms) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("count"); w.Value(h.count);
+    w.Key("sum"); w.Value(h.sum);
+    w.Key("min"); w.Value(h.min);
+    w.Key("max"); w.Value(h.max);
+    w.Key("mean"); w.Value(h.mean);
+    w.Key("p50"); w.Value(h.p50);
+    w.Key("p99"); w.Value(h.p99);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+}  // namespace x100

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/json.h"
+
 #if defined(__x86_64__)
 #include <x86intrin.h>
 #endif
@@ -83,6 +85,26 @@ std::string Profiler::ToString() const {
     out += line;
   }
   return out;
+}
+
+std::string Profiler::ToJson() const {
+  JsonWriter w;
+  w.BeginArray();
+  for (const auto& [name, s] : Rows()) {
+    w.BeginObject();
+    w.Key("name"); w.Value(name);
+    w.Key("calls"); w.Value(s->calls);
+    w.Key("tuples"); w.Value(s->tuples);
+    w.Key("bytes"); w.Value(s->bytes);
+    w.Key("cycles"); w.Value(s->cycles);
+    w.Key("cycles_per_tuple"); w.Value(s->CyclesPerTuple());
+    w.Key("megabytes"); w.Value(s->Megabytes());
+    w.Key("micros"); w.Value(s->Micros());
+    w.Key("mb_per_sec"); w.Value(s->Bandwidth());
+    w.EndObject();
+  }
+  w.EndArray();
+  return std::move(w).Take();
 }
 
 }  // namespace x100

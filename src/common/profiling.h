@@ -51,6 +51,10 @@ class Profiler {
   /// Renders a Table 5-style trace.
   std::string ToString() const;
 
+  /// Machine-readable trace: [{"name","calls","tuples","bytes","cycles",
+  /// "cycles_per_tuple","megabytes","micros","mb_per_sec"}, ...] in row order.
+  std::string ToJson() const;
+
  private:
   std::map<std::string, PrimitiveStats> stats_;
   std::vector<std::string> order_;

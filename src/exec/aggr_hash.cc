@@ -1,5 +1,6 @@
 #include <cstring>
 
+#include "common/metrics.h"
 #include "exec/aggr_internal.h"
 
 namespace x100 {
@@ -36,6 +37,8 @@ struct HashAggrOp::Impl {
 
   std::unique_ptr<uint32_t[]> groups;
   PrimitiveStats* op_stats = nullptr;
+  Counter* m_rehashes = nullptr;
+  uint64_t input_tuples = 0;
 
   // Drain state.
   bool built = false;
@@ -61,6 +64,7 @@ struct HashAggrOp::Impl {
   }
 
   void Rehash() {
+    m_rehashes->Inc();
     size_t cap = buckets.size() * 2;
     buckets.assign(cap, 0);
     for (size_t g = 0; g < num_groups; g++) {
@@ -109,6 +113,7 @@ void HashAggrOp::Open() {
   im.hash_a.Allocate(TypeId::kI64, ctx_->vector_size);
   im.hash_b.Allocate(TypeId::kI64, ctx_->vector_size);
   im.op_stats = ctx_->profiler ? ctx_->profiler->GetStats("HashAggr") : nullptr;
+  im.m_rehashes = MetricsRegistry::Get().GetCounter("aggr.hash.rehashes");
 
   // Bind the hash pipeline.
   for (size_t c = 0; c < im.key_cols.size(); c++) {
@@ -136,6 +141,7 @@ void HashAggrOp::Build() {
   while (VectorBatch* batch = child_->Next()) {
     if (im.inputs) im.inputs->Eval(batch);
     int n = batch->sel_count();
+    im.input_tuples += static_cast<uint64_t>(n);
     const int* sel = batch->sel();
 
     const uint32_t* groups_ptr = nullptr;
@@ -207,6 +213,9 @@ void HashAggrOp::Build() {
       aggr_internal::UpdateAggr(&a, im.inputs.get(), batch, groups_ptr);
     }
   }
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  reg.GetHistogram("aggr.hash.groups")->Record(im.num_groups);
+  reg.GetCounter("aggr.hash.input_tuples")->Add(im.input_tuples);
   im.built = true;
   im.emit_pos = 0;
   im.out = VectorBatch(schema_, ctx_->vector_size);

@@ -1,6 +1,7 @@
 #include <cstring>
 
 #include "common/hash.h"
+#include "common/metrics.h"
 #include "exec/join.h"
 #include "exec/join_internal.h"
 
@@ -47,6 +48,11 @@ struct HashJoinOp::Impl {
   bool built = false;
   VectorBatch out;
   PrimitiveStats* op_stats = nullptr;
+
+  // Registry metrics (hit rate = probe_hits / probe_tuples).
+  Histogram* m_build_rows = nullptr;
+  Counter* m_probe_tuples = nullptr;
+  Counter* m_probe_hits = nullptr;
 
   bool KeysEqual(const VectorBatch* batch, int pos, size_t row) const {
     for (size_t c = 0; c < num_keys; c++) {
@@ -166,6 +172,10 @@ void HashJoinOp::Open() {
   im.hash_b.Allocate(TypeId::kI64, ctx_->vector_size);
   im.out = VectorBatch(schema_, ctx_->vector_size);
   im.op_stats = ctx_->profiler ? ctx_->profiler->GetStats("HashJoin") : nullptr;
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  im.m_build_rows = reg.GetHistogram("join.hash.build_rows");
+  im.m_probe_tuples = reg.GetCounter("join.hash.probe_tuples");
+  im.m_probe_hits = reg.GetCounter("join.hash.probe_hits");
 }
 
 void HashJoinOp::BuildSide() {
@@ -198,6 +208,7 @@ void HashJoinOp::BuildSide() {
     im.next[r] = im.buckets[b];
     im.buckets[b] = static_cast<uint32_t>(r + 1);
   }
+  im.m_build_rows->Record(im.store.rows);
   im.built = true;
 }
 
@@ -225,6 +236,7 @@ void HashJoinOp::ProcessProbeBatch(VectorBatch* batch) {
   }
 
   uint64_t t0 = im.op_stats ? ReadCycleCounter() : 0;
+  uint64_t hits = 0;
   size_t mask = im.buckets.size() - 1;
   for (int j = 0; j < n; j++) {
     int i = sel ? sel[j] : j;
@@ -244,6 +256,7 @@ void HashJoinOp::ProcessProbeBatch(VectorBatch* batch) {
       }
       r = im.next[row];
     }
+    if (matched) hits++;
     if (!matched && (type_ == JoinType::kAnti ||
                      type_ == JoinType::kLeftOuterDefault)) {
       im.pend_pos.push_back(i);
@@ -253,6 +266,8 @@ void HashJoinOp::ProcessProbeBatch(VectorBatch* batch) {
       im.pend_row.push_back(-1);
     }
   }
+  im.m_probe_tuples->Add(static_cast<uint64_t>(n));
+  im.m_probe_hits->Add(hits);
   if (im.op_stats) {
     im.op_stats->calls++;
     im.op_stats->tuples += static_cast<uint64_t>(n);

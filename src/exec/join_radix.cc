@@ -1,6 +1,7 @@
 #include <cstring>
 
 #include "common/hash.h"
+#include "common/metrics.h"
 #include "exec/join.h"
 #include "exec/join_internal.h"
 
@@ -206,6 +207,11 @@ void RadixJoinOp::BuildAll() {
       }
     }
   }
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  reg.GetHistogram("join.radix.build_rows")->Record(im.build_store.rows);
+  reg.GetHistogram("join.radix.fanout")->Record(parts);
+  reg.GetCounter("join.radix.probe_tuples")->Add(im.probe_store.rows);
+  reg.GetCounter("join.radix.result_pairs")->Add(im.out_probe.size());
   im.built = true;
 }
 

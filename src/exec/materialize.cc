@@ -1,6 +1,7 @@
 #include "exec/materialize.h"
 
 #include "exec/row_util.h"
+#include "exec/trace.h"
 
 namespace x100 {
 
@@ -61,6 +62,11 @@ std::unique_ptr<Table> MaterializeToTable(Operator* root, std::string name) {
 }
 
 std::unique_ptr<Table> RunPlan(std::unique_ptr<Operator> root, std::string name) {
+  // Tag the trace root with the plan name so multi-plan queries (materialized
+  // subqueries) render as a sequence of named trees.
+  if (auto* io = dynamic_cast<InstrumentedOperator*>(root.get())) {
+    io->node()->plan_name = name;
+  }
   root->Open();
   auto t = MaterializeToTable(root.get(), std::move(name));
   root->Close();

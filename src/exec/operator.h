@@ -7,6 +7,8 @@
 
 namespace x100 {
 
+class QueryTrace;
+
 /// Per-query execution settings shared by all operators of a plan.
 struct ExecContext {
   /// Tuples per vector (§5.1.1; Figure 10 sweeps this).
@@ -22,6 +24,10 @@ struct ExecContext {
   /// When set, primitives and operators account calls/tuples/bytes/cycles
   /// here (the Table 5 trace). Null disables tracing.
   Profiler* profiler = nullptr;
+  /// When set, the plan factories (exec/plan.h) wrap every operator in an
+  /// InstrumentedOperator recording per-plan-node calls/batches/tuples/cycles
+  /// — the EXPLAIN ANALYZE tree. Null disables per-node tracing.
+  QueryTrace* trace = nullptr;
 };
 
 /// X100 algebra operator: classical Volcano Open/Next/Close, but Next()

@@ -3,6 +3,12 @@
 
 // Plan-builder DSL: thin factories so hand-translated query plans read like
 // the X100 algebra of Figure 9. Everything returns std::unique_ptr<Operator>.
+//
+// When ExecContext::trace is set, each factory wraps its operator in an
+// InstrumentedOperator (exec/trace.h), so plans built through this DSL come
+// out pre-wired for EXPLAIN ANALYZE. Code that needs the concrete operator
+// (e.g. ScanOp::EmitRowId) must configure it before the wrap — which is why
+// the range/rowid variants exist as factories rather than post-hoc casts.
 
 #include <memory>
 #include <string>
@@ -15,6 +21,7 @@
 #include "exec/materialize.h"
 #include "exec/scan.h"
 #include "exec/sort.h"
+#include "exec/trace.h"
 
 namespace x100::plan {
 
@@ -22,7 +29,8 @@ using OpPtr = std::unique_ptr<Operator>;
 
 inline OpPtr Scan(ExecContext* ctx, const Table& t,
                   std::vector<std::string> cols) {
-  return std::make_unique<ScanOp>(ctx, t, std::move(cols));
+  auto s = std::make_unique<ScanOp>(ctx, t, std::move(cols));
+  return MaybeTrace(ctx, std::move(s), "Scan", t.name(), {});
 }
 
 /// Scan with a summary-index range restriction (lo/hi inclusive; use
@@ -32,36 +40,56 @@ inline OpPtr ScanRange(ExecContext* ctx, const Table& t,
                        double lo, double hi) {
   auto s = std::make_unique<ScanOp>(ctx, t, std::move(cols));
   s->RestrictRange(col, lo, hi);
-  return s;
+  return MaybeTrace(ctx, std::move(s), "Scan", t.name() + " range:" + col, {});
+}
+
+/// Scan that also emits the virtual #rowId as an i64 column named `rowid`.
+inline OpPtr ScanRowId(ExecContext* ctx, const Table& t,
+                       std::vector<std::string> cols,
+                       const std::string& rowid) {
+  auto s = std::make_unique<ScanOp>(ctx, t, std::move(cols));
+  s->EmitRowId(rowid);
+  return MaybeTrace(ctx, std::move(s), "Scan", t.name() + " +rowid", {});
 }
 
 inline OpPtr Select(ExecContext* ctx, OpPtr child, ExprPtr pred) {
-  return std::make_unique<SelectOp>(ctx, std::move(child), std::move(pred));
+  const Operator* c = child.get();
+  auto op = std::make_unique<SelectOp>(ctx, std::move(child), std::move(pred));
+  return MaybeTrace(ctx, std::move(op), "Select", "", {c});
 }
 
 inline OpPtr Project(ExecContext* ctx, OpPtr child, std::vector<NamedExpr> e) {
-  return std::make_unique<ProjectOp>(ctx, std::move(child), std::move(e));
+  const Operator* c = child.get();
+  auto op = std::make_unique<ProjectOp>(ctx, std::move(child), std::move(e));
+  return MaybeTrace(ctx, std::move(op), "Project", "", {c});
 }
 
 inline OpPtr HashAggr(ExecContext* ctx, OpPtr child,
                       std::vector<std::string> group_by,
                       std::vector<AggrSpec> aggrs) {
-  return std::make_unique<HashAggrOp>(ctx, std::move(child), std::move(group_by),
-                                      std::move(aggrs));
+  const Operator* c = child.get();
+  auto op = std::make_unique<HashAggrOp>(ctx, std::move(child),
+                                         std::move(group_by), std::move(aggrs));
+  return MaybeTrace(ctx, std::move(op), "HashAggr", "", {c});
 }
 
 inline OpPtr DirectAggr(ExecContext* ctx, OpPtr child,
                         std::vector<std::string> group_by,
                         std::vector<AggrSpec> aggrs) {
-  return std::make_unique<DirectAggrOp>(ctx, std::move(child),
-                                        std::move(group_by), std::move(aggrs));
+  const Operator* c = child.get();
+  auto op = std::make_unique<DirectAggrOp>(ctx, std::move(child),
+                                           std::move(group_by),
+                                           std::move(aggrs));
+  return MaybeTrace(ctx, std::move(op), "DirectAggr", "", {c});
 }
 
 inline OpPtr OrdAggr(ExecContext* ctx, OpPtr child,
                      std::vector<std::string> group_by,
                      std::vector<AggrSpec> aggrs) {
-  return std::make_unique<OrdAggrOp>(ctx, std::move(child), std::move(group_by),
-                                     std::move(aggrs));
+  const Operator* c = child.get();
+  auto op = std::make_unique<OrdAggrOp>(ctx, std::move(child),
+                                        std::move(group_by), std::move(aggrs));
+  return MaybeTrace(ctx, std::move(op), "OrdAggr", "", {c});
 }
 
 inline OpPtr Join(ExecContext* ctx, OpPtr probe, OpPtr build,
@@ -70,9 +98,15 @@ inline OpPtr Join(ExecContext* ctx, OpPtr probe, OpPtr build,
                   std::vector<std::string> probe_out,
                   std::vector<std::string> build_out,
                   JoinType type = JoinType::kInner) {
-  return std::make_unique<HashJoinOp>(
+  const Operator* p = probe.get();
+  const Operator* b = build.get();
+  const char* label = type == JoinType::kSemi    ? "SemiJoin"
+                      : type == JoinType::kAnti  ? "AntiJoin"
+                                                 : "HashJoin";
+  auto op = std::make_unique<HashJoinOp>(
       ctx, std::move(probe), std::move(build), std::move(probe_keys),
       std::move(build_keys), std::move(probe_out), std::move(build_out), type);
+  return MaybeTrace(ctx, std::move(op), label, "", {p, b});
 }
 
 inline OpPtr SemiJoin(ExecContext* ctx, OpPtr probe, OpPtr build,
@@ -94,24 +128,35 @@ inline OpPtr AntiJoin(ExecContext* ctx, OpPtr probe, OpPtr build,
 inline OpPtr Fetch1Join(ExecContext* ctx, OpPtr child, const Table& target,
                         std::string rowid_col,
                         std::vector<std::pair<std::string, std::string>> fetch) {
-  return std::make_unique<Fetch1JoinOp>(ctx, std::move(child), target,
-                                        std::move(rowid_col), std::move(fetch));
+  const Operator* c = child.get();
+  auto op = std::make_unique<Fetch1JoinOp>(ctx, std::move(child), target,
+                                           std::move(rowid_col),
+                                           std::move(fetch));
+  return MaybeTrace(ctx, std::move(op), "Fetch1Join", target.name(), {c});
 }
 
 inline OpPtr CartProd(ExecContext* ctx, OpPtr probe, OpPtr build,
                       std::vector<std::string> probe_out,
                       std::vector<std::string> build_out) {
-  return std::make_unique<CartProdOp>(ctx, std::move(probe), std::move(build),
-                                      std::move(probe_out), std::move(build_out));
+  const Operator* p = probe.get();
+  const Operator* b = build.get();
+  auto op = std::make_unique<CartProdOp>(ctx, std::move(probe),
+                                         std::move(build), std::move(probe_out),
+                                         std::move(build_out));
+  return MaybeTrace(ctx, std::move(op), "CartProd", "", {p, b});
 }
 
 inline OpPtr TopN(ExecContext* ctx, OpPtr child, std::vector<OrdKey> keys,
                   int64_t n) {
-  return std::make_unique<TopNOp>(ctx, std::move(child), std::move(keys), n);
+  const Operator* c = child.get();
+  auto op = std::make_unique<TopNOp>(ctx, std::move(child), std::move(keys), n);
+  return MaybeTrace(ctx, std::move(op), "TopN", std::to_string(n), {c});
 }
 
 inline OpPtr Order(ExecContext* ctx, OpPtr child, std::vector<OrdKey> keys) {
-  return std::make_unique<OrderOp>(ctx, std::move(child), std::move(keys));
+  const Operator* c = child.get();
+  auto op = std::make_unique<OrderOp>(ctx, std::move(child), std::move(keys));
+  return MaybeTrace(ctx, std::move(op), "Order", "", {c});
 }
 
 }  // namespace x100::plan

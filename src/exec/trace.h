@@ -1,0 +1,131 @@
+#ifndef X100_EXEC_TRACE_H_
+#define X100_EXEC_TRACE_H_
+
+// EXPLAIN ANALYZE operator tracing. When ExecContext::trace is set, the
+// plan-builder factories (exec/plan.h) wrap every operator they create in an
+// InstrumentedOperator that accounts per-plan-node Next() calls, batches,
+// tuples and cycles into a TraceNode tree. After the run, QueryTrace renders
+// the annotated plan — the per-node complement of the Profiler's flat
+// per-primitive Table 5 trace.
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace x100 {
+
+/// One plan node's accounting. Cycles are inclusive: a node's Next() nests
+/// its children's Next() calls (including blocking drains like a join build),
+/// so self time is inclusive minus the children's inclusive.
+struct TraceNode {
+  std::string label;      // operator name, e.g. "Select"
+  std::string detail;     // operator-specific, e.g. scanned table + range
+  std::string plan_name;  // set on the root when RunPlan names the plan
+
+  uint64_t open_calls = 0;
+  uint64_t next_calls = 0;
+  uint64_t batches = 0;  // Next() calls that returned a batch
+  uint64_t tuples = 0;   // sum of returned batches' live (selected) tuples
+  uint64_t cycles = 0;   // inclusive, over Open() + Next() + Close()
+
+  std::vector<TraceNode*> children;
+
+  uint64_t ChildCycles() const {
+    uint64_t c = 0;
+    for (const TraceNode* ch : children) c += ch->cycles;
+    return c;
+  }
+  /// Cycles spent in this node excluding its children (clamped at 0: the
+  /// serializing cycle reads make nested measurements slightly lossy).
+  uint64_t SelfCycles() const {
+    uint64_t c = ChildCycles();
+    return cycles > c ? cycles - c : 0;
+  }
+  double SelfCyclesPerTuple() const {
+    return tuples ? static_cast<double>(SelfCycles()) /
+                        static_cast<double>(tuples)
+                  : 0.0;
+  }
+};
+
+/// Owns the TraceNodes of one traced run. A query that materializes
+/// sub-plans (the hand-translated TPC-H plans express SQL subqueries that
+/// way) produces one root per sub-plan, in execution order.
+class QueryTrace {
+ public:
+  /// Creates a node whose children (if any) stop being roots.
+  TraceNode* NewNode(std::string label, std::string detail,
+                     std::vector<TraceNode*> children);
+
+  const std::vector<TraceNode*>& roots() const { return roots_; }
+
+  /// Renders every root as an indented tree with per-node calls, batches,
+  /// tuples, self cycles/tuple and percent of total self time.
+  std::string ToString() const;
+
+  /// [{"plan","label","detail","next_calls","batches","tuples","cycles",
+  ///   "self_cycles","self_cycles_per_tuple","children":[...]}, ...]
+  std::string ToJson() const;
+
+ private:
+  std::deque<TraceNode> nodes_;  // stable addresses
+  std::vector<TraceNode*> roots_;
+};
+
+/// Decorator recording a wrapped operator's activity into a TraceNode.
+/// Transparent to the pipeline: forwards schema/Open/Next/Close.
+class InstrumentedOperator : public Operator {
+ public:
+  InstrumentedOperator(std::unique_ptr<Operator> inner, TraceNode* node)
+      : inner_(std::move(inner)), node_(node) {}
+
+  const Schema& schema() const override { return inner_->schema(); }
+
+  void Open() override {
+    node_->open_calls++;
+    uint64_t t0 = ReadCycleCounter();
+    inner_->Open();
+    node_->cycles += ReadCycleCounter() - t0;
+  }
+
+  VectorBatch* Next() override {
+    node_->next_calls++;
+    uint64_t t0 = ReadCycleCounter();
+    VectorBatch* batch = inner_->Next();
+    node_->cycles += ReadCycleCounter() - t0;
+    if (batch != nullptr) {
+      node_->batches++;
+      node_->tuples += static_cast<uint64_t>(batch->sel_count());
+    }
+    return batch;
+  }
+
+  void Close() override {
+    uint64_t t0 = ReadCycleCounter();
+    inner_->Close();
+    node_->cycles += ReadCycleCounter() - t0;
+  }
+
+  TraceNode* node() const { return node_; }
+  Operator* inner() const { return inner_.get(); }
+
+ private:
+  std::unique_ptr<Operator> inner_;
+  TraceNode* node_;
+};
+
+/// Plan-factory hook: wraps `op` when tracing is on, else returns it as-is.
+/// `children` are the child operators *before* they were moved into `op`
+/// (their pointers stay valid — `op` owns them); instrumented ones become the
+/// new node's children in the trace tree.
+std::unique_ptr<Operator> MaybeTrace(ExecContext* ctx,
+                                     std::unique_ptr<Operator> op,
+                                     std::string label, std::string detail,
+                                     std::vector<const Operator*> children);
+
+}  // namespace x100
+
+#endif  // X100_EXEC_TRACE_H_

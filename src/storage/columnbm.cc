@@ -3,11 +3,29 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/metrics.h"
 #include "common/profiling.h"
 #include "storage/compression.h"
 #include "common/status.h"
 
 namespace x100 {
+
+namespace {
+// Registry mirrors of the per-instance stats, so BENCH_*.json snapshots see
+// buffer-manager activity without threading ColumnBm pointers around.
+struct BmMetrics {
+  Counter* blocks_read;
+  Counter* bytes_read;
+  Counter* stall_nanos;
+  static BmMetrics& Get() {
+    static BmMetrics m = {
+        MetricsRegistry::Get().GetCounter("columnbm.blocks_read"),
+        MetricsRegistry::Get().GetCounter("columnbm.bytes_read"),
+        MetricsRegistry::Get().GetCounter("columnbm.stall_nanos")};
+    return m;
+  }
+};
+}  // namespace
 
 void ColumnBm::Store(const std::string& file, const Column& col) {
   File f;
@@ -29,6 +47,13 @@ int64_t ColumnBm::NumBlocks(const std::string& file) const {
   return static_cast<int64_t>(it->second.blocks.size());
 }
 
+void ColumnBm::AccountRead(size_t bytes) {
+  stats_.blocks_read++;
+  stats_.bytes_read += static_cast<int64_t>(bytes);
+  BmMetrics::Get().blocks_read->Inc();
+  BmMetrics::Get().bytes_read->Add(bytes);
+}
+
 void ColumnBm::Throttle(size_t bytes) {
   if (simulated_bandwidth_ <= 0) return;
   double secs = static_cast<double>(bytes) / simulated_bandwidth_;
@@ -36,6 +61,9 @@ void ColumnBm::Throttle(size_t bytes) {
   uint64_t wait = static_cast<uint64_t>(secs * 1e9);
   while (NowNanos() - start < wait) {
   }
+  uint64_t stalled = NowNanos() - start;
+  stats_.stall_nanos += static_cast<int64_t>(stalled);
+  BmMetrics::Get().stall_nanos->Add(stalled);
 }
 
 ColumnBm::BlockRef ColumnBm::ReadBlock(const std::string& file, int64_t b) {
@@ -43,8 +71,7 @@ ColumnBm::BlockRef ColumnBm::ReadBlock(const std::string& file, int64_t b) {
   X100_CHECK(it != files_.end());
   File& f = it->second;
   X100_CHECK(b >= 0 && b < static_cast<int64_t>(f.blocks.size()));
-  blocks_read_++;
-  bytes_read_ += static_cast<int64_t>(f.block_bytes[b]);
+  AccountRead(f.block_bytes[b]);
   Throttle(f.block_bytes[b]);
   return {f.blocks[b].get(), f.block_bytes[b]};
 }
@@ -80,10 +107,9 @@ int64_t ColumnBm::ReadDecompressed(const std::string& file, int64_t b,
   File& f = it->second;
   X100_CHECK(f.compressed);
   X100_CHECK(b >= 0 && b < static_cast<int64_t>(f.blocks.size()));
-  blocks_read_++;
-  bytes_read_ += static_cast<int64_t>(f.block_bytes[b]);
   // Only the compressed bytes cross the simulated I/O boundary; decompression
   // is CPU work on the cache side (§4 "Cache").
+  AccountRead(f.block_bytes[b]);
   Throttle(f.block_bytes[b]);
   return ForCodec::Decode(f.blocks[b].get(), out, f.value_width);
 }

@@ -68,9 +68,20 @@ class ColumnBm {
   BlockRef ReadBlock(const std::string& file, int64_t b);
 
   // -- accounting --
-  int64_t blocks_read() const { return blocks_read_; }
-  int64_t bytes_read() const { return bytes_read_; }
-  void ResetStats() { blocks_read_ = bytes_read_ = 0; }
+
+  /// All per-instance I/O accounting in one resettable struct: block reads,
+  /// bytes crossing the simulated disk boundary, and nanoseconds spent
+  /// stalled in the simulated-bandwidth throttle.
+  struct Stats {
+    int64_t blocks_read = 0;
+    int64_t bytes_read = 0;
+    int64_t stall_nanos = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  int64_t blocks_read() const { return stats_.blocks_read; }
+  int64_t bytes_read() const { return stats_.bytes_read; }
+  int64_t stall_nanos() const { return stats_.stall_nanos; }
+  void ResetStats() { stats_ = Stats(); }
 
   /// If >0, ReadBlock busy-waits to cap throughput at this many bytes/sec,
   /// simulating an I/O-bound substrate.
@@ -88,12 +99,12 @@ class ColumnBm {
     size_t value_width = 0;  // compressed files: bytes per decoded value
   };
 
+  void AccountRead(size_t bytes);
   void Throttle(size_t bytes);
 
   size_t block_size_;
   std::map<std::string, File> files_;
-  int64_t blocks_read_ = 0;
-  int64_t bytes_read_ = 0;
+  Stats stats_;
   double simulated_bandwidth_ = 0;
 };
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/date.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 
 namespace x100 {
@@ -388,6 +389,23 @@ std::unique_ptr<Catalog> GenerateTpch(const DbgenOptions& opts) {
     X100_CHECK_OK(lineitem->BuildJoinIndex(
         std::vector<std::string>{"l_partkey", "l_suppkey"}, *partsupp,
         std::vector<std::string>{"ps_partkey", "ps_suppkey"}));
+  }
+
+  // Account the generated volume: dbgen dominates bench startup, so its
+  // output shows up in every BENCH_*.json metrics snapshot.
+  {
+    MetricsRegistry& reg = MetricsRegistry::Get();
+    int64_t rows = 0, bytes = 0;
+    for (const std::string& name : catalog->TableNames()) {
+      const Table& t = catalog->Get(name);
+      rows += t.num_rows();
+      for (int c = 0; c < t.num_columns(); c++) {
+        bytes += static_cast<int64_t>(t.column(c).bytes());
+      }
+    }
+    reg.GetCounter("dbgen.runs")->Inc();
+    reg.GetCounter("dbgen.rows")->Add(rows);
+    reg.GetCounter("dbgen.bytes")->Add(bytes);
   }
   return catalog;
 }

@@ -25,10 +25,10 @@ const double kInf = 1e300;
 // ---- Q1: pricing summary report --------------------------------------------
 TablePtr Q1(ExecContext* ctx, const Catalog& db) {
   int32_t hi = ParseDate("1998-09-02");
-  auto op = Scan(ctx, db.Get("lineitem"),
-                 {"l_returnflag", "l_linestatus", "l_quantity",
-                  "l_extendedprice", "l_discount", "l_tax", "l_shipdate"});
-  static_cast<ScanOp*>(op.get())->RestrictRange("l_shipdate", -kInf, hi);
+  auto op = ScanRange(ctx, db.Get("lineitem"),
+                      {"l_returnflag", "l_linestatus", "l_quantity",
+                       "l_extendedprice", "l_discount", "l_tax", "l_shipdate"},
+                      "l_shipdate", -kInf, hi);
   op = Select(ctx, std::move(op), Le(Col("l_shipdate"), LitDate("1998-09-02")));
   op = DirectAggr(
       ctx, std::move(op), {"l_returnflag", "l_linestatus"},
@@ -147,9 +147,9 @@ TablePtr Q4(ExecContext* ctx, const Catalog& db) {
   // Build side = the (small) date-filtered orders; probe = late lineitems.
   // EXISTS becomes inner-join + per-order distinct before counting.
   int32_t lo = ParseDate("1993-07-01"), hi = ParseDate("1993-10-01");
-  auto ord = Scan(ctx, db.Get("orders"),
-                  {"o_orderkey", "o_orderdate", "o_orderpriority"});
-  static_cast<ScanOp*>(ord.get())->RestrictRange("o_orderdate", lo, hi);
+  auto ord = ScanRange(ctx, db.Get("orders"),
+                       {"o_orderkey", "o_orderdate", "o_orderpriority"},
+                       "o_orderdate", lo, hi);
   ord = Select(ctx, std::move(ord),
                And(Ge(Col("o_orderdate"), LitDate("1993-07-01")),
                    Lt(Col("o_orderdate"), LitDate("1993-10-01"))));
@@ -195,9 +195,10 @@ TablePtr Q5(ExecContext* ctx, const Catalog& db) {
 // ---- Q6: forecasting revenue change --------------------------------------------
 TablePtr Q6(ExecContext* ctx, const Catalog& db) {
   int32_t lo = ParseDate("1994-01-01"), hi = ParseDate("1995-01-01");
-  auto li = Scan(ctx, db.Get("lineitem"),
-                 {"l_shipdate", "l_discount", "l_quantity", "l_extendedprice"});
-  static_cast<ScanOp*>(li.get())->RestrictRange("l_shipdate", lo, hi - 1);
+  auto li = ScanRange(
+      ctx, db.Get("lineitem"),
+      {"l_shipdate", "l_discount", "l_quantity", "l_extendedprice"},
+      "l_shipdate", lo, hi - 1);
   li = Select(ctx, std::move(li),
               And(Ge(Col("l_shipdate"), LitDate("1994-01-01")),
                   And(Lt(Col("l_shipdate"), LitDate("1995-01-01")),
@@ -213,10 +214,10 @@ TablePtr Q6(ExecContext* ctx, const Catalog& db) {
 // ---- Q7: volume shipping ---------------------------------------------------------
 TablePtr Q7(ExecContext* ctx, const Catalog& db) {
   int32_t lo = ParseDate("1995-01-01"), hi = ParseDate("1996-12-31");
-  auto li = Scan(ctx, db.Get("lineitem"),
-                 {"l_shipdate", "l_extendedprice", "l_discount", kJiOrders,
-                  kJiSupplier});
-  static_cast<ScanOp*>(li.get())->RestrictRange("l_shipdate", lo, hi);
+  auto li = ScanRange(ctx, db.Get("lineitem"),
+                      {"l_shipdate", "l_extendedprice", "l_discount",
+                       kJiOrders, kJiSupplier},
+                      "l_shipdate", lo, hi);
   li = Select(ctx, std::move(li),
               Between(Col("l_shipdate"), LitDate("1995-01-01"),
                       LitDate("1996-12-31")));

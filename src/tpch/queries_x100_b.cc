@@ -20,10 +20,10 @@ const std::string kJiNation = Table::JoinIndexName("nation");
 // ---- Q12: shipping modes and order priority ---------------------------------
 TablePtr Q12(ExecContext* ctx, const Catalog& db) {
   int32_t lo = ParseDate("1994-01-01"), hi = ParseDate("1995-01-01");
-  auto li = Scan(ctx, db.Get("lineitem"),
-                 {"l_shipmode", "l_shipdate", "l_commitdate", "l_receiptdate",
-                  kJiOrders});
-  static_cast<ScanOp*>(li.get())->RestrictRange("l_receiptdate", lo, hi - 1);
+  auto li = ScanRange(ctx, db.Get("lineitem"),
+                      {"l_shipmode", "l_shipdate", "l_commitdate",
+                       "l_receiptdate", kJiOrders},
+                      "l_receiptdate", lo, hi - 1);
   li = Select(
       ctx, std::move(li),
       And(In(Col("l_shipmode"),
@@ -77,9 +77,9 @@ TablePtr Q13(ExecContext* ctx, const Catalog& db) {
 // ---- Q14: promotion effect -----------------------------------------------------
 TablePtr Q14(ExecContext* ctx, const Catalog& db) {
   int32_t lo = ParseDate("1995-09-01"), hi = ParseDate("1995-10-01");
-  auto li = Scan(ctx, db.Get("lineitem"),
-                 {"l_shipdate", "l_extendedprice", "l_discount", kJiPart});
-  static_cast<ScanOp*>(li.get())->RestrictRange("l_shipdate", lo, hi - 1);
+  auto li = ScanRange(ctx, db.Get("lineitem"),
+                      {"l_shipdate", "l_extendedprice", "l_discount", kJiPart},
+                      "l_shipdate", lo, hi - 1);
   li = Select(ctx, std::move(li),
               And(Ge(Col("l_shipdate"), LitDate("1995-09-01")),
                   Lt(Col("l_shipdate"), LitDate("1995-10-01"))));
@@ -111,9 +111,10 @@ TablePtr Q14(ExecContext* ctx, const Catalog& db) {
 // ---- Q15: top supplier ----------------------------------------------------------
 TablePtr Q15(ExecContext* ctx, const Catalog& db) {
   int32_t lo = ParseDate("1996-01-01"), hi = ParseDate("1996-04-01");
-  auto li = Scan(ctx, db.Get("lineitem"),
-                 {"l_suppkey", "l_shipdate", "l_extendedprice", "l_discount"});
-  static_cast<ScanOp*>(li.get())->RestrictRange("l_shipdate", lo, hi - 1);
+  auto li = ScanRange(
+      ctx, db.Get("lineitem"),
+      {"l_suppkey", "l_shipdate", "l_extendedprice", "l_discount"},
+      "l_shipdate", lo, hi - 1);
   li = Select(ctx, std::move(li),
               And(Ge(Col("l_shipdate"), LitDate("1996-01-01")),
                   Lt(Col("l_shipdate"), LitDate("1996-04-01"))));
@@ -288,9 +289,9 @@ TablePtr Q20(ExecContext* ctx, const Catalog& db) {
   TablePtr fmat = RunPlan(std::move(forest), "q20_forest");
 
   int32_t lo = ParseDate("1994-01-01"), hi = ParseDate("1995-01-01");
-  auto li = Scan(ctx, db.Get("lineitem"),
-                 {"l_partkey", "l_suppkey", "l_quantity", "l_shipdate"});
-  static_cast<ScanOp*>(li.get())->RestrictRange("l_shipdate", lo, hi - 1);
+  auto li = ScanRange(ctx, db.Get("lineitem"),
+                      {"l_partkey", "l_suppkey", "l_quantity", "l_shipdate"},
+                      "l_shipdate", lo, hi - 1);
   li = Select(ctx, std::move(li),
               And(Ge(Col("l_shipdate"), LitDate("1994-01-01")),
                   Lt(Col("l_shipdate"), LitDate("1995-01-01"))));

@@ -1,0 +1,299 @@
+// Tests for the observability layer: PrimitiveStats derived quantities, the
+// Profiler (row order, Clear, JSON), the JsonWriter, the metrics registry
+// (counter/gauge/histogram semantics, snapshots, reset), and EXPLAIN ANALYZE
+// operator tracing.
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/profiling.h"
+#include "exec/plan.h"
+#include "exec/trace.h"
+#include "storage/catalog.h"
+
+namespace x100 {
+namespace {
+
+using namespace x100::exprs;
+
+// --- PrimitiveStats ---------------------------------------------------------
+
+TEST(PrimitiveStatsTest, DerivedQuantities) {
+  PrimitiveStats s;
+  s.calls = 4;
+  s.tuples = 1000;
+  s.bytes = 8000;
+  s.cycles = 2500;
+  EXPECT_DOUBLE_EQ(s.CyclesPerTuple(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Megabytes(), 0.008);
+  // Micros and Bandwidth go through the measured cycle rate; check they are
+  // positive and mutually consistent: MB/s == MB / (us / 1e6).
+  double us = s.Micros();
+  ASSERT_GT(us, 0.0);
+  EXPECT_NEAR(s.Bandwidth(), s.Megabytes() / (us / 1e6),
+              s.Bandwidth() * 1e-9);
+}
+
+TEST(PrimitiveStatsTest, EmptyIsAllZero) {
+  PrimitiveStats s;
+  EXPECT_DOUBLE_EQ(s.CyclesPerTuple(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Megabytes(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Micros(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Bandwidth(), 0.0);
+}
+
+// --- Profiler ---------------------------------------------------------------
+
+TEST(ProfilerTest, RowsKeepFirstTouchOrder) {
+  Profiler p;
+  p.GetStats("zeta")->tuples = 1;
+  p.GetStats("alpha")->tuples = 2;
+  p.GetStats("mid")->tuples = 3;
+  p.GetStats("zeta")->tuples += 10;  // re-touch must not reorder
+
+  auto rows = p.Rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].first, "zeta");
+  EXPECT_EQ(rows[1].first, "alpha");
+  EXPECT_EQ(rows[2].first, "mid");
+  EXPECT_EQ(rows[0].second->tuples, 11u);
+}
+
+TEST(ProfilerTest, GetStatsReturnsStablePointer) {
+  Profiler p;
+  PrimitiveStats* a = p.GetStats("x");
+  p.GetStats("y");
+  p.GetStats("z");
+  EXPECT_EQ(p.GetStats("x"), a);
+}
+
+TEST(ProfilerTest, ClearEmptiesRows) {
+  Profiler p;
+  p.GetStats("a");
+  p.GetStats("b");
+  p.Clear();
+  EXPECT_TRUE(p.Rows().empty());
+  EXPECT_EQ(p.ToJson(), "[]");
+  // Usable again after Clear.
+  p.GetStats("c")->calls = 7;
+  ASSERT_EQ(p.Rows().size(), 1u);
+  EXPECT_EQ(p.Rows()[0].first, "c");
+}
+
+TEST(ProfilerTest, ToJsonRoundTrip) {
+  Profiler p;
+  PrimitiveStats* s = p.GetStats("map_add_i32");
+  s->calls = 2;
+  s->tuples = 2048;
+  s->bytes = 8192;
+  s->cycles = 4096;
+  p.GetStats("Scan")->tuples = 100;
+
+  std::string j = p.ToJson();
+  // Structural sanity: an array of two objects, rows in order, all keys
+  // present with the right values.
+  EXPECT_EQ(j.front(), '[');
+  EXPECT_EQ(j.back(), ']');
+  size_t first = j.find("\"name\":\"map_add_i32\"");
+  size_t second = j.find("\"name\":\"Scan\"");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_NE(j.find("\"calls\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"tuples\":2048"), std::string::npos);
+  EXPECT_NE(j.find("\"bytes\":8192"), std::string::npos);
+  EXPECT_NE(j.find("\"cycles\":4096"), std::string::npos);
+  EXPECT_NE(j.find("\"cycles_per_tuple\":2"), std::string::npos);
+}
+
+// --- JsonWriter -------------------------------------------------------------
+
+TEST(JsonWriterTest, ObjectsArraysAndCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a"); w.Value(int64_t{1});
+  w.Key("b");
+  w.BeginArray();
+  w.Value(1.5);
+  w.Value(true);
+  w.Value("x");
+  w.EndArray();
+  w.Key("c"); w.Value("y");
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Take(), "{\"a\":1,\"b\":[1.5,true,\"x\"],\"c\":\"y\"}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value("quote\" back\\ tab\t nl\n");
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Take(), "[\"quote\\\" back\\\\ tab\\t nl\\n\"]");
+}
+
+// --- Metrics registry -------------------------------------------------------
+
+TEST(MetricsTest, CounterSemantics) {
+  Counter c;
+  EXPECT_EQ(c.Get(), 0u);
+  c.Inc();
+  c.Add(41);
+  EXPECT_EQ(c.Get(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Get(), 0u);
+}
+
+TEST(MetricsTest, GaugeSemantics) {
+  Gauge g;
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.Get(), 3.5);
+  g.Set(-1);
+  EXPECT_DOUBLE_EQ(g.Get(), -1.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.Get(), 0.0);
+}
+
+TEST(MetricsTest, HistogramBucketsAndStats) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Min(), 0u);  // empty
+
+  h.Record(0);
+  h.Record(1);
+  h.Record(5);
+  h.Record(1000);
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.Sum(), 1006u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1006.0 / 4.0);
+
+  // Bucket 0 holds zeros; bucket i holds values of bit length i, so 1 lands
+  // in bucket 1, 5 in bucket 3 ([4,7]), 1000 in bucket 10 ([512,1023]).
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.BucketCount(10), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+  EXPECT_EQ(Histogram::BucketUpperBound(4), 15u);
+  uint64_t total = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; i++) total += h.BucketCount(i);
+  EXPECT_EQ(total, 4u);
+
+  // Percentiles are bucket upper bounds and monotone in p.
+  EXPECT_LE(h.ApproxPercentile(50), h.ApproxPercentile(99));
+  EXPECT_EQ(h.ApproxPercentile(100), 1023u);
+
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_EQ(h.Min(), 0u);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointersAndSnapshots) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  Counter* c = reg.GetCounter("test.registry.counter");
+  EXPECT_EQ(reg.GetCounter("test.registry.counter"), c);
+  EXPECT_NE(reg.GetCounter("test.registry.other"), c);
+  c->Reset();
+  c->Add(9);
+  reg.GetGauge("test.registry.gauge")->Set(2.25);
+  Histogram* h = reg.GetHistogram("test.registry.hist");
+  h->Reset();
+  h->Record(16);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("test.registry.counter"), 9u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.registry.gauge"), 2.25);
+  EXPECT_EQ(snap.histograms.at("test.registry.hist").count, 1u);
+  EXPECT_EQ(snap.histograms.at("test.registry.hist").max, 16u);
+
+  std::string j = snap.ToJson();
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"test.registry.counter\":9"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetAllZeroesButKeepsNames) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  Counter* c = reg.GetCounter("test.resetall.counter");
+  c->Add(5);
+  reg.ResetAll();
+  EXPECT_EQ(c->Get(), 0u);
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("test.resetall.counter"), 0u);
+}
+
+// --- EXPLAIN ANALYZE tracing ------------------------------------------------
+
+TEST(TraceTest, NodeSelfCyclesClampAndRollup) {
+  QueryTrace t;
+  TraceNode* leaf = t.NewNode("Scan", "t", {});
+  leaf->cycles = 60;
+  leaf->tuples = 10;
+  TraceNode* root = t.NewNode("Select", "", {leaf});
+  root->cycles = 100;
+  root->tuples = 4;
+  EXPECT_EQ(root->ChildCycles(), 60u);
+  EXPECT_EQ(root->SelfCycles(), 40u);
+  EXPECT_DOUBLE_EQ(root->SelfCyclesPerTuple(), 10.0);
+  // Children drop out of the root list once consumed.
+  ASSERT_EQ(t.roots().size(), 1u);
+  EXPECT_EQ(t.roots()[0], root);
+  // Nested timing is lossy; self cycles clamp instead of wrapping.
+  leaf->cycles = 1000;
+  EXPECT_EQ(root->SelfCycles(), 0u);
+}
+
+TEST(TraceTest, EndToEndTracedPlan) {
+  Catalog cat;
+  Table* t = cat.AddTable("nums", {{"v", TypeId::kI64, false}});
+  for (int i = 0; i < 5000; i++) t->AppendRow({Value::I64(i % 100)});
+  t->Freeze();
+
+  QueryTrace trace;
+  ExecContext ctx;
+  ctx.trace = &trace;
+  auto op = plan::Scan(&ctx, *t, {"v"});
+  std::vector<AggrSpec> aggrs;
+  aggrs.push_back(Sum("s", Col("v")));
+  op = plan::HashAggr(&ctx, std::move(op), {}, std::move(aggrs));
+  std::unique_ptr<Table> res = RunPlan(std::move(op), "traced_sum");
+
+  ASSERT_EQ(res->num_rows(), 1);
+  ASSERT_EQ(trace.roots().size(), 1u);
+  const TraceNode* root = trace.roots()[0];
+  EXPECT_EQ(root->label, "HashAggr");
+  EXPECT_EQ(root->plan_name, "traced_sum");
+  ASSERT_EQ(root->children.size(), 1u);
+  const TraceNode* scan = root->children[0];
+  EXPECT_EQ(scan->label, "Scan");
+  EXPECT_EQ(scan->detail, "nums");
+  EXPECT_EQ(scan->tuples, 5000u);
+  EXPECT_GT(scan->next_calls, scan->batches);  // one extra call returns null
+  EXPECT_GT(root->cycles, 0u);
+  EXPECT_GE(root->cycles, scan->cycles);
+
+  std::string txt = trace.ToString();
+  EXPECT_NE(txt.find("[traced_sum]"), std::string::npos);
+  EXPECT_NE(txt.find("HashAggr"), std::string::npos);
+  EXPECT_NE(txt.find("Scan"), std::string::npos);
+  std::string j = trace.ToJson();
+  EXPECT_NE(j.find("\"label\":\"HashAggr\""), std::string::npos);
+  EXPECT_NE(j.find("\"tuples\":5000"), std::string::npos);
+}
+
+TEST(TraceTest, NoTracingMeansNoWrapping) {
+  Catalog cat;
+  Table* t = cat.AddTable("nums", {{"v", TypeId::kI64, false}});
+  t->AppendRow({Value::I64(1)});
+  t->Freeze();
+  ExecContext ctx;  // trace == nullptr
+  auto op = plan::Scan(&ctx, *t, {"v"});
+  EXPECT_EQ(dynamic_cast<InstrumentedOperator*>(op.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace x100
