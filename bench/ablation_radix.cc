@@ -38,8 +38,10 @@ int main() {
   auto make_hash = [&](ExecContext* ctx) {
     return plan::Join(ctx, plan::Scan(ctx, ord, {"o_orderkey", "o_totalprice"}),
                       plan::Scan(ctx, li, {"l_orderkey", "l_quantity"}),
-                      {"o_orderkey"}, {"l_orderkey"}, {"o_totalprice"},
-                      {"l_quantity"});
+                      {.probe_keys = {"o_orderkey"},
+                       .build_keys = {"l_orderkey"},
+                       .probe_out = {"o_totalprice"},
+                       .build_out = {"l_quantity"}});
   };
   auto make_radix = [&](ExecContext* ctx, int bits) {
     return std::make_unique<RadixJoinOp>(

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
 #include "tpch/queries.h"
 
 using namespace x100;
@@ -30,6 +31,7 @@ int main() {
       MilSession s;
       RunMilQuery(q, &s, &mil);
       ExecContext ctx;
+      ctx.num_threads = EnvParallelism();  // X100_THREADS
       RunX100Query(q, &ctx, *db);
     }
     RepSet mil_r = MeasureReps(reps, [&] {
@@ -38,6 +40,7 @@ int main() {
     });
     RepSet x100_r = MeasureReps(reps, [&] {
       ExecContext ctx;
+      ctx.num_threads = EnvParallelism();  // X100_THREADS
       RunX100Query(q, &ctx, *db);
     });
     double mil_s = mil_r.Best(), x100_s = x100_r.Best();

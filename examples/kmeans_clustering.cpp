@@ -55,8 +55,10 @@ std::unique_ptr<Table> Iterate(ExecContext* ctx, const Table& points,
                              {"pid"}, AG(Min("dmin", Col("d"))));
   auto assign =
       plan::Join(ctx, plan::Scan(ctx, *dist, {"pid", "cid", "x", "y", "d"}),
-                 std::move(best), {"pid", "d"}, {"pid", "dmin"},
-                 {"pid", "cid", "x", "y", "d"}, {});
+                 std::move(best),
+                 {.probe_keys = {"pid", "d"},
+                  .build_keys = {"pid", "dmin"},
+                  .probe_out = {"pid", "cid", "x", "y", "d"}});
   // Ties (equidistant centroids) would duplicate a point; keep the first.
   auto dedup = plan::HashAggr(ctx, std::move(assign), {"pid"},
                               AG(Min("cid", Col("cid")), Min("x", Col("x")),

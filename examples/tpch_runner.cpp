@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "common/profiling.h"
+#include "common/thread_pool.h"
 #include "exec/trace.h"
 #include "storage/print.h"
 #include "tpch/dbgen.h"
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(engine, "x100") == 0 || std::strcmp(engine, "both") == 0) {
     QueryTrace trace;
     ExecContext ctx;
+    ctx.num_threads = EnvParallelism();  // X100_THREADS
     if (explain) ctx.trace = &trace;
     uint64_t t0 = NowNanos();
     std::unique_ptr<Table> r = RunX100Query(q, &ctx, *db);

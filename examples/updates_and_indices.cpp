@@ -18,8 +18,11 @@ namespace {
 
 double TotalAmount(ExecContext* ctx, const Table& t, const char* lo,
                    const char* hi) {
-  auto plan = plan::ScanRange(ctx, t, {"day", "amount"}, "day",
-                              ParseDate(lo), ParseDate(hi));
+  auto plan = plan::Scan(
+      ctx, t,
+      {.cols = {"day", "amount"},
+       .range = ScanSpec::Range{"day", double(ParseDate(lo)),
+                                double(ParseDate(hi))}});
   plan = plan::Select(ctx, std::move(plan),
                       And(Ge(Col("day"), LitDate(lo)),
                           Le(Col("day"), LitDate(hi))));

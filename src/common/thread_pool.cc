@@ -1,0 +1,63 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace x100 {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; i++) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    int n = std::max({hw, EnvParallelism(), 2});
+    return new ThreadPool(std::min(n, 64));
+  }();
+  return *pool;
+}
+
+int EnvParallelism() {
+  const char* env = std::getenv("X100_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  int n = std::atoi(env);
+  return std::clamp(n, 1, 64);
+}
+
+}  // namespace x100

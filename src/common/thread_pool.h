@@ -1,0 +1,58 @@
+#ifndef X100_COMMON_THREAD_POOL_H_
+#define X100_COMMON_THREAD_POOL_H_
+
+// Shared worker-thread pool for intra-query parallelism. The paper's
+// conclusion names Volcano Xchg operators as the route to parallel X100;
+// ExchangeOp (exec/exchange.h) submits its per-worker pipeline drains here.
+// One process-wide pool (Shared()) is sized for the machine so concurrent
+// exchanges don't multiply thread counts.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace x100 {
+
+/// Fixed-size pool executing submitted tasks FIFO. Tasks must not assume
+/// they run concurrently with each other: when the pool is smaller than one
+/// batch of submissions, later tasks wait for earlier ones to finish (the
+/// exchange protocol stays deadlock-free under that scheduling — workers
+/// only ever block on the consumer, never on each other).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` for execution on some pool thread. Never blocks.
+  void Submit(std::function<void()> fn);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Process-wide pool, created on first use and never destroyed. Sized
+  /// max(hardware_concurrency, X100_THREADS) so an exchange requested via
+  /// the env knob always gets real concurrency up to that width.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Parallelism requested via env X100_THREADS, clamped to [1, 64].
+/// Returns 1 (serial) when unset or unparsable.
+int EnvParallelism();
+
+}  // namespace x100
+
+#endif  // X100_COMMON_THREAD_POOL_H_

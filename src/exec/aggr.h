@@ -35,6 +35,16 @@ inline AggrSpec CountAll(std::string out) {
   return {AggrOp::kCount, nullptr, std::move(out)};
 }
 
+/// Deep copy (Expr trees cloned) — lets every exchange worker bind its own
+/// instance of one spec list.
+std::vector<AggrSpec> CloneAggrSpecs(const std::vector<AggrSpec>& specs);
+
+/// Specs that combine the per-worker partials `specs` produce, for the merge
+/// aggregation above an exchange: Sum and Count partials are summed (a count
+/// of counts is a sum; the partial count column is already i64), Min/Max
+/// keep their op. Every merge input is the partial's output column.
+std::vector<AggrSpec> MergeAggrSpecs(const std::vector<AggrSpec>& specs);
+
 namespace aggr_internal {
 
 /// Bound aggregate machinery shared by the three physical operators

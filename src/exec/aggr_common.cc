@@ -154,4 +154,24 @@ void UpdateAggr(BoundAggr* a, MultiExprEvaluator* inputs, VectorBatch* batch,
 
 }  // namespace aggr_internal
 
+std::vector<AggrSpec> CloneAggrSpecs(const std::vector<AggrSpec>& specs) {
+  std::vector<AggrSpec> out;
+  out.reserve(specs.size());
+  for (const AggrSpec& s : specs) {
+    out.push_back({s.op, s.input ? s.input->Clone() : nullptr, s.output});
+  }
+  return out;
+}
+
+std::vector<AggrSpec> MergeAggrSpecs(const std::vector<AggrSpec>& specs) {
+  std::vector<AggrSpec> out;
+  out.reserve(specs.size());
+  for (const AggrSpec& s : specs) {
+    AggrOp op = (s.op == AggrOp::kMin || s.op == AggrOp::kMax) ? s.op
+                                                               : AggrOp::kSum;
+    out.push_back({op, Col(s.output), s.output});
+  }
+  return out;
+}
+
 }  // namespace x100

@@ -187,6 +187,31 @@ class ParserImpl {
       auto child = ParseOperator();
       Expect(Token::Kind::kSymbol, ",");
       op = plan::Order(ctx_, std::move(child), ParseOrdList());
+    } else if (name == "HashJoin" || name == "SemiJoin" || name == "AntiJoin") {
+      auto probe = ParseOperator();
+      Expect(Token::Kind::kSymbol, ",");
+      auto build = ParseOperator();
+      Expect(Token::Kind::kSymbol, ",");
+      JoinSpec spec;
+      spec.probe_keys = ParseIdentList();
+      Expect(Token::Kind::kSymbol, ",");
+      spec.build_keys = ParseIdentList();
+      Expect(Token::Kind::kSymbol, ",");
+      spec.probe_out = ParseIdentList();
+      // build_out is optional; semi/anti joins never emit build columns.
+      if (Accept(Token::Kind::kSymbol, ",")) {
+        spec.build_out = ParseIdentList();
+      }
+      if (name == "SemiJoin") {
+        op = plan::SemiJoin(ctx_, std::move(probe), std::move(build),
+                            std::move(spec));
+      } else if (name == "AntiJoin") {
+        op = plan::AntiJoin(ctx_, std::move(probe), std::move(build),
+                            std::move(spec));
+      } else {
+        op = plan::Join(ctx_, std::move(probe), std::move(build),
+                        std::move(spec));
+      }
     } else if (name == "Fetch1Join") {
       auto child = ParseOperator();
       Expect(Token::Kind::kSymbol, ",");
@@ -209,15 +234,15 @@ class ParserImpl {
     std::string name = Ident();
     const Table* table = catalog_.Find(name);
     if (table == nullptr) Fail("unknown table '" + name + "'");
-    std::vector<std::string> cols;
-    while (Accept(Token::Kind::kSymbol, ",")) cols.push_back(Ident());
-    if (cols.empty()) {
+    ScanSpec spec;
+    while (Accept(Token::Kind::kSymbol, ",")) spec.cols.push_back(Ident());
+    if (spec.cols.empty()) {
       // All declared (non-index) columns.
       for (const Field& f : table->schema().fields()) {
-        if (f.name.rfind("#ji_", 0) != 0) cols.push_back(f.name);
+        if (f.name.rfind("#ji_", 0) != 0) spec.cols.push_back(f.name);
       }
     }
-    return plan::Scan(ctx_, *table, std::move(cols));
+    return plan::Scan(ctx_, *table, std::move(spec));
   }
 
   // ---- lists ----------------------------------------------------------------

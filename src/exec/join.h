@@ -20,20 +20,28 @@ namespace x100 {
 /// where the default 0 is exactly right).
 enum class JoinType { kInner, kSemi, kAnti, kLeftOuterDefault };
 
+/// Keys, outputs and flavour of one equi-join — the options struct taken by
+/// HashJoinOp and plan::Join in place of the former seven positional
+/// vectors. Output columns are `probe_out` from the probe child then
+/// `build_out` from the build child (kSemi/kAnti must leave build_out
+/// empty). Designated initializers keep call sites readable:
+///
+///   Join(ctx, p, b, {.probe_keys = {"fk"}, .build_keys = {"id"},
+///                    .probe_out = {"fk", "m"}, .build_out = {"label"}})
+struct JoinSpec {
+  std::vector<std::string> probe_keys, build_keys;
+  std::vector<std::string> probe_out, build_out;
+  JoinType type = JoinType::kInner;
+};
+
 /// Equi-hash-join. The build child is drained into a columnar store hashed on
 /// the build keys; probe batches compute key hashes with map_hash/map_rehash
 /// primitives and matching (probe,build) pairs are gathered into compact
 /// output vectors.
 class HashJoinOp : public Operator {
  public:
-  /// Output columns: `probe_out` from the probe child then `build_out` from
-  /// the build child (kSemi/kAnti must pass an empty build_out).
   HashJoinOp(ExecContext* ctx, std::unique_ptr<Operator> probe,
-             std::unique_ptr<Operator> build,
-             std::vector<std::string> probe_keys,
-             std::vector<std::string> build_keys,
-             std::vector<std::string> probe_out,
-             std::vector<std::string> build_out, JoinType type = JoinType::kInner);
+             std::unique_ptr<Operator> build, JoinSpec spec);
   ~HashJoinOp() override;
 
   const Schema& schema() const override { return schema_; }

@@ -75,19 +75,15 @@ struct HashJoinOp::Impl {
 };
 
 HashJoinOp::HashJoinOp(ExecContext* ctx, std::unique_ptr<Operator> probe,
-                       std::unique_ptr<Operator> build,
-                       std::vector<std::string> probe_keys,
-                       std::vector<std::string> build_keys,
-                       std::vector<std::string> probe_out,
-                       std::vector<std::string> build_out, JoinType type)
+                       std::unique_ptr<Operator> build, JoinSpec spec)
     : ctx_(ctx),
       probe_(std::move(probe)),
       build_(std::move(build)),
-      probe_keys_(std::move(probe_keys)),
-      build_keys_(std::move(build_keys)),
-      probe_out_(std::move(probe_out)),
-      build_out_(std::move(build_out)),
-      type_(type) {
+      probe_keys_(std::move(spec.probe_keys)),
+      build_keys_(std::move(spec.build_keys)),
+      probe_out_(std::move(spec.probe_out)),
+      build_out_(std::move(spec.build_out)),
+      type_(spec.type) {
   X100_CHECK(probe_keys_.size() == build_keys_.size() && !probe_keys_.empty());
   if (type_ == JoinType::kSemi || type_ == JoinType::kAnti) {
     X100_CHECK(build_out_.empty());

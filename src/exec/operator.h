@@ -28,6 +28,11 @@ struct ExecContext {
   /// InstrumentedOperator recording per-plan-node calls/batches/tuples/cycles
   /// — the EXPLAIN ANALYZE tree. Null disables per-node tracing.
   QueryTrace* trace = nullptr;
+  /// Intra-query parallelism budget (the paper's Xchg route, §6). Plans that
+  /// have a parallel variant (tpch Q1/Q6) run it through an ExchangeOp with
+  /// this many workers when > 1; 1 keeps every plan single-threaded. Wired
+  /// to env X100_THREADS by the runner and benches (EnvParallelism()).
+  int num_threads = 1;
 };
 
 /// X100 algebra operator: classical Volcano Open/Next/Close, but Next()

@@ -6,9 +6,9 @@
 //
 // When ExecContext::trace is set, each factory wraps its operator in an
 // InstrumentedOperator (exec/trace.h), so plans built through this DSL come
-// out pre-wired for EXPLAIN ANALYZE. Code that needs the concrete operator
-// (e.g. ScanOp::EmitRowId) must configure it before the wrap — which is why
-// the range/rowid variants exist as factories rather than post-hoc casts.
+// out pre-wired for EXPLAIN ANALYZE. Operator options travel in spec structs
+// (ScanSpec, JoinSpec) so factories stay single-signature and call sites use
+// designated initializers instead of positional argument lists.
 
 #include <memory>
 #include <string>
@@ -17,6 +17,7 @@
 
 #include "exec/aggr.h"
 #include "exec/basic_ops.h"
+#include "exec/exchange.h"
 #include "exec/join.h"
 #include "exec/materialize.h"
 #include "exec/scan.h"
@@ -27,29 +28,24 @@ namespace x100::plan {
 
 using OpPtr = std::unique_ptr<Operator>;
 
+/// Table scan configured by a ScanSpec (columns + optional summary-index
+/// range, #rowId emission, and morsel share — see exec/scan.h).
+inline OpPtr Scan(ExecContext* ctx, const Table& t, ScanSpec spec) {
+  std::string detail = t.name();
+  if (spec.range) detail += " range:" + spec.range->col;
+  if (!spec.rowid.empty()) detail += " +rowid";
+  if (spec.morsel.num_workers > 1) {
+    detail += " morsel " + std::to_string(spec.morsel.worker) + "/" +
+              std::to_string(spec.morsel.num_workers);
+  }
+  auto s = std::make_unique<ScanOp>(ctx, t, std::move(spec));
+  return MaybeTrace(ctx, std::move(s), "Scan", std::move(detail), {});
+}
+
+/// Convenience: full-table scan of `cols`.
 inline OpPtr Scan(ExecContext* ctx, const Table& t,
                   std::vector<std::string> cols) {
-  auto s = std::make_unique<ScanOp>(ctx, t, std::move(cols));
-  return MaybeTrace(ctx, std::move(s), "Scan", t.name(), {});
-}
-
-/// Scan with a summary-index range restriction (lo/hi inclusive; use
-/// ±infinity for open sides).
-inline OpPtr ScanRange(ExecContext* ctx, const Table& t,
-                       std::vector<std::string> cols, const std::string& col,
-                       double lo, double hi) {
-  auto s = std::make_unique<ScanOp>(ctx, t, std::move(cols));
-  s->RestrictRange(col, lo, hi);
-  return MaybeTrace(ctx, std::move(s), "Scan", t.name() + " range:" + col, {});
-}
-
-/// Scan that also emits the virtual #rowId as an i64 column named `rowid`.
-inline OpPtr ScanRowId(ExecContext* ctx, const Table& t,
-                       std::vector<std::string> cols,
-                       const std::string& rowid) {
-  auto s = std::make_unique<ScanOp>(ctx, t, std::move(cols));
-  s->EmitRowId(rowid);
-  return MaybeTrace(ctx, std::move(s), "Scan", t.name() + " +rowid", {});
+  return Scan(ctx, t, ScanSpec{.cols = std::move(cols)});
 }
 
 inline OpPtr Select(ExecContext* ctx, OpPtr child, ExprPtr pred) {
@@ -92,37 +88,29 @@ inline OpPtr OrdAggr(ExecContext* ctx, OpPtr child,
   return MaybeTrace(ctx, std::move(op), "OrdAggr", "", {c});
 }
 
-inline OpPtr Join(ExecContext* ctx, OpPtr probe, OpPtr build,
-                  std::vector<std::string> probe_keys,
-                  std::vector<std::string> build_keys,
-                  std::vector<std::string> probe_out,
-                  std::vector<std::string> build_out,
-                  JoinType type = JoinType::kInner) {
+/// Equi-hash-join configured by a JoinSpec (keys, outputs, type — see
+/// exec/join.h).
+inline OpPtr Join(ExecContext* ctx, OpPtr probe, OpPtr build, JoinSpec spec) {
   const Operator* p = probe.get();
   const Operator* b = build.get();
-  const char* label = type == JoinType::kSemi    ? "SemiJoin"
-                      : type == JoinType::kAnti  ? "AntiJoin"
-                                                 : "HashJoin";
-  auto op = std::make_unique<HashJoinOp>(
-      ctx, std::move(probe), std::move(build), std::move(probe_keys),
-      std::move(build_keys), std::move(probe_out), std::move(build_out), type);
+  const char* label = spec.type == JoinType::kSemi   ? "SemiJoin"
+                      : spec.type == JoinType::kAnti ? "AntiJoin"
+                                                     : "HashJoin";
+  auto op = std::make_unique<HashJoinOp>(ctx, std::move(probe),
+                                         std::move(build), std::move(spec));
   return MaybeTrace(ctx, std::move(op), label, "", {p, b});
 }
 
 inline OpPtr SemiJoin(ExecContext* ctx, OpPtr probe, OpPtr build,
-                      std::vector<std::string> probe_keys,
-                      std::vector<std::string> build_keys,
-                      std::vector<std::string> probe_out) {
-  return Join(ctx, std::move(probe), std::move(build), std::move(probe_keys),
-              std::move(build_keys), std::move(probe_out), {}, JoinType::kSemi);
+                      JoinSpec spec) {
+  spec.type = JoinType::kSemi;
+  return Join(ctx, std::move(probe), std::move(build), std::move(spec));
 }
 
 inline OpPtr AntiJoin(ExecContext* ctx, OpPtr probe, OpPtr build,
-                      std::vector<std::string> probe_keys,
-                      std::vector<std::string> build_keys,
-                      std::vector<std::string> probe_out) {
-  return Join(ctx, std::move(probe), std::move(build), std::move(probe_keys),
-              std::move(build_keys), std::move(probe_out), {}, JoinType::kAnti);
+                      JoinSpec spec) {
+  spec.type = JoinType::kAnti;
+  return Join(ctx, std::move(probe), std::move(build), std::move(spec));
 }
 
 inline OpPtr Fetch1Join(ExecContext* ctx, OpPtr child, const Table& target,
@@ -157,6 +145,24 @@ inline OpPtr Order(ExecContext* ctx, OpPtr child, std::vector<OrdKey> keys) {
   const Operator* c = child.get();
   auto op = std::make_unique<OrderOp>(ctx, std::move(child), std::move(keys));
   return MaybeTrace(ctx, std::move(op), "Order", "", {c});
+}
+
+/// Xchg (§6): runs `num_workers` pipelines built by `factory` on pool
+/// threads and merges their batches. When tracing, the per-worker subtrees
+/// are aggregated into one subtree under this node at Close().
+inline OpPtr Exchange(ExecContext* ctx, int num_workers, WorkerPlanFn factory,
+                      int queue_capacity = 0) {
+  auto op = std::make_unique<ExchangeOp>(ctx, num_workers, std::move(factory),
+                                         queue_capacity);
+  ExchangeOp* raw = op.get();
+  OpPtr wrapped =
+      MaybeTrace(ctx, std::move(op), "Exchange",
+                 "workers=" + std::to_string(num_workers), {});
+  if (ctx->trace != nullptr) {
+    raw->set_trace_node(
+        static_cast<InstrumentedOperator*>(wrapped.get())->node());
+  }
+  return wrapped;
 }
 
 }  // namespace x100::plan

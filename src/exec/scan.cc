@@ -5,6 +5,15 @@
 
 namespace x100 {
 
+ScanOp::ScanOp(ExecContext* ctx, const Table& table, ScanSpec spec)
+    : ScanOp(ctx, table, std::move(spec.cols)) {
+  if (spec.range) RestrictRange(spec.range->col, spec.range->lo, spec.range->hi);
+  if (!spec.rowid.empty()) EmitRowId(spec.rowid);
+  if (spec.morsel.num_workers > 1) {
+    RestrictMorsel(spec.morsel.worker, spec.morsel.num_workers);
+  }
+}
+
 ScanOp::ScanOp(ExecContext* ctx, const Table& table, std::vector<std::string> cols)
     : ctx_(ctx), table_(table) {
   for (const std::string& name : cols) {
@@ -36,6 +45,11 @@ void ScanOp::RestrictRange(const std::string& col, double lo, double hi) {
   restrict_hi_ = hi;
 }
 
+void ScanOp::RestrictMorsel(int worker, int num_workers) {
+  X100_CHECK(num_workers >= 1 && worker >= 0 && worker < num_workers);
+  morsel_ = {worker, num_workers};
+}
+
 void ScanOp::Open() {
   // Refresh dictionary refs (bases are stable only between appends).
   for (int i = 0; i < static_cast<int>(col_idx_.size()); i++) {
@@ -58,6 +72,22 @@ void ScanOp::Open() {
       frag_end_ = r.end;
     }
   }
+  delta_begin_ = table_.fragment_rows();
+  delta_end_ = table_.total_rows();
+  if (morsel_.num_workers > 1) {
+    // The morsel is this worker's share of what survives SMA pruning, with
+    // fragment split points granule-aligned (absolute alignment, matching
+    // the summary index), and of the delta region, split per-row.
+    Table::RowRange fr =
+        Table::MorselRange(frag_begin_, frag_end_, morsel_.worker,
+                           morsel_.num_workers, kSummaryIndexGranule);
+    frag_begin_ = fr.begin;
+    frag_end_ = fr.end;
+    Table::RowRange dr = Table::MorselRange(
+        delta_begin_, delta_end_, morsel_.worker, morsel_.num_workers, 1);
+    delta_begin_ = dr.begin;
+    delta_end_ = dr.end;
+  }
   pos_ = frag_begin_;
   in_delta_ = false;
 
@@ -70,7 +100,7 @@ void ScanOp::Open() {
   if (emit_rowid_) rowid_buf_.Allocate(TypeId::kI64, ctx_->vector_size);
   stats_ = ctx_->profiler ? ctx_->profiler->GetStats("Scan") : nullptr;
 
-  if (table_.delta_rows() > 0) {
+  if (delta_end_ > delta_begin_) {
     // Delta columns exist only for declared columns, not join-index columns;
     // scanning a join-index column of a table with deltas requires a
     // Reorganize() + join-index rebuild first.
@@ -83,11 +113,11 @@ void ScanOp::Open() {
 VectorBatch* ScanOp::Next() {
   uint64_t t0 = stats_ ? ReadCycleCounter() : 0;
   while (true) {
-    int64_t region_end = in_delta_ ? table_.total_rows() : frag_end_;
+    int64_t region_end = in_delta_ ? delta_end_ : frag_end_;
     if (pos_ >= region_end) {
-      if (!in_delta_ && table_.delta_rows() > 0) {
+      if (!in_delta_ && delta_end_ > delta_begin_) {
         in_delta_ = true;
-        pos_ = table_.fragment_rows();
+        pos_ = delta_begin_;
         continue;
       }
       return nullptr;

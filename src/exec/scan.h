@@ -1,6 +1,7 @@
 #ifndef X100_EXEC_SCAN_H_
 #define X100_EXEC_SCAN_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,34 @@
 #include "storage/table.h"
 
 namespace x100 {
+
+/// Options struct describing one table scan — the single entry point behind
+/// plan::Scan (the former Scan/ScanRange/ScanRowId factory triplet).
+/// Designated initializers keep call sites readable:
+///
+///   Scan(ctx, t, {.cols = {"a", "b"},
+///                 .range = {{"a", 0.0, 10.0}},
+///                 .morsel = {w, n}})
+struct ScanSpec {
+  /// Summary-index range restriction on one column (lo/hi inclusive; use
+  /// ±infinity for open sides), cf. §4.3.
+  struct Range {
+    std::string col;
+    double lo = 0, hi = 0;
+  };
+  /// Which contiguous share of the table this scan covers. The default is
+  /// the whole table; ExchangeOp factories pass {worker, num_workers} so
+  /// each worker pipeline reads a disjoint morsel.
+  struct Morsel {
+    int worker = 0;
+    int num_workers = 1;
+  };
+
+  std::vector<std::string> cols;
+  std::optional<Range> range;
+  std::string rowid;  // non-empty: also emit #rowId under this name
+  Morsel morsel;
+};
 
 /// Scan(Table): retrieves data vector-at-a-time from vertical fragments
 /// (§4.1.1). Only the requested columns are touched. Vectors are zero-copy
@@ -18,8 +47,14 @@ namespace x100 {
 /// Enumeration-typed columns are emitted as their code vectors with the
 /// dictionary attached to the schema Field; the expression binder inserts the
 /// decoding Fetch1Join automatically (§4.3).
+///
+/// With a morsel restriction, the scan covers worker w's share of both the
+/// (SMA-pruned) fragment region and the delta region; fragment split points
+/// are aligned to summary-index granules so no granule is read twice.
 class ScanOp : public Operator {
  public:
+  ScanOp(ExecContext* ctx, const Table& table, ScanSpec spec);
+  /// Convenience: full-table scan of `cols`.
   ScanOp(ExecContext* ctx, const Table& table, std::vector<std::string> cols);
 
   /// Narrows the fragment region via the summary index on `col` (§4.3):
@@ -30,6 +65,9 @@ class ScanOp : public Operator {
 
   /// Also emit the virtual #rowId as an i64 column named `name`.
   void EmitRowId(const std::string& name);
+
+  /// Restricts the scan to worker `worker`'s morsel of `num_workers`.
+  void RestrictMorsel(int worker, int num_workers);
 
   const Schema& schema() const override { return schema_; }
   void Open() override;
@@ -48,9 +86,13 @@ class ScanOp : public Operator {
   std::string restrict_col_;
   double restrict_lo_ = 0, restrict_hi_ = 0;
 
+  // Morsel restriction (resolved after SMA pruning at Open).
+  ScanSpec::Morsel morsel_;
+
   // Scan state.
-  int64_t frag_begin_ = 0, frag_end_ = 0;  // fragment region after SMA pruning
-  int64_t pos_ = 0;                        // next #rowId to deliver
+  int64_t frag_begin_ = 0, frag_end_ = 0;  // fragment region after SMA+morsel
+  int64_t delta_begin_ = 0, delta_end_ = 0;  // delta region (morsel share)
+  int64_t pos_ = 0;                          // next #rowId to deliver
   bool in_delta_ = false;
 
   VectorBatch batch_;

@@ -25,6 +25,16 @@ TraceNode* QueryTrace::NewNode(std::string label, std::string detail,
   return n;
 }
 
+void QueryTrace::AttachChild(TraceNode* parent, TraceNode* child) {
+  parent->children.push_back(child);
+  for (size_t i = 0; i < roots_.size(); i++) {
+    if (roots_[i] == child) {
+      roots_.erase(roots_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
 namespace {
 
 uint64_t TotalSelfCycles(const TraceNode* n) {

@@ -60,6 +60,11 @@ class QueryTrace {
   TraceNode* NewNode(std::string label, std::string detail,
                      std::vector<TraceNode*> children);
 
+  /// Re-parents existing root `child` under `parent` — both must live in
+  /// this trace. ExchangeOp grafts its merged per-worker subtree under the
+  /// exchange node this way, after the workers have finished.
+  void AttachChild(TraceNode* parent, TraceNode* child);
+
   const std::vector<TraceNode*>& roots() const { return roots_; }
 
   /// Renders every root as an indented tree with per-node calls, batches,

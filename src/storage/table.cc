@@ -203,4 +203,23 @@ Status Table::BuildJoinIndex(const std::vector<std::string>& fk_cols,
   return Status::OK();
 }
 
+Table::RowRange Table::MorselRange(int64_t begin, int64_t end, int worker,
+                                   int num_workers, int64_t align) {
+  X100_CHECK(num_workers >= 1 && worker >= 0 && worker < num_workers);
+  X100_CHECK(align >= 1 && begin <= end);
+  // Split point w: begin + w/num_workers of the range, floored to an
+  // absolute `align` boundary so interior cuts coincide with granule
+  // starts. Flooring a monotone sequence keeps it monotone, and points 0
+  // and num_workers are pinned to begin/end, so the morsels tile [begin,
+  // end) exactly.
+  auto point = [&](int w) -> int64_t {
+    if (w <= 0) return begin;
+    if (w >= num_workers) return end;
+    int64_t raw = begin + (end - begin) * w / num_workers;
+    int64_t aligned = raw / align * align;
+    return std::clamp(aligned, begin, end);
+  };
+  return {point(worker), point(worker + 1)};
+}
+
 }  // namespace x100

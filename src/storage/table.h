@@ -79,6 +79,19 @@ class Table {
   /// afterwards and must be rebuilt by the caller.
   void Reorganize();
 
+  // -- morsel partitioning (for exchange-parallel scans) --
+  struct RowRange {
+    int64_t begin, end;
+  };
+  /// Splits [begin, end) into `num_workers` contiguous morsels and returns
+  /// worker `worker`'s share. Split points are floor-aligned to absolute
+  /// multiples of `align` (scans pass kSummaryIndexGranule so per-worker
+  /// windows line up with summary-index granules); the union over all
+  /// workers is exactly [begin, end) and morsels never overlap. Trailing
+  /// morsels may be empty when the range is small.
+  static RowRange MorselRange(int64_t begin, int64_t end, int worker,
+                              int num_workers, int64_t align);
+
   // -- summary indices (fragment only) --
   void BuildSummaryIndex(const std::string& col_name);
   const SummaryIndex* summary_index(int col) const;

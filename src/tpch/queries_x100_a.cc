@@ -23,24 +23,53 @@ const double kInf = 1e300;
 }  // namespace
 
 // ---- Q1: pricing summary report --------------------------------------------
+//
+// With ctx->num_threads > 1 the scan+select+partial-aggregation pipeline is
+// cloned across an Exchange (each worker aggregating its morsel of
+// lineitem); one HashAggr above the exchange merges the per-worker partials.
+// The group count is tiny (≤ 6), so partial merge is essentially free.
 TablePtr Q1(ExecContext* ctx, const Catalog& db) {
-  int32_t hi = ParseDate("1998-09-02");
-  auto op = ScanRange(ctx, db.Get("lineitem"),
-                      {"l_returnflag", "l_linestatus", "l_quantity",
-                       "l_extendedprice", "l_discount", "l_tax", "l_shipdate"},
-                      "l_shipdate", -kInf, hi);
-  op = Select(ctx, std::move(op), Le(Col("l_shipdate"), LitDate("1998-09-02")));
-  op = DirectAggr(
-      ctx, std::move(op), {"l_returnflag", "l_linestatus"},
-      AG(Sum("sum_qty", Col("l_quantity")),
-         Sum("sum_base_price", Col("l_extendedprice")),
-         Sum("sum_disc_price",
-             Mul(Sub(LitF64(1.0), Col("l_discount")), Col("l_extendedprice"))),
-         Sum("sum_charge",
-             Mul(Add(LitF64(1.0), Col("l_tax")),
-                 Mul(Sub(LitF64(1.0), Col("l_discount")),
-                     Col("l_extendedprice")))),
-         Sum("sum_disc", Col("l_discount")), CountAll("count_order")));
+  double hi = ParseDate("1998-09-02");
+  const std::vector<std::string> cols = {
+      "l_returnflag", "l_linestatus",  "l_quantity", "l_extendedprice",
+      "l_discount",   "l_tax",         "l_shipdate"};
+  const std::vector<std::string> groups = {"l_returnflag", "l_linestatus"};
+  auto aggrs = [] {
+    return AG(
+        Sum("sum_qty", Col("l_quantity")),
+        Sum("sum_base_price", Col("l_extendedprice")),
+        Sum("sum_disc_price",
+            Mul(Sub(LitF64(1.0), Col("l_discount")), Col("l_extendedprice"))),
+        Sum("sum_charge",
+            Mul(Add(LitF64(1.0), Col("l_tax")),
+                Mul(Sub(LitF64(1.0), Col("l_discount")),
+                    Col("l_extendedprice")))),
+        Sum("sum_disc", Col("l_discount")), CountAll("count_order"));
+  };
+
+  OpPtr op;
+  if (ctx->num_threads > 1) {
+    const Table& li = db.Get("lineitem");
+    op = Exchange(ctx, ctx->num_threads,
+                  [&](ExecContext* wctx, int w, int n) {
+                    auto s = Scan(wctx, li,
+                                  {.cols = cols,
+                                   .range = ScanSpec::Range{"l_shipdate",
+                                                            -kInf, hi},
+                                   .morsel = {w, n}});
+                    s = Select(wctx, std::move(s),
+                               Le(Col("l_shipdate"), LitDate("1998-09-02")));
+                    return DirectAggr(wctx, std::move(s), groups, aggrs());
+                  });
+    op = HashAggr(ctx, std::move(op), groups, MergeAggrSpecs(aggrs()));
+  } else {
+    op = Scan(ctx, db.Get("lineitem"),
+              {.cols = cols,
+               .range = ScanSpec::Range{"l_shipdate", -kInf, hi}});
+    op = Select(ctx, std::move(op),
+                Le(Col("l_shipdate"), LitDate("1998-09-02")));
+    op = DirectAggr(ctx, std::move(op), groups, aggrs());
+  }
   op = Project(
       ctx, std::move(op),
       NE(Pass("l_returnflag"), Pass("l_linestatus"), Pass("sum_qty"),
@@ -75,16 +104,20 @@ TablePtr Q2(ExecContext* ctx, const Catalog& db) {
   auto ps = Scan(ctx, db.Get("partsupp"),
                  {"ps_partkey", "ps_suppkey", "ps_supplycost"});
   ps = Join(ctx, std::move(ps), Scan(ctx, *euro, {"s_suppkey"}),
-            {"ps_suppkey"}, {"s_suppkey"},
-            {"ps_partkey", "ps_suppkey", "ps_supplycost"}, {});
+            {.probe_keys = {"ps_suppkey"},
+             .build_keys = {"s_suppkey"},
+             .probe_out = {"ps_partkey", "ps_suppkey", "ps_supplycost"}});
   // Target parts.
   auto p = Scan(ctx, db.Get("part"),
                 {"p_partkey", "p_mfgr", "p_size", "p_type"});
   p = Select(ctx, std::move(p),
              And(Eq(Col("p_size"), LitI32(15)), Like(Col("p_type"), "%BRASS")));
   p = Project(ctx, std::move(p), NE(Pass("p_partkey"), Pass("p_mfgr")));
-  ps = Join(ctx, std::move(ps), std::move(p), {"ps_partkey"}, {"p_partkey"},
-            {"ps_partkey", "ps_suppkey", "ps_supplycost"}, {"p_mfgr"});
+  ps = Join(ctx, std::move(ps), std::move(p),
+            {.probe_keys = {"ps_partkey"},
+             .build_keys = {"p_partkey"},
+             .probe_out = {"ps_partkey", "ps_suppkey", "ps_supplycost"},
+             .build_out = {"p_mfgr"}});
   TablePtr psp = RunPlan(std::move(ps), "q2_psp");
 
   auto minc = HashAggr(ctx, Scan(ctx, *psp, {"ps_partkey", "ps_supplycost"}),
@@ -95,15 +128,18 @@ TablePtr Q2(ExecContext* ctx, const Catalog& db) {
                   Scan(ctx, *psp,
                        {"ps_partkey", "ps_suppkey", "ps_supplycost", "p_mfgr"}),
                   Scan(ctx, *mint, {"ps_partkey", "min_cost"}),
-                  {"ps_partkey", "ps_supplycost"}, {"ps_partkey", "min_cost"},
-                  {"ps_partkey", "ps_suppkey", "p_mfgr"}, {});
+                  {.probe_keys = {"ps_partkey", "ps_supplycost"},
+                   .build_keys = {"ps_partkey", "min_cost"},
+                   .probe_out = {"ps_partkey", "ps_suppkey", "p_mfgr"}});
   win = Join(ctx, std::move(win),
              Scan(ctx, *euro,
                   {"s_suppkey", "s_name", "s_address", "s_phone", "s_acctbal",
                    "s_comment", "n_name"}),
-             {"ps_suppkey"}, {"s_suppkey"}, {"ps_partkey", "p_mfgr"},
-             {"s_acctbal", "s_name", "n_name", "s_address", "s_phone",
-              "s_comment"});
+             {.probe_keys = {"ps_suppkey"},
+              .build_keys = {"s_suppkey"},
+              .probe_out = {"ps_partkey", "p_mfgr"},
+              .build_out = {"s_acctbal", "s_name", "n_name", "s_address",
+                            "s_phone", "s_comment"}});
   win = Project(ctx, std::move(win),
                 NE(Pass("s_acctbal"), Pass("s_name"), Pass("n_name"),
                    As("p_partkey", Col("ps_partkey")), Pass("p_mfgr"),
@@ -146,10 +182,10 @@ TablePtr Q3(ExecContext* ctx, const Catalog& db) {
 TablePtr Q4(ExecContext* ctx, const Catalog& db) {
   // Build side = the (small) date-filtered orders; probe = late lineitems.
   // EXISTS becomes inner-join + per-order distinct before counting.
-  int32_t lo = ParseDate("1993-07-01"), hi = ParseDate("1993-10-01");
-  auto ord = ScanRange(ctx, db.Get("orders"),
-                       {"o_orderkey", "o_orderdate", "o_orderpriority"},
-                       "o_orderdate", lo, hi);
+  double lo = ParseDate("1993-07-01"), hi = ParseDate("1993-10-01");
+  auto ord = Scan(ctx, db.Get("orders"),
+                  {.cols = {"o_orderkey", "o_orderdate", "o_orderpriority"},
+                   .range = ScanSpec::Range{"o_orderdate", lo, hi}});
   ord = Select(ctx, std::move(ord),
                And(Ge(Col("o_orderdate"), LitDate("1993-07-01")),
                    Lt(Col("o_orderdate"), LitDate("1993-10-01"))));
@@ -158,8 +194,10 @@ TablePtr Q4(ExecContext* ctx, const Catalog& db) {
                    {"l_orderkey", "l_commitdate", "l_receiptdate"});
   late = Select(ctx, std::move(late),
                 Lt(Col("l_commitdate"), Col("l_receiptdate")));
-  auto j = Join(ctx, std::move(late), std::move(ord), {"l_orderkey"},
-                {"o_orderkey"}, {}, {"o_orderkey", "o_orderpriority"});
+  auto j = Join(ctx, std::move(late), std::move(ord),
+                {.probe_keys = {"l_orderkey"},
+                 .build_keys = {"o_orderkey"},
+                 .build_out = {"o_orderkey", "o_orderpriority"}});
   j = HashAggr(ctx, std::move(j), {"o_orderkey", "o_orderpriority"}, {});
   j = HashAggr(ctx, std::move(j), {"o_orderpriority"},
                AG(CountAll("order_count")));
@@ -193,31 +231,56 @@ TablePtr Q5(ExecContext* ctx, const Catalog& db) {
 }
 
 // ---- Q6: forecasting revenue change --------------------------------------------
+//
+// Parallel variant mirrors Q1: per-worker scan/select/scalar-aggregate over a
+// lineitem morsel, merged by summing the single-row partials above the
+// Exchange.
 TablePtr Q6(ExecContext* ctx, const Catalog& db) {
-  int32_t lo = ParseDate("1994-01-01"), hi = ParseDate("1995-01-01");
-  auto li = ScanRange(
-      ctx, db.Get("lineitem"),
-      {"l_shipdate", "l_discount", "l_quantity", "l_extendedprice"},
-      "l_shipdate", lo, hi - 1);
-  li = Select(ctx, std::move(li),
-              And(Ge(Col("l_shipdate"), LitDate("1994-01-01")),
-                  And(Lt(Col("l_shipdate"), LitDate("1995-01-01")),
-                      And(Ge(Col("l_discount"), LitF64(0.05)),
-                          And(Le(Col("l_discount"), LitF64(0.07)),
-                              Lt(Col("l_quantity"), LitF64(24.0)))))));
-  li = HashAggr(ctx, std::move(li), {},
-                AG(Sum("revenue",
-                       Mul(Col("l_extendedprice"), Col("l_discount")))));
+  double lo = ParseDate("1994-01-01"), hi = ParseDate("1995-01-01") - 1;
+  const std::vector<std::string> cols = {"l_shipdate", "l_discount",
+                                         "l_quantity", "l_extendedprice"};
+  auto pred = [] {
+    return And(Ge(Col("l_shipdate"), LitDate("1994-01-01")),
+               And(Lt(Col("l_shipdate"), LitDate("1995-01-01")),
+                   And(Ge(Col("l_discount"), LitF64(0.05)),
+                       And(Le(Col("l_discount"), LitF64(0.07)),
+                           Lt(Col("l_quantity"), LitF64(24.0))))));
+  };
+  auto aggrs = [] {
+    return AG(
+        Sum("revenue", Mul(Col("l_extendedprice"), Col("l_discount"))));
+  };
+
+  OpPtr li;
+  if (ctx->num_threads > 1) {
+    const Table& t = db.Get("lineitem");
+    li = Exchange(ctx, ctx->num_threads,
+                  [&](ExecContext* wctx, int w, int n) {
+                    auto s = Scan(wctx, t,
+                                  {.cols = cols,
+                                   .range = ScanSpec::Range{"l_shipdate", lo,
+                                                            hi},
+                                   .morsel = {w, n}});
+                    s = Select(wctx, std::move(s), pred());
+                    return HashAggr(wctx, std::move(s), {}, aggrs());
+                  });
+    li = HashAggr(ctx, std::move(li), {}, MergeAggrSpecs(aggrs()));
+  } else {
+    li = Scan(ctx, db.Get("lineitem"),
+              {.cols = cols, .range = ScanSpec::Range{"l_shipdate", lo, hi}});
+    li = Select(ctx, std::move(li), pred());
+    li = HashAggr(ctx, std::move(li), {}, aggrs());
+  }
   return RunPlan(std::move(li), "q6");
 }
 
 // ---- Q7: volume shipping ---------------------------------------------------------
 TablePtr Q7(ExecContext* ctx, const Catalog& db) {
-  int32_t lo = ParseDate("1995-01-01"), hi = ParseDate("1996-12-31");
-  auto li = ScanRange(ctx, db.Get("lineitem"),
-                      {"l_shipdate", "l_extendedprice", "l_discount",
-                       kJiOrders, kJiSupplier},
-                      "l_shipdate", lo, hi);
+  double lo = ParseDate("1995-01-01"), hi = ParseDate("1996-12-31");
+  auto li = Scan(ctx, db.Get("lineitem"),
+                 {.cols = {"l_shipdate", "l_extendedprice", "l_discount",
+                           kJiOrders, kJiSupplier},
+                  .range = ScanSpec::Range{"l_shipdate", lo, hi}});
   li = Select(ctx, std::move(li),
               Between(Col("l_shipdate"), LitDate("1995-01-01"),
                       LitDate("1996-12-31")));
@@ -287,9 +350,12 @@ TablePtr Q8(ExecContext* ctx, const Catalog& db) {
   TablePtr brat = RunPlan(std::move(bra), "q8_bra");
 
   auto fin = Join(ctx, Scan(ctx, *tott, {"o_year", "total"}),
-                  Scan(ctx, *brat, {"o_year", "brazil"}), {"o_year"},
-                  {"o_year"}, {"o_year", "total"}, {"brazil"},
-                  JoinType::kLeftOuterDefault);
+                  Scan(ctx, *brat, {"o_year", "brazil"}),
+                  {.probe_keys = {"o_year"},
+                   .build_keys = {"o_year"},
+                   .probe_out = {"o_year", "total"},
+                   .build_out = {"brazil"},
+                   .type = JoinType::kLeftOuterDefault});
   fin = Project(ctx, std::move(fin),
                 NE(Pass("o_year"),
                    As("mkt_share", Div(Col("brazil"), Col("total")))));

@@ -19,11 +19,11 @@ const std::string kJiNation = Table::JoinIndexName("nation");
 
 // ---- Q12: shipping modes and order priority ---------------------------------
 TablePtr Q12(ExecContext* ctx, const Catalog& db) {
-  int32_t lo = ParseDate("1994-01-01"), hi = ParseDate("1995-01-01");
-  auto li = ScanRange(ctx, db.Get("lineitem"),
-                      {"l_shipmode", "l_shipdate", "l_commitdate",
-                       "l_receiptdate", kJiOrders},
-                      "l_receiptdate", lo, hi - 1);
+  double lo = ParseDate("1994-01-01"), hi = ParseDate("1995-01-01") - 1;
+  auto li = Scan(ctx, db.Get("lineitem"),
+                 {.cols = {"l_shipmode", "l_shipdate", "l_commitdate",
+                           "l_receiptdate", kJiOrders},
+                  .range = ScanSpec::Range{"l_receiptdate", lo, hi}});
   li = Select(
       ctx, std::move(li),
       And(In(Col("l_shipmode"),
@@ -46,10 +46,12 @@ TablePtr Q12(ExecContext* ctx, const Catalog& db) {
                         {Value::Str("1-URGENT"), Value::Str("2-HIGH")}));
   high = HashAggr(ctx, std::move(high), {"l_shipmode"},
                   AG(CountAll("high_line_count")));
-  auto fin =
-      Join(ctx, std::move(tot), std::move(high), {"l_shipmode"},
-           {"l_shipmode"}, {"l_shipmode", "total"}, {"high_line_count"},
-           JoinType::kLeftOuterDefault);
+  auto fin = Join(ctx, std::move(tot), std::move(high),
+                  {.probe_keys = {"l_shipmode"},
+                   .build_keys = {"l_shipmode"},
+                   .probe_out = {"l_shipmode", "total"},
+                   .build_out = {"high_line_count"},
+                   .type = JoinType::kLeftOuterDefault});
   fin = Project(ctx, std::move(fin),
                 NE(Pass("l_shipmode"), Pass("high_line_count"),
                    As("low_line_count",
@@ -66,9 +68,12 @@ TablePtr Q13(ExecContext* ctx, const Catalog& db) {
   ord = HashAggr(ctx, std::move(ord), {"o_custkey"}, AG(CountAll("c_count")));
 
   auto cust = Scan(ctx, db.Get("customer"), {"c_custkey"});
-  auto j = Join(ctx, std::move(cust), std::move(ord), {"c_custkey"},
-                {"o_custkey"}, {"c_custkey"}, {"c_count"},
-                JoinType::kLeftOuterDefault);
+  auto j = Join(ctx, std::move(cust), std::move(ord),
+                {.probe_keys = {"c_custkey"},
+                 .build_keys = {"o_custkey"},
+                 .probe_out = {"c_custkey"},
+                 .build_out = {"c_count"},
+                 .type = JoinType::kLeftOuterDefault});
   j = HashAggr(ctx, std::move(j), {"c_count"}, AG(CountAll("custdist")));
   j = Order(ctx, std::move(j), {Desc("custdist"), Desc("c_count")});
   return RunPlan(std::move(j), "q13");
@@ -76,10 +81,11 @@ TablePtr Q13(ExecContext* ctx, const Catalog& db) {
 
 // ---- Q14: promotion effect -----------------------------------------------------
 TablePtr Q14(ExecContext* ctx, const Catalog& db) {
-  int32_t lo = ParseDate("1995-09-01"), hi = ParseDate("1995-10-01");
-  auto li = ScanRange(ctx, db.Get("lineitem"),
-                      {"l_shipdate", "l_extendedprice", "l_discount", kJiPart},
-                      "l_shipdate", lo, hi - 1);
+  double lo = ParseDate("1995-09-01"), hi = ParseDate("1995-10-01") - 1;
+  auto li = Scan(ctx, db.Get("lineitem"),
+                 {.cols = {"l_shipdate", "l_extendedprice", "l_discount",
+                           kJiPart},
+                  .range = ScanSpec::Range{"l_shipdate", lo, hi}});
   li = Select(ctx, std::move(li),
               And(Ge(Col("l_shipdate"), LitDate("1995-09-01")),
                   Lt(Col("l_shipdate"), LitDate("1995-10-01"))));
@@ -110,11 +116,11 @@ TablePtr Q14(ExecContext* ctx, const Catalog& db) {
 
 // ---- Q15: top supplier ----------------------------------------------------------
 TablePtr Q15(ExecContext* ctx, const Catalog& db) {
-  int32_t lo = ParseDate("1996-01-01"), hi = ParseDate("1996-04-01");
-  auto li = ScanRange(
-      ctx, db.Get("lineitem"),
-      {"l_suppkey", "l_shipdate", "l_extendedprice", "l_discount"},
-      "l_shipdate", lo, hi - 1);
+  double lo = ParseDate("1996-01-01"), hi = ParseDate("1996-04-01") - 1;
+  auto li = Scan(ctx, db.Get("lineitem"),
+                 {.cols = {"l_suppkey", "l_shipdate", "l_extendedprice",
+                           "l_discount"},
+                  .range = ScanSpec::Range{"l_shipdate", lo, hi}});
   li = Select(ctx, std::move(li),
               And(Ge(Col("l_shipdate"), LitDate("1996-01-01")),
                   Lt(Col("l_shipdate"), LitDate("1996-04-01"))));
@@ -134,8 +140,10 @@ TablePtr Q15(ExecContext* ctx, const Catalog& db) {
   win = Join(ctx, std::move(win),
              Scan(ctx, db.Get("supplier"),
                   {"s_suppkey", "s_name", "s_address", "s_phone"}),
-             {"l_suppkey"}, {"s_suppkey"}, {"total_revenue"},
-             {"s_suppkey", "s_name", "s_address", "s_phone"});
+             {.probe_keys = {"l_suppkey"},
+              .build_keys = {"s_suppkey"},
+              .probe_out = {"total_revenue"},
+              .build_out = {"s_suppkey", "s_name", "s_address", "s_phone"}});
   win = Project(ctx, std::move(win),
                 NE(Pass("s_suppkey"), Pass("s_name"), Pass("s_address"),
                    Pass("s_phone"), Pass("total_revenue")));
@@ -162,10 +170,15 @@ TablePtr Q16(ExecContext* ctx, const Catalog& db) {
   bad = Project(ctx, std::move(bad), NE(Pass("s_suppkey")));
 
   auto ps = Scan(ctx, db.Get("partsupp"), {"ps_partkey", "ps_suppkey"});
-  ps = AntiJoin(ctx, std::move(ps), std::move(bad), {"ps_suppkey"},
-                {"s_suppkey"}, {"ps_partkey", "ps_suppkey"});
-  ps = Join(ctx, std::move(ps), std::move(p), {"ps_partkey"}, {"p_partkey"},
-            {"ps_suppkey"}, {"p_brand", "p_type", "p_size"});
+  ps = AntiJoin(ctx, std::move(ps), std::move(bad),
+                {.probe_keys = {"ps_suppkey"},
+                 .build_keys = {"s_suppkey"},
+                 .probe_out = {"ps_partkey", "ps_suppkey"}});
+  ps = Join(ctx, std::move(ps), std::move(p),
+            {.probe_keys = {"ps_partkey"},
+             .build_keys = {"p_partkey"},
+             .probe_out = {"ps_suppkey"},
+             .build_out = {"p_brand", "p_type", "p_size"}});
   // count(distinct ps_suppkey): distinct first, then count.
   ps = HashAggr(ctx, std::move(ps),
                 {"p_brand", "p_type", "p_size", "ps_suppkey"}, {});
@@ -188,8 +201,10 @@ TablePtr Q17(ExecContext* ctx, const Catalog& db) {
 
   auto li = Scan(ctx, db.Get("lineitem"),
                  {"l_partkey", "l_quantity", "l_extendedprice"});
-  li = Join(ctx, std::move(li), Scan(ctx, *pmat, {"p_partkey"}), {"l_partkey"},
-            {"p_partkey"}, {"l_partkey", "l_quantity", "l_extendedprice"}, {});
+  li = Join(ctx, std::move(li), Scan(ctx, *pmat, {"p_partkey"}),
+            {.probe_keys = {"l_partkey"},
+             .build_keys = {"p_partkey"},
+             .probe_out = {"l_partkey", "l_quantity", "l_extendedprice"}});
   TablePtr t = RunPlan(std::move(li), "q17_li");
 
   auto a = HashAggr(ctx, Scan(ctx, *t, {"l_partkey", "l_quantity"}),
@@ -204,8 +219,11 @@ TablePtr Q17(ExecContext* ctx, const Catalog& db) {
 
   auto j = Join(ctx,
                 Scan(ctx, *t, {"l_partkey", "l_quantity", "l_extendedprice"}),
-                Scan(ctx, *amat, {"pk", "lim"}), {"l_partkey"}, {"pk"},
-                {"l_quantity", "l_extendedprice"}, {"lim"});
+                Scan(ctx, *amat, {"pk", "lim"}),
+                {.probe_keys = {"l_partkey"},
+                 .build_keys = {"pk"},
+                 .probe_out = {"l_quantity", "l_extendedprice"},
+                 .build_out = {"lim"}});
   j = Select(ctx, std::move(j), Lt(Col("l_quantity"), Col("lim")));
   j = HashAggr(ctx, std::move(j), {},
                AG(Sum("sum_price", Col("l_extendedprice"))));
@@ -231,9 +249,11 @@ TablePtr Q18(ExecContext* ctx, const Catalog& db) {
   o = Fetch1Join(ctx, std::move(o), db.Get("customer"), kJiCustomer,
                  {{"c_name", "c_name"}});
   o = Join(ctx, std::move(o), Scan(ctx, *bigt, {"l_orderkey", "sum_qty"}),
-           {"o_orderkey"}, {"l_orderkey"},
-           {"c_name", "o_custkey", "o_orderkey", "o_orderdate", "o_totalprice"},
-           {"sum_qty"});
+           {.probe_keys = {"o_orderkey"},
+            .build_keys = {"l_orderkey"},
+            .probe_out = {"c_name", "o_custkey", "o_orderkey", "o_orderdate",
+                          "o_totalprice"},
+            .build_out = {"sum_qty"}});
   o = Project(ctx, std::move(o),
               NE(Pass("c_name"), As("c_custkey", Col("o_custkey")),
                  Pass("o_orderkey"), Pass("o_orderdate"), Pass("o_totalprice"),
@@ -288,15 +308,18 @@ TablePtr Q20(ExecContext* ctx, const Catalog& db) {
   forest = Project(ctx, std::move(forest), NE(Pass("p_partkey")));
   TablePtr fmat = RunPlan(std::move(forest), "q20_forest");
 
-  int32_t lo = ParseDate("1994-01-01"), hi = ParseDate("1995-01-01");
-  auto li = ScanRange(ctx, db.Get("lineitem"),
-                      {"l_partkey", "l_suppkey", "l_quantity", "l_shipdate"},
-                      "l_shipdate", lo, hi - 1);
+  double lo = ParseDate("1994-01-01"), hi = ParseDate("1995-01-01") - 1;
+  auto li = Scan(ctx, db.Get("lineitem"),
+                 {.cols = {"l_partkey", "l_suppkey", "l_quantity",
+                           "l_shipdate"},
+                  .range = ScanSpec::Range{"l_shipdate", lo, hi}});
   li = Select(ctx, std::move(li),
               And(Ge(Col("l_shipdate"), LitDate("1994-01-01")),
                   Lt(Col("l_shipdate"), LitDate("1995-01-01"))));
-  li = Join(ctx, std::move(li), Scan(ctx, *fmat, {"p_partkey"}), {"l_partkey"},
-            {"p_partkey"}, {"l_partkey", "l_suppkey", "l_quantity"}, {});
+  li = Join(ctx, std::move(li), Scan(ctx, *fmat, {"p_partkey"}),
+            {.probe_keys = {"l_partkey"},
+             .build_keys = {"p_partkey"},
+             .probe_out = {"l_partkey", "l_suppkey", "l_quantity"}});
   li = HashAggr(ctx, std::move(li), {"l_partkey", "l_suppkey"},
                 AG(Sum("sum_qty", Col("l_quantity"))));
   TablePtr sq = RunPlan(std::move(li), "q20_sq");
@@ -305,8 +328,10 @@ TablePtr Q20(ExecContext* ctx, const Catalog& db) {
                  {"ps_partkey", "ps_suppkey", "ps_availqty"});
   ps = Join(ctx, std::move(ps),
             Scan(ctx, *sq, {"l_partkey", "l_suppkey", "sum_qty"}),
-            {"ps_partkey", "ps_suppkey"}, {"l_partkey", "l_suppkey"},
-            {"ps_suppkey", "ps_availqty"}, {"sum_qty"});
+            {.probe_keys = {"ps_partkey", "ps_suppkey"},
+             .build_keys = {"l_partkey", "l_suppkey"},
+             .probe_out = {"ps_suppkey", "ps_availqty"},
+             .build_out = {"sum_qty"}});
   ps = Select(ctx, std::move(ps),
               Gt(Col("ps_availqty"), Mul(LitF64(0.5), Col("sum_qty"))));
   ps = HashAggr(ctx, std::move(ps), {"ps_suppkey"}, {});
@@ -318,7 +343,9 @@ TablePtr Q20(ExecContext* ctx, const Catalog& db) {
                  {{"n_name", "n_name"}});
   s = Select(ctx, std::move(s), Eq(Col("n_name"), LitStr("CANADA")));
   s = SemiJoin(ctx, std::move(s), Scan(ctx, *sk, {"ps_suppkey"}),
-               {"s_suppkey"}, {"ps_suppkey"}, {"s_name", "s_address"});
+               {.probe_keys = {"s_suppkey"},
+                .build_keys = {"ps_suppkey"},
+                .probe_out = {"s_name", "s_address"}});
   s = Order(ctx, std::move(s), {Asc("s_name")});
   return RunPlan(std::move(s), "q20");
 }
@@ -370,14 +397,23 @@ TablePtr Q21(ExecContext* ctx, const Catalog& db) {
   fo = Project(ctx, std::move(fo), NE(Pass("o_orderkey")));
 
   auto l1 = Join(ctx, Scan(ctx, *latet, {"l_orderkey", "l_suppkey"}),
-                 Scan(ctx, *saudit, {"s_suppkey", "s_name"}), {"l_suppkey"},
-                 {"s_suppkey"}, {"l_orderkey"}, {"s_name"});
-  l1 = SemiJoin(ctx, std::move(l1), std::move(fo), {"l_orderkey"},
-                {"o_orderkey"}, {"l_orderkey", "s_name"});
+                 Scan(ctx, *saudit, {"s_suppkey", "s_name"}),
+                 {.probe_keys = {"l_suppkey"},
+                  .build_keys = {"s_suppkey"},
+                  .probe_out = {"l_orderkey"},
+                  .build_out = {"s_name"}});
+  l1 = SemiJoin(ctx, std::move(l1), std::move(fo),
+                {.probe_keys = {"l_orderkey"},
+                 .build_keys = {"o_orderkey"},
+                 .probe_out = {"l_orderkey", "s_name"}});
   l1 = SemiJoin(ctx, std::move(l1), Scan(ctx, *multit, {"l_orderkey"}),
-                {"l_orderkey"}, {"l_orderkey"}, {"l_orderkey", "s_name"});
+                {.probe_keys = {"l_orderkey"},
+                 .build_keys = {"l_orderkey"},
+                 .probe_out = {"l_orderkey", "s_name"}});
   l1 = SemiJoin(ctx, std::move(l1), Scan(ctx, *singlet, {"l_orderkey"}),
-                {"l_orderkey"}, {"l_orderkey"}, {"s_name"});
+                {.probe_keys = {"l_orderkey"},
+                 .build_keys = {"l_orderkey"},
+                 .probe_out = {"s_name"}});
   l1 = HashAggr(ctx, std::move(l1), {"s_name"}, AG(CountAll("numwait")));
   l1 = TopN(ctx, std::move(l1), {Desc("numwait"), Asc("s_name")}, 100);
   return RunPlan(std::move(l1), "q21");
@@ -418,13 +454,17 @@ TablePtr Q22(ExecContext* ctx, const Catalog& db) {
   // that do have orders, and anti-join the candidates against that set —
   // both hash builds stay small.
   auto have = SemiJoin(ctx, Scan(ctx, db.Get("orders"), {"o_custkey"}),
-                       Scan(ctx, *c2t, {"c_custkey"}), {"o_custkey"},
-                       {"c_custkey"}, {"o_custkey"});
+                       Scan(ctx, *c2t, {"c_custkey"}),
+                       {.probe_keys = {"o_custkey"},
+                        .build_keys = {"c_custkey"},
+                        .probe_out = {"o_custkey"}});
   have = HashAggr(ctx, std::move(have), {"o_custkey"}, {});
   auto fin_op = AntiJoin(ctx,
                          Scan(ctx, *c2t, {"c_custkey", "c_phone", "c_acctbal"}),
-                         std::move(have), {"c_custkey"}, {"o_custkey"},
-                         {"c_phone", "c_acctbal"});
+                         std::move(have),
+                         {.probe_keys = {"c_custkey"},
+                          .build_keys = {"o_custkey"},
+                          .probe_out = {"c_phone", "c_acctbal"}});
   TablePtr fin = RunPlan(std::move(fin_op), "q22_fin");
 
   // Per-country-code aggregation, assembled in code order.

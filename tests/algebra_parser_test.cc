@@ -120,6 +120,62 @@ TEST_F(AlgebraParserTest, ScalarAggrAndYear) {
   EXPECT_GT(r->GetValue(0, 0).AsI64(), 0);
 }
 
+TEST_F(AlgebraParserTest, HashJoinBuildsJoinSpec) {
+  std::unique_ptr<Table> parsed = Run(R"(
+      Order(
+        HashJoin(
+          Table(lineitem, l_orderkey, l_extendedprice),
+          Select(Table(orders, o_orderkey, o_totalprice),
+                 > (o_totalprice, 400000.0)),
+          [ l_orderkey ], [ o_orderkey ],
+          [ l_orderkey, l_extendedprice ], [ o_totalprice ]),
+        [ l_orderkey ASC, l_extendedprice ASC ]))");
+  ASSERT_NE(parsed, nullptr);
+
+  ExecContext ctx;
+  auto ord = plan::Select(
+      &ctx, plan::Scan(&ctx, db_->Get("orders"), {"o_orderkey", "o_totalprice"}),
+      Gt(Col("o_totalprice"), LitF64(400000.0)));
+  auto built = plan::Join(
+      &ctx, plan::Scan(&ctx, db_->Get("lineitem"),
+                       {"l_orderkey", "l_extendedprice"}),
+      std::move(ord),
+      {.probe_keys = {"l_orderkey"},
+       .build_keys = {"o_orderkey"},
+       .probe_out = {"l_orderkey", "l_extendedprice"},
+       .build_out = {"o_totalprice"}});
+  std::unique_ptr<Table> h = RunPlan(
+      plan::Order(&ctx, std::move(built),
+                  {Asc("l_orderkey"), Asc("l_extendedprice")}),
+      "built");
+  ASSERT_GT(h->num_rows(), 0);
+  ExpectTablesEqual(*h, *parsed, 0.0);
+}
+
+TEST_F(AlgebraParserTest, SemiAndAntiJoinPartitionProbe) {
+  // build_out is omitted for semi/anti joins; the two outputs must partition
+  // the distinct probe keys.
+  std::unique_ptr<Table> semi = Run(R"(
+      Aggr(
+        SemiJoin(Table(orders, o_orderkey, o_custkey),
+                 Select(Table(customer, c_custkey, c_acctbal),
+                        > (c_acctbal, 0.0)),
+                 [ o_custkey ], [ c_custkey ], [ o_orderkey ]),
+        [], [ n = count() ]))");
+  std::unique_ptr<Table> anti = Run(R"(
+      Aggr(
+        AntiJoin(Table(orders, o_orderkey, o_custkey),
+                 Select(Table(customer, c_custkey, c_acctbal),
+                        > (c_acctbal, 0.0)),
+                 [ o_custkey ], [ c_custkey ], [ o_orderkey ]),
+        [], [ n = count() ]))");
+  ASSERT_NE(semi, nullptr);
+  ASSERT_NE(anti, nullptr);
+  EXPECT_EQ(semi->GetValue(0, 0).AsI64() + anti->GetValue(0, 0).AsI64(),
+            db_->Get("orders").num_rows());
+  EXPECT_GT(semi->GetValue(0, 0).AsI64(), 0);
+}
+
 TEST_F(AlgebraParserTest, ErrorsAreReported) {
   ExecContext ctx;
   AlgebraParser parser(&ctx, *db_);

@@ -368,8 +368,11 @@ TEST(JoinTest, HashJoinMatchesNestedLoop) {
   ExecContext ctx;
   ctx.vector_size = 64;
   auto hash = plan::Join(&ctx, plan::Scan(&ctx, *f.fact, {"fk", "m"}),
-                         plan::Scan(&ctx, *f.dim, {"id", "label"}), {"fk"},
-                         {"id"}, {"fk", "m"}, {"label"});
+                         plan::Scan(&ctx, *f.dim, {"id", "label"}),
+                         {.probe_keys = {"fk"},
+                          .build_keys = {"id"},
+                          .probe_out = {"fk", "m"},
+                          .build_out = {"label"}});
   std::unique_ptr<Table> h = RunPlan(
       plan::Order(&ctx, std::move(hash), {Asc("fk"), Asc("m")}), "h");
 
@@ -390,11 +393,15 @@ TEST(JoinTest, SemiAntiPartitionProbe) {
   JoinFixture f;
   ExecContext ctx;
   auto semi = plan::SemiJoin(&ctx, plan::Scan(&ctx, *f.fact, {"fk", "m"}),
-                             plan::Scan(&ctx, *f.dim, {"id"}), {"fk"}, {"id"},
-                             {"fk", "m"});
+                             plan::Scan(&ctx, *f.dim, {"id"}),
+                             {.probe_keys = {"fk"},
+                              .build_keys = {"id"},
+                              .probe_out = {"fk", "m"}});
   auto anti = plan::AntiJoin(&ctx, plan::Scan(&ctx, *f.fact, {"fk", "m"}),
-                             plan::Scan(&ctx, *f.dim, {"id"}), {"fk"}, {"id"},
-                             {"fk", "m"});
+                             plan::Scan(&ctx, *f.dim, {"id"}),
+                             {.probe_keys = {"fk"},
+                              .build_keys = {"id"},
+                              .probe_out = {"fk", "m"}});
   std::unique_ptr<Table> s = RunPlan(std::move(semi), "s");
   std::unique_ptr<Table> a = RunPlan(std::move(anti), "a");
   EXPECT_EQ(s->num_rows() + a->num_rows(), f.fact->num_rows());
@@ -406,8 +413,12 @@ TEST(JoinTest, LeftOuterDefaultFillsZeros) {
   JoinFixture f;
   ExecContext ctx;
   auto j = plan::Join(&ctx, plan::Scan(&ctx, *f.fact, {"fk", "m"}),
-                      plan::Scan(&ctx, *f.dim, {"id", "label"}), {"fk"}, {"id"},
-                      {"fk"}, {"label"}, JoinType::kLeftOuterDefault);
+                      plan::Scan(&ctx, *f.dim, {"id", "label"}),
+                      {.probe_keys = {"fk"},
+                       .build_keys = {"id"},
+                       .probe_out = {"fk"},
+                       .build_out = {"label"},
+                       .type = JoinType::kLeftOuterDefault});
   std::unique_ptr<Table> r = RunPlan(std::move(j), "r");
   EXPECT_EQ(r->num_rows(), f.fact->num_rows());
   for (int64_t i = 0; i < r->num_rows(); i++) {
@@ -437,8 +448,11 @@ TEST(JoinTest, DuplicateBuildKeysExpand) {
   build->Freeze();
 
   auto j = plan::Join(&ctx, plan::Scan(&ctx, *probe, {"k", "pid"}),
-                      plan::Scan(&ctx, *build, {"k", "bid"}), {"k"}, {"k"},
-                      {"k", "pid"}, {"bid"});
+                      plan::Scan(&ctx, *build, {"k", "bid"}),
+                      {.probe_keys = {"k"},
+                       .build_keys = {"k"},
+                       .probe_out = {"k", "pid"},
+                       .build_out = {"bid"}});
   std::unique_ptr<Table> r = RunPlan(std::move(j), "r");
   // Keys 0,1,2 appear 10x in probe and 3x in build each: 3 * 10 * 3 pairs.
   EXPECT_EQ(r->num_rows(), 90);
@@ -466,7 +480,10 @@ TEST(JoinTest, MultiKeyJoin) {
   b->Freeze();
   auto j = plan::Join(&ctx, plan::Scan(&ctx, *a, {"k1", "k2"}),
                       plan::Scan(&ctx, *b, {"k1", "k2", "payload"}),
-                      {"k1", "k2"}, {"k1", "k2"}, {"k1", "k2"}, {"payload"});
+                      {.probe_keys = {"k1", "k2"},
+                       .build_keys = {"k1", "k2"},
+                       .probe_out = {"k1", "k2"},
+                       .build_out = {"payload"}});
   std::unique_ptr<Table> r = RunPlan(std::move(j), "r");
   for (int64_t i = 0; i < r->num_rows(); i++) {
     int64_t payload = r->GetValue(i, 2).AsI64();
@@ -483,8 +500,11 @@ TEST_P(RadixJoinTest, MatchesHashJoin) {
   ExecContext ctx;
   ctx.vector_size = 128;
   auto hash = plan::Join(&ctx, plan::Scan(&ctx, *f.fact, {"fk", "m"}),
-                         plan::Scan(&ctx, *f.dim, {"id", "label"}), {"fk"},
-                         {"id"}, {"fk", "m"}, {"label"});
+                         plan::Scan(&ctx, *f.dim, {"id", "label"}),
+                         {.probe_keys = {"fk"},
+                          .build_keys = {"id"},
+                          .probe_out = {"fk", "m"},
+                          .build_out = {"label"}});
   std::unique_ptr<Table> h =
       RunPlan(plan::Order(&ctx, std::move(hash), {Asc("fk"), Asc("m")}), "h");
 

@@ -204,8 +204,11 @@ TEST(TpchFetchNJoin, OrdersRangeFetchMatchesHashJoin) {
   auto hash = plan::Join(
       &ctx,
       plan::Scan(&ctx, db->Get("lineitem"), {"l_orderkey", "l_extendedprice"}),
-      ord(), {"l_orderkey"}, {"o_orderkey"},
-      {"l_orderkey", "l_extendedprice"}, {"o_orderkey", "o_orderdate"});
+      ord(),
+      {.probe_keys = {"l_orderkey"},
+       .build_keys = {"o_orderkey"},
+       .probe_out = {"l_orderkey", "l_extendedprice"},
+       .build_out = {"o_orderkey", "o_orderdate"}});
   std::unique_ptr<Table> via_hash = RunPlan(
       plan::Order(&ctx, std::move(hash),
                   {Asc("o_orderkey"), Asc("l_extendedprice")}),
