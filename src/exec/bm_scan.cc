@@ -1,18 +1,87 @@
 #include "exec/bm_scan.h"
 
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "exec/trace.h"
+#include "storage/compression.h"
 
 namespace x100 {
 
+namespace {
+struct PrefetchMetrics {
+  Counter* scheduled;
+  Counter* hits;
+  Counter* late;
+  static PrefetchMetrics& Get() {
+    static PrefetchMetrics m = {
+        MetricsRegistry::Get().GetCounter("prefetch.scheduled"),
+        MetricsRegistry::Get().GetCounter("prefetch.hits"),
+        MetricsRegistry::Get().GetCounter("prefetch.late")};
+    return m;
+  }
+};
+}  // namespace
+
+/// One in-flight readahead. The pool task owns a shared_ptr, so the ticket
+/// (and the block pin inside it) outlives both the task and the scan,
+/// whichever finishes last. The scan only ever *blocks* on a ticket whose
+/// task has `started` (bounded: the task is on a thread and will finish).
+/// A ticket still queued — the shared pool may be saturated with exchange
+/// workers, which themselves submit these tasks — is cancelled instead:
+/// the scan steals the read and the task later no-ops. Waiting on a queued
+/// task would deadlock when every pool thread is a blocked worker.
+struct BmScanOp::Ticket {
+  std::mutex mu;
+  std::condition_variable cv;
+  int64_t block = 0;
+  bool started = false;
+  bool done = false;
+  bool cancelled = false;
+  bool failed = false;
+  std::string error;
+  bool pool_hit = false;
+  ColumnBm::BlockRef ref;     // plain blocks: pinned payload
+  std::vector<char> decoded;  // compressed blocks: decoded values
+  int64_t count = 0;          // compressed blocks: decoded value count
+};
+
 BmScanOp::BmScanOp(ExecContext* ctx, ColumnBm* bm, const Table& table,
-                   std::vector<std::string> cols, bool compress)
-    : ctx_(ctx), bm_(bm), table_(table), compress_(compress) {
-  X100_CHECK(table.frozen() && table.delta_rows() == 0 &&
-             table.num_deleted() == 0);
-  for (const std::string& name : cols) {
+                   BmScanSpec spec)
+    : ctx_(ctx), bm_(bm), table_(table), spec_(std::move(spec)) {
+  if (!table.frozen()) {
+    throw std::invalid_argument(
+        "BmScanOp: table '" + table.name() +
+        "' is not frozen; ColumnBM stores immutable fragments — call "
+        "Freeze() first");
+  }
+  if (table.delta_rows() != 0) {
+    throw std::invalid_argument(
+        "BmScanOp: table '" + table.name() + "' has " +
+        std::to_string(table.delta_rows()) +
+        " delta rows; ColumnBM scans cover only the frozen fragment — "
+        "merge the deltas (Freeze) before scanning");
+  }
+  if (table.num_deleted() != 0) {
+    throw std::invalid_argument(
+        "BmScanOp: table '" + table.name() + "' has " +
+        std::to_string(table.num_deleted()) +
+        " deleted rows; the ColumnBM block image has no deletion list — "
+        "compact the table before scanning");
+  }
+  for (const std::string& name : spec_.cols) {
     int ci = table.ColumnIndex(name);
     const Column& col = table.column(ci);
-    X100_CHECK(col.type() != TypeId::kStr || col.is_enum());
+    if (col.type() == TypeId::kStr && !col.is_enum()) {
+      throw std::invalid_argument(
+          "BmScanOp: column '" + name + "' of table '" + table.name() +
+          "' is a non-enum string column; its heap pointers are not a disk "
+          "format — enum-encode it (Table::EnumEncode) to scan via ColumnBM");
+    }
     col_idx_.push_back(ci);
     Field f;
     f.name = name;
@@ -25,7 +94,18 @@ BmScanOp::BmScanOp(ExecContext* ctx, ColumnBm* bm, const Table& table,
 }
 
 void BmScanOp::Open() {
+  prefetch_ = PrefetchStats{};
+  pool_hits_ = pool_misses_ = 0;
+  prefetch_on_ = spec_.prefetch && bm_->disk_backed();
+
+  Table::RowRange range =
+      Table::MorselRange(0, table_.fragment_rows(), spec_.morsel.worker,
+                         spec_.morsel.num_workers, /*align=*/1);
+  pos_ = range.begin;
+  end_ = range.end;
+
   cols_.clear();
+  std::vector<std::string> files;
   for (int i = 0; i < static_cast<int>(col_idx_.size()); i++) {
     const Column& col = table_.column(col_idx_[i]);
     if (col.is_enum()) {
@@ -35,7 +115,7 @@ void BmScanOp::Open() {
     }
     ColState st;
     st.width = TypeWidth(col.storage_type());
-    st.compressed = compress_ && IsIntegral(col.storage_type());
+    st.compressed = spec_.compress && IsIntegral(col.storage_type());
     st.file = table_.name() + "." + schema_.field(i).name +
               (st.compressed ? ".for" : ".plain");
     if (!bm_->Contains(st.file)) {
@@ -45,32 +125,170 @@ void BmScanOp::Open() {
         bm_->Store(st.file, col);
       }
     }
+    st.num_blocks = bm_->NumBlocks(st.file);
+    // Seek to the block containing the morsel's first row.
+    int64_t row = 0, b = 0;
+    while (b < st.num_blocks) {
+      int64_t cnt =
+          st.compressed
+              ? bm_->CompressedBlockCount(st.file, b)
+              : static_cast<int64_t>(bm_->BlockBytes(st.file, b) / st.width);
+      if (row + cnt > range.begin) break;
+      row += cnt;
+      b++;
+    }
+    st.block = b - 1;
+    st.skip = range.begin - row;
+    st.rows_left = range.end - range.begin;
+    files.push_back(st.file);
     cols_.push_back(std::move(st));
   }
-  pos_ = 0;
+  if (bm_->disk_backed()) {
+    Status s = bm_->WriteTableManifest(table_.name(), files);
+    if (!s.ok()) {
+      throw std::runtime_error("BmScanOp: manifest write failed: " +
+                               s.message());
+    }
+  }
   batch_ = VectorBatch(schema_, ctx_->vector_size);
+}
+
+void BmScanOp::SchedulePrefetch(ColState& st) {
+  int64_t next = st.block + 1;
+  // No readahead past the last block this morsel actually needs.
+  if (!prefetch_on_ || st.next != nullptr || next >= st.num_blocks ||
+      st.rows_left <= st.avail) {
+    return;
+  }
+  auto t = std::make_shared<Ticket>();
+  t->block = next;
+  st.next = t;
+  prefetch_.scheduled++;
+  ColumnBm* bm = bm_;
+  std::string file = st.file;
+  bool compressed = st.compressed;
+  size_t width = st.width;
+  ThreadPool::Shared().Submit([t, bm, file, compressed, width, next] {
+    {
+      std::lock_guard<std::mutex> lock(t->mu);
+      if (t->cancelled) {
+        t->done = true;
+        t->cv.notify_all();
+        return;
+      }
+      t->started = true;
+    }
+    ColumnBm::BlockRef ref;
+    std::vector<char> decoded;
+    int64_t count = 0;
+    bool failed = false;
+    std::string error;
+    try {
+      ref = bm->ReadBlock(file, next);
+      if (compressed) {
+        // Decode on the prefetch thread too: the scan overlaps its own
+        // decode/consume with both the I/O and this decompression.
+        count = ForCodec::EncodedCount(ref.data);
+        decoded.resize(static_cast<size_t>(count) * width);
+        int64_t got = ForCodec::Decode(ref.data, decoded.data(), width);
+        failed = got != count;
+        if (failed) error = "decode count mismatch";
+      }
+    } catch (const std::exception& e) {
+      failed = true;
+      error = e.what();
+    }
+    std::lock_guard<std::mutex> lock(t->mu);
+    if (failed) {
+      t->failed = true;
+      t->error = error;
+    } else {
+      t->pool_hit = ref.cache_hit;
+      if (compressed) {
+        t->decoded = std::move(decoded);
+        t->count = count;
+      } else {
+        t->ref = std::move(ref);
+      }
+    }
+    t->done = true;
+    t->cv.notify_all();
+  });
+}
+
+void BmScanOp::StageBlock(ColState& st) {
+  st.block++;
+  X100_CHECK(st.block < st.num_blocks);
+  std::shared_ptr<Ticket> t = std::move(st.next);
+  if (t != nullptr) {
+    X100_CHECK(t->block == st.block);
+    std::unique_lock<std::mutex> lock(t->mu);
+    if (t->done) {
+      prefetch_.hits++;
+    } else if (!t->started) {
+      // The task is still queued — possibly behind exchange workers hogging
+      // every shared pool thread. Steal the read: cancel the ticket (the
+      // task will no-op) and fall through to the synchronous path below.
+      t->cancelled = true;
+      prefetch_.late++;
+      lock.unlock();
+      t = nullptr;
+    } else {
+      prefetch_.late++;
+      t->cv.wait(lock, [&] { return t->done; });
+    }
+  }
+  if (t != nullptr) {
+    std::unique_lock<std::mutex> lock(t->mu);
+    if (t->failed) {
+      throw std::runtime_error("BmScanOp: readahead of " + st.file +
+                               " block " + std::to_string(st.block) +
+                               " failed: " + t->error);
+    }
+    (t->pool_hit ? pool_hits_ : pool_misses_)++;
+    if (st.compressed) {
+      st.buf = std::move(t->decoded);
+      st.cur = st.buf.data();
+      st.avail = t->count;
+      st.ref = ColumnBm::BlockRef{};
+    } else {
+      st.ref = std::move(t->ref);
+      st.cur = static_cast<const char*>(st.ref.data);
+      st.avail = static_cast<int64_t>(st.ref.bytes / st.width);
+    }
+  } else {
+    ColumnBm::BlockRef ref = bm_->ReadBlock(st.file, st.block);
+    (ref.cache_hit ? pool_hits_ : pool_misses_)++;
+    if (st.compressed) {
+      int64_t count = ForCodec::EncodedCount(ref.data);
+      st.buf.resize(static_cast<size_t>(count) * st.width);
+      int64_t got = ForCodec::Decode(ref.data, st.buf.data(), st.width);
+      X100_CHECK(got == count);
+      st.cur = st.buf.data();
+      st.avail = count;
+      st.ref = ColumnBm::BlockRef{};
+    } else {
+      st.ref = std::move(ref);
+      st.cur = static_cast<const char*>(st.ref.data);
+      st.avail = static_cast<int64_t>(st.ref.bytes / st.width);
+    }
+  }
+  st.off = 0;
+  if (st.skip > 0) {
+    X100_CHECK(st.skip < st.avail);
+    st.off = st.skip;
+    st.avail -= st.skip;
+    st.skip = 0;
+  }
+  SchedulePrefetch(st);
 }
 
 bool BmScanOp::FillColumn(int c, char* dst, int64_t n) {
   ColState& st = cols_[c];
   while (n > 0) {
     if (st.avail == 0) {
-      st.block++;
-      if (st.block >= bm_->NumBlocks(st.file)) return false;
-      if (st.compressed) {
-        // Decompress the whole block at the I/O boundary.
-        int64_t count = bm_->CompressedBlockCount(st.file, st.block);
-        st.buf.resize(static_cast<size_t>(count) * st.width);
-        int64_t got = bm_->ReadDecompressed(st.file, st.block, st.buf.data());
-        X100_CHECK(got == count);
-        st.cur = st.buf.data();
-        st.avail = count;
-      } else {
-        ColumnBm::BlockRef ref = bm_->ReadBlock(st.file, st.block);
-        st.cur = static_cast<const char*>(ref.data);
-        st.avail = static_cast<int64_t>(ref.bytes / st.width);
-      }
-      st.off = 0;
+      if (st.block + 1 >= st.num_blocks) return false;
+      StageBlock(st);
     }
     int64_t take = std::min(n, st.avail);
     std::memcpy(dst, st.cur + static_cast<size_t>(st.off) * st.width,
@@ -78,13 +296,14 @@ bool BmScanOp::FillColumn(int c, char* dst, int64_t n) {
     dst += static_cast<size_t>(take) * st.width;
     st.off += take;
     st.avail -= take;
+    st.rows_left -= take;
     n -= take;
   }
   return true;
 }
 
 VectorBatch* BmScanOp::Next() {
-  int64_t remaining = table_.fragment_rows() - pos_;
+  int64_t remaining = end_ - pos_;
   if (remaining <= 0) return nullptr;
   int n = static_cast<int>(std::min<int64_t>(ctx_->vector_size, remaining));
   for (int c = 0; c < static_cast<int>(cols_.size()); c++) {
@@ -95,6 +314,51 @@ VectorBatch* BmScanOp::Next() {
   batch_.set_count(n);
   batch_.ClearSel();
   return &batch_;
+}
+
+void BmScanOp::CancelPrefetches() {
+  for (ColState& st : cols_) {
+    if (st.next == nullptr) continue;
+    std::unique_lock<std::mutex> lock(st.next->mu);
+    st.next->cancelled = true;
+    // Wait out a *started* task: it holds a ColumnBm pointer, and callers
+    // may tear the buffer manager down right after Close(). A still-queued
+    // task only touches the ticket (which it co-owns) before checking the
+    // flag, so it is safe to leave behind — and waiting for it could
+    // deadlock if no pool thread ever frees up to run it.
+    if (st.next->started) {
+      st.next->cv.wait(lock, [&] { return st.next->done; });
+    }
+    lock.unlock();
+    st.next.reset();
+  }
+}
+
+void BmScanOp::Close() {
+  CancelPrefetches();
+  for (ColState& st : cols_) {
+    st.ref = ColumnBm::BlockRef{};  // drop pool pins
+    st.cur = nullptr;
+  }
+  if (trace_node_ != nullptr) {
+    trace_node_->AddCounter("prefetch.scheduled",
+                            static_cast<uint64_t>(prefetch_.scheduled));
+    trace_node_->AddCounter("prefetch.hits",
+                            static_cast<uint64_t>(prefetch_.hits));
+    trace_node_->AddCounter("prefetch.late",
+                            static_cast<uint64_t>(prefetch_.late));
+    if (bm_->disk_backed()) {
+      trace_node_->AddCounter("pool.hits", static_cast<uint64_t>(pool_hits_));
+      trace_node_->AddCounter("pool.misses",
+                              static_cast<uint64_t>(pool_misses_));
+    }
+  }
+  PrefetchMetrics::Get().scheduled->Add(prefetch_.scheduled);
+  PrefetchMetrics::Get().hits->Add(prefetch_.hits);
+  PrefetchMetrics::Get().late->Add(prefetch_.late);
+  // Zero so a double Close (or reopen without Close) never double-publishes.
+  prefetch_ = PrefetchStats{};
+  pool_hits_ = pool_misses_ = 0;
 }
 
 }  // namespace x100

@@ -1,60 +1,122 @@
 #ifndef X100_EXEC_BM_SCAN_H_
 #define X100_EXEC_BM_SCAN_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "exec/operator.h"
+#include "exec/scan.h"
 #include "storage/columnbm.h"
 #include "storage/table.h"
 
 namespace x100 {
 
+struct TraceNode;
+
+/// Options for one ColumnBM scan (mirrors ScanSpec for plan::BmScan):
+///
+///   BmScan(ctx, &bm, t, {.cols = {"a", "b"},
+///                        .compress = true,
+///                        .morsel = {w, n}})
+struct BmScanSpec {
+  std::vector<std::string> cols;
+  /// FOR-compress integral columns on store; decompression then happens
+  /// block-at-a-time on the RAM/cache boundary at read time.
+  bool compress = false;
+  /// Contiguous share of the fragment this scan covers (block-aligned where
+  /// possible; the union over workers is the whole fragment).
+  ScanSpec::Morsel morsel;
+  /// Sequential readahead: while a block is being consumed/decoded, the next
+  /// block of each column is read on the shared ThreadPool so I/O overlaps
+  /// decode. Only effective on a disk-backed ColumnBm.
+  bool prefetch = true;
+};
+
 /// Scan over ColumnBM block storage — the paper's goal (iii): the same
 /// vectorized pipeline fed by the lowest storage hierarchy instead of RAM
 /// (§4 "Disk"). Column data is served block-at-a-time from the buffer
-/// manager (optionally FOR-compressed, optionally behind a simulated I/O
-/// bandwidth ceiling) and sliced into vectors at the RAM/cache boundary.
+/// manager (optionally FOR-compressed, optionally real disk files behind the
+/// bounded buffer pool) and sliced into vectors at the RAM/cache boundary.
 ///
 /// Restrictions of the disk image: the table must be a pure frozen fragment
 /// (no deltas, no deletes — ColumnBM stores immutable fragments, §4.3) and
 /// non-enum string columns are not blockable (their heap pointers are not a
-/// disk format); enum-compressed strings work via their code columns.
+/// disk format); enum-compressed strings work via their code columns. The
+/// constructor throws std::invalid_argument with a precise message when the
+/// table violates these.
 class BmScanOp : public Operator {
  public:
   /// Ensures each requested column of `table` is stored in `bm` under
-  /// "<table>.<column>" (FOR-compressed when `compress` and the physical
-  /// type is integral), then scans from those blocks.
+  /// "<table>.<column>" (FOR-compressed when `spec.compress` and the
+  /// physical type is integral), then scans `spec.morsel`'s share from those
+  /// blocks, prefetching the next block of each column when `spec.prefetch`.
+  BmScanOp(ExecContext* ctx, ColumnBm* bm, const Table& table, BmScanSpec spec);
+
+  /// Back-compat positional form: full-table scan, prefetch on.
   BmScanOp(ExecContext* ctx, ColumnBm* bm, const Table& table,
-           std::vector<std::string> cols, bool compress);
+           std::vector<std::string> cols, bool compress)
+      : BmScanOp(ctx, bm, table,
+                 BmScanSpec{std::move(cols), compress, {}, true}) {}
 
   const Schema& schema() const override { return schema_; }
   void Open() override;
   VectorBatch* Next() override;
+  /// Cancels in-flight prefetch reads and waits them out, then publishes the
+  /// scan's prefetch/pool counters to the trace node (if any).
+  void Close() override;
+
+  /// EXPLAIN ANALYZE hook (wired by plan::BmScan): Close() adds
+  /// prefetch.hits / prefetch.late / pool.hits / pool.misses here.
+  void set_trace_node(TraceNode* node) { trace_node_ = node; }
+
+  struct PrefetchStats {
+    int64_t scheduled = 0;
+    int64_t hits = 0;  // block already loaded when the scan needed it
+    int64_t late = 0;  // scan had to wait on an in-flight prefetch
+  };
+  const PrefetchStats& prefetch_stats() const { return prefetch_; }
 
  private:
+  /// One in-flight readahead of (file, block), run on the shared pool.
+  struct Ticket;
+
   struct ColState {
     std::string file;
     bool compressed = false;
     size_t width = 0;
-    // Current block staging.
+    int64_t num_blocks = 0;
+    // Current block staging. `ref` holds the buffer-pool pin that keeps
+    // `cur` valid across Next() calls on the disk backend.
+    ColumnBm::BlockRef ref;
     std::vector<char> buf;       // decompressed values (compressed files)
-    const char* cur = nullptr;   // current block data (plain files)
+    const char* cur = nullptr;   // current block data
     int64_t block = -1;
     int64_t avail = 0;           // values left in the current block
     int64_t off = 0;             // consumed values in the current block
+    int64_t skip = 0;            // morsel: values to drop from the next block
+    int64_t rows_left = 0;       // values still to deliver for this morsel
+    std::shared_ptr<Ticket> next;  // outstanding readahead, if any
   };
 
   bool FillColumn(int c, char* dst, int64_t n);
+  void StageBlock(ColState& st);
+  void SchedulePrefetch(ColState& st);
+  void CancelPrefetches();
 
   ExecContext* ctx_;
   ColumnBm* bm_;
   const Table& table_;
   std::vector<int> col_idx_;
-  bool compress_;
+  BmScanSpec spec_;
   Schema schema_;
   std::vector<ColState> cols_;
-  int64_t pos_ = 0;
+  int64_t pos_ = 0;       // next row (fragment-absolute) to deliver
+  int64_t end_ = 0;       // morsel end row
+  bool prefetch_on_ = false;
+  PrefetchStats prefetch_;
+  int64_t pool_hits_ = 0, pool_misses_ = 0;
+  TraceNode* trace_node_ = nullptr;
   VectorBatch batch_;
 };
 

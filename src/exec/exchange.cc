@@ -51,6 +51,7 @@ TraceNode* CloneTree(QueryTrace* dst, const TraceNode* src) {
   n->batches = src->batches;
   n->tuples = src->tuples;
   n->cycles = src->cycles;
+  n->counters = src->counters;
   return n;
 }
 
@@ -63,6 +64,7 @@ void AccumulateTree(TraceNode* dst, const TraceNode* src) {
   dst->batches += src->batches;
   dst->tuples += src->tuples;
   dst->cycles += src->cycles;
+  for (const auto& kv : src->counters) dst->AddCounter(kv.first, kv.second);
   X100_CHECK(dst->children.size() == src->children.size());
   for (size_t i = 0; i < dst->children.size(); i++) {
     AccumulateTree(dst->children[i], src->children[i]);

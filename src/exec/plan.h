@@ -17,6 +17,7 @@
 
 #include "exec/aggr.h"
 #include "exec/basic_ops.h"
+#include "exec/bm_scan.h"
 #include "exec/exchange.h"
 #include "exec/join.h"
 #include "exec/materialize.h"
@@ -46,6 +47,29 @@ inline OpPtr Scan(ExecContext* ctx, const Table& t, ScanSpec spec) {
 inline OpPtr Scan(ExecContext* ctx, const Table& t,
                   std::vector<std::string> cols) {
   return Scan(ctx, t, ScanSpec{.cols = std::move(cols)});
+}
+
+/// ColumnBM block scan configured by a BmScanSpec (columns + compression,
+/// morsel share, readahead — see exec/bm_scan.h). When tracing, the scan's
+/// prefetch.* / pool.* counters land on this node at Close().
+inline OpPtr BmScan(ExecContext* ctx, ColumnBm* bm, const Table& t,
+                    BmScanSpec spec) {
+  std::string detail = t.name();
+  if (spec.compress) detail += " for";
+  if (bm->disk_backed()) detail += " disk";
+  if (spec.morsel.num_workers > 1) {
+    detail += " morsel " + std::to_string(spec.morsel.worker) + "/" +
+              std::to_string(spec.morsel.num_workers);
+  }
+  auto s = std::make_unique<BmScanOp>(ctx, bm, t, std::move(spec));
+  BmScanOp* raw = s.get();
+  OpPtr wrapped =
+      MaybeTrace(ctx, std::move(s), "BmScan", std::move(detail), {});
+  if (ctx->trace != nullptr) {
+    raw->set_trace_node(
+        static_cast<InstrumentedOperator*>(wrapped.get())->node());
+  }
+  return wrapped;
 }
 
 inline OpPtr Select(ExecContext* ctx, OpPtr child, ExprPtr pred) {

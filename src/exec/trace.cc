@@ -62,6 +62,16 @@ void RenderNode(const TraceNode* n, const std::string& prefix, bool last,
                 static_cast<unsigned long long>(n->tuples),
                 n->SelfCyclesPerTuple(), pct);
   *out += line;
+  if (!n->counters.empty()) {
+    std::string extras = is_root ? "" : prefix + (last ? "   " : "│  ");
+    extras += "  ·";
+    for (const auto& kv : n->counters) {
+      std::snprintf(line, sizeof(line), " %s=%llu", kv.first.c_str(),
+                    static_cast<unsigned long long>(kv.second));
+      extras += line;
+    }
+    *out += extras + "\n";
+  }
   std::string child_prefix =
       is_root ? "" : prefix + (last ? "   " : "│  ");
   for (size_t i = 0; i < n->children.size(); i++) {
@@ -87,6 +97,15 @@ void NodeToJson(const TraceNode* n, JsonWriter* w) {
   w->Key("cycles"); w->Value(n->cycles);
   w->Key("self_cycles"); w->Value(n->SelfCycles());
   w->Key("self_cycles_per_tuple"); w->Value(n->SelfCyclesPerTuple());
+  if (!n->counters.empty()) {
+    w->Key("counters");
+    w->BeginObject();
+    for (const auto& kv : n->counters) {
+      w->Key(kv.first);
+      w->Value(kv.second);
+    }
+    w->EndObject();
+  }
   w->Key("children");
   w->BeginArray();
   for (const TraceNode* c : n->children) NodeToJson(c, w);

@@ -31,6 +31,21 @@ struct TraceNode {
   uint64_t tuples = 0;   // sum of returned batches' live (selected) tuples
   uint64_t cycles = 0;   // inclusive, over Open() + Next() + Close()
 
+  /// Operator-specific counters (e.g. BmScan's prefetch.hits / bm.pool
+  /// activity), in first-add order. Exchange sums them name-wise when
+  /// merging worker subtrees.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+
+  void AddCounter(const std::string& name, uint64_t delta) {
+    for (auto& kv : counters) {
+      if (kv.first == name) {
+        kv.second += delta;
+        return;
+      }
+    }
+    counters.emplace_back(name, delta);
+  }
+
   std::vector<TraceNode*> children;
 
   uint64_t ChildCycles() const {

@@ -1,0 +1,173 @@
+#include "storage/buffer_pool.h"
+
+#include <cstdlib>
+
+#include "common/metrics.h"
+
+namespace x100 {
+
+namespace {
+// Registry mirrors so pool activity shows up in every BENCH_*.json metrics
+// snapshot without threading pool pointers around.
+struct PoolMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* evictions;
+  Counter* read_bytes;
+  Gauge* resident;
+  static PoolMetrics& Get() {
+    static PoolMetrics m = {
+        MetricsRegistry::Get().GetCounter("bm.pool.hits"),
+        MetricsRegistry::Get().GetCounter("bm.pool.misses"),
+        MetricsRegistry::Get().GetCounter("bm.pool.evictions"),
+        MetricsRegistry::Get().GetCounter("bm.pool.read_bytes"),
+        MetricsRegistry::Get().GetGauge("bm.pool.resident_bytes")};
+    return m;
+  }
+};
+}  // namespace
+
+int64_t BufferPool::EnvPoolBytes() {
+  const char* env = std::getenv("X100_BM_BYTES");
+  if (env == nullptr || *env == '\0') return kDefaultPoolBytes;
+  char* end = nullptr;
+  double v = std::strtod(env, &end);
+  if (end == env || v <= 0) return kDefaultPoolBytes;
+  switch (*end) {
+    case 'k': case 'K': v *= 1 << 10; break;
+    case 'm': case 'M': v *= 1 << 20; break;
+    case 'g': case 'G': v *= 1 << 30; break;
+    default: break;
+  }
+  return static_cast<int64_t>(v);
+}
+
+BufferPool::BufferPool(int64_t budget_bytes)
+    : budget_(static_cast<size_t>(budget_bytes > 0 ? budget_bytes
+                                                   : EnvPoolBytes())) {}
+
+Status BufferPool::GetOrLoad(const std::string& key, size_t bytes,
+                             const Loader& loader, Pin* pin, bool* was_hit) {
+  std::shared_ptr<Frame> frame;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      auto it = frames_.find(key);
+      if (it == frames_.end()) break;
+      frame = it->second;
+      if (frame->loaded) {
+        frame->ref_bit = true;  // second chance for the clock hand
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        PoolMetrics::Get().hits->Inc();
+        if (was_hit != nullptr) *was_hit = true;
+        *pin = Pin(std::move(frame));
+        return Status::OK();
+      }
+      // Another thread is loading this block; rendezvous on its outcome.
+      cv_.wait(lock, [&] { return frame->loaded || frame->failed; });
+      if (frame->loaded) continue;  // re-find: the map entry is still ours
+      Status err = frame->error;    // load failed; not cached
+      frame.reset();
+      return err;
+    }
+
+    // Miss: claim the key with an unloaded frame, making room first.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    PoolMetrics::Get().misses->Inc();
+    if (was_hit != nullptr) *was_hit = false;
+    EvictFor(bytes);
+    frame = std::make_shared<Frame>();
+    frame->bytes = bytes;
+    frame->key = key;
+    frame->data = std::make_unique<char[]>(bytes);
+    frames_[key] = frame;
+    clock_.push_back(frame);
+    resident_.fetch_add(bytes, std::memory_order_relaxed);
+    PoolMetrics::Get().resident->Set(
+        static_cast<double>(resident_.load(std::memory_order_relaxed)));
+  }
+
+  // Load outside the lock; other keys proceed concurrently.
+  Status s = loader(frame->data.get());
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (s.ok()) {
+    frame->loaded = true;
+    read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    PoolMetrics::Get().read_bytes->Add(bytes);
+    cv_.notify_all();
+    *pin = Pin(std::move(frame));
+    return Status::OK();
+  }
+  // Failed: un-cache the frame so a retry reloads.
+  frame->failed = true;
+  frame->error = s;
+  frames_.erase(key);
+  for (auto it = clock_.begin(); it != clock_.end(); ++it) {
+    if (it->get() == frame.get()) {
+      clock_.erase(it);
+      break;
+    }
+  }
+  resident_.fetch_sub(frame->bytes, std::memory_order_relaxed);
+  PoolMetrics::Get().resident->Set(
+      static_cast<double>(resident_.load(std::memory_order_relaxed)));
+  cv_.notify_all();
+  return s;
+}
+
+void BufferPool::EvictFor(size_t need) {
+  // Clock / second chance over the frame ring. A frame is evictable when it
+  // is loaded and unpinned (use_count == 2: the map's and the ring's refs).
+  // Give up after two full sweeps without meeting the budget — everything
+  // left is pinned, and correctness requires over-committing rather than
+  // refusing the load.
+  size_t steps = 2 * clock_.size();
+  while (!clock_.empty() &&
+         resident_.load(std::memory_order_relaxed) + need > budget_ &&
+         steps-- > 0) {
+    std::shared_ptr<Frame>& hand = clock_.front();
+    bool pinned = hand.use_count() > 2 || !hand->loaded;
+    if (pinned || hand->ref_bit) {
+      hand->ref_bit = false;
+      clock_.splice(clock_.end(), clock_, clock_.begin());
+      continue;
+    }
+    frames_.erase(hand->key);
+    resident_.fetch_sub(hand->bytes, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    PoolMetrics::Get().evictions->Inc();
+    clock_.pop_front();
+  }
+  PoolMetrics::Get().resident->Set(
+      static_cast<double>(resident_.load(std::memory_order_relaxed)));
+}
+
+void BufferPool::InvalidatePrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = clock_.begin(); it != clock_.end();) {
+    Frame* f = it->get();
+    bool match = f->key.compare(0, prefix.size(), prefix) == 0;
+    bool pinned = it->use_count() > 2 || !f->loaded;
+    if (match && !pinned) {
+      frames_.erase(f->key);
+      resident_.fetch_sub(f->bytes, std::memory_order_relaxed);
+      it = clock_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  PoolMetrics::Get().resident->Set(
+      static_cast<double>(resident_.load(std::memory_order_relaxed)));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.read_bytes = read_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace x100

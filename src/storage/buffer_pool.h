@@ -1,0 +1,115 @@
+#ifndef X100_STORAGE_BUFFER_POOL_H_
+#define X100_STORAGE_BUFFER_POOL_H_
+
+// Bounded buffer pool for disk-backed ColumnBM (§4.3: "a buffer manager
+// geared towards sequential access of large chunks"). Frames cache one block
+// payload each, are pinned while a scan (or prefetch task) holds a
+// reference, and are evicted clock-wise (second chance) when the byte budget
+// is exceeded. The budget comes from env X100_BM_BYTES unless a size is
+// passed explicitly, making pool pressure a measurable, swappable knob
+// rather than a baked-in assumption.
+//
+// Thread-safety: all bookkeeping is under one mutex; block loads run
+// *outside* the lock (concurrent loads of different blocks overlap, the
+// pool stays responsive). Two threads requesting the same missing block
+// rendezvous on the frame: the first loads, the second waits on the pool's
+// condition variable. Pins are std::shared_ptr-based, so pin/unpin from any
+// thread is safe and a frame's memory outlives eviction until its last pin
+// drops.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace x100 {
+
+class BufferPool {
+ public:
+  struct Frame {
+    std::unique_ptr<char[]> data;
+    size_t bytes = 0;
+    bool loaded = false;      // payload valid
+    bool failed = false;      // load error (frame is not cached)
+    bool ref_bit = false;     // clock second-chance bit
+    std::string key;          // back-pointer for clock-hand bookkeeping
+    Status error;
+  };
+
+  /// Pinned view of one cached block. The payload stays valid (and the
+  /// frame unevictable-but-droppable: an evicted frame's memory lives until
+  /// the last pin goes away) for the Pin's lifetime. Copyable and movable.
+  class Pin {
+   public:
+    Pin() = default;
+    const void* data() const { return frame_->data.get(); }
+    size_t bytes() const { return frame_->bytes; }
+    explicit operator bool() const { return frame_ != nullptr; }
+
+   private:
+    friend class BufferPool;
+    explicit Pin(std::shared_ptr<Frame> f) : frame_(std::move(f)) {}
+    std::shared_ptr<Frame> frame_;
+  };
+
+  /// Fills `dst` (frame payload of the agreed size) from storage.
+  using Loader = std::function<Status(void* dst)>;
+
+  /// Budget <= 0 reads env X100_BM_BYTES (default kDefaultPoolBytes).
+  explicit BufferPool(int64_t budget_bytes = 0);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a pin on block `key`, calling `loader` (outside the pool lock)
+  /// to fill a fresh frame of `bytes` bytes on a miss. On a hit `*was_hit`
+  /// (if non-null) is set true and `loader` is not called. Throws via the
+  /// returned Status only: a failed load returns the loader's error and
+  /// caches nothing.
+  Status GetOrLoad(const std::string& key, size_t bytes, const Loader& loader,
+                   Pin* pin, bool* was_hit = nullptr);
+
+  /// Drops every unpinned frame whose key starts with `prefix` (a rewritten
+  /// file's stale blocks). Pinned frames are left alone.
+  void InvalidatePrefix(const std::string& prefix);
+
+  size_t budget_bytes() const { return budget_; }
+  size_t resident_bytes() const {
+    return resident_.load(std::memory_order_relaxed);
+  }
+
+  struct Stats {
+    uint64_t hits = 0, misses = 0, evictions = 0, read_bytes = 0;
+  };
+  Stats stats() const;
+
+  /// env X100_BM_BYTES (bytes; k/m/g suffixes accepted), else default.
+  static int64_t EnvPoolBytes();
+
+  static constexpr int64_t kDefaultPoolBytes = 256ll << 20;
+
+ private:
+  /// Evicts unpinned frames clock-wise until `need` more bytes fit in the
+  /// budget or nothing evictable remains. Caller holds mu_.
+  void EvictFor(size_t need);
+
+  size_t budget_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // load-rendezvous wakeups
+  std::map<std::string, std::shared_ptr<Frame>> frames_;
+  std::list<std::shared_ptr<Frame>> clock_;  // insertion ring, hand at begin()
+  std::atomic<size_t> resident_{0};
+
+  std::atomic<uint64_t> hits_{0}, misses_{0}, evictions_{0}, read_bytes_{0};
+};
+
+}  // namespace x100
+
+#endif  // X100_STORAGE_BUFFER_POOL_H_

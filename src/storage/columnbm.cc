@@ -1,12 +1,14 @@
 #include "storage/columnbm.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 
 #include "common/metrics.h"
 #include "common/profiling.h"
-#include "storage/compression.h"
 #include "common/status.h"
+#include "storage/compression.h"
 
 namespace x100 {
 
@@ -25,12 +27,50 @@ struct BmMetrics {
     return m;
   }
 };
+
+std::string EnvDiskDir() {
+  const char* env = std::getenv("X100_BM_DIR");
+  return (env != nullptr && *env != '\0') ? env : "";
+}
+
+[[noreturn]] void ThrowIo(const Status& s) {
+  throw std::runtime_error("ColumnBm: " + s.message());
+}
 }  // namespace
 
+ColumnBm::ColumnBm(size_t block_size)
+    : ColumnBm(Options{block_size, EnvDiskDir(), 0}) {}
+
+ColumnBm::ColumnBm(const Options& opts) : block_size_(opts.block_size) {
+  if (!opts.disk_dir.empty()) {
+    store_ = std::make_unique<DiskStore>(opts.disk_dir);
+    pool_ = std::make_unique<BufferPool>(opts.pool_bytes);
+  }
+}
+
+ColumnBm::~ColumnBm() = default;
+
 void ColumnBm::Store(const std::string& file, const Column& col) {
-  File f;
   size_t total = col.bytes();
   const char* src = static_cast<const char*>(col.raw());
+  if (disk_backed()) {
+    Status s;
+    std::unique_ptr<DiskStore::Writer> w =
+        store_->NewFile(file, /*compressed=*/false, /*value_width=*/0, &s);
+    if (w == nullptr) ThrowIo(s);
+    for (size_t off = 0; off < total; off += block_size_) {
+      size_t n = std::min(block_size_, total - off);
+      s = w->AppendBlock(src + off, n, /*value_count=*/0);
+      if (!s.ok()) ThrowIo(s);
+    }
+    s = w->Finish();
+    if (!s.ok()) ThrowIo(s);
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    meta_.erase(file);
+    pool_->InvalidatePrefix(file + ":");
+    return;
+  }
+  File f;
   for (size_t off = 0; off < total; off += block_size_) {
     size_t n = std::min(block_size_, total - off);
     auto blk = std::make_unique<char[]>(n);
@@ -38,18 +78,137 @@ void ColumnBm::Store(const std::string& file, const Column& col) {
     f.blocks.push_back(std::move(blk));
     f.block_bytes.push_back(n);
   }
+  std::lock_guard<std::mutex> lock(mem_mu_);
   files_[file] = std::move(f);
 }
 
+size_t ColumnBm::StoreCompressed(const std::string& file, const Column& col,
+                                 int64_t values_per_block) {
+  X100_CHECK(IsIntegral(col.storage_type()) || col.is_enum());
+  size_t w = TypeWidth(col.storage_type());
+  const char* src = static_cast<const char*>(col.raw());
+  size_t total = 0;
+
+  if (disk_backed()) {
+    Status s;
+    std::unique_ptr<DiskStore::Writer> wr =
+        store_->NewFile(file, /*compressed=*/true, w, &s);
+    if (wr == nullptr) ThrowIo(s);
+    for (int64_t off = 0; off == 0 || off < col.size();
+         off += values_per_block) {
+      int64_t n = std::min<int64_t>(values_per_block, col.size() - off);
+      Buffer enc;
+      size_t bytes = ForCodec::Encode(src + static_cast<size_t>(off) * w, n,
+                                      w, &enc);
+      s = wr->AppendBlock(enc.data(), bytes, n);
+      if (!s.ok()) ThrowIo(s);
+      total += bytes;
+    }
+    s = wr->Finish();
+    if (!s.ok()) ThrowIo(s);
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    meta_.erase(file);
+    pool_->InvalidatePrefix(file + ":");
+    return total;
+  }
+
+  File f;
+  f.compressed = true;
+  f.value_width = w;
+  for (int64_t off = 0; off == 0 || off < col.size(); off += values_per_block) {
+    int64_t n = std::min<int64_t>(values_per_block, col.size() - off);
+    Buffer enc;
+    size_t bytes = ForCodec::Encode(src + static_cast<size_t>(off) * w, n, w,
+                                    &enc);
+    auto blk = std::make_unique<char[]>(bytes);
+    std::memcpy(blk.get(), enc.data(), bytes);
+    f.blocks.push_back(std::move(blk));
+    f.block_bytes.push_back(bytes);
+    total += bytes;
+  }
+  std::lock_guard<std::mutex> lock(mem_mu_);
+  files_[file] = std::move(f);
+  return total;
+}
+
+bool ColumnBm::Contains(const std::string& file) const {
+  if (disk_backed()) {
+    {
+      std::lock_guard<std::mutex> lock(meta_mu_);
+      if (meta_.count(file) > 0) return true;
+    }
+    return store_->Exists(file);
+  }
+  std::lock_guard<std::mutex> lock(mem_mu_);
+  return files_.find(file) != files_.end();
+}
+
+const DiskStore::FileMeta& ColumnBm::MetaFor(const std::string& file) const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = meta_.find(file);
+  if (it != meta_.end()) return it->second;
+  DiskStore::FileMeta meta;
+  Status s = store_->OpenMeta(file, &meta);
+  if (!s.ok()) ThrowIo(s);
+  return meta_.emplace(file, std::move(meta)).first->second;
+}
+
 int64_t ColumnBm::NumBlocks(const std::string& file) const {
+  if (disk_backed()) {
+    return static_cast<int64_t>(MetaFor(file).blocks.size());
+  }
+  std::lock_guard<std::mutex> lock(mem_mu_);
   auto it = files_.find(file);
   X100_CHECK(it != files_.end());
   return static_cast<int64_t>(it->second.blocks.size());
 }
 
+int64_t ColumnBm::FileBytes(const std::string& file) const {
+  if (disk_backed()) {
+    return static_cast<int64_t>(MetaFor(file).payload_bytes);
+  }
+  std::lock_guard<std::mutex> lock(mem_mu_);
+  auto it = files_.find(file);
+  X100_CHECK(it != files_.end());
+  int64_t total = 0;
+  for (size_t bytes : it->second.block_bytes) {
+    total += static_cast<int64_t>(bytes);
+  }
+  return total;
+}
+
+size_t ColumnBm::BlockBytes(const std::string& file, int64_t b) const {
+  if (disk_backed()) {
+    const DiskStore::FileMeta& meta = MetaFor(file);
+    X100_CHECK(b >= 0 && b < static_cast<int64_t>(meta.blocks.size()));
+    return meta.blocks[static_cast<size_t>(b)].bytes;
+  }
+  std::lock_guard<std::mutex> lock(mem_mu_);
+  auto it = files_.find(file);
+  X100_CHECK(it != files_.end());
+  X100_CHECK(b >= 0 && b < static_cast<int64_t>(it->second.block_bytes.size()));
+  return it->second.block_bytes[static_cast<size_t>(b)];
+}
+
+int64_t ColumnBm::CompressedBlockCount(const std::string& file,
+                                       int64_t b) const {
+  if (disk_backed()) {
+    const DiskStore::FileMeta& meta = MetaFor(file);
+    X100_CHECK(meta.compressed);
+    X100_CHECK(b >= 0 && b < static_cast<int64_t>(meta.blocks.size()));
+    return meta.blocks[static_cast<size_t>(b)].value_count;
+  }
+  std::lock_guard<std::mutex> lock(mem_mu_);
+  auto it = files_.find(file);
+  X100_CHECK(it != files_.end() && it->second.compressed);
+  X100_CHECK(b >= 0 && b < static_cast<int64_t>(it->second.blocks.size()));
+  return ForCodec::EncodedCount(it->second.blocks[b].get());
+}
+
 void ColumnBm::AccountRead(size_t bytes) {
-  stats_.blocks_read++;
-  stats_.bytes_read += static_cast<int64_t>(bytes);
+  blocks_read_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(static_cast<int64_t>(bytes),
+                        std::memory_order_relaxed);
   BmMetrics::Get().blocks_read->Inc();
   BmMetrics::Get().bytes_read->Add(bytes);
 }
@@ -62,74 +221,88 @@ void ColumnBm::Throttle(size_t bytes) {
   while (NowNanos() - start < wait) {
   }
   uint64_t stalled = NowNanos() - start;
-  stats_.stall_nanos += static_cast<int64_t>(stalled);
+  stall_nanos_.fetch_add(static_cast<int64_t>(stalled),
+                         std::memory_order_relaxed);
   BmMetrics::Get().stall_nanos->Add(stalled);
 }
 
 ColumnBm::BlockRef ColumnBm::ReadBlock(const std::string& file, int64_t b) {
-  auto it = files_.find(file);
-  X100_CHECK(it != files_.end());
-  File& f = it->second;
-  X100_CHECK(b >= 0 && b < static_cast<int64_t>(f.blocks.size()));
-  AccountRead(f.block_bytes[b]);
-  Throttle(f.block_bytes[b]);
-  return {f.blocks[b].get(), f.block_bytes[b]};
-}
-
-size_t ColumnBm::StoreCompressed(const std::string& file, const Column& col,
-                                 int64_t values_per_block) {
-  X100_CHECK(IsIntegral(col.storage_type()) || col.is_enum());
-  size_t w = TypeWidth(col.storage_type());
-  File f;
-  f.compressed = true;
-  f.value_width = w;
-  const char* src = static_cast<const char*>(col.raw());
-  size_t total = 0;
-  for (int64_t off = 0; off < col.size(); off += values_per_block) {
-    int64_t n = std::min<int64_t>(values_per_block, col.size() - off);
-    Buffer enc;
-    size_t bytes = ForCodec::Encode(src + static_cast<size_t>(off) * w, n, w,
-                                    &enc);
-    auto blk = std::make_unique<char[]>(bytes);
-    std::memcpy(blk.get(), enc.data(), bytes);
-    f.blocks.push_back(std::move(blk));
-    f.block_bytes.push_back(bytes);
-    total += bytes;
+  if (disk_backed()) {
+    const DiskStore::FileMeta& meta = MetaFor(file);
+    X100_CHECK(b >= 0 && b < static_cast<int64_t>(meta.blocks.size()));
+    size_t bytes = meta.blocks[static_cast<size_t>(b)].bytes;
+    BufferPool::Pin pin;
+    bool hit = false;
+    Status s = pool_->GetOrLoad(
+        file + ":" + std::to_string(b), bytes,
+        [&](void* dst) {
+          return store_->ReadBlock(file, meta, static_cast<size_t>(b), dst);
+        },
+        &pin, &hit);
+    if (!s.ok()) ThrowIo(s);
+    AccountRead(bytes);
+    BlockRef ref;
+    ref.data = pin.data();
+    ref.bytes = bytes;
+    ref.cache_hit = hit;
+    ref.pin = std::move(pin);
+    return ref;
   }
-  files_[file] = std::move(f);
-  return total;
+
+  File* f;
+  {
+    std::lock_guard<std::mutex> lock(mem_mu_);
+    auto it = files_.find(file);
+    X100_CHECK(it != files_.end());
+    f = &it->second;  // stable: stores never race with reads of `file`
+  }
+  X100_CHECK(b >= 0 && b < static_cast<int64_t>(f->blocks.size()));
+  AccountRead(f->block_bytes[b]);
+  Throttle(f->block_bytes[b]);
+  BlockRef ref;
+  ref.data = f->blocks[b].get();
+  ref.bytes = f->block_bytes[b];
+  return ref;
 }
 
 int64_t ColumnBm::ReadDecompressed(const std::string& file, int64_t b,
                                    void* out) {
-  auto it = files_.find(file);
-  X100_CHECK(it != files_.end());
-  File& f = it->second;
-  X100_CHECK(f.compressed);
-  X100_CHECK(b >= 0 && b < static_cast<int64_t>(f.blocks.size()));
-  // Only the compressed bytes cross the simulated I/O boundary; decompression
-  // is CPU work on the cache side (§4 "Cache").
-  AccountRead(f.block_bytes[b]);
-  Throttle(f.block_bytes[b]);
-  return ForCodec::Decode(f.blocks[b].get(), out, f.value_width);
-}
-
-int64_t ColumnBm::CompressedBlockCount(const std::string& file,
-                                       int64_t b) const {
-  auto it = files_.find(file);
-  X100_CHECK(it != files_.end() && it->second.compressed);
-  X100_CHECK(b >= 0 && b < static_cast<int64_t>(it->second.blocks.size()));
-  return ForCodec::EncodedCount(it->second.blocks[b].get());
-}
-
-int64_t ColumnBm::FileBytes(const std::string& file) const {
-  auto it = files_.find(file);
-  X100_CHECK(it != files_.end());
-  int64_t total = 0;
-  for (size_t bytes : it->second.block_bytes) {
-    total += static_cast<int64_t>(bytes);
+  size_t width;
+  if (disk_backed()) {
+    const DiskStore::FileMeta& meta = MetaFor(file);
+    X100_CHECK(meta.compressed);
+    width = meta.value_width;
+  } else {
+    std::lock_guard<std::mutex> lock(mem_mu_);
+    auto it = files_.find(file);
+    X100_CHECK(it != files_.end() && it->second.compressed);
+    width = it->second.value_width;
   }
-  return total;
+  // Only the compressed bytes cross the I/O boundary; decompression is CPU
+  // work on the cache side (§4 "Cache").
+  BlockRef ref = ReadBlock(file, b);
+  return ForCodec::Decode(ref.data, out, width);
+}
+
+Status ColumnBm::WriteTableManifest(const std::string& table,
+                                    const std::vector<std::string>& files) {
+  if (!disk_backed()) return Status::OK();
+  std::vector<DiskStore::ManifestEntry> entries;
+  entries.reserve(files.size());
+  for (const std::string& file : files) {
+    const DiskStore::FileMeta& meta = MetaFor(file);
+    DiskStore::ManifestEntry e;
+    e.file = file;
+    e.payload_bytes = meta.payload_bytes;
+    e.num_blocks = meta.blocks.size();
+    std::vector<uint32_t> crcs;
+    crcs.reserve(meta.blocks.size());
+    for (const DiskStore::BlockMeta& b : meta.blocks) crcs.push_back(b.crc);
+    e.crc = Crc32(crcs.data(), crcs.size() * sizeof(uint32_t));
+    e.compressed = meta.compressed;
+    entries.push_back(std::move(e));
+  }
+  return store_->WriteManifest(table, entries);
 }
 
 }  // namespace x100

@@ -1,34 +1,64 @@
 #ifndef X100_STORAGE_COLUMNBM_H_
 #define X100_STORAGE_COLUMNBM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/config.h"
+#include "storage/buffer_pool.h"
 #include "storage/column.h"
+#include "storage/disk_store.h"
 
 namespace x100 {
 
-/// ColumnBM buffer-manager simulation (§4, "Disk"; §4.3).
+/// ColumnBM buffer manager (§4, "Disk"; §4.3).
 ///
 /// Where MonetDB stores each BAT in one continuous file, ColumnBM partitions
 /// column data into large (>1MB) chunks and serves them through a buffer pool
-/// geared to sequential access. The paper's ColumnBM was still under
-/// development (all its experiments run on in-memory BATs); we model the
-/// interface and accounting so scans can be driven block-at-a-time and I/O
-/// volume measured: reads are counted per block, and an optional simulated
-/// bandwidth ceiling converts bytes to stall nanoseconds for experiments that
-/// want the disk-bound regime.
+/// geared to sequential access. Two backends share this interface:
+///
+///  - memory (the original simulation): blocks live in a std::map, reads are
+///    free, and an optional simulated bandwidth ceiling converts bytes to
+///    stall nanoseconds for experiments that want the disk-bound regime;
+///  - disk: blocks live in checksummed chunk files (storage/disk_store.h)
+///    and are served through a bounded BufferPool (storage/buffer_pool.h,
+///    budget env X100_BM_BYTES), so scans touch real file I/O and eviction.
+///
+/// The backend is picked per instance: Options{.disk_dir = ...} selects
+/// disk explicitly, and env X100_BM_DIR flips default-constructed instances
+/// (every existing call site) to a disk store rooted there.
+///
+/// Thread-safety: Store/StoreCompressed must not race with reads of the same
+/// file (scans store at Open, which exchange runs serially); everything else
+/// — ReadBlock/ReadDecompressed/metadata from any number of threads — is
+/// safe, which is what morsel-parallel scans and async prefetch require.
 class ColumnBm {
  public:
-  explicit ColumnBm(size_t block_size = kColumnBmBlockSize)
-      : block_size_(block_size) {}
+  struct Options {
+    size_t block_size = kColumnBmBlockSize;
+    /// Non-empty: disk backend rooted at this directory.
+    std::string disk_dir;
+    /// Buffer-pool budget in bytes; <= 0 reads env X100_BM_BYTES.
+    int64_t pool_bytes = 0;
+  };
+
+  /// Memory backend — unless env X100_BM_DIR names a directory, which
+  /// switches every default-constructed ColumnBm to disk storage there.
+  explicit ColumnBm(size_t block_size = kColumnBmBlockSize);
+  explicit ColumnBm(const Options& opts);
+  ~ColumnBm();
 
   ColumnBm(const ColumnBm&) = delete;
   ColumnBm& operator=(const ColumnBm&) = delete;
+
+  bool disk_backed() const { return store_ != nullptr; }
+  /// Null for the memory backend.
+  BufferPool* pool() { return pool_.get(); }
 
   /// Copies a column's physical data into chunked storage under `file`.
   void Store(const std::string& file, const Column& col);
@@ -50,41 +80,69 @@ class ColumnBm {
   /// Number of blocks in `file`.
   int64_t NumBlocks(const std::string& file) const;
 
-  bool Contains(const std::string& file) const {
-    return files_.find(file) != files_.end();
-  }
+  bool Contains(const std::string& file) const;
 
-  /// Decoded value count of compressed block `b` (header peek; no I/O
-  /// accounting — callers size their decode buffer with this).
+  /// Decoded value count of compressed block `b` (header/footer peek; no
+  /// I/O accounting — callers size their decode buffer with this).
   int64_t CompressedBlockCount(const std::string& file, int64_t b) const;
 
+  /// Stored byte size of block `b` (no I/O accounting).
+  size_t BlockBytes(const std::string& file, int64_t b) const;
+
   /// Returns block `b` (pointer + byte count), accounting the read. The
-  /// pointer stays valid for the ColumnBm's lifetime (pinning is a no-op in
-  /// this in-memory simulation).
+  /// payload stays valid for the BlockRef's lifetime: the ref carries the
+  /// buffer-pool pin on the disk backend (a no-op pin in memory mode), so
+  /// callers that stage a block across calls must keep the ref alive.
+  /// Throws std::runtime_error on I/O or checksum failure.
   struct BlockRef {
-    const void* data;
-    size_t bytes;
+    const void* data = nullptr;
+    size_t bytes = 0;
+    /// False when the read crossed the disk boundary (pool miss); the
+    /// memory backend always reports true.
+    bool cache_hit = true;
+    BufferPool::Pin pin;
   };
   BlockRef ReadBlock(const std::string& file, int64_t b);
 
+  /// Writes the per-table manifest listing `files` (all must be stored) via
+  /// the DiskStore; no-op Status::OK() for the memory backend.
+  Status WriteTableManifest(const std::string& table,
+                            const std::vector<std::string>& files);
+
   // -- accounting --
 
-  /// All per-instance I/O accounting in one resettable struct: block reads,
-  /// bytes crossing the simulated disk boundary, and nanoseconds spent
-  /// stalled in the simulated-bandwidth throttle.
+  /// Per-instance I/O accounting: logical block reads and bytes served
+  /// through the interface (every ReadBlock/ReadDecompressed, cached or
+  /// not), plus nanoseconds stalled in the simulated-bandwidth throttle.
+  /// Physical disk traffic is the buffer pool's read_bytes counter.
   struct Stats {
     int64_t blocks_read = 0;
     int64_t bytes_read = 0;
     int64_t stall_nanos = 0;
   };
-  const Stats& stats() const { return stats_; }
-  int64_t blocks_read() const { return stats_.blocks_read; }
-  int64_t bytes_read() const { return stats_.bytes_read; }
-  int64_t stall_nanos() const { return stats_.stall_nanos; }
-  void ResetStats() { stats_ = Stats(); }
+  Stats stats() const {
+    return {blocks_read_.load(std::memory_order_relaxed),
+            bytes_read_.load(std::memory_order_relaxed),
+            stall_nanos_.load(std::memory_order_relaxed)};
+  }
+  int64_t blocks_read() const {
+    return blocks_read_.load(std::memory_order_relaxed);
+  }
+  int64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  int64_t stall_nanos() const {
+    return stall_nanos_.load(std::memory_order_relaxed);
+  }
+  void ResetStats() {
+    blocks_read_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
+    stall_nanos_.store(0, std::memory_order_relaxed);
+  }
 
-  /// If >0, ReadBlock busy-waits to cap throughput at this many bytes/sec,
-  /// simulating an I/O-bound substrate.
+  /// If >0, memory-backend reads busy-wait to cap throughput at this many
+  /// bytes/sec, simulating an I/O-bound substrate. Ignored by the disk
+  /// backend (its I/O is real).
   void set_simulated_bandwidth(double bytes_per_sec) {
     simulated_bandwidth_ = bytes_per_sec;
   }
@@ -101,10 +159,24 @@ class ColumnBm {
 
   void AccountRead(size_t bytes);
   void Throttle(size_t bytes);
+  /// Disk backend: cached footer metadata for `file` (loads on first use).
+  const DiskStore::FileMeta& MetaFor(const std::string& file) const;
 
   size_t block_size_;
+
+  // Memory backend.
+  mutable std::mutex mem_mu_;
   std::map<std::string, File> files_;
-  Stats stats_;
+
+  // Disk backend (null in memory mode).
+  std::unique_ptr<DiskStore> store_;
+  std::unique_ptr<BufferPool> pool_;
+  mutable std::mutex meta_mu_;
+  mutable std::map<std::string, DiskStore::FileMeta> meta_;
+
+  std::atomic<int64_t> blocks_read_{0};
+  std::atomic<int64_t> bytes_read_{0};
+  std::atomic<int64_t> stall_nanos_{0};
   double simulated_bandwidth_ = 0;
 };
 

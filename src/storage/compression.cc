@@ -20,6 +20,10 @@ static_assert(sizeof(Header) == ForCodec::kHeaderBytes);
 
 template <typename T>
 void MinMax(const T* in, int64_t n, int64_t* lo, int64_t* hi) {
+  if (n == 0) {
+    *lo = *hi = 0;
+    return;
+  }
   T mn = in[0], mx = in[0];
   for (int64_t i = 1; i < n; i++) {
     mn = std::min(mn, in[i]);
@@ -45,8 +49,10 @@ void Pack(const T* in, int64_t n, int64_t ref, int bits, uint64_t* words) {
   int filled = 0;
   size_t w = 0;
   for (int64_t i = 0; i < n; i++) {
-    uint64_t delta =
-        static_cast<uint64_t>(static_cast<int64_t>(in[i]) - ref);
+    // Unsigned subtraction: value - ref can exceed INT64_MAX (e.g. a block
+    // spanning INT64_MIN..INT64_MAX), where the signed form would overflow.
+    uint64_t delta = static_cast<uint64_t>(static_cast<int64_t>(in[i])) -
+                     static_cast<uint64_t>(ref);
     acc |= delta << filled;
     if (filled + bits >= 64) {
       words[w++] = acc;
@@ -85,7 +91,10 @@ void Unpack(const uint64_t* words, int64_t n, int64_t ref, int bits, T* out) {
       acc = taken < 64 ? hi >> taken : 0;
       avail = 64 - taken;
     }
-    out[i] = static_cast<T>(ref + static_cast<int64_t>(delta));
+    // Unsigned addition mirrors Pack's unsigned subtraction (two's-complement
+    // wraparound is the identity here; the signed form would overflow).
+    out[i] = static_cast<T>(
+        static_cast<int64_t>(static_cast<uint64_t>(ref) + delta));
   }
 }
 
@@ -123,7 +132,10 @@ int64_t DecodeTyped(const void* encoded, T* out) {
 }  // namespace
 
 size_t ForCodec::Encode(const void* in, int64_t n, size_t width, Buffer* out) {
-  X100_CHECK(n > 0 && n <= static_cast<int64_t>(UINT32_MAX));
+  // n == 0 is legal: a header-only block (reference 0, bits 0, count 0) that
+  // round-trips to zero values. Lets stores of empty columns write one block
+  // rather than special-case emptiness.
+  X100_CHECK(n >= 0 && n <= static_cast<int64_t>(UINT32_MAX));
   switch (width) {
     case 1: return EncodeTyped(static_cast<const int8_t*>(in), n, out);
     case 2: return EncodeTyped(static_cast<const int16_t*>(in), n, out);

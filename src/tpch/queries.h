@@ -19,6 +19,15 @@ inline constexpr int kNumTpchQueries = 22;
 /// subqueries become materialized sub-plans.
 std::unique_ptr<Table> RunX100Query(int q, ExecContext* ctx, const Catalog& db);
 
+/// Disk-backed variants of Q1 and Q6: the same plans fed from ColumnBM
+/// blocks through `bm` (optionally FOR-compressed) instead of in-RAM
+/// fragments. With ctx->num_threads > 1 the block scans run morsel-parallel
+/// under an Exchange. Results are bit-identical to RunX100Query(q, ...).
+class ColumnBm;
+std::unique_ptr<Table> RunX100QueryDisk(int q, ExecContext* ctx,
+                                        const Catalog& db, ColumnBm* bm,
+                                        bool compress = false);
+
 /// Same queries hand-translated to MIL column algebra (full materialization).
 /// Result schema/order matches RunX100Query for cross-checking.
 std::unique_ptr<Table> RunMilQuery(int q, MilSession* session, MilDatabase* db);

@@ -1,0 +1,130 @@
+// Disk-backed variants of Q1 and Q6: the same hand-translated plans as
+// queries_x100_a.cc, but fed from ColumnBM blocks (exec/bm_scan.h) instead
+// of in-RAM fragments — the paper's goal (iii), a query whose source is the
+// lowest storage hierarchy. With ctx->num_threads > 1 the BmScan pipelines
+// fan out across an Exchange, each worker reading its morsel through the
+// shared buffer pool; results are bit-identical to the memory plans because
+// the Select applies the exact predicate (BmScan has no SMA pruning to
+// differ on).
+
+#include "storage/columnbm.h"
+#include "tpch/queries.h"
+#include "tpch/queries_x100_internal.h"
+
+namespace x100::tpch_x100 {
+
+using namespace x100::exprs;
+using namespace x100::plan;
+
+namespace {
+
+TablePtr Q1Disk(ExecContext* ctx, const Catalog& db, ColumnBm* bm,
+                bool compress) {
+  const std::vector<std::string> cols = {
+      "l_returnflag", "l_linestatus",  "l_quantity", "l_extendedprice",
+      "l_discount",   "l_tax",         "l_shipdate"};
+  const std::vector<std::string> groups = {"l_returnflag", "l_linestatus"};
+  auto aggrs = [] {
+    return AG(
+        Sum("sum_qty", Col("l_quantity")),
+        Sum("sum_base_price", Col("l_extendedprice")),
+        Sum("sum_disc_price",
+            Mul(Sub(LitF64(1.0), Col("l_discount")), Col("l_extendedprice"))),
+        Sum("sum_charge",
+            Mul(Add(LitF64(1.0), Col("l_tax")),
+                Mul(Sub(LitF64(1.0), Col("l_discount")),
+                    Col("l_extendedprice")))),
+        Sum("sum_disc", Col("l_discount")), CountAll("count_order"));
+  };
+  const Table& li = db.Get("lineitem");
+
+  OpPtr op;
+  if (ctx->num_threads > 1) {
+    op = Exchange(ctx, ctx->num_threads,
+                  [&](ExecContext* wctx, int w, int n) {
+                    auto s = BmScan(wctx, bm, li,
+                                    {.cols = cols,
+                                     .compress = compress,
+                                     .morsel = {w, n}});
+                    s = Select(wctx, std::move(s),
+                               Le(Col("l_shipdate"), LitDate("1998-09-02")));
+                    return DirectAggr(wctx, std::move(s), groups, aggrs());
+                  });
+    op = HashAggr(ctx, std::move(op), groups, MergeAggrSpecs(aggrs()));
+  } else {
+    op = BmScan(ctx, bm, li, {.cols = cols, .compress = compress});
+    op = Select(ctx, std::move(op),
+                Le(Col("l_shipdate"), LitDate("1998-09-02")));
+    op = DirectAggr(ctx, std::move(op), groups, aggrs());
+  }
+  op = Project(
+      ctx, std::move(op),
+      NE(Pass("l_returnflag"), Pass("l_linestatus"), Pass("sum_qty"),
+         Pass("sum_base_price"), Pass("sum_disc_price"), Pass("sum_charge"),
+         As("avg_qty", Div(Col("sum_qty"), Call1("dbl", Col("count_order")))),
+         As("avg_price",
+            Div(Col("sum_base_price"), Call1("dbl", Col("count_order")))),
+         As("avg_disc", Div(Col("sum_disc"), Call1("dbl", Col("count_order")))),
+         Pass("count_order")));
+  op = Order(ctx, std::move(op), {Asc("l_returnflag"), Asc("l_linestatus")});
+  return RunPlan(std::move(op), "q1_disk");
+}
+
+TablePtr Q6Disk(ExecContext* ctx, const Catalog& db, ColumnBm* bm,
+                bool compress) {
+  const std::vector<std::string> cols = {"l_shipdate", "l_discount",
+                                         "l_quantity", "l_extendedprice"};
+  auto pred = [] {
+    return And(Ge(Col("l_shipdate"), LitDate("1994-01-01")),
+               And(Lt(Col("l_shipdate"), LitDate("1995-01-01")),
+                   And(Ge(Col("l_discount"), LitF64(0.05)),
+                       And(Le(Col("l_discount"), LitF64(0.07)),
+                           Lt(Col("l_quantity"), LitF64(24.0))))));
+  };
+  auto aggrs = [] {
+    return AG(
+        Sum("revenue", Mul(Col("l_extendedprice"), Col("l_discount"))));
+  };
+  const Table& t = db.Get("lineitem");
+
+  OpPtr li;
+  if (ctx->num_threads > 1) {
+    li = Exchange(ctx, ctx->num_threads,
+                  [&](ExecContext* wctx, int w, int n) {
+                    auto s = BmScan(wctx, bm, t,
+                                    {.cols = cols,
+                                     .compress = compress,
+                                     .morsel = {w, n}});
+                    s = Select(wctx, std::move(s), pred());
+                    return HashAggr(wctx, std::move(s), {}, aggrs());
+                  });
+    li = HashAggr(ctx, std::move(li), {}, MergeAggrSpecs(aggrs()));
+  } else {
+    li = BmScan(ctx, bm, t, {.cols = cols, .compress = compress});
+    li = Select(ctx, std::move(li), pred());
+    li = HashAggr(ctx, std::move(li), {}, aggrs());
+  }
+  return RunPlan(std::move(li), "q6_disk");
+}
+
+}  // namespace
+
+}  // namespace x100::tpch_x100
+
+namespace x100 {
+
+std::unique_ptr<Table> RunX100QueryDisk(int q, ExecContext* ctx,
+                                        const Catalog& db, ColumnBm* bm,
+                                        bool compress) {
+  using namespace tpch_x100;
+  switch (q) {
+    case 1: return Q1Disk(ctx, db, bm, compress);
+    case 6: return Q6Disk(ctx, db, bm, compress);
+    default:
+      throw std::invalid_argument(
+          "RunX100QueryDisk: only Q1 and Q6 have disk-backed variants (got "
+          "q=" + std::to_string(q) + ")");
+  }
+}
+
+}  // namespace x100

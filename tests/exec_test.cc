@@ -642,6 +642,70 @@ TEST(BmScanTest, BlocksAreReusedAcrossQueries) {
   EXPECT_TRUE(bm.Contains("data.id.for"));
 }
 
+TEST(BmScanTest, RejectsUnsupportedTablesWithClearErrors) {
+  ExecContext ctx;
+  ColumnBm bm;
+  auto expect_throw = [&](const Table& t, std::vector<std::string> cols,
+                          const char* needle) {
+    try {
+      BmScanOp op(&ctx, &bm, t, BmScanSpec{.cols = std::move(cols)});
+      FAIL() << "expected std::invalid_argument mentioning '" << needle << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+
+  {  // unfrozen table
+    Table t("u", std::vector<Table::ColumnSpec>{{"x", TypeId::kI32, false}});
+    t.AppendRow({Value::I32(1)});
+    expect_throw(t, {"x"}, "not frozen");
+  }
+  {  // delta rows
+    std::unique_ptr<Table> t = MakeData(100);
+    t->Insert({Value::I32(100), Value::Str("red"), Value::F64(1.0),
+               Value::F64(2.0), Value::Date(8035)});
+    expect_throw(*t, {"id"}, "delta rows");
+  }
+  {  // deleted rows
+    std::unique_ptr<Table> t = MakeData(100);
+    ASSERT_TRUE(t->Delete(3).ok());
+    expect_throw(*t, {"id"}, "deleted rows");
+  }
+  {  // non-enum string column
+    std::unique_ptr<Table> t = MakeData(100, /*enum_tag=*/false);
+    expect_throw(*t, {"tag"}, "non-enum string");
+  }
+}
+
+TEST(BmScanTest, MorselScansPartitionTheFragment) {
+  std::unique_ptr<Table> t = MakeData(10000);
+  ExecContext ctx;
+  ColumnBm bm;
+  auto sum_count = [&](ScanSpec::Morsel m) {
+    auto op = plan::HashAggr(
+        &ctx,
+        plan::BmScan(&ctx, &bm, *t,
+                     {.cols = {"id"}, .compress = true, .morsel = m}),
+        {}, AG(Sum("s", Col("id")), CountAll("n")));
+    std::unique_ptr<Table> r = RunPlan(std::move(op), "r");
+    return std::pair<int64_t, int64_t>(r->GetValue(0, 0).AsI64(),
+                                       r->GetValue(0, 1).AsI64());
+  };
+  int64_t sum = 0, rows = 0;
+  for (int w = 0; w < 4; w++) {
+    auto [s, n] = sum_count({w, 4});
+    sum += s;
+    rows += n;
+  }
+  EXPECT_EQ(rows, 10000);
+  EXPECT_EQ(sum, 10000ll * 9999 / 2);
+  // Degenerate split: one worker owns everything.
+  auto [s1, n1] = sum_count({0, 1});
+  EXPECT_EQ(n1, 10000);
+  EXPECT_EQ(s1, sum);
+}
+
 // ---- TopN / Order / Array ------------------------------------------------------------
 
 TEST(SortTest, TopNEqualsOrderPrefix) {

@@ -295,6 +295,47 @@ TEST(ForCodecTest, RoundTripNarrowWidths) {
   EXPECT_EQ(small, out8);
 }
 
+TEST(ForCodecTest, EmptyBlockRoundTrips) {
+  // n = 0 is a legal block: header only, zero values out, output untouched.
+  Buffer enc;
+  size_t bytes = ForCodec::Encode(nullptr, 0, 8, &enc);
+  EXPECT_EQ(bytes, ForCodec::kHeaderBytes);
+  EXPECT_LE(bytes, ForCodec::MaxEncodedBytes(0));
+  EXPECT_EQ(ForCodec::EncodedCount(enc.data()), 0);
+  EXPECT_EQ(ForCodec::EncodedBytes(enc.data()), ForCodec::kHeaderBytes);
+  int64_t sentinel = 123;
+  EXPECT_EQ(ForCodec::Decode(enc.data(), &sentinel, 8), 0);
+  EXPECT_EQ(sentinel, 123);
+}
+
+TEST(ForCodecTest, ConstantBlockIsHeaderOnly) {
+  // bits = 0: every delta is zero, so the payload is empty.
+  std::vector<int64_t> in(4096, -77);
+  Buffer enc;
+  size_t bytes = ForCodec::Encode(in.data(), 4096, 8, &enc);
+  EXPECT_EQ(bytes, ForCodec::kHeaderBytes);
+  std::vector<int64_t> out(4096, 0);
+  ASSERT_EQ(ForCodec::Decode(enc.data(), out.data(), 8), 4096);
+  EXPECT_EQ(in, out);
+}
+
+TEST(ForCodecTest, FullWidthDeltasWithNegatives) {
+  // Blocks spanning INT64_MIN..INT64_MAX need all 64 delta bits; the
+  // value-reference subtraction must happen in the unsigned domain (the
+  // signed form overflows, which is UB).
+  std::vector<int64_t> in = {INT64_MIN, -1, 0, 1, INT64_MAX,
+                             INT64_MIN, INT64_MAX, 42, -42};
+  Buffer enc;
+  size_t bytes =
+      ForCodec::Encode(in.data(), static_cast<int64_t>(in.size()), 8, &enc);
+  EXPECT_LE(bytes, ForCodec::MaxEncodedBytes(static_cast<int64_t>(in.size())));
+  EXPECT_EQ(ForCodec::EncodedBytes(enc.data()), bytes);
+  std::vector<int64_t> out(in.size(), 0);
+  ASSERT_EQ(ForCodec::Decode(enc.data(), out.data(), 8),
+            static_cast<int64_t>(in.size()));
+  EXPECT_EQ(in, out);
+}
+
 TEST(ForCodecTest, CompressesClusteredDates) {
   // A year of clustered dates spans < 2^9 distinct values: ~9 bits vs 32.
   std::vector<int32_t> dates;
