@@ -109,7 +109,8 @@ int main() {
   const Column& dates = li.column(li.ColumnIndex("l_shipdate"));
   ColumnBm bm;
   bm.Store("l_shipdate.plain", dates);
-  size_t comp_bytes = bm.StoreCompressed("l_shipdate.for", dates);
+  size_t comp_bytes =
+      bm.StoreCompressed("l_shipdate.for", dates, 1 << 16, CodecId::kFor);
   bm.set_simulated_bandwidth(200e6);
   std::vector<int32_t> buf(1 << 16);
   auto scan_plain = [&] {

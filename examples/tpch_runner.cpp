@@ -1,7 +1,7 @@
 // Run any TPC-H query on either engine and print the result — the repository
 // as a command-line analytical database.
 //
-//   $ ./build/examples/tpch_runner <query 1-22> [sf=0.05] [engine=x100|mil|both]
+//   $ ./build/examples/tpch_runner <query 1-22> [sf=0.05] [x100|mil|both]
 //   $ ./build/examples/tpch_runner 5 0.1 both
 //   $ ./build/examples/tpch_runner --explain-analyze 1
 //
@@ -35,19 +35,36 @@ int main(int argc, char** argv) {
       pos[npos++] = argv[i];
     }
   }
-  if (npos < 1) {
+  auto usage = [&](const char* why, const char* got) {
+    std::fprintf(stderr, "%s: %s%s%s\n", argv[0], why, got ? ": " : "",
+                 got ? got : "");
     std::fprintf(stderr,
                  "usage: %s [--explain-analyze] <query 1-22> [sf=0.05] "
                  "[engine=x100|mil|both]\n",
                  argv[0]);
     return 2;
+  };
+  if (npos < 1) return usage("missing query number", nullptr);
+  char* end = nullptr;
+  long ql = std::strtol(pos[0], &end, 10);
+  if (end == pos[0] || *end != '\0') {
+    return usage("query is not a number", pos[0]);
   }
-  int q = std::atoi(pos[0]);
-  double sf = npos > 1 ? std::atof(pos[1]) : 0.05;
+  if (ql < 1 || ql > kNumTpchQueries) {
+    return usage("query must be 1..22", pos[0]);
+  }
+  int q = static_cast<int>(ql);
+  double sf = 0.05;
+  if (npos > 1) {
+    sf = std::strtod(pos[1], &end);
+    if (end == pos[1] || *end != '\0' || !(sf > 0.0)) {
+      return usage("sf must be a positive number", pos[1]);
+    }
+  }
   const char* engine = npos > 2 ? pos[2] : "x100";
-  if (q < 1 || q > kNumTpchQueries) {
-    std::fprintf(stderr, "query must be 1..22\n");
-    return 2;
+  if (std::strcmp(engine, "x100") != 0 && std::strcmp(engine, "mil") != 0 &&
+      std::strcmp(engine, "both") != 0) {
+    return usage("engine must be x100, mil or both", engine);
   }
 
   std::printf("generating TPC-H SF=%.4g ...\n", sf);

@@ -45,9 +45,10 @@ struct BmScanOp::Ticket {
   bool failed = false;
   std::string error;
   bool pool_hit = false;
-  ColumnBm::BlockRef ref;     // plain blocks: pinned payload
-  std::vector<char> decoded;  // compressed blocks: decoded values
-  int64_t count = 0;          // compressed blocks: decoded value count
+  ColumnBm::BlockRef ref;     // raw payloads: zero-copy pinned block
+  bool decoded_mode = false;  // true when `decoded` holds the values
+  std::vector<char> decoded;  // codec-encoded blocks: decoded values
+  int64_t count = 0;          // decoded value count (decoded_mode only)
 };
 
 BmScanOp::BmScanOp(ExecContext* ctx, ColumnBm* bm, const Table& table,
@@ -96,6 +97,7 @@ BmScanOp::BmScanOp(ExecContext* ctx, ColumnBm* bm, const Table& table,
 void BmScanOp::Open() {
   prefetch_ = PrefetchStats{};
   pool_hits_ = pool_misses_ = 0;
+  for (int i = 0; i < kNumCodecs; i++) codec_blocks_[i] = codec_bytes_[i] = 0;
   prefetch_on_ = spec_.prefetch && bm_->disk_backed();
 
   Table::RowRange range =
@@ -116,11 +118,17 @@ void BmScanOp::Open() {
     ColState st;
     st.width = TypeWidth(col.storage_type());
     st.compressed = spec_.compress && IsIntegral(col.storage_type());
-    st.file = table_.name() + "." + schema_.field(i).name +
-              (st.compressed ? ".for" : ".plain");
+    std::string suffix = ".plain";
+    if (st.compressed) {
+      // Pinned-codec scans get their own files so regimes don't alias.
+      suffix = spec_.codec.has_value()
+                   ? std::string(".") + Codec::Name(*spec_.codec)
+                   : std::string(".cmp");
+    }
+    st.file = table_.name() + "." + schema_.field(i).name + suffix;
     if (!bm_->Contains(st.file)) {
       if (st.compressed) {
-        bm_->StoreCompressed(st.file, col);
+        bm_->StoreCompressed(st.file, col, 1 << 16, spec_.codec);
       } else {
         bm_->Store(st.file, col);
       }
@@ -166,9 +174,13 @@ void BmScanOp::SchedulePrefetch(ColState& st) {
   prefetch_.scheduled++;
   ColumnBm* bm = bm_;
   std::string file = st.file;
-  bool compressed = st.compressed;
+  // Codec looked up on the scan thread (metadata peek); kRaw payloads stay
+  // zero-copy behind their pool pin, everything else decodes on the pool
+  // thread so codec choice is invisible to the operators above.
+  CodecId codec =
+      st.compressed ? bm_->BlockCodec(st.file, next) : CodecId::kRaw;
   size_t width = st.width;
-  ThreadPool::Shared().Submit([t, bm, file, compressed, width, next] {
+  ThreadPool::Shared().Submit([t, bm, file, codec, width, next] {
     {
       std::lock_guard<std::mutex> lock(t->mu);
       if (t->cancelled) {
@@ -185,12 +197,13 @@ void BmScanOp::SchedulePrefetch(ColState& st) {
     std::string error;
     try {
       ref = bm->ReadBlock(file, next);
-      if (compressed) {
+      if (codec != CodecId::kRaw) {
         // Decode on the prefetch thread too: the scan overlaps its own
         // decode/consume with both the I/O and this decompression.
-        count = ForCodec::EncodedCount(ref.data);
+        const Codec* c = Codec::ForId(codec);
+        count = c->EncodedCount(ref.data, ref.bytes, width);
         decoded.resize(static_cast<size_t>(count) * width);
-        int64_t got = ForCodec::Decode(ref.data, decoded.data(), width);
+        int64_t got = c->Decode(ref.data, ref.bytes, decoded.data(), width);
         failed = got != count;
         if (failed) error = "decode count mismatch";
       }
@@ -204,7 +217,8 @@ void BmScanOp::SchedulePrefetch(ColState& st) {
       t->error = error;
     } else {
       t->pool_hit = ref.cache_hit;
-      if (compressed) {
+      if (codec != CodecId::kRaw) {
+        t->decoded_mode = true;
         t->decoded = std::move(decoded);
         t->count = count;
       } else {
@@ -219,6 +233,11 @@ void BmScanOp::SchedulePrefetch(ColState& st) {
 void BmScanOp::StageBlock(ColState& st) {
   st.block++;
   X100_CHECK(st.block < st.num_blocks);
+  CodecId codec =
+      st.compressed ? bm_->BlockCodec(st.file, st.block) : CodecId::kRaw;
+  codec_blocks_[static_cast<int>(codec)]++;
+  codec_bytes_[static_cast<int>(codec)] +=
+      static_cast<int64_t>(bm_->BlockBytes(st.file, st.block));
   std::shared_ptr<Ticket> t = std::move(st.next);
   if (t != nullptr) {
     X100_CHECK(t->block == st.block);
@@ -246,7 +265,7 @@ void BmScanOp::StageBlock(ColState& st) {
                                " failed: " + t->error);
     }
     (t->pool_hit ? pool_hits_ : pool_misses_)++;
-    if (st.compressed) {
+    if (t->decoded_mode) {
       st.buf = std::move(t->decoded);
       st.cur = st.buf.data();
       st.avail = t->count;
@@ -259,10 +278,11 @@ void BmScanOp::StageBlock(ColState& st) {
   } else {
     ColumnBm::BlockRef ref = bm_->ReadBlock(st.file, st.block);
     (ref.cache_hit ? pool_hits_ : pool_misses_)++;
-    if (st.compressed) {
-      int64_t count = ForCodec::EncodedCount(ref.data);
+    if (codec != CodecId::kRaw) {
+      const Codec* c = Codec::ForId(codec);
+      int64_t count = c->EncodedCount(ref.data, ref.bytes, st.width);
       st.buf.resize(static_cast<size_t>(count) * st.width);
-      int64_t got = ForCodec::Decode(ref.data, st.buf.data(), st.width);
+      int64_t got = c->Decode(ref.data, ref.bytes, st.buf.data(), st.width);
       X100_CHECK(got == count);
       st.cur = st.buf.data();
       st.avail = count;
@@ -352,6 +372,14 @@ void BmScanOp::Close() {
       trace_node_->AddCounter("pool.misses",
                               static_cast<uint64_t>(pool_misses_));
     }
+    for (int i = 0; i < kNumCodecs; i++) {
+      if (codec_blocks_[i] == 0) continue;
+      std::string name = Codec::All()[i]->name();
+      trace_node_->AddCounter("codec." + name + ".blocks",
+                              static_cast<uint64_t>(codec_blocks_[i]));
+      trace_node_->AddCounter("codec." + name + ".bytes",
+                              static_cast<uint64_t>(codec_bytes_[i]));
+    }
   }
   PrefetchMetrics::Get().scheduled->Add(prefetch_.scheduled);
   PrefetchMetrics::Get().hits->Add(prefetch_.hits);
@@ -359,6 +387,7 @@ void BmScanOp::Close() {
   // Zero so a double Close (or reopen without Close) never double-publishes.
   prefetch_ = PrefetchStats{};
   pool_hits_ = pool_misses_ = 0;
+  for (int i = 0; i < kNumCodecs; i++) codec_blocks_[i] = codec_bytes_[i] = 0;
 }
 
 }  // namespace x100

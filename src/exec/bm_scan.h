@@ -21,9 +21,13 @@ struct TraceNode;
 ///                        .morsel = {w, n}})
 struct BmScanSpec {
   std::vector<std::string> cols;
-  /// FOR-compress integral columns on store; decompression then happens
-  /// block-at-a-time on the RAM/cache boundary at read time.
+  /// Compress integral columns on store — each block gets the cheapest
+  /// codec (FOR/PDICT/RLE/PFOR-delta/raw) by sampled trial-encode unless
+  /// `codec` pins one. Decompression then happens block-at-a-time on the
+  /// RAM/cache boundary at read time (on the prefetch thread when possible).
   bool compress = false;
+  /// When set (and `compress`), every block is stored with this codec.
+  std::optional<CodecId> codec;
   /// Contiguous share of the fragment this scan covers (block-aligned where
   /// possible; the union over workers is the whole fragment).
   ScanSpec::Morsel morsel;
@@ -48,7 +52,7 @@ struct BmScanSpec {
 class BmScanOp : public Operator {
  public:
   /// Ensures each requested column of `table` is stored in `bm` under
-  /// "<table>.<column>" (FOR-compressed when `spec.compress` and the
+  /// "<table>.<column>" (codec-compressed when `spec.compress` and the
   /// physical type is integral), then scans `spec.morsel`'s share from those
   /// blocks, prefetching the next block of each column when `spec.prefetch`.
   BmScanOp(ExecContext* ctx, ColumnBm* bm, const Table& table, BmScanSpec spec);
@@ -57,7 +61,8 @@ class BmScanOp : public Operator {
   BmScanOp(ExecContext* ctx, ColumnBm* bm, const Table& table,
            std::vector<std::string> cols, bool compress)
       : BmScanOp(ctx, bm, table,
-                 BmScanSpec{std::move(cols), compress, {}, true}) {}
+                 BmScanSpec{std::move(cols), compress, std::nullopt, {},
+                            true}) {}
 
   const Schema& schema() const override { return schema_; }
   void Open() override;
@@ -67,7 +72,8 @@ class BmScanOp : public Operator {
   void Close() override;
 
   /// EXPLAIN ANALYZE hook (wired by plan::BmScan): Close() adds
-  /// prefetch.hits / prefetch.late / pool.hits / pool.misses here.
+  /// prefetch.hits / prefetch.late / pool.hits / pool.misses plus
+  /// codec.<name>.blocks/bytes for every codec the scan staged.
   void set_trace_node(TraceNode* node) { trace_node_ = node; }
 
   struct PrefetchStats {
@@ -116,6 +122,9 @@ class BmScanOp : public Operator {
   bool prefetch_on_ = false;
   PrefetchStats prefetch_;
   int64_t pool_hits_ = 0, pool_misses_ = 0;
+  // Blocks/stored bytes staged per codec (indexed by CodecId; main thread).
+  int64_t codec_blocks_[kNumCodecs] = {0};
+  int64_t codec_bytes_[kNumCodecs] = {0};
   TraceNode* trace_node_ = nullptr;
   VectorBatch batch_;
 };

@@ -55,7 +55,9 @@ inline OpPtr Scan(ExecContext* ctx, const Table& t,
 inline OpPtr BmScan(ExecContext* ctx, ColumnBm* bm, const Table& t,
                     BmScanSpec spec) {
   std::string detail = t.name();
-  if (spec.compress) detail += " for";
+  if (spec.compress) {
+    detail += spec.codec ? " " + std::string(Codec::Name(*spec.codec)) : " cmp";
+  }
   if (bm->disk_backed()) detail += " disk";
   if (spec.morsel.num_workers > 1) {
     detail += " morsel " + std::to_string(spec.morsel.worker) + "/" +

@@ -33,6 +33,32 @@ std::string EnvDiskDir() {
   return (env != nullptr && *env != '\0') ? env : "";
 }
 
+// Per-codec freeze-path accounting (bm.codec.<name>.blocks/bytes): how many
+// blocks each codec won at StoreCompressed time and their stored sizes.
+struct CodecMetrics {
+  Counter* blocks[kNumCodecs];
+  Counter* bytes[kNumCodecs];
+  static CodecMetrics& Get() {
+    static CodecMetrics m = [] {
+      CodecMetrics cm;
+      for (int i = 0; i < kNumCodecs; i++) {
+        std::string name = Codec::All()[i]->name();
+        cm.blocks[i] =
+            MetricsRegistry::Get().GetCounter("bm.codec." + name + ".blocks");
+        cm.bytes[i] =
+            MetricsRegistry::Get().GetCounter("bm.codec." + name + ".bytes");
+      }
+      return cm;
+    }();
+    return m;
+  }
+  void Account(CodecId codec, size_t stored_bytes) {
+    int i = static_cast<int>(codec);
+    blocks[i]->Inc();
+    bytes[i]->Add(stored_bytes);
+  }
+};
+
 [[noreturn]] void ThrowIo(const Status& s) {
   throw std::runtime_error("ColumnBm: " + s.message());
 }
@@ -82,8 +108,24 @@ void ColumnBm::Store(const std::string& file, const Column& col) {
   files_[file] = std::move(f);
 }
 
+namespace {
+// One block's freeze-path encode: sampled trial-encode selection unless the
+// caller pinned a codec. Empty blocks keep the header-only FOR form so the
+// value count stays self-describing.
+size_t EncodeBlock(const char* src, int64_t n, size_t w,
+                   std::optional<CodecId> force, Buffer* enc,
+                   CodecId* chosen) {
+  if (force.has_value() && n > 0) {
+    *chosen = *force;
+    return Codec::ForId(*force)->Encode(src, n, w, enc);
+  }
+  return EncodeBestCodec(src, n, w, enc, chosen);
+}
+}  // namespace
+
 size_t ColumnBm::StoreCompressed(const std::string& file, const Column& col,
-                                 int64_t values_per_block) {
+                                 int64_t values_per_block,
+                                 std::optional<CodecId> force) {
   X100_CHECK(IsIntegral(col.storage_type()) || col.is_enum());
   size_t w = TypeWidth(col.storage_type());
   const char* src = static_cast<const char*>(col.raw());
@@ -98,10 +140,12 @@ size_t ColumnBm::StoreCompressed(const std::string& file, const Column& col,
          off += values_per_block) {
       int64_t n = std::min<int64_t>(values_per_block, col.size() - off);
       Buffer enc;
-      size_t bytes = ForCodec::Encode(src + static_cast<size_t>(off) * w, n,
-                                      w, &enc);
-      s = wr->AppendBlock(enc.data(), bytes, n);
+      CodecId chosen;
+      size_t bytes = EncodeBlock(src + static_cast<size_t>(off) * w, n, w,
+                                 force, &enc, &chosen);
+      s = wr->AppendBlock(enc.data(), bytes, n, chosen);
       if (!s.ok()) ThrowIo(s);
+      CodecMetrics::Get().Account(chosen, bytes);
       total += bytes;
     }
     s = wr->Finish();
@@ -118,12 +162,16 @@ size_t ColumnBm::StoreCompressed(const std::string& file, const Column& col,
   for (int64_t off = 0; off == 0 || off < col.size(); off += values_per_block) {
     int64_t n = std::min<int64_t>(values_per_block, col.size() - off);
     Buffer enc;
-    size_t bytes = ForCodec::Encode(src + static_cast<size_t>(off) * w, n, w,
-                                    &enc);
+    CodecId chosen;
+    size_t bytes = EncodeBlock(src + static_cast<size_t>(off) * w, n, w,
+                               force, &enc, &chosen);
     auto blk = std::make_unique<char[]>(bytes);
-    std::memcpy(blk.get(), enc.data(), bytes);
+    if (bytes > 0) std::memcpy(blk.get(), enc.data(), bytes);
     f.blocks.push_back(std::move(blk));
     f.block_bytes.push_back(bytes);
+    f.codecs.push_back(chosen);
+    f.value_counts.push_back(n);
+    CodecMetrics::Get().Account(chosen, bytes);
     total += bytes;
   }
   std::lock_guard<std::mutex> lock(mem_mu_);
@@ -202,7 +250,21 @@ int64_t ColumnBm::CompressedBlockCount(const std::string& file,
   auto it = files_.find(file);
   X100_CHECK(it != files_.end() && it->second.compressed);
   X100_CHECK(b >= 0 && b < static_cast<int64_t>(it->second.blocks.size()));
-  return ForCodec::EncodedCount(it->second.blocks[b].get());
+  return it->second.value_counts[static_cast<size_t>(b)];
+}
+
+CodecId ColumnBm::BlockCodec(const std::string& file, int64_t b) const {
+  if (disk_backed()) {
+    const DiskStore::FileMeta& meta = MetaFor(file);
+    X100_CHECK(b >= 0 && b < static_cast<int64_t>(meta.blocks.size()));
+    return meta.blocks[static_cast<size_t>(b)].codec;
+  }
+  std::lock_guard<std::mutex> lock(mem_mu_);
+  auto it = files_.find(file);
+  X100_CHECK(it != files_.end());
+  X100_CHECK(b >= 0 && b < static_cast<int64_t>(it->second.blocks.size()));
+  if (!it->second.compressed) return CodecId::kRaw;
+  return it->second.codecs[static_cast<size_t>(b)];
 }
 
 void ColumnBm::AccountRead(size_t bytes) {
@@ -268,20 +330,26 @@ ColumnBm::BlockRef ColumnBm::ReadBlock(const std::string& file, int64_t b) {
 int64_t ColumnBm::ReadDecompressed(const std::string& file, int64_t b,
                                    void* out) {
   size_t width;
+  CodecId codec;
   if (disk_backed()) {
     const DiskStore::FileMeta& meta = MetaFor(file);
     X100_CHECK(meta.compressed);
+    X100_CHECK(b >= 0 && b < static_cast<int64_t>(meta.blocks.size()));
     width = meta.value_width;
+    codec = meta.blocks[static_cast<size_t>(b)].codec;
   } else {
     std::lock_guard<std::mutex> lock(mem_mu_);
     auto it = files_.find(file);
     X100_CHECK(it != files_.end() && it->second.compressed);
+    X100_CHECK(b >= 0 &&
+               b < static_cast<int64_t>(it->second.blocks.size()));
     width = it->second.value_width;
+    codec = it->second.codecs[static_cast<size_t>(b)];
   }
   // Only the compressed bytes cross the I/O boundary; decompression is CPU
   // work on the cache side (§4 "Cache").
   BlockRef ref = ReadBlock(file, b);
-  return ForCodec::Decode(ref.data, out, width);
+  return Codec::ForId(codec)->Decode(ref.data, ref.bytes, out, width);
 }
 
 Status ColumnBm::WriteTableManifest(const std::string& table,

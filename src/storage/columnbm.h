@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -63,11 +64,15 @@ class ColumnBm {
   /// Copies a column's physical data into chunked storage under `file`.
   void Store(const std::string& file, const Column& col);
 
-  /// Stores an integral column FOR-compressed (§4.3 lightweight compression):
-  /// fixed-count blocks of bit-packed deltas. Decompression happens at read
-  /// time on the RAM->cache boundary. Returns the compressed byte size.
+  /// Stores an integral column compressed (§4.3 lightweight compression) in
+  /// fixed-count blocks. Each block gets the cheapest codec by sampled
+  /// trial-encode (FOR / PDICT / RLE / PFOR-delta, falling back to raw when
+  /// nothing beats verbatim bytes); pass `force` to pin one codec for every
+  /// block (benchmarks and bit-identity tests). Decompression happens at
+  /// read time on the RAM->cache boundary. Returns the stored byte size.
   size_t StoreCompressed(const std::string& file, const Column& col,
-                         int64_t values_per_block = 1 << 16);
+                         int64_t values_per_block = 1 << 16,
+                         std::optional<CodecId> force = std::nullopt);
 
   /// Reads block `b` of a compressed file, decompressing into `out`
   /// (caller provides >= values_per_block * width bytes). Returns the value
@@ -88,6 +93,10 @@ class ColumnBm {
 
   /// Stored byte size of block `b` (no I/O accounting).
   size_t BlockBytes(const std::string& file, int64_t b) const;
+
+  /// Codec block `b` of a compressed file was stored with (kRaw for files
+  /// written by Store). No I/O accounting.
+  CodecId BlockCodec(const std::string& file, int64_t b) const;
 
   /// Returns block `b` (pointer + byte count), accounting the read. The
   /// payload stays valid for the BlockRef's lifetime: the ref carries the
@@ -155,6 +164,9 @@ class ColumnBm {
     std::vector<size_t> block_bytes;
     bool compressed = false;
     size_t value_width = 0;  // compressed files: bytes per decoded value
+    // Compressed files only (raw payloads carry no self-describing header):
+    std::vector<CodecId> codecs;
+    std::vector<int64_t> value_counts;
   };
 
   void AccountRead(size_t bytes);

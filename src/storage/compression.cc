@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <type_traits>
 #include <vector>
 
 #include "common/status.h"
@@ -10,13 +11,40 @@ namespace x100 {
 
 namespace {
 
-struct Header {
+struct ForHeader {
   int64_t reference;
   uint16_t bits;
   uint16_t reserved;
   uint32_t count;
 };
-static_assert(sizeof(Header) == ForCodec::kHeaderBytes);
+static_assert(sizeof(ForHeader) == ForCodec::kHeaderBytes);
+
+struct PdictHeader {
+  uint32_t count;
+  uint32_t dict_size;
+  uint16_t bits;
+  uint16_t reserved;
+  uint32_t reserved2;
+};
+static_assert(sizeof(PdictHeader) == PdictCodec::kHeaderBytes);
+
+struct RleHeader {
+  uint32_t count;
+  uint32_t num_runs;
+  uint64_t reserved;
+};
+static_assert(sizeof(RleHeader) == RleCodec::kHeaderBytes);
+
+struct PfordHeader {
+  int64_t base;
+  int64_t reference;  // minimum delta, unsigned domain
+  uint32_t count;
+  uint32_t num_exceptions;
+  uint16_t bits;
+  uint16_t reserved;
+  uint32_t reserved2;
+};
+static_assert(sizeof(PfordHeader) == PforDeltaCodec::kHeaderBytes);
 
 template <typename T>
 void MinMax(const T* in, int64_t n, int64_t* lo, int64_t* hi) {
@@ -40,6 +68,10 @@ int BitsFor(uint64_t range) {
     range >>= 1;
   }
   return bits;
+}
+
+size_t WordsFor(int64_t n, int bits) {
+  return (static_cast<size_t>(n) * bits + 63) / 64;
 }
 
 /// Packs the low `bits` of each delta into consecutive 64-bit words.
@@ -98,15 +130,17 @@ void Unpack(const uint64_t* words, int64_t n, int64_t ref, int bits, T* out) {
   }
 }
 
+// ---------------------------------------------------------------- FOR
+
 template <typename T>
-size_t EncodeTyped(const T* in, int64_t n, Buffer* out) {
+size_t ForEncodeTyped(const T* in, int64_t n, Buffer* out) {
   int64_t lo, hi;
   MinMax(in, n, &lo, &hi);
   uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
   int bits = BitsFor(range);
-  size_t nwords = (static_cast<size_t>(n) * bits + 63) / 64;
-  Header h{lo, static_cast<uint16_t>(bits), 0, static_cast<uint32_t>(n)};
-  size_t total = sizeof(Header) + nwords * 8;
+  size_t nwords = WordsFor(n, bits);
+  ForHeader h{lo, static_cast<uint16_t>(bits), 0, static_cast<uint32_t>(n)};
+  size_t total = sizeof(ForHeader) + nwords * 8;
   size_t start = out->size_bytes();
   out->Reserve(start + total);
   out->Append(&h, sizeof(h));
@@ -120,55 +154,469 @@ size_t EncodeTyped(const T* in, int64_t n, Buffer* out) {
 }
 
 template <typename T>
-int64_t DecodeTyped(const void* encoded, T* out) {
-  Header h;
+int64_t ForDecodeTyped(const void* encoded, T* out) {
+  ForHeader h;
   std::memcpy(&h, encoded, sizeof(h));
   const uint64_t* words = reinterpret_cast<const uint64_t*>(
-      static_cast<const char*>(encoded) + sizeof(Header));
+      static_cast<const char*>(encoded) + sizeof(ForHeader));
   Unpack(words, h.count, h.reference, h.bits, out);
   return h.count;
 }
 
+// ---------------------------------------------------------------- PDICT
+
+// Dictionary bytes are padded to an 8-byte boundary so the code words that
+// follow stay 8-aligned (blocks themselves start aligned; Unpack reads
+// uint64s directly).
+size_t PaddedDictBytes(size_t dict_size, size_t width) {
+  return (dict_size * width + 7) & ~size_t{7};
+}
+
+template <typename T>
+size_t PdictEncodeTyped(const T* in, int64_t n, Buffer* out) {
+  std::vector<T> dict(in, in + n);
+  std::sort(dict.begin(), dict.end());
+  dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+  int bits = dict.size() > 1 ? BitsFor(dict.size() - 1) : 0;
+  std::vector<uint32_t> codes(n);
+  for (int64_t i = 0; i < n; i++) {
+    codes[i] = static_cast<uint32_t>(
+        std::lower_bound(dict.begin(), dict.end(), in[i]) - dict.begin());
+  }
+  size_t dict_bytes = PaddedDictBytes(dict.size(), sizeof(T));
+  size_t nwords = WordsFor(n, bits);
+  PdictHeader h{static_cast<uint32_t>(n), static_cast<uint32_t>(dict.size()),
+                static_cast<uint16_t>(bits), 0, 0};
+  size_t total = sizeof(h) + dict_bytes + nwords * 8;
+  out->Reserve(out->size_bytes() + total);
+  out->Append(&h, sizeof(h));
+  if (!dict.empty()) out->Append(dict.data(), dict.size() * sizeof(T));
+  static const char kPad[8] = {0};
+  out->Append(kPad, dict_bytes - dict.size() * sizeof(T));
+  if (nwords > 0) {
+    std::vector<uint64_t> words(nwords, 0);
+    Pack(codes.data(), n, 0, bits, words.data());
+    out->Append(words.data(), nwords * 8);
+  }
+  return total;
+}
+
+template <typename T>
+int64_t PdictDecodeTyped(const void* encoded, T* out) {
+  PdictHeader h;
+  std::memcpy(&h, encoded, sizeof(h));
+  const T* dict = reinterpret_cast<const T*>(static_cast<const char*>(encoded) +
+                                             sizeof(h));
+  const uint64_t* words = reinterpret_cast<const uint64_t*>(
+      static_cast<const char*>(encoded) + sizeof(h) +
+      PaddedDictBytes(h.dict_size, sizeof(T)));
+  int64_t n = h.count;
+  std::vector<uint32_t> codes(n);
+  Unpack(words, n, 0, h.bits, codes.data());
+  for (int64_t i = 0; i < n; i++) out[i] = dict[codes[i]];
+  return n;
+}
+
+// ---------------------------------------------------------------- RLE
+
+template <typename T>
+size_t RleEncodeTyped(const T* in, int64_t n, Buffer* out) {
+  // First pass counts runs so the header can be written before the payload.
+  uint32_t num_runs = 0;
+  for (int64_t i = 0; i < n;) {
+    int64_t j = i + 1;
+    while (j < n && in[j] == in[i]) j++;
+    num_runs++;
+    i = j;
+  }
+  RleHeader h{static_cast<uint32_t>(n), num_runs, 0};
+  size_t total =
+      sizeof(h) + static_cast<size_t>(num_runs) * RleCodec::kRunBytes;
+  out->Reserve(out->size_bytes() + total);
+  out->Append(&h, sizeof(h));
+  for (int64_t i = 0; i < n;) {
+    int64_t j = i + 1;
+    while (j < n && in[j] == in[i]) j++;
+    int64_t value = static_cast<int64_t>(in[i]);
+    uint32_t len = static_cast<uint32_t>(j - i);
+    char run[RleCodec::kRunBytes];
+    std::memcpy(run, &value, 8);
+    std::memcpy(run + 8, &len, 4);
+    out->Append(run, sizeof(run));
+    i = j;
+  }
+  return total;
+}
+
+template <typename T>
+int64_t RleDecodeTyped(const void* encoded, T* out) {
+  RleHeader h;
+  std::memcpy(&h, encoded, sizeof(h));
+  const char* runs = static_cast<const char*>(encoded) + sizeof(h);
+  int64_t pos = 0;
+  for (uint32_t r = 0; r < h.num_runs; r++) {
+    int64_t value;
+    uint32_t len;
+    std::memcpy(&value, runs + r * RleCodec::kRunBytes, 8);
+    std::memcpy(&len, runs + r * RleCodec::kRunBytes + 8, 4);
+    T v = static_cast<T>(value);
+    for (uint32_t k = 0; k < len; k++) out[pos++] = v;
+  }
+  return h.count;
+}
+
+// ---------------------------------------------------------------- PFOR-delta
+
+template <typename T>
+size_t PfordEncodeTyped(const T* in, int64_t n, Buffer* out) {
+  using U = std::make_unsigned_t<T>;
+  PfordHeader h{};
+  h.count = static_cast<uint32_t>(n);
+  if (n == 0) {
+    out->Append(&h, sizeof(h));
+    return sizeof(h);
+  }
+  h.base = static_cast<int64_t>(in[0]);
+  // Deltas in the physical width's modular domain: any successor value is
+  // reachable by adding a value in [0, 2^(8*width)), so decode's wrapping
+  // prefix sum reconstructs exactly (INT64_MIN after INT64_MAX included).
+  int64_t nd = n - 1;
+  std::vector<uint64_t> deltas(nd);
+  for (int64_t i = 0; i < nd; i++) {
+    deltas[i] = static_cast<uint64_t>(
+        static_cast<U>(static_cast<U>(in[i + 1]) - static_cast<U>(in[i])));
+  }
+  uint64_t ref = nd > 0 ? *std::min_element(deltas.begin(), deltas.end()) : 0;
+  // Pick the packed width minimizing words + exception bytes over the
+  // bit-length histogram of the adjusted deltas.
+  int64_t hist[65] = {0};
+  for (int64_t i = 0; i < nd; i++) hist[BitsFor(deltas[i] - ref)]++;
+  int best_bits = 64;
+  size_t best_cost = WordsFor(nd, 64) * 8;
+  int64_t exc = nd;  // deltas whose bit length exceeds b
+  for (int b = 0; b <= 64; b++) {
+    exc -= hist[b];
+    size_t cost = WordsFor(nd, b) * 8 +
+                  static_cast<size_t>(exc) * PforDeltaCodec::kExceptionBytes;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_bits = b;
+    }
+  }
+  int bits = best_bits;
+  uint64_t limit = bits == 64 ? ~uint64_t{0}
+                              : (bits == 0 ? 0 : (uint64_t{1} << bits) - 1);
+  std::vector<uint64_t> packvals(nd);
+  std::vector<std::pair<uint32_t, int64_t>> exceptions;
+  for (int64_t i = 0; i < nd; i++) {
+    uint64_t adj = deltas[i] - ref;
+    if (adj > limit) {
+      packvals[i] = 0;
+      exceptions.emplace_back(static_cast<uint32_t>(i),
+                              static_cast<int64_t>(deltas[i]));
+    } else {
+      packvals[i] = adj;
+    }
+  }
+  h.reference = static_cast<int64_t>(ref);
+  h.num_exceptions = static_cast<uint32_t>(exceptions.size());
+  h.bits = static_cast<uint16_t>(bits);
+  size_t nwords = WordsFor(nd, bits);
+  size_t total = sizeof(h) + nwords * 8 +
+                 exceptions.size() * PforDeltaCodec::kExceptionBytes;
+  out->Reserve(out->size_bytes() + total);
+  out->Append(&h, sizeof(h));
+  if (nwords > 0) {
+    std::vector<uint64_t> words(nwords, 0);
+    Pack(packvals.data(), nd, 0, bits, words.data());
+    out->Append(words.data(), nwords * 8);
+  }
+  for (const auto& [pos, delta] : exceptions) {
+    char e[PforDeltaCodec::kExceptionBytes];
+    std::memcpy(e, &pos, 4);
+    std::memcpy(e + 4, &delta, 8);
+    out->Append(e, sizeof(e));
+  }
+  return total;
+}
+
+template <typename T>
+int64_t PfordDecodeTyped(const void* encoded, T* out) {
+  using U = std::make_unsigned_t<T>;
+  PfordHeader h;
+  std::memcpy(&h, encoded, sizeof(h));
+  int64_t n = h.count;
+  if (n == 0) return 0;
+  out[0] = static_cast<T>(h.base);
+  if (n == 1) return 1;
+  int64_t nd = n - 1;
+  const char* p = static_cast<const char*>(encoded) + sizeof(h);
+  const uint64_t* words = reinterpret_cast<const uint64_t*>(p);
+  size_t nwords = WordsFor(nd, h.bits);
+  std::vector<uint64_t> deltas(nd);
+  Unpack(words, nd, 0, h.bits, deltas.data());
+  uint64_t ref = static_cast<uint64_t>(h.reference);
+  for (int64_t i = 0; i < nd; i++) deltas[i] += ref;
+  const char* exc = p + nwords * 8;
+  for (uint32_t e = 0; e < h.num_exceptions; e++) {
+    uint32_t pos;
+    int64_t delta;
+    std::memcpy(&pos, exc + e * PforDeltaCodec::kExceptionBytes, 4);
+    std::memcpy(&delta, exc + e * PforDeltaCodec::kExceptionBytes + 4, 8);
+    deltas[pos] = static_cast<uint64_t>(delta);
+  }
+  U cur = static_cast<U>(out[0]);
+  for (int64_t i = 0; i < nd; i++) {
+    cur = static_cast<U>(cur + static_cast<U>(deltas[i]));
+    out[i + 1] = static_cast<T>(cur);
+  }
+  return n;
+}
+
+// ------------------------------------------------------- width dispatch
+
+#define X100_WIDTH_SWITCH(expr_t)                \
+  switch (width) {                               \
+    case 1: return expr_t(int8_t);               \
+    case 2: return expr_t(int16_t);              \
+    case 4: return expr_t(int32_t);              \
+    case 8: return expr_t(int64_t);              \
+    default: X100_CHECK(false); return 0;        \
+  }
+
+// ------------------------------------------------------- Codec impls
+
+class RawCodecImpl : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kRaw; }
+  const char* name() const override { return "raw"; }
+  size_t MaxEncodedBytes(int64_t n, size_t width) const override {
+    return static_cast<size_t>(n) * width;
+  }
+  size_t Encode(const void* in, int64_t n, size_t width,
+                Buffer* out) const override {
+    size_t bytes = static_cast<size_t>(n) * width;
+    if (bytes > 0) out->Append(in, bytes);
+    return bytes;
+  }
+  int64_t Decode(const void* encoded, size_t encoded_bytes, void* out,
+                 size_t width) const override {
+    if (encoded_bytes > 0) std::memcpy(out, encoded, encoded_bytes);
+    return static_cast<int64_t>(encoded_bytes / width);
+  }
+  int64_t EncodedCount(const void* /*encoded*/, size_t encoded_bytes,
+                       size_t width) const override {
+    return static_cast<int64_t>(encoded_bytes / width);
+  }
+};
+
+class ForCodecImpl : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kFor; }
+  const char* name() const override { return "for"; }
+  size_t MaxEncodedBytes(int64_t n, size_t /*width*/) const override {
+    return ForCodec::MaxEncodedBytes(n);
+  }
+  size_t Encode(const void* in, int64_t n, size_t width,
+                Buffer* out) const override {
+    return ForCodec::Encode(in, n, width, out);
+  }
+  int64_t Decode(const void* encoded, size_t /*encoded_bytes*/, void* out,
+                 size_t width) const override {
+    return ForCodec::Decode(encoded, out, width);
+  }
+  int64_t EncodedCount(const void* encoded, size_t /*encoded_bytes*/,
+                       size_t /*width*/) const override {
+    return ForCodec::EncodedCount(encoded);
+  }
+};
+
+class PdictCodecImpl : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kPdict; }
+  const char* name() const override { return "pdict"; }
+  size_t MaxEncodedBytes(int64_t n, size_t width) const override {
+    // Worst case: all values distinct (full-width dictionary) + 32-bit codes.
+    return PdictCodec::kHeaderBytes + PaddedDictBytes(n, width) +
+           WordsFor(n, 32) * 8 + 8;
+  }
+  size_t Encode(const void* in, int64_t n, size_t width,
+                Buffer* out) const override {
+    X100_CHECK(n >= 0 && n <= static_cast<int64_t>(UINT32_MAX));
+#define X100_EXPR(T) PdictEncodeTyped(static_cast<const T*>(in), n, out)
+    X100_WIDTH_SWITCH(X100_EXPR)
+#undef X100_EXPR
+  }
+  int64_t Decode(const void* encoded, size_t /*encoded_bytes*/, void* out,
+                 size_t width) const override {
+#define X100_EXPR(T) PdictDecodeTyped(encoded, static_cast<T*>(out))
+    X100_WIDTH_SWITCH(X100_EXPR)
+#undef X100_EXPR
+  }
+  int64_t EncodedCount(const void* encoded, size_t /*encoded_bytes*/,
+                       size_t /*width*/) const override {
+    PdictHeader h;
+    std::memcpy(&h, encoded, sizeof(h));
+    return h.count;
+  }
+};
+
+class RleCodecImpl : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kRle; }
+  const char* name() const override { return "rle"; }
+  size_t MaxEncodedBytes(int64_t n, size_t /*width*/) const override {
+    return RleCodec::kHeaderBytes +
+           static_cast<size_t>(n) * RleCodec::kRunBytes;
+  }
+  size_t Encode(const void* in, int64_t n, size_t width,
+                Buffer* out) const override {
+    X100_CHECK(n >= 0 && n <= static_cast<int64_t>(UINT32_MAX));
+#define X100_EXPR(T) RleEncodeTyped(static_cast<const T*>(in), n, out)
+    X100_WIDTH_SWITCH(X100_EXPR)
+#undef X100_EXPR
+  }
+  int64_t Decode(const void* encoded, size_t /*encoded_bytes*/, void* out,
+                 size_t width) const override {
+#define X100_EXPR(T) RleDecodeTyped(encoded, static_cast<T*>(out))
+    X100_WIDTH_SWITCH(X100_EXPR)
+#undef X100_EXPR
+  }
+  int64_t EncodedCount(const void* encoded, size_t /*encoded_bytes*/,
+                       size_t /*width*/) const override {
+    RleHeader h;
+    std::memcpy(&h, encoded, sizeof(h));
+    return h.count;
+  }
+};
+
+class PforDeltaCodecImpl : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kPforDelta; }
+  const char* name() const override { return "pford"; }
+  size_t MaxEncodedBytes(int64_t n, size_t /*width*/) const override {
+    return PforDeltaCodec::kHeaderBytes + WordsFor(n, 64) * 8 +
+           static_cast<size_t>(n) * PforDeltaCodec::kExceptionBytes + 8;
+  }
+  size_t Encode(const void* in, int64_t n, size_t width,
+                Buffer* out) const override {
+    X100_CHECK(n >= 0 && n <= static_cast<int64_t>(UINT32_MAX));
+#define X100_EXPR(T) PfordEncodeTyped(static_cast<const T*>(in), n, out)
+    X100_WIDTH_SWITCH(X100_EXPR)
+#undef X100_EXPR
+  }
+  int64_t Decode(const void* encoded, size_t /*encoded_bytes*/, void* out,
+                 size_t width) const override {
+#define X100_EXPR(T) PfordDecodeTyped(encoded, static_cast<T*>(out))
+    X100_WIDTH_SWITCH(X100_EXPR)
+#undef X100_EXPR
+  }
+  int64_t EncodedCount(const void* encoded, size_t /*encoded_bytes*/,
+                       size_t /*width*/) const override {
+    PfordHeader h;
+    std::memcpy(&h, encoded, sizeof(h));
+    return h.count;
+  }
+};
+
+const RawCodecImpl kRawCodec;
+const ForCodecImpl kForCodecImpl;
+const PdictCodecImpl kPdictCodec;
+const RleCodecImpl kRleCodec;
+const PforDeltaCodecImpl kPforDeltaCodec;
+
+const Codec* const kAllCodecs[kNumCodecs] = {
+    &kRawCodec, &kForCodecImpl, &kPdictCodec, &kRleCodec, &kPforDeltaCodec,
+};
+
 }  // namespace
+
+const Codec* Codec::ForId(CodecId id) {
+  uint8_t v = static_cast<uint8_t>(id);
+  if (v >= kNumCodecs) return nullptr;
+  return kAllCodecs[v];
+}
+
+const Codec* const* Codec::All() { return kAllCodecs; }
+
+const char* Codec::Name(CodecId id) {
+  const Codec* c = ForId(id);
+  return c != nullptr ? c->name() : "unknown";
+}
+
+CodecId PickCodec(const void* in, int64_t n, size_t width,
+                  int64_t sample_limit) {
+  // Empty blocks keep the header-only FOR representation (count stays
+  // readable without a byte-count side channel special case).
+  if (n == 0) return CodecId::kFor;
+  int64_t sample_n = std::min(n, sample_limit);
+  size_t raw_bytes = static_cast<size_t>(sample_n) * width;
+  CodecId best = CodecId::kRaw;
+  size_t best_bytes = raw_bytes;
+  Buffer scratch;
+  for (CodecId id : {CodecId::kFor, CodecId::kRle, CodecId::kPdict,
+                     CodecId::kPforDelta}) {
+    scratch.Clear();
+    size_t bytes = Codec::ForId(id)->Encode(in, sample_n, width, &scratch);
+    if (bytes < best_bytes) {
+      best_bytes = bytes;
+      best = id;
+    }
+  }
+  return best;
+}
+
+size_t EncodeBestCodec(const void* in, int64_t n, size_t width, Buffer* out,
+                       CodecId* chosen) {
+  if (n == 0) {
+    *chosen = CodecId::kFor;
+    return ForCodec::Encode(in, 0, width, out);
+  }
+  CodecId id = PickCodec(in, n, width);
+  size_t raw_bytes = static_cast<size_t>(n) * width;
+  if (id != CodecId::kRaw) {
+    // Encode into a scratch first: sampling can over-promise (e.g. a prefix
+    // whose dictionary stays small while the tail's explodes), and the block
+    // must never be stored larger than verbatim.
+    Buffer scratch;
+    size_t bytes = Codec::ForId(id)->Encode(in, n, width, &scratch);
+    if (bytes < raw_bytes) {
+      out->Append(scratch.data(), bytes);
+      *chosen = id;
+      return bytes;
+    }
+  }
+  out->Append(in, raw_bytes);
+  *chosen = CodecId::kRaw;
+  return raw_bytes;
+}
 
 size_t ForCodec::Encode(const void* in, int64_t n, size_t width, Buffer* out) {
   // n == 0 is legal: a header-only block (reference 0, bits 0, count 0) that
   // round-trips to zero values. Lets stores of empty columns write one block
   // rather than special-case emptiness.
   X100_CHECK(n >= 0 && n <= static_cast<int64_t>(UINT32_MAX));
-  switch (width) {
-    case 1: return EncodeTyped(static_cast<const int8_t*>(in), n, out);
-    case 2: return EncodeTyped(static_cast<const int16_t*>(in), n, out);
-    case 4: return EncodeTyped(static_cast<const int32_t*>(in), n, out);
-    case 8: return EncodeTyped(static_cast<const int64_t*>(in), n, out);
-    default:
-      X100_CHECK(false);
-      return 0;
-  }
+#define X100_EXPR(T) ForEncodeTyped(static_cast<const T*>(in), n, out)
+  X100_WIDTH_SWITCH(X100_EXPR)
+#undef X100_EXPR
 }
 
 int64_t ForCodec::Decode(const void* encoded, void* out, size_t width) {
-  switch (width) {
-    case 1: return DecodeTyped(encoded, static_cast<int8_t*>(out));
-    case 2: return DecodeTyped(encoded, static_cast<int16_t*>(out));
-    case 4: return DecodeTyped(encoded, static_cast<int32_t*>(out));
-    case 8: return DecodeTyped(encoded, static_cast<int64_t*>(out));
-    default:
-      X100_CHECK(false);
-      return 0;
-  }
+#define X100_EXPR(T) ForDecodeTyped(encoded, static_cast<T*>(out))
+  X100_WIDTH_SWITCH(X100_EXPR)
+#undef X100_EXPR
 }
 
 int64_t ForCodec::EncodedCount(const void* encoded) {
-  Header h;
+  ForHeader h;
   std::memcpy(&h, encoded, sizeof(h));
   return h.count;
 }
 
 size_t ForCodec::EncodedBytes(const void* encoded) {
-  Header h;
+  ForHeader h;
   std::memcpy(&h, encoded, sizeof(h));
-  return sizeof(Header) +
+  return sizeof(ForHeader) +
          (static_cast<size_t>(h.count) * h.bits + 63) / 64 * 8;
 }
 

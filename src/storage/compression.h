@@ -8,12 +8,82 @@
 
 namespace x100 {
 
-/// Lightweight frame-of-reference (FOR) compression for integer columns —
-/// the "lightweight data compression" §4.3 attaches to the vertically
-/// fragmented disk layout, and the future-work item on reducing I/O
-/// bandwidth. Values in a block are stored as bit-packed unsigned deltas
-/// from the block minimum; decompression is a tight, branch-poor loop meant
-/// to run at the RAM/cache boundary (§4 "Cache").
+/// Lightweight compression codecs for integer columns — the "lightweight
+/// data compression" §4.3 attaches to the vertically fragmented disk layout,
+/// and the future-work item on reducing I/O bandwidth. Each codec stores a
+/// block in a self-describing layout with a tight, branch-poor decode loop
+/// meant to run at the RAM/cache boundary (§4 "Cache"): the point is that
+/// decompression bandwidth, not disk bandwidth, bounds cold scans.
+///
+/// Codec ids are persisted per block in the X100COL2 disk format, so the
+/// numeric values below are part of the on-disk contract and must not be
+/// reassigned.
+enum class CodecId : uint8_t {
+  kRaw = 0,        // verbatim bytes, no header (count = bytes / width)
+  kFor = 1,        // frame-of-reference bit-packing (ForCodec layout)
+  kPdict = 2,      // dictionary + bit-packed codes (low-cardinality columns)
+  kRle = 3,        // run-length (sorted / clustered columns)
+  kPforDelta = 4,  // FOR over deltas with exception patching (monotone keys)
+};
+
+constexpr int kNumCodecs = 5;
+
+/// Common interface over the codecs. Implementations are stateless
+/// singletons — look them up with Codec::ForId and share freely across
+/// threads (BmScanOp decodes on the prefetch thread).
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual CodecId id() const = 0;
+  /// Short stable name used in metrics/trace counters:
+  /// "raw", "for", "pdict", "rle", "pford".
+  virtual const char* name() const = 0;
+
+  /// Worst-case encoded bytes for `n` values of `width` bytes each.
+  virtual size_t MaxEncodedBytes(int64_t n, size_t width) const = 0;
+
+  /// Encodes `n` values of width `width` (1, 2, 4 or 8 bytes, signed; 4-byte
+  /// dates included) appending to `out`; returns the encoded byte count.
+  virtual size_t Encode(const void* in, int64_t n, size_t width,
+                        Buffer* out) const = 0;
+
+  /// Decodes a block produced by Encode back into `out` (same width).
+  /// `encoded_bytes` is the block's stored size (needed by kRaw, whose
+  /// payload has no header). Returns the number of values decoded.
+  virtual int64_t Decode(const void* encoded, size_t encoded_bytes, void* out,
+                         size_t width) const = 0;
+
+  /// Value count of an encoded block without decoding it.
+  virtual int64_t EncodedCount(const void* encoded, size_t encoded_bytes,
+                               size_t width) const = 0;
+
+  /// Singleton for a codec id; nullptr for ids outside the known set
+  /// (DiskStore uses this to reject corrupt block footers).
+  static const Codec* ForId(CodecId id);
+  static const Codec* ForId(uint8_t id) {
+    return ForId(static_cast<CodecId>(id));
+  }
+  /// All known codecs, indexed by CodecId value.
+  static const Codec* const* All();
+  static const char* Name(CodecId id);
+};
+
+/// Picks the cheapest codec for a block by trial-encoding a contiguous
+/// prefix sample (contiguous so RLE run structure survives sampling) and
+/// extrapolating bytes/value; kRaw wins when nothing beats verbatim storage.
+CodecId PickCodec(const void* in, int64_t n, size_t width,
+                  int64_t sample_limit = 4096);
+
+/// Encodes with PickCodec's winner, falling back to kRaw if the full encode
+/// turns out no smaller than verbatim bytes (sampling can over-promise, e.g.
+/// a dictionary whose tail cardinality explodes). Appends to `out`, returns
+/// encoded bytes, stores the codec actually used in `*chosen`.
+size_t EncodeBestCodec(const void* in, int64_t n, size_t width, Buffer* out,
+                       CodecId* chosen);
+
+/// Frame-of-reference (FOR) compression. Values in a block are stored as
+/// bit-packed unsigned deltas from the block minimum.
 ///
 /// Encoded block layout:
 ///   int64  reference (block minimum)
@@ -42,6 +112,60 @@ class ForCodec {
   static size_t EncodedBytes(const void* encoded);
 
   static constexpr size_t kHeaderBytes = 16;
+};
+
+/// Dictionary compression: distinct values sorted ascending, occurrences
+/// stored as bit-packed codes. Wins on low-cardinality columns (flags,
+/// enums) where FOR's min..max range is wide but the value set is tiny.
+///
+/// Encoded block layout:
+///   uint32 value count
+///   uint32 dictionary size
+///   uint16 bits per code (0 when the dictionary has <= 1 entry)
+///   uint16 reserved
+///   uint32 reserved
+///   <width> dict[dictionary size]   (physical width, ascending)
+///   uint64 words[ceil(n*bits/64)]
+class PdictCodec {
+ public:
+  static constexpr size_t kHeaderBytes = 16;
+};
+
+/// Run-length encoding: (value, run length) pairs. Wins on sorted or
+/// clustered columns (l_shipdate, o_orderdate) where runs are long.
+///
+/// Encoded block layout:
+///   uint32 value count
+///   uint32 run count
+///   uint64 reserved
+///   { int64 value; uint32 length }  runs[run count]   (12 bytes each)
+class RleCodec {
+ public:
+  static constexpr size_t kHeaderBytes = 16;
+  static constexpr size_t kRunBytes = 12;
+};
+
+/// PFOR-delta: consecutive differences bit-packed against the minimum delta,
+/// with out-of-range deltas patched from an exception list, then a prefix
+/// sum rebuilds the values. Wins on monotone key columns (l_orderkey) whose
+/// absolute range defeats FOR but whose steps are tiny and near-uniform.
+/// Deltas use modular arithmetic in the column's physical width, so any
+/// input (including INT64_MIN/MAX neighbours) round-trips.
+///
+/// Encoded block layout:
+///   int64  base (first value)
+///   int64  reference (minimum delta, unsigned domain)
+///   uint32 value count
+///   uint32 exception count
+///   uint16 bits per packed delta
+///   uint16 reserved
+///   uint32 reserved
+///   uint64 words[ceil((n-1)*bits/64)]
+///   { uint32 pos; int64 delta }  exceptions[exception count]  (12 bytes)
+class PforDeltaCodec {
+ public:
+  static constexpr size_t kHeaderBytes = 32;
+  static constexpr size_t kExceptionBytes = 12;
 };
 
 }  // namespace x100

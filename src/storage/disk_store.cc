@@ -27,7 +27,7 @@ struct BlockEntry {
   uint64_t bytes;
   int64_t value_count;
   uint32_t crc;
-  uint32_t reserved;
+  uint32_t codec;  // CodecId; was a zeroed reserved field in v1
 };
 static_assert(sizeof(BlockEntry) == 32);
 
@@ -105,7 +105,7 @@ DiskStore::Writer::~Writer() {
 }
 
 Status DiskStore::Writer::AppendBlock(const void* data, size_t bytes,
-                                      int64_t value_count) {
+                                      int64_t value_count, CodecId codec) {
   X100_CHECK(!finished_);
   if (bytes > 0 && std::fwrite(data, 1, bytes, f_) != bytes) {
     return IoError("write", path_);
@@ -115,6 +115,7 @@ Status DiskStore::Writer::AppendBlock(const void* data, size_t bytes,
   m.bytes = bytes;
   m.value_count = value_count;
   m.crc = Crc32(data, bytes);
+  m.codec = codec;
   blocks_.push_back(m);
   offset_ += bytes;
   return Status::OK();
@@ -126,7 +127,8 @@ Status DiskStore::Writer::Finish() {
   std::vector<BlockEntry> entries(blocks_.size());
   for (size_t i = 0; i < blocks_.size(); i++) {
     entries[i] = {blocks_[i].offset, blocks_[i].bytes, blocks_[i].value_count,
-                  blocks_[i].crc, 0};
+                  blocks_[i].crc,
+                  static_cast<uint32_t>(blocks_[i].codec)};
   }
   size_t footer_bytes = entries.size() * sizeof(BlockEntry);
   if (!entries.empty() &&
@@ -226,10 +228,11 @@ Status DiskStore::OpenMeta(const std::string& name, FileMeta* meta) {
   FileHeader h;
   s = PreadAll(fd, &h, sizeof(h), 0, path);
   if (!s.ok()) return s;
-  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+  bool v1 = std::memcmp(h.magic, kMagicV1, sizeof(kMagicV1)) == 0;
+  if (!v1 && std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::Error("bad magic in " + path);
   }
-  if (h.version != kVersion) {
+  if (h.version != (v1 ? kVersionV1 : kVersion)) {
     return Status::Error("unsupported chunk-file version in " + path);
   }
   if (h.crc != Crc32(&h, sizeof(FileHeader) - sizeof(uint32_t))) {
@@ -262,8 +265,17 @@ Status DiskStore::OpenMeta(const std::string& name, FileMeta* meta) {
   meta->blocks.clear();
   meta->blocks.reserve(entries.size());
   meta->payload_bytes = 0;
-  for (const BlockEntry& e : entries) {
-    meta->blocks.push_back({e.offset, e.bytes, e.value_count, e.crc});
+  // v1 footers carry no codec id: compressed files were FOR throughout,
+  // plain files raw.
+  CodecId v1_codec = meta->compressed ? CodecId::kFor : CodecId::kRaw;
+  for (size_t i = 0; i < entries.size(); i++) {
+    const BlockEntry& e = entries[i];
+    CodecId codec = v1 ? v1_codec : static_cast<CodecId>(e.codec);
+    if (!v1 && (e.codec > 0xFF || Codec::ForId(codec) == nullptr)) {
+      return Status::Error("unknown codec id " + std::to_string(e.codec) +
+                           " for block " + std::to_string(i) + " in " + path);
+    }
+    meta->blocks.push_back({e.offset, e.bytes, e.value_count, e.crc, codec});
     meta->payload_bytes += e.bytes;
   }
   return Status::OK();
@@ -289,9 +301,10 @@ Status DiskStore::ReadBlock(const std::string& name, const FileMeta& meta,
 //
 // Text format, one column file per line after the header:
 //   x100-manifest v1 <num_entries>
-//   <file> <payload_bytes> <num_blocks> <crc-hex> <raw|for>
-// The final line checksums everything above it so truncated or edited
-// manifests are detected:
+//   <file> <payload_bytes> <num_blocks> <crc-hex> <raw|cmp>
+// ("cmp" marks codec-encoded files; older manifests say "for" — any kind
+// other than "raw" reads back as compressed.) The final line checksums
+// everything above it so truncated or edited manifests are detected:
 //   #crc <crc-hex>
 
 Status DiskStore::WriteManifest(const std::string& table,
@@ -303,7 +316,7 @@ Status DiskStore::WriteManifest(const std::string& table,
                   e.file.c_str(),
                   static_cast<unsigned long long>(e.payload_bytes),
                   static_cast<unsigned long long>(e.num_blocks), e.crc,
-                  e.compressed ? "for" : "raw");
+                  e.compressed ? "cmp" : "raw");
     body += line;
   }
   std::snprintf(line, sizeof(line), "#crc %08x\n",
@@ -362,7 +375,7 @@ Status DiskStore::ReadManifest(const std::string& table,
     e.payload_bytes = bytes;
     e.num_blocks = blocks;
     e.crc = crc;
-    e.compressed = std::strcmp(kind, "for") == 0;
+    e.compressed = std::strcmp(kind, "raw") != 0;
     out->push_back(std::move(e));
     p += used;
   }

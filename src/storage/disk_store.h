@@ -7,17 +7,24 @@
 // on real files — so the engine's "Disk" hierarchy level is exercised by
 // actual I/O rather than a std::map simulation.
 //
-// Chunk-file layout (one file per column, raw or FOR-compressed blocks):
+// Chunk-file layout (one file per column, per-block codec-encoded payloads):
 //
-//   FileHeader   { magic "X100COL1", version, flags, value_width, crc32 }
+//   FileHeader   { magic "X100COL2", version, flags, value_width, crc32 }
 //   payload      block 0 bytes ... block N-1 bytes (back to back)
-//   footer       N * BlockEntry { offset, bytes, value_count, crc32 }
+//   footer       N * BlockEntry { offset, bytes, value_count, crc32, codec }
 //   FooterTail   { num_blocks, footer_bytes, crc32(entries), magic }
 //
 // The footer is found from the fixed-size tail at the end of the file, so
 // files are written strictly append-only (no seek-back patching). Every
 // region is checksummed (CRC-32): the header at open, the footer at open,
 // each block's payload on every read from disk.
+//
+// Format history: v1 ("X100COL1") had no per-block codec id — compressed
+// files were FOR throughout, plain files raw. v1 files remain readable
+// (OpenMeta infers the codec from the header's compressed flag); new files
+// are always written as v2, whose footer entries carry a CodecId per block
+// so the freeze path can pick the cheapest codec block by block. Unknown
+// codec ids are rejected at open, like any other corruption.
 //
 // The per-table manifest ("<table>.manifest") lists the table's column files
 // with their payload sizes and whole-file checksums, so a table image can be
@@ -32,6 +39,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/compression.h"
 
 namespace x100 {
 
@@ -46,6 +54,7 @@ class DiskStore {
     uint64_t bytes = 0;        // payload size
     int64_t value_count = 0;   // decoded values in the block
     uint32_t crc = 0;          // CRC-32 of the payload
+    CodecId codec = CodecId::kRaw;  // how the payload is encoded
   };
 
   struct FileMeta {
@@ -81,9 +90,10 @@ class DiskStore {
     Writer(const Writer&) = delete;
     Writer& operator=(const Writer&) = delete;
 
-    /// Appends one block's payload (raw column bytes or one encoded
-    /// ForCodec block) and records its footer entry.
-    Status AppendBlock(const void* data, size_t bytes, int64_t value_count);
+    /// Appends one block's payload (raw column bytes or one codec-encoded
+    /// block) and records its footer entry, including the codec id.
+    Status AppendBlock(const void* data, size_t bytes, int64_t value_count,
+                       CodecId codec = CodecId::kRaw);
 
     /// Writes the footer + tail and closes the file. Must be called last.
     Status Finish();
@@ -127,8 +137,10 @@ class DiskStore {
   Status ReadManifest(const std::string& table,
                       std::vector<ManifestEntry>* out);
 
-  static constexpr char kMagic[8] = {'X', '1', '0', '0', 'C', 'O', 'L', '1'};
-  static constexpr uint32_t kVersion = 1;
+  static constexpr char kMagic[8] = {'X', '1', '0', '0', 'C', 'O', 'L', '2'};
+  static constexpr char kMagicV1[8] = {'X', '1', '0', '0', 'C', 'O', 'L', '1'};
+  static constexpr uint32_t kVersion = 2;
+  static constexpr uint32_t kVersionV1 = 1;
   static constexpr uint32_t kFlagCompressed = 1;
 
  private:

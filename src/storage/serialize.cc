@@ -5,11 +5,19 @@
 #include <memory>
 #include <vector>
 
+#include "storage/buffer.h"
+#include "storage/compression.h"
+
 namespace x100 {
 
 namespace {
 
-constexpr char kMagic[8] = {'X', '1', '0', '0', 'C', 'A', 'T', '1'};
+// Catalog image format v2: fixed-width column payloads are codec-compressed
+// (storage/compression.h) in chunks of kSerializeChunkValues values, each
+// chunk tagged with its codec id. v1 images (raw payloads) remain readable.
+constexpr char kMagic[8] = {'X', '1', '0', '0', 'C', 'A', 'T', '2'};
+constexpr char kMagicV1[8] = {'X', '1', '0', '0', 'C', 'A', 'T', '1'};
+constexpr int64_t kSerializeChunkValues = 1 << 16;
 
 class Writer {
  public:
@@ -138,11 +146,24 @@ void WriteColumnData(Writer* w, const Column& col) {
     }
   } else {
     w->I64(col.size());
-    w->Bytes(col.raw(), col.bytes());
+    // Codec-compress the payload chunk-at-a-time; each chunk picks its
+    // cheapest codec (raw when nothing beats verbatim bytes).
+    const size_t width = TypeWidth(col.storage_type());
+    const char* src = static_cast<const char*>(col.raw());
+    Buffer enc;
+    for (int64_t off = 0; off < col.size(); off += kSerializeChunkValues) {
+      int64_t n = std::min(kSerializeChunkValues, col.size() - off);
+      CodecId chosen;
+      size_t bytes =
+          EncodeBestCodec(src + off * width, n, width, &enc, &chosen);
+      w->U8(static_cast<uint8_t>(chosen));
+      w->U32(static_cast<uint32_t>(bytes));
+      w->Bytes(enc.data(), bytes);
+    }
   }
 }
 
-bool ReadColumnData(Reader* r, Column* col) {
+bool ReadColumnData(Reader* r, Column* col, bool v1) {
   TypeId storage = static_cast<TypeId>(r->U8());
   int64_t rows = r->I64();
   if (!r->ok() || rows < 0) return false;
@@ -151,8 +172,27 @@ bool ReadColumnData(Reader* r, Column* col) {
       col->AppendStr(r->Str());
     }
   } else {
-    std::vector<char> buf(static_cast<size_t>(rows) * TypeWidth(storage));
-    r->Bytes(buf.data(), buf.size());
+    const size_t width = TypeWidth(storage);
+    std::vector<char> buf(static_cast<size_t>(rows) * width);
+    if (v1) {
+      r->Bytes(buf.data(), buf.size());
+    } else {
+      std::vector<char> enc;
+      for (int64_t off = 0; off < rows && r->ok();
+           off += kSerializeChunkValues) {
+        int64_t n = std::min(kSerializeChunkValues, rows - off);
+        const Codec* codec = Codec::ForId(r->U8());
+        uint32_t bytes = r->U32();
+        if (!r->ok() || codec == nullptr) return false;
+        enc.resize(bytes);
+        r->Bytes(enc.data(), bytes);
+        if (!r->ok()) return false;
+        if (codec->Decode(enc.data(), bytes, buf.data() + off * width,
+                          width) != n) {
+          return false;
+        }
+      }
+    }
     if (!r->ok()) return false;
     if (rows > 0) col->RestoreRaw(storage, buf.data(), rows);
   }
@@ -219,7 +259,9 @@ std::unique_ptr<Catalog> LoadCatalog(const std::string& path,
   Reader r(f);
   char magic[8];
   r.Bytes(magic, sizeof(magic));
-  if (!r.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  bool v1 = r.ok() && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0;
+  if (!r.ok() ||
+      (!v1 && std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)) {
     return fail("LoadCatalog: bad magic in " + path);
   }
   auto catalog = std::make_unique<Catalog>();
@@ -242,7 +284,9 @@ std::unique_ptr<Catalog> LoadCatalog(const std::string& path,
     for (uint32_t c = 0; c < ncols; c++) {
       Column* col = table->load_column(static_cast<int>(c));
       if (col->is_enum()) ReadDict(&r, col->mutable_dict());
-      if (!ReadColumnData(&r, col)) return fail("LoadCatalog: truncated column");
+      if (!ReadColumnData(&r, col, v1)) {
+        return fail("LoadCatalog: truncated column");
+      }
     }
     table->Freeze();
     int64_t delta_rows = r.I64();
@@ -250,7 +294,8 @@ std::unique_ptr<Catalog> LoadCatalog(const std::string& path,
     if (delta_rows > 0) {
       table->EnsureDeltaStorage();
       for (uint32_t c = 0; c < ncols; c++) {
-        if (!ReadColumnData(&r, table->mutable_delta_column(static_cast<int>(c)))) {
+        Column* dc = table->mutable_delta_column(static_cast<int>(c));
+        if (!ReadColumnData(&r, dc, v1)) {
           return fail("LoadCatalog: truncated delta column");
         }
       }

@@ -2,10 +2,12 @@
 #define X100_TPCH_QUERIES_H_
 
 #include <memory>
+#include <optional>
 
 #include "exec/operator.h"
 #include "mil/mil_db.h"
 #include "storage/catalog.h"
+#include "storage/compression.h"
 #include "tuple/tuple_profile.h"
 
 namespace x100 {
@@ -19,14 +21,16 @@ inline constexpr int kNumTpchQueries = 22;
 /// subqueries become materialized sub-plans.
 std::unique_ptr<Table> RunX100Query(int q, ExecContext* ctx, const Catalog& db);
 
-/// Disk-backed variants of Q1 and Q6: the same plans fed from ColumnBM
-/// blocks through `bm` (optionally FOR-compressed) instead of in-RAM
-/// fragments. With ctx->num_threads > 1 the block scans run morsel-parallel
-/// under an Exchange. Results are bit-identical to RunX100Query(q, ...).
+/// Disk-backed variants of Q1, Q3, Q6 and Q14: the same plans fed from
+/// ColumnBM blocks through `bm` (optionally codec-compressed; `codec` pins
+/// one codec for every block, else each block gets the cheapest by sampled
+/// trial-encode) instead of in-RAM fragments. With ctx->num_threads > 1 the
+/// block scans run morsel-parallel under an Exchange. Results are
+/// bit-identical to RunX100Query(q, ...).
 class ColumnBm;
-std::unique_ptr<Table> RunX100QueryDisk(int q, ExecContext* ctx,
-                                        const Catalog& db, ColumnBm* bm,
-                                        bool compress = false);
+std::unique_ptr<Table> RunX100QueryDisk(
+    int q, ExecContext* ctx, const Catalog& db, ColumnBm* bm,
+    bool compress = false, std::optional<CodecId> codec = std::nullopt);
 
 /// Same queries hand-translated to MIL column algebra (full materialization).
 /// Result schema/order matches RunX100Query for cross-checking.

@@ -1,11 +1,13 @@
-// Disk-backed variants of Q1 and Q6: the same hand-translated plans as
-// queries_x100_a.cc, but fed from ColumnBM blocks (exec/bm_scan.h) instead
-// of in-RAM fragments — the paper's goal (iii), a query whose source is the
-// lowest storage hierarchy. With ctx->num_threads > 1 the BmScan pipelines
-// fan out across an Exchange, each worker reading its morsel through the
-// shared buffer pool; results are bit-identical to the memory plans because
-// the Select applies the exact predicate (BmScan has no SMA pruning to
-// differ on).
+// Disk-backed variants of Q1, Q3, Q6 and Q14: the same hand-translated
+// plans as queries_x100_a.cc/b.cc, but fed from ColumnBM blocks
+// (exec/bm_scan.h) instead of in-RAM fragments — the paper's goal (iii), a
+// query whose source is the lowest storage hierarchy. Q3 and Q14 exercise
+// Fetch1Joins over compressed scans (the join-index columns ride through
+// the block store like any other integral column). With ctx->num_threads
+// > 1 the BmScan pipelines fan out across an Exchange, each worker reading
+// its morsel through the shared buffer pool; serial results are
+// bit-identical to the memory plans because the Select applies the exact
+// predicate (BmScan has no SMA pruning to differ on).
 
 #include "storage/columnbm.h"
 #include "tpch/queries.h"
@@ -18,8 +20,12 @@ using namespace x100::plan;
 
 namespace {
 
+const std::string kJiOrders = Table::JoinIndexName("orders");
+const std::string kJiPart = Table::JoinIndexName("part");
+const std::string kJiCustomer = Table::JoinIndexName("customer");
+
 TablePtr Q1Disk(ExecContext* ctx, const Catalog& db, ColumnBm* bm,
-                bool compress) {
+                bool compress, std::optional<CodecId> codec) {
   const std::vector<std::string> cols = {
       "l_returnflag", "l_linestatus",  "l_quantity", "l_extendedprice",
       "l_discount",   "l_tax",         "l_shipdate"};
@@ -45,6 +51,7 @@ TablePtr Q1Disk(ExecContext* ctx, const Catalog& db, ColumnBm* bm,
                     auto s = BmScan(wctx, bm, li,
                                     {.cols = cols,
                                      .compress = compress,
+                                     .codec = codec,
                                      .morsel = {w, n}});
                     s = Select(wctx, std::move(s),
                                Le(Col("l_shipdate"), LitDate("1998-09-02")));
@@ -52,7 +59,8 @@ TablePtr Q1Disk(ExecContext* ctx, const Catalog& db, ColumnBm* bm,
                   });
     op = HashAggr(ctx, std::move(op), groups, MergeAggrSpecs(aggrs()));
   } else {
-    op = BmScan(ctx, bm, li, {.cols = cols, .compress = compress});
+    op = BmScan(ctx, bm, li,
+                {.cols = cols, .compress = compress, .codec = codec});
     op = Select(ctx, std::move(op),
                 Le(Col("l_shipdate"), LitDate("1998-09-02")));
     op = DirectAggr(ctx, std::move(op), groups, aggrs());
@@ -70,8 +78,61 @@ TablePtr Q1Disk(ExecContext* ctx, const Catalog& db, ColumnBm* bm,
   return RunPlan(std::move(op), "q1_disk");
 }
 
+TablePtr Q3Disk(ExecContext* ctx, const Catalog& db, ColumnBm* bm,
+                bool compress, std::optional<CodecId> codec) {
+  const std::vector<std::string> cols = {"l_orderkey", "l_extendedprice",
+                                         "l_discount", "l_shipdate",
+                                         kJiOrders};
+  const std::vector<std::string> groups = {"l_orderkey", "o_orderdate",
+                                           "o_shippriority"};
+  auto aggrs = [] { return AG(Sum("revenue", Col("rev"))); };
+  const Table& t = db.Get("lineitem");
+  // The shared pipeline segment below the (partial) aggregation: exact
+  // shipdate filter, two Fetch1Joins over the block-served join indexes,
+  // mktsegment filter, revenue projection.
+  auto body = [&](ExecContext* c, OpPtr s) {
+    s = Select(c, std::move(s), Gt(Col("l_shipdate"), LitDate("1995-03-15")));
+    s = Fetch1Join(c, std::move(s), db.Get("orders"), kJiOrders,
+                   {{"o_orderdate", "o_orderdate"},
+                    {"o_shippriority", "o_shippriority"},
+                    {kJiCustomer, "ji_c"}});
+    s = Select(c, std::move(s), Lt(Col("o_orderdate"), LitDate("1995-03-15")));
+    s = Fetch1Join(c, std::move(s), db.Get("customer"), "ji_c",
+                   {{"c_mktsegment", "c_mktsegment"}});
+    s = Select(c, std::move(s), Eq(Col("c_mktsegment"), LitStr("BUILDING")));
+    return Project(c, std::move(s),
+                   NE(Pass("l_orderkey"), Pass("o_orderdate"),
+                      Pass("o_shippriority"), As("rev", Rev())));
+  };
+
+  OpPtr op;
+  if (ctx->num_threads > 1) {
+    op = Exchange(ctx, ctx->num_threads,
+                  [&](ExecContext* wctx, int w, int n) {
+                    auto s = BmScan(wctx, bm, t,
+                                    {.cols = cols,
+                                     .compress = compress,
+                                     .codec = codec,
+                                     .morsel = {w, n}});
+                    return HashAggr(wctx, body(wctx, std::move(s)), groups,
+                                    aggrs());
+                  });
+    op = HashAggr(ctx, std::move(op), groups, MergeAggrSpecs(aggrs()));
+  } else {
+    op = BmScan(ctx, bm, t,
+                {.cols = cols, .compress = compress, .codec = codec});
+    op = HashAggr(ctx, body(ctx, std::move(op)), groups, aggrs());
+  }
+  op = Project(ctx, std::move(op),
+               NE(Pass("l_orderkey"), Pass("revenue"), Pass("o_orderdate"),
+                  Pass("o_shippriority")));
+  op = TopN(ctx, std::move(op),
+            {Desc("revenue"), Asc("o_orderdate"), Asc("l_orderkey")}, 10);
+  return RunPlan(std::move(op), "q3_disk");
+}
+
 TablePtr Q6Disk(ExecContext* ctx, const Catalog& db, ColumnBm* bm,
-                bool compress) {
+                bool compress, std::optional<CodecId> codec) {
   const std::vector<std::string> cols = {"l_shipdate", "l_discount",
                                          "l_quantity", "l_extendedprice"};
   auto pred = [] {
@@ -94,17 +155,79 @@ TablePtr Q6Disk(ExecContext* ctx, const Catalog& db, ColumnBm* bm,
                     auto s = BmScan(wctx, bm, t,
                                     {.cols = cols,
                                      .compress = compress,
+                                     .codec = codec,
                                      .morsel = {w, n}});
                     s = Select(wctx, std::move(s), pred());
                     return HashAggr(wctx, std::move(s), {}, aggrs());
                   });
     li = HashAggr(ctx, std::move(li), {}, MergeAggrSpecs(aggrs()));
   } else {
-    li = BmScan(ctx, bm, t, {.cols = cols, .compress = compress});
+    li = BmScan(ctx, bm, t,
+                {.cols = cols, .compress = compress, .codec = codec});
     li = Select(ctx, std::move(li), pred());
     li = HashAggr(ctx, std::move(li), {}, aggrs());
   }
   return RunPlan(std::move(li), "q6_disk");
+}
+
+TablePtr Q14Disk(ExecContext* ctx, const Catalog& db, ColumnBm* bm,
+                 bool compress, std::optional<CodecId> codec) {
+  const std::vector<std::string> cols = {"l_shipdate", "l_extendedprice",
+                                         "l_discount", kJiPart};
+  auto pred = [] {
+    return And(Ge(Col("l_shipdate"), LitDate("1995-09-01")),
+               Lt(Col("l_shipdate"), LitDate("1995-10-01")));
+  };
+  auto body = [&](ExecContext* c, OpPtr s) {
+    s = Select(c, std::move(s), pred());
+    s = Fetch1Join(c, std::move(s), db.Get("part"), kJiPart,
+                   {{"p_type", "p_type"}});
+    return Project(c, std::move(s), NE(Pass("p_type"), As("rev", Rev())));
+  };
+  const Table& t = db.Get("lineitem");
+
+  // Materialize the filtered+joined (p_type, rev) rows — the serial plan
+  // mirrors the RAM Q14 exactly (row-level base, so results are
+  // bit-identical); the parallel plan pre-aggregates rev per p_type in each
+  // worker so only group partials cross the Exchange.
+  TablePtr base;
+  if (ctx->num_threads > 1) {
+    auto aggrs = [] { return AG(Sum("rev", Col("rev"))); };
+    OpPtr op = Exchange(ctx, ctx->num_threads,
+                        [&](ExecContext* wctx, int w, int n) {
+                          auto s = BmScan(wctx, bm, t,
+                                          {.cols = cols,
+                                           .compress = compress,
+                                           .codec = codec,
+                                           .morsel = {w, n}});
+                          return HashAggr(wctx, body(wctx, std::move(s)),
+                                          {"p_type"}, aggrs());
+                        });
+    op = HashAggr(ctx, std::move(op), {"p_type"}, MergeAggrSpecs(aggrs()));
+    base = RunPlan(std::move(op), "q14_disk_base");
+  } else {
+    OpPtr op = BmScan(ctx, bm, t,
+                      {.cols = cols, .compress = compress, .codec = codec});
+    base = RunPlan(body(ctx, std::move(op)), "q14_disk_base");
+  }
+
+  TablePtr allt =
+      RunPlan(HashAggr(ctx, Scan(ctx, *base, {"rev"}), {},
+                       AG(Sum("total", Col("rev")))),
+              "q14_disk_all");
+  TablePtr promo = RunPlan(
+      HashAggr(ctx,
+               Select(ctx, Scan(ctx, *base, {"p_type", "rev"}),
+                      Like(Col("p_type"), "PROMO%")),
+               {}, AG(Sum("promo", Col("rev")))),
+      "q14_disk_promo");
+
+  auto fin = CartProd(ctx, Scan(ctx, *promo, {"promo"}),
+                      Scan(ctx, *allt, {"total"}), {"promo"}, {"total"});
+  fin = Project(ctx, std::move(fin),
+                NE(As("promo_revenue",
+                      Div(Mul(LitF64(100.0), Col("promo")), Col("total")))));
+  return RunPlan(std::move(fin), "q14_disk");
 }
 
 }  // namespace
@@ -115,15 +238,18 @@ namespace x100 {
 
 std::unique_ptr<Table> RunX100QueryDisk(int q, ExecContext* ctx,
                                         const Catalog& db, ColumnBm* bm,
-                                        bool compress) {
+                                        bool compress,
+                                        std::optional<CodecId> codec) {
   using namespace tpch_x100;
   switch (q) {
-    case 1: return Q1Disk(ctx, db, bm, compress);
-    case 6: return Q6Disk(ctx, db, bm, compress);
+    case 1: return Q1Disk(ctx, db, bm, compress, codec);
+    case 3: return Q3Disk(ctx, db, bm, compress, codec);
+    case 6: return Q6Disk(ctx, db, bm, compress, codec);
+    case 14: return Q14Disk(ctx, db, bm, compress, codec);
     default:
       throw std::invalid_argument(
-          "RunX100QueryDisk: only Q1 and Q6 have disk-backed variants (got "
-          "q=" + std::to_string(q) + ")");
+          "RunX100QueryDisk: only Q1, Q3, Q6 and Q14 have disk-backed "
+          "variants (got q=" + std::to_string(q) + ")");
   }
 }
 

@@ -138,6 +138,82 @@ TEST(DiskStoreTest, RejectsTruncatedFile) {
   EXPECT_FALSE(store.OpenMeta("t.col", &meta).ok());
 }
 
+TEST(DiskStoreTest, ReadsV1FormatFiles) {
+  // Hand-craft a v1 ("X100COL1") chunk file byte by byte: FOR payload, a
+  // footer whose entries still have the zeroed reserved field where v2
+  // stores the codec id. OpenMeta must read it and infer kFor from the
+  // compressed flag; the ColumnBm read path must decode it.
+  TempDir dir;
+  std::vector<int32_t> vals(5000);
+  for (size_t i = 0; i < vals.size(); i++) {
+    vals[i] = 8035 + static_cast<int32_t>(i / 64);
+  }
+  Buffer enc;
+  size_t enc_bytes = ForCodec::Encode(vals.data(), vals.size(), 4, &enc);
+
+  struct V1Header {
+    char magic[8];
+    uint32_t version, flags, value_width, crc;
+  } h{};
+  std::memcpy(h.magic, DiskStore::kMagicV1, 8);
+  h.version = DiskStore::kVersionV1;
+  h.flags = DiskStore::kFlagCompressed;
+  h.value_width = 4;
+  h.crc = Crc32(&h, sizeof(h) - 4);
+  struct V1Entry {
+    uint64_t offset, bytes;
+    int64_t value_count;
+    uint32_t crc, reserved;
+  } e{sizeof(h), enc_bytes, static_cast<int64_t>(vals.size()),
+      Crc32(enc.data(), enc_bytes), 0};
+  struct V1Tail {
+    uint64_t num_blocks, footer_bytes;
+    uint32_t crc;
+    char magic[4];
+  } tail{1, sizeof(e), Crc32(&e, sizeof(e)), {'X', 'F', 'T', 'R'}};
+
+  std::FILE* f = std::fopen((dir.path + "/old.cmp").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(&h, sizeof(h), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(enc.data(), 1, enc_bytes, f), enc_bytes);
+  ASSERT_EQ(std::fwrite(&e, sizeof(e), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&tail, sizeof(tail), 1, f), 1u);
+  ASSERT_EQ(std::fclose(f), 0);
+
+  DiskStore store(dir.path);
+  DiskStore::FileMeta meta;
+  ASSERT_TRUE(store.OpenMeta("old.cmp", &meta).ok());
+  EXPECT_TRUE(meta.compressed);
+  ASSERT_EQ(meta.blocks.size(), 1u);
+  EXPECT_EQ(meta.blocks[0].codec, CodecId::kFor);
+
+  ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path});
+  EXPECT_EQ(bm.BlockCodec("old.cmp", 0), CodecId::kFor);
+  std::vector<int32_t> out(vals.size());
+  ASSERT_EQ(bm.ReadDecompressed("old.cmp", 0, out.data()),
+            static_cast<int64_t>(vals.size()));
+  EXPECT_EQ(out, vals);
+}
+
+TEST(DiskStoreTest, RejectsUnknownCodecId) {
+  TempDir dir;
+  DiskStore store(dir.path);
+  std::vector<int64_t> block(64, 9);
+  Status s;
+  auto w = store.NewFile("bad.cmp", /*compressed=*/true, 8, &s);
+  ASSERT_NE(w, nullptr);
+  ASSERT_TRUE(w->AppendBlock(block.data(), block.size() * 8, 64,
+                             static_cast<CodecId>(200))
+                  .ok());
+  ASSERT_TRUE(w->Finish().ok());
+
+  DiskStore::FileMeta meta;
+  Status rs = store.OpenMeta("bad.cmp", &meta);
+  EXPECT_FALSE(rs.ok());
+  EXPECT_NE(rs.message().find("unknown codec id 200"), std::string::npos)
+      << rs.message();
+}
+
 TEST(DiskStoreTest, ManifestRoundTrip) {
   TempDir dir;
   DiskStore store(dir.path);
@@ -439,6 +515,73 @@ TEST_F(DiskQueryTest, DiskScanSurvivesEvictionPressure) {
   pctx.num_threads = 4;
   std::unique_ptr<Table> par = RunX100QueryDisk(6, &pctx, *db_, &bm, false);
   ExpectTablesEqual(*ram, *par);
+}
+
+TEST_F(DiskQueryTest, Q3AndQ14JoinsMatchAcrossBackends) {
+  // Joins over compressed block scans: the join-index columns ride through
+  // the codec path like any other integral column.
+  for (int q : {3, 14}) {
+    for (bool compress : {false, true}) {
+      TempDir dir;
+      ExecContext ctx;
+      std::unique_ptr<Table> ram = RunX100Query(q, &ctx, *db_);
+      ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path,
+                                    .pool_bytes = 64 << 20});
+      std::unique_ptr<Table> cold = RunX100QueryDisk(q, &ctx, *db_, &bm,
+                                                     compress);
+      ExpectTablesEqual(*ram, *cold, 0.0);  // serial plans mirror exactly
+
+      ExecContext pctx;
+      pctx.num_threads = 4;
+      std::unique_ptr<Table> par = RunX100QueryDisk(q, &pctx, *db_, &bm,
+                                                    compress);
+      ExpectTablesEqual(*ram, *par);
+    }
+  }
+}
+
+TEST_F(DiskQueryTest, EveryPinnedCodecIsBitIdenticalOnQ1AndQ6) {
+  // The tentpole acceptance matrix: Q1/Q6 results must not depend on which
+  // codec served the blocks — cold pool, warm pool, and morsel-parallel.
+  for (int q : {1, 6}) {
+    ExecContext ctx;
+    std::unique_ptr<Table> ram = RunX100Query(q, &ctx, *db_);
+    for (CodecId codec : {CodecId::kFor, CodecId::kPdict, CodecId::kRle,
+                          CodecId::kPforDelta}) {
+      SCOPED_TRACE(std::string("q") + std::to_string(q) + " codec=" +
+                   Codec::Name(codec));
+      TempDir dir;
+      ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path,
+                                    .pool_bytes = 64 << 20});
+      std::unique_ptr<Table> cold =
+          RunX100QueryDisk(q, &ctx, *db_, &bm, true, codec);
+      ExpectTablesEqual(*ram, *cold, 0.0);
+      std::unique_ptr<Table> warm =
+          RunX100QueryDisk(q, &ctx, *db_, &bm, true, codec);
+      ExpectTablesEqual(*ram, *warm, 0.0);
+      ExecContext pctx;
+      pctx.num_threads = 4;
+      std::unique_ptr<Table> par =
+          RunX100QueryDisk(q, &pctx, *db_, &bm, true, codec);
+      ExpectTablesEqual(*ram, *par);
+    }
+  }
+}
+
+TEST_F(DiskQueryTest, TraceShowsCodecCounters) {
+  // A compressed disk Q6 must report per-codec staging counters on the
+  // BmScan trace node.
+  TempDir dir;
+  QueryTrace trace;
+  ExecContext ctx;
+  ctx.trace = &trace;
+  ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path});
+  std::unique_ptr<Table> r =
+      RunX100QueryDisk(6, &ctx, *db_, &bm, true, CodecId::kFor);
+  ASSERT_EQ(r->num_rows(), 1);
+  std::string txt = trace.ToString();
+  EXPECT_NE(txt.find("codec.for.blocks"), std::string::npos) << txt;
+  EXPECT_NE(txt.find("codec.for.bytes"), std::string::npos) << txt;
 }
 
 TEST_F(DiskQueryTest, TraceShowsPrefetchAndPoolCounters) {

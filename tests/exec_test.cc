@@ -56,7 +56,7 @@ std::unique_ptr<Table> MakeData(int n, bool enum_tag = true) {
   return t;
 }
 
-// ---- Scan ---------------------------------------------------------------------
+// ---- Scan -------------------------------------------------------------------
 
 TEST(ScanTest, ZeroCopyViewsOnCleanFragments) {
   std::unique_ptr<Table> t = MakeData(5000);
@@ -133,7 +133,7 @@ TEST(ScanTest, SummaryIndexPruning) {
   EXPECT_LT(scan_stats->tuples, 5000u);
 }
 
-// ---- Expression binding ----------------------------------------------------------
+// ---- Expression binding -----------------------------------------------------
 
 TEST(ExprTest, MixedTypeArithmeticWidens) {
   std::unique_ptr<Table> t = MakeData(10);
@@ -277,7 +277,7 @@ TEST(ExprTest, YearFunction) {
   EXPECT_EQ(r->GetValue(0, 0).AsI64(), 1992);  // day 8035 = 1992-01-01
 }
 
-// ---- Aggregation equivalence (property) --------------------------------------------
+// ---- Aggregation equivalence (property) -------------------------------------
 
 TEST(AggrOpTest, HashDirectOrderedAgree) {
   // Data grouped on a small i8-domain column, arriving clustered so all
@@ -336,7 +336,7 @@ TEST(AggrOpTest, GroupedAggregateOnEmptyInputIsEmpty) {
   EXPECT_EQ(RunPlan(std::move(op), "r")->num_rows(), 0);
 }
 
-// ---- Joins -------------------------------------------------------------------------
+// ---- Joins ------------------------------------------------------------------
 
 struct JoinFixture {
   std::unique_ptr<Table> fact;
@@ -597,7 +597,7 @@ TEST(JoinTest, FetchNJoinExpandsRanges) {
   EXPECT_EQ(r->GetValue(4, 2).AsI64(), 990);
 }
 
-// ---- ColumnBM-backed scan (disk path) ------------------------------------------------
+// ---- ColumnBM-backed scan (disk path) ---------------------------------------
 
 TEST(BmScanTest, MatchesInMemoryScanPlainAndCompressed) {
   std::unique_ptr<Table> t = MakeData(30000);
@@ -639,7 +639,7 @@ TEST(BmScanTest, BlocksAreReusedAcrossQueries) {
     EXPECT_DOUBLE_EQ(static_cast<double>(r->GetValue(0, 0).AsI64()),
                      5000.0 * 4999.0 / 2.0);
   }
-  EXPECT_TRUE(bm.Contains("data.id.for"));
+  EXPECT_TRUE(bm.Contains("data.id.cmp"));
 }
 
 TEST(BmScanTest, RejectsUnsupportedTablesWithClearErrors) {
@@ -706,7 +706,7 @@ TEST(BmScanTest, MorselScansPartitionTheFragment) {
   EXPECT_EQ(s1, sum);
 }
 
-// ---- TopN / Order / Array ------------------------------------------------------------
+// ---- TopN / Order / Array ---------------------------------------------------
 
 TEST(SortTest, TopNEqualsOrderPrefix) {
   std::unique_ptr<Table> t = MakeData(777);

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a BENCH_*.json export against a committed
+baseline (bench/baselines/*.json) and fail on regressions.
+
+Usage:
+    python3 tools/check_bench.py BENCH_disk_scan.json bench/baselines/disk_scan.json
+
+Baseline schema:
+    {
+      "bench": "disk_scan",            # must match the export's "bench"
+      "require": ["q1_cold", ...],     # series that must exist in the export
+      "series": {
+        "q1_cold_mb_per_s": {          # series to gate on
+          "value": 50.0,               # committed reference value
+          "higher_is_better": true,
+          "tolerance": 0.25            # optional; default 0.25 (25%)
+        }
+      }
+    }
+
+A series regresses when it is more than `tolerance` WORSE than the committed
+value: below value*(1-tol) when higher is better, above value*(1+tol) when
+lower is better. Measured values come from the export's "value" (scalars) or
+"best" (rep series) field. Baseline values are conservative floors/ceilings,
+not exact expectations, so faster results always pass.
+"""
+
+import json
+import sys
+
+
+def measured(result):
+    if "value" in result:
+        return result["value"]
+    if "best" in result:
+        return result["best"]
+    return None
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    bench_path, baseline_path = sys.argv[1], sys.argv[2]
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    failures = []
+    if baseline.get("bench") and baseline["bench"] != bench.get("bench"):
+        failures.append(
+            "bench name mismatch: export=%r baseline=%r"
+            % (bench.get("bench"), baseline["bench"])
+        )
+
+    results = {r["name"]: r for r in bench.get("results", [])}
+    for name in baseline.get("require", []):
+        if name not in results:
+            failures.append("missing required series: %s" % name)
+
+    print("%-28s %12s %12s %8s  %s" % ("series", "measured", "baseline",
+                                       "tol", "status"))
+    for name, spec in sorted(baseline.get("series", {}).items()):
+        ref = spec["value"]
+        tol = spec.get("tolerance", 0.25)
+        hib = spec["higher_is_better"]
+        if name not in results:
+            failures.append("gated series missing from export: %s" % name)
+            print("%-28s %12s %12g %7.0f%%  MISSING" % (name, "-", ref,
+                                                        100 * tol))
+            continue
+        got = measured(results[name])
+        if got is None:
+            failures.append("series %s has no value/best field" % name)
+            continue
+        bad = got < ref * (1 - tol) if hib else got > ref * (1 + tol)
+        status = "FAIL" if bad else "ok"
+        arrow = ">=" if hib else "<="
+        print("%-28s %12.4g %9.4g %s %6.0f%%  %s"
+              % (name, got, ref, arrow, 100 * tol, status))
+        if bad:
+            failures.append(
+                "%s regressed: measured %.4g vs baseline %.4g (%s, tol %.0f%%)"
+                % (name, got, ref,
+                   "higher is better" if hib else "lower is better",
+                   100 * tol)
+            )
+
+    if failures:
+        print("\nBENCH GATE FAILED (%s vs %s):" % (bench_path, baseline_path))
+        for msg in failures:
+            print("  - " + msg)
+        return 1
+    print("\nbench gate ok: %s within tolerance of %s"
+          % (bench_path, baseline_path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
