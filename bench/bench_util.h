@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/config.h"
 #include "common/json.h"
 #include "common/metrics.h"
 #include "common/profiling.h"
@@ -18,18 +19,15 @@ namespace x100::bench {
 
 /// Scale factor: env X100_SF overrides a bench's default. Paper experiments
 /// use SF=1/100; defaults here are laptop-and-single-core friendly. The
-/// *shape* of every result is SF-independent.
+/// *shape* of every result is SF-independent. Malformed values are a fatal
+/// configuration error (common/config.h strict-knob contract).
 inline double ScaleFactor(double default_sf) {
-  const char* env = std::getenv("X100_SF");
-  if (env != nullptr && *env != '\0') return std::atof(env);
-  return default_sf;
+  return EnvPositiveDouble("X100_SF", default_sf);
 }
 
-/// Repetitions: env X100_REPS (default per bench).
+/// Repetitions: env X100_REPS (default per bench), 1..1000.
 inline int Reps(int default_reps) {
-  const char* env = std::getenv("X100_REPS");
-  if (env != nullptr && *env != '\0') return std::atoi(env);
-  return default_reps;
+  return static_cast<int>(EnvIntInRange("X100_REPS", default_reps, 1, 1000));
 }
 
 inline std::unique_ptr<Catalog> MakeTpch(double sf) {

@@ -4,17 +4,23 @@
 //   $ ./build/examples/tpch_runner <query 1-22> [sf=0.05] [x100|mil|both]
 //   $ ./build/examples/tpch_runner 5 0.1 both
 //   $ ./build/examples/tpch_runner --explain-analyze 1
+//   $ ./build/examples/tpch_runner --sessions 8 6
 //
 // --explain-analyze (or env X100_TRACE=1) prints the executed X100 plan
 // annotated with per-node Next() calls, batches, tuples and cycles.
+// --sessions N additionally runs the query N times concurrently through the
+// QueryService (server/query_service.h) and reports per-session latency —
+// the serving path over one shared engine.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "common/profiling.h"
 #include "common/thread_pool.h"
 #include "exec/trace.h"
+#include "server/query_service.h"
 #include "storage/print.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
@@ -27,10 +33,13 @@ int main(int argc, char** argv) {
     explain = *env != '\0' && std::strcmp(env, "0") != 0;
   }
   const char* pos[3] = {nullptr, nullptr, nullptr};
+  const char* sessions_arg = nullptr;
   int npos = 0;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--explain-analyze") == 0) {
       explain = true;
+    } else if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      sessions_arg = argv[++i];
     } else if (npos < 3) {
       pos[npos++] = argv[i];
     }
@@ -39,13 +48,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: %s%s%s\n", argv[0], why, got ? ": " : "",
                  got ? got : "");
     std::fprintf(stderr,
-                 "usage: %s [--explain-analyze] <query 1-22> [sf=0.05] "
-                 "[engine=x100|mil|both]\n",
+                 "usage: %s [--explain-analyze] [--sessions N] "
+                 "<query 1-22> [sf=0.05] [engine=x100|mil|both]\n",
                  argv[0]);
     return 2;
   };
   if (npos < 1) return usage("missing query number", nullptr);
   char* end = nullptr;
+  int sessions = 1;
+  if (sessions_arg != nullptr) {
+    long sl = std::strtol(sessions_arg, &end, 10);
+    if (end == sessions_arg || *end != '\0' || sl < 1 || sl > 256) {
+      return usage("--sessions must be 1..256", sessions_arg);
+    }
+    sessions = static_cast<int>(sl);
+  }
   long ql = std::strtol(pos[0], &end, 10);
   if (end == pos[0] || *end != '\0') {
     return usage("query is not a number", pos[0]);
@@ -86,6 +103,49 @@ int main(int argc, char** argv) {
     if (explain) {
       std::printf("\n=== EXPLAIN ANALYZE (Q%d) ===\n%s", q,
                   trace.ToString().c_str());
+    }
+
+    if (sessions > 1) {
+      // The serving path: N concurrent sessions over the one shared catalog,
+      // admission-controlled, each with its own cancellation token. The
+      // serial run above is the latency reference.
+      long long serial_rows = static_cast<long long>(r->num_rows());
+      QueryService svc({/*max_concurrent=*/sessions, /*max_worker_threads=*/0});
+      std::vector<std::shared_ptr<QuerySession>> live;
+      uint64_t c0 = NowNanos();
+      for (int i = 0; i < sessions; i++) {
+        QueryOptions qo;
+        qo.label = "q" + std::to_string(q) + "#" + std::to_string(i);
+        qo.num_threads = EnvParallelism();
+        qo.collect_trace = explain;
+        live.push_back(svc.Submit(
+            [q, &db](ExecContext* c) { return RunX100Query(q, c, *db); },
+            qo));
+      }
+      int mismatches = 0;
+      for (auto& s : live) {
+        s->Wait();
+        std::unique_ptr<Table> res = s->TakeResult();
+        if (res == nullptr || static_cast<long long>(res->num_rows()) !=
+                                  serial_rows) {
+          mismatches++;
+        }
+      }
+      double wall_ms = (NowNanos() - c0) / 1e6;
+      std::printf("\n=== Q%d x %d concurrent sessions: %.1f ms wall ===\n", q,
+                  sessions, wall_ms);
+      for (auto& s : live) {
+        std::printf("  %-8s queue %7.2f ms  exec %8.2f ms\n",
+                    s->label().c_str(), s->queue_nanos() / 1e6,
+                    s->exec_nanos() / 1e6);
+      }
+      if (mismatches > 0) {
+        std::fprintf(stderr, "error: %d session(s) disagreed with the serial "
+                             "result\n", mismatches);
+        return 1;
+      }
+      std::printf("  all %d sessions matched the serial row count\n",
+                  sessions);
     }
   }
   if (std::strcmp(engine, "mil") == 0 || std::strcmp(engine, "both") == 0) {

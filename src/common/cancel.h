@@ -1,0 +1,74 @@
+#ifndef X100_COMMON_CANCEL_H_
+#define X100_COMMON_CANCEL_H_
+
+// Per-query cancellation. ColumnBM is designed for many concurrent queries
+// (§4.3); a serving engine must be able to revoke one without tearing the
+// process down. A CancelToken is owned by the session layer
+// (server/query_service.h) and threaded through ExecContext; pipelines poll
+// it once per vector — in the scans at the bottom of every pipeline and in
+// the exchange producer/consumer loops — so a cancelled query unwinds
+// within one vector's worth of work (§4.1: the vector is the scheduling
+// quantum) rather than only between queries.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/profiling.h"
+
+namespace x100 {
+
+/// Thrown by CancelToken::Check() from inside a cancelled or past-deadline
+/// pipeline. Distinct from std::runtime_error so the session layer can tell
+/// an aborted query from a failed one.
+class QueryCancelled : public std::runtime_error {
+ public:
+  explicit QueryCancelled(bool deadline)
+      : std::runtime_error(deadline ? "query deadline exceeded"
+                                    : "query cancelled"),
+        deadline_(deadline) {}
+
+  /// True when the deadline fired rather than an explicit Cancel().
+  bool deadline_exceeded() const { return deadline_; }
+
+ private:
+  bool deadline_;
+};
+
+/// One query's cancellation state: an explicit flag plus an optional
+/// wall-clock deadline. Safe to flip from any thread while any number of
+/// pipeline threads poll it; polling is one relaxed atomic load (plus a
+/// clock read only when a deadline is armed).
+class CancelToken {
+ public:
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms the deadline at NowNanos()-based absolute time; 0 disarms.
+  void SetDeadlineNanos(uint64_t deadline_nanos) {
+    deadline_nanos_.store(deadline_nanos, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// True when a deadline is armed and has passed.
+  bool expired() const {
+    uint64_t d = deadline_nanos_.load(std::memory_order_relaxed);
+    return d != 0 && NowNanos() >= d;
+  }
+
+  /// Per-vector poll: throws QueryCancelled when cancelled or past deadline.
+  void Check() const {
+    if (cancelled()) throw QueryCancelled(/*deadline=*/false);
+    if (expired()) throw QueryCancelled(/*deadline=*/true);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<uint64_t> deadline_nanos_{0};
+};
+
+}  // namespace x100
+
+#endif  // X100_COMMON_CANCEL_H_

@@ -1,0 +1,87 @@
+#include "common/config.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace x100 {
+
+std::optional<int64_t> ParseByteSize(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || v <= 0) return std::nullopt;
+  switch (*end) {
+    case 'k': case 'K': v *= 1 << 10; end++; break;
+    case 'm': case 'M': v *= 1 << 20; end++; break;
+    case 'g': case 'G': v *= 1 << 30; end++; break;
+    default: break;
+  }
+  if (*end != '\0') return std::nullopt;  // trailing junk, e.g. "256kb"
+  return static_cast<int64_t>(v);
+}
+
+std::optional<int64_t> ParseIntInRange(const std::string& s, int64_t lo,
+                                       int64_t hi) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') return std::nullopt;
+  if (v < lo || v > hi) return std::nullopt;
+  return static_cast<int64_t>(v);
+}
+
+std::optional<double> ParsePositiveDouble(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || !(v > 0.0)) return std::nullopt;
+  return v;
+}
+
+namespace {
+
+[[noreturn]] void BadKnob(const char* name, const char* value,
+                          const std::string& why) {
+  std::fprintf(stderr, "fatal: env %s='%s' %s\n", name, value, why.c_str());
+  std::exit(2);
+}
+
+/// Unset or empty means "use the default".
+const char* EnvValue(const char* name) {
+  const char* env = std::getenv(name);
+  return (env != nullptr && *env != '\0') ? env : nullptr;
+}
+
+}  // namespace
+
+int64_t EnvByteSize(const char* name, int64_t def) {
+  const char* env = EnvValue(name);
+  if (env == nullptr) return def;
+  std::optional<int64_t> v = ParseByteSize(env);
+  if (!v.has_value()) {
+    BadKnob(name, env, "is not a valid byte size (expected <num>[k|m|g])");
+  }
+  return *v;
+}
+
+int64_t EnvIntInRange(const char* name, int64_t def, int64_t lo, int64_t hi) {
+  const char* env = EnvValue(name);
+  if (env == nullptr) return def;
+  std::optional<int64_t> v = ParseIntInRange(env, lo, hi);
+  if (!v.has_value()) {
+    BadKnob(name, env,
+            "is not an integer in [" + std::to_string(lo) + ", " +
+                std::to_string(hi) + "]");
+  }
+  return *v;
+}
+
+double EnvPositiveDouble(const char* name, double def) {
+  const char* env = EnvValue(name);
+  if (env == nullptr) return def;
+  std::optional<double> v = ParsePositiveDouble(env);
+  if (!v.has_value()) BadKnob(name, env, "is not a positive number");
+  return *v;
+}
+
+}  // namespace x100

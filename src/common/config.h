@@ -2,6 +2,9 @@
 #define X100_COMMON_CONFIG_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
 
 namespace x100 {
 
@@ -14,6 +17,34 @@ inline constexpr int kSummaryIndexGranule = 1000;
 
 /// ColumnBM block size: "large (>1MB) chunks" (§4.3).
 inline constexpr size_t kColumnBmBlockSize = 1 << 20;
+
+// -- env knob parsing --
+//
+// Every X100_* environment knob goes through these helpers so malformed
+// values are rejected loudly (matching tpch_runner's strict argv behaviour)
+// instead of silently falling back to a default: "X100_BM_BYTES=256kb" or
+// "X100_THREADS=-1" previously ran with the default/clamped value and no
+// diagnostic, which makes misconfigured benchmarks look like regressions.
+
+/// Parses a byte size "<number>[k|K|m|M|g|G]" (e.g. "256m", "1.5g").
+/// Returns nullopt on anything else — trailing junk ("256kb"), non-positive
+/// or non-numeric values.
+std::optional<int64_t> ParseByteSize(const std::string& s);
+
+/// Parses a decimal integer in [lo, hi]; nullopt on junk or out-of-range.
+std::optional<int64_t> ParseIntInRange(const std::string& s, int64_t lo,
+                                       int64_t hi);
+
+/// Parses a strictly positive decimal number; nullopt on junk or <= 0.
+std::optional<double> ParsePositiveDouble(const std::string& s);
+
+/// Env knob readers: unset/empty returns `def`; a malformed value prints
+/// "fatal: env NAME='...' <why>" to stderr and exits with status 2 (the
+/// strict-argv contract — a misconfigured run must not silently measure the
+/// wrong thing).
+int64_t EnvByteSize(const char* name, int64_t def);
+int64_t EnvIntInRange(const char* name, int64_t def, int64_t lo, int64_t hi);
+double EnvPositiveDouble(const char* name, double def);
 
 }  // namespace x100
 

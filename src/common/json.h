@@ -65,6 +65,10 @@ class JsonWriter {
     out_ += buf;
   }
 
+  /// Explicit null — for stats that are undefined (e.g. the min of an empty
+  /// histogram) rather than zero.
+  void Null() { Comma(); out_ += "null"; }
+
   /// Splices a pre-rendered JSON value (e.g. another writer's output).
   void Raw(const std::string& json) { Comma(); out_ += json; }
 

@@ -155,11 +155,21 @@ std::string MetricsSnapshot::ToJson() const {
     w.BeginObject();
     w.Key("count"); w.Value(h.count);
     w.Key("sum"); w.Value(h.sum);
-    w.Key("min"); w.Value(h.min);
-    w.Key("max"); w.Value(h.max);
-    w.Key("mean"); w.Value(h.mean);
-    w.Key("p50"); w.Value(h.p50);
-    w.Key("p99"); w.Value(h.p99);
+    // min/max/mean/percentiles are undefined on an empty histogram; export
+    // null rather than a sentinel (min_ starts at ~0 internally) or a fake 0.
+    if (h.count == 0) {
+      w.Key("min"); w.Null();
+      w.Key("max"); w.Null();
+      w.Key("mean"); w.Null();
+      w.Key("p50"); w.Null();
+      w.Key("p99"); w.Null();
+    } else {
+      w.Key("min"); w.Value(h.min);
+      w.Key("max"); w.Value(h.max);
+      w.Key("mean"); w.Value(h.mean);
+      w.Key("p50"); w.Value(h.p50);
+      w.Key("p99"); w.Value(h.p99);
+    }
     w.EndObject();
   }
   w.EndObject();

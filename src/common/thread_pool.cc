@@ -1,7 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "common/config.h"
 
 namespace x100 {
 
@@ -54,10 +55,7 @@ ThreadPool& ThreadPool::Shared() {
 }
 
 int EnvParallelism() {
-  const char* env = std::getenv("X100_THREADS");
-  if (env == nullptr || *env == '\0') return 1;
-  int n = std::atoi(env);
-  return std::clamp(n, 1, 64);
+  return static_cast<int>(EnvIntInRange("X100_THREADS", 1, 1, 64));
 }
 
 }  // namespace x100

@@ -49,8 +49,9 @@ class ThreadPool {
   std::vector<std::thread> threads_;
 };
 
-/// Parallelism requested via env X100_THREADS, clamped to [1, 64].
-/// Returns 1 (serial) when unset or unparsable.
+/// Parallelism requested via env X100_THREADS (1..64). Returns 1 (serial)
+/// when unset; a malformed or out-of-range value (e.g. "-1") is a fatal
+/// configuration error (common/config.h strict-knob contract).
 int EnvParallelism();
 
 }  // namespace x100

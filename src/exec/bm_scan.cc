@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "exec/trace.h"
 #include "storage/compression.h"
+#include "storage/shared_scan.h"
 
 namespace x100 {
 
@@ -25,6 +26,90 @@ struct PrefetchMetrics {
     return m;
   }
 };
+
+/// One staged block, ready for the copy loop: either a pinned raw payload or
+/// decoded values in a shareable buffer. Produced by the loaders below on
+/// whichever thread stages the block (scan or prefetch).
+struct Staged {
+  bool decoded_mode = false;
+  std::shared_ptr<std::vector<char>> decoded;
+  int64_t count = 0;  // decoded value count
+  ColumnBm::BlockRef ref;
+  bool pool_hit = false;
+  bool attached = false;  // reused another scan's load (no I/O paid here)
+  /// Registry entry this payload came from (or was published to). Held while
+  /// the block is being consumed so the entry stays attachable for scans
+  /// trailing slightly behind — the registry itself is weak and never
+  /// extends lifetimes.
+  std::shared_ptr<SharedScanRegistry::Block> keepalive;
+};
+
+/// Reads (and codec-decodes) block `b` of `file` directly. Throws
+/// std::runtime_error on I/O or decode failure.
+Staged LoadBlockDirect(ColumnBm* bm, const std::string& file, int64_t b,
+                       CodecId codec, size_t width) {
+  Staged s;
+  ColumnBm::BlockRef ref = bm->ReadBlock(file, b);
+  s.pool_hit = ref.cache_hit;
+  if (codec != CodecId::kRaw) {
+    const Codec* c = Codec::ForId(codec);
+    int64_t count = c->EncodedCount(ref.data, ref.bytes, width);
+    auto buf = std::make_shared<std::vector<char>>(
+        static_cast<size_t>(count) * width);
+    int64_t got = c->Decode(ref.data, ref.bytes, buf->data(), width);
+    if (got != count) {
+      throw std::runtime_error("BmScanOp: decode count mismatch in " + file +
+                               " block " + std::to_string(b));
+    }
+    s.decoded_mode = true;
+    s.decoded = std::move(buf);
+    s.count = count;
+  } else {
+    s.ref = std::move(ref);
+  }
+  return s;
+}
+
+/// Shared-scan load: attach to a concurrent scan's load of the same block
+/// when one is in flight (or its payload still live), else own the load and
+/// publish it. `reg` null falls back to a plain direct load. An owner whose
+/// load fails propagates its own error; attachers waiting on it retry with
+/// a direct load instead of inheriting the owner's fate.
+Staged LoadBlock(ColumnBm* bm, SharedScanRegistry* reg,
+                 const std::string& file, int64_t b, CodecId codec,
+                 size_t width) {
+  if (reg == nullptr) return LoadBlockDirect(bm, file, b, codec, width);
+  SharedScanRegistry::Lease lease = reg->Acquire(file, b);
+  if (!lease.owner) {
+    std::string err;
+    if (reg->Wait(lease, &err)) {
+      Staged s;
+      s.decoded_mode = lease.block->decoded_mode;
+      s.decoded = lease.block->decoded;
+      s.count = lease.block->count;
+      s.ref = lease.block->ref;  // copies the pin; payload stays valid
+      s.pool_hit = true;         // served without touching the pool or disk
+      s.attached = true;
+      s.keepalive = lease.block;
+      return s;
+    }
+    return LoadBlockDirect(bm, file, b, codec, width);
+  }
+  try {
+    Staged s = LoadBlockDirect(bm, file, b, codec, width);
+    lease.block->decoded_mode = s.decoded_mode;
+    lease.block->decoded = s.decoded;
+    lease.block->count = s.count;
+    lease.block->ref = s.ref;
+    lease.block->pool_hit = s.pool_hit;
+    reg->Publish(lease);
+    s.keepalive = lease.block;
+    return s;
+  } catch (const std::exception& e) {
+    reg->Fail(lease, e.what());
+    throw;
+  }
+}
 }  // namespace
 
 /// One in-flight readahead. The pool task owns a shared_ptr, so the ticket
@@ -44,11 +129,7 @@ struct BmScanOp::Ticket {
   bool cancelled = false;
   bool failed = false;
   std::string error;
-  bool pool_hit = false;
-  ColumnBm::BlockRef ref;     // raw payloads: zero-copy pinned block
-  bool decoded_mode = false;  // true when `decoded` holds the values
-  std::vector<char> decoded;  // codec-encoded blocks: decoded values
-  int64_t count = 0;          // decoded value count (decoded_mode only)
+  Staged staged;  // the loaded payload (raw pinned ref or decoded values)
 };
 
 BmScanOp::BmScanOp(ExecContext* ctx, ColumnBm* bm, const Table& table,
@@ -94,9 +175,12 @@ BmScanOp::BmScanOp(ExecContext* ctx, ColumnBm* bm, const Table& table,
   }
 }
 
+BmScanOp::~BmScanOp() { CancelPrefetches(); }
+
 void BmScanOp::Open() {
   prefetch_ = PrefetchStats{};
   pool_hits_ = pool_misses_ = 0;
+  shared_attached_ = shared_published_ = 0;
   for (int i = 0; i < kNumCodecs; i++) codec_blocks_[i] = codec_bytes_[i] = 0;
   prefetch_on_ = spec_.prefetch && bm_->disk_backed();
 
@@ -126,13 +210,16 @@ void BmScanOp::Open() {
                    : std::string(".cmp");
     }
     st.file = table_.name() + "." + schema_.field(i).name + suffix;
-    if (!bm_->Contains(st.file)) {
+    // Store-once rendezvous: concurrent sessions opening scans over the
+    // same table must not race the contains/store pair (one wins, the rest
+    // see the file stored before their first read).
+    bm_->EnsureStored(st.file, [&] {
       if (st.compressed) {
         bm_->StoreCompressed(st.file, col, 1 << 16, spec_.codec);
       } else {
         bm_->Store(st.file, col);
       }
-    }
+    });
     st.num_blocks = bm_->NumBlocks(st.file);
     // Seek to the block containing the morsel's first row.
     int64_t row = 0, b = 0;
@@ -161,6 +248,13 @@ void BmScanOp::Open() {
   batch_ = VectorBatch(schema_, ctx_->vector_size);
 }
 
+SharedScanRegistry* BmScanOp::RegistryFor(const ColState& st) const {
+  // Attach only where it saves work: real I/O (disk backend) or a codec
+  // decode. Memory-backend raw blocks are already zero-copy.
+  if (!spec_.shared || !(bm_->disk_backed() || st.compressed)) return nullptr;
+  return &bm_->shared_scans();
+}
+
 void BmScanOp::SchedulePrefetch(ColState& st) {
   int64_t next = st.block + 1;
   // No readahead past the last block this morsel actually needs.
@@ -173,14 +267,17 @@ void BmScanOp::SchedulePrefetch(ColState& st) {
   st.next = t;
   prefetch_.scheduled++;
   ColumnBm* bm = bm_;
+  SharedScanRegistry* reg = RegistryFor(st);
   std::string file = st.file;
   // Codec looked up on the scan thread (metadata peek); kRaw payloads stay
   // zero-copy behind their pool pin, everything else decodes on the pool
-  // thread so codec choice is invisible to the operators above.
+  // thread so codec choice is invisible to the operators above. The load
+  // goes through the shared-scan registry, so concurrent sessions'
+  // prefetches of the same block collapse into one read+decode.
   CodecId codec =
       st.compressed ? bm_->BlockCodec(st.file, next) : CodecId::kRaw;
   size_t width = st.width;
-  ThreadPool::Shared().Submit([t, bm, file, codec, width, next] {
+  ThreadPool::Shared().Submit([t, bm, reg, file, codec, width, next] {
     {
       std::lock_guard<std::mutex> lock(t->mu);
       if (t->cancelled) {
@@ -190,23 +287,11 @@ void BmScanOp::SchedulePrefetch(ColState& st) {
       }
       t->started = true;
     }
-    ColumnBm::BlockRef ref;
-    std::vector<char> decoded;
-    int64_t count = 0;
+    Staged staged;
     bool failed = false;
     std::string error;
     try {
-      ref = bm->ReadBlock(file, next);
-      if (codec != CodecId::kRaw) {
-        // Decode on the prefetch thread too: the scan overlaps its own
-        // decode/consume with both the I/O and this decompression.
-        const Codec* c = Codec::ForId(codec);
-        count = c->EncodedCount(ref.data, ref.bytes, width);
-        decoded.resize(static_cast<size_t>(count) * width);
-        int64_t got = c->Decode(ref.data, ref.bytes, decoded.data(), width);
-        failed = got != count;
-        if (failed) error = "decode count mismatch";
-      }
+      staged = LoadBlock(bm, reg, file, next, codec, width);
     } catch (const std::exception& e) {
       failed = true;
       error = e.what();
@@ -216,14 +301,7 @@ void BmScanOp::SchedulePrefetch(ColState& st) {
       t->failed = true;
       t->error = error;
     } else {
-      t->pool_hit = ref.cache_hit;
-      if (codec != CodecId::kRaw) {
-        t->decoded_mode = true;
-        t->decoded = std::move(decoded);
-        t->count = count;
-      } else {
-        t->ref = std::move(ref);
-      }
+      t->staged = std::move(staged);
     }
     t->done = true;
     t->cv.notify_all();
@@ -257,6 +335,7 @@ void BmScanOp::StageBlock(ColState& st) {
       t->cv.wait(lock, [&] { return t->done; });
     }
   }
+  Staged staged;
   if (t != nullptr) {
     std::unique_lock<std::mutex> lock(t->mu);
     if (t->failed) {
@@ -264,34 +343,27 @@ void BmScanOp::StageBlock(ColState& st) {
                                " block " + std::to_string(st.block) +
                                " failed: " + t->error);
     }
-    (t->pool_hit ? pool_hits_ : pool_misses_)++;
-    if (t->decoded_mode) {
-      st.buf = std::move(t->decoded);
-      st.cur = st.buf.data();
-      st.avail = t->count;
-      st.ref = ColumnBm::BlockRef{};
-    } else {
-      st.ref = std::move(t->ref);
-      st.cur = static_cast<const char*>(st.ref.data);
-      st.avail = static_cast<int64_t>(st.ref.bytes / st.width);
-    }
+    staged = std::move(t->staged);
   } else {
-    ColumnBm::BlockRef ref = bm_->ReadBlock(st.file, st.block);
-    (ref.cache_hit ? pool_hits_ : pool_misses_)++;
-    if (codec != CodecId::kRaw) {
-      const Codec* c = Codec::ForId(codec);
-      int64_t count = c->EncodedCount(ref.data, ref.bytes, st.width);
-      st.buf.resize(static_cast<size_t>(count) * st.width);
-      int64_t got = c->Decode(ref.data, ref.bytes, st.buf.data(), st.width);
-      X100_CHECK(got == count);
-      st.cur = st.buf.data();
-      st.avail = count;
-      st.ref = ColumnBm::BlockRef{};
-    } else {
-      st.ref = std::move(ref);
-      st.cur = static_cast<const char*>(st.ref.data);
-      st.avail = static_cast<int64_t>(st.ref.bytes / st.width);
-    }
+    staged = LoadBlock(bm_, RegistryFor(st), st.file, st.block, codec,
+                       st.width);
+  }
+  (staged.pool_hit ? pool_hits_ : pool_misses_)++;
+  if (staged.attached) {
+    shared_attached_++;
+  } else if (staged.keepalive != nullptr) {
+    shared_published_++;
+  }
+  st.stage_keep = staged.keepalive;
+  if (staged.decoded_mode) {
+    st.buf = std::move(staged.decoded);
+    st.cur = st.buf->data();
+    st.avail = staged.count;
+    st.ref = ColumnBm::BlockRef{};
+  } else {
+    st.ref = std::move(staged.ref);
+    st.cur = static_cast<const char*>(st.ref.data);
+    st.avail = static_cast<int64_t>(st.ref.bytes / st.width);
   }
   st.off = 0;
   if (st.skip > 0) {
@@ -323,6 +395,7 @@ bool BmScanOp::FillColumn(int c, char* dst, int64_t n) {
 }
 
 VectorBatch* BmScanOp::Next() {
+  ctx_->CheckCancel();
   int64_t remaining = end_ - pos_;
   if (remaining <= 0) return nullptr;
   int n = static_cast<int>(std::min<int64_t>(ctx_->vector_size, remaining));
@@ -358,6 +431,8 @@ void BmScanOp::Close() {
   CancelPrefetches();
   for (ColState& st : cols_) {
     st.ref = ColumnBm::BlockRef{};  // drop pool pins
+    st.buf.reset();
+    st.stage_keep.reset();  // let the registry entry expire
     st.cur = nullptr;
   }
   if (trace_node_ != nullptr) {
@@ -371,6 +446,14 @@ void BmScanOp::Close() {
       trace_node_->AddCounter("pool.hits", static_cast<uint64_t>(pool_hits_));
       trace_node_->AddCounter("pool.misses",
                               static_cast<uint64_t>(pool_misses_));
+    }
+    if (shared_attached_ > 0) {
+      trace_node_->AddCounter("shared.attached",
+                              static_cast<uint64_t>(shared_attached_));
+    }
+    if (shared_published_ > 0) {
+      trace_node_->AddCounter("shared.published",
+                              static_cast<uint64_t>(shared_published_));
     }
     for (int i = 0; i < kNumCodecs; i++) {
       if (codec_blocks_[i] == 0) continue;
@@ -387,6 +470,7 @@ void BmScanOp::Close() {
   // Zero so a double Close (or reopen without Close) never double-publishes.
   prefetch_ = PrefetchStats{};
   pool_hits_ = pool_misses_ = 0;
+  shared_attached_ = shared_published_ = 0;
   for (int i = 0; i < kNumCodecs; i++) codec_blocks_[i] = codec_bytes_[i] = 0;
 }
 

@@ -35,6 +35,12 @@ struct BmScanSpec {
   /// block of each column is read on the shared ThreadPool so I/O overlaps
   /// decode. Only effective on a disk-backed ColumnBm.
   bool prefetch = true;
+  /// Shared scans (§4.3: ColumnBM is designed for many concurrent queries):
+  /// attach to another scan's in-flight load of the same (file, block)
+  /// through the ColumnBm's SharedScanRegistry instead of re-reading and
+  /// re-decoding. Only engaged where it saves work — disk-backed reads and
+  /// codec decodes; memory-backend raw blocks are zero-copy already.
+  bool shared = true;
 };
 
 /// Scan over ColumnBM block storage — the paper's goal (iii): the same
@@ -57,6 +63,11 @@ class BmScanOp : public Operator {
   /// blocks, prefetching the next block of each column when `spec.prefetch`.
   BmScanOp(ExecContext* ctx, ColumnBm* bm, const Table& table, BmScanSpec spec);
 
+  /// Cancels/waits out in-flight prefetch tasks: a cancelled query unwinds
+  /// without Close(), and the tasks hold raw ColumnBm pointers and pool
+  /// pins that must not outlive the operator tree's teardown.
+  ~BmScanOp() override;
+
   /// Back-compat positional form: full-table scan, prefetch on.
   BmScanOp(ExecContext* ctx, ColumnBm* bm, const Table& table,
            std::vector<std::string> cols, bool compress)
@@ -72,8 +83,9 @@ class BmScanOp : public Operator {
   void Close() override;
 
   /// EXPLAIN ANALYZE hook (wired by plan::BmScan): Close() adds
-  /// prefetch.hits / prefetch.late / pool.hits / pool.misses plus
-  /// codec.<name>.blocks/bytes for every codec the scan staged.
+  /// prefetch.hits / prefetch.late / pool.hits / pool.misses /
+  /// shared.attached / shared.published plus codec.<name>.blocks/bytes for
+  /// every codec the scan staged.
   void set_trace_node(TraceNode* node) { trace_node_ = node; }
 
   struct PrefetchStats {
@@ -93,9 +105,15 @@ class BmScanOp : public Operator {
     size_t width = 0;
     int64_t num_blocks = 0;
     // Current block staging. `ref` holds the buffer-pool pin that keeps
-    // `cur` valid across Next() calls on the disk backend.
+    // `cur` valid across Next() calls on the disk backend. `buf` is shared
+    // because a decoded payload may be published to (or attached from)
+    // concurrent scans of the same file via the SharedScanRegistry.
     ColumnBm::BlockRef ref;
-    std::vector<char> buf;       // decompressed values (compressed files)
+    std::shared_ptr<std::vector<char>> buf;  // decoded values (codec blocks)
+    // Keeps the SharedScanRegistry entry for the staged block attachable
+    // while it is being consumed (type-erased: the registry types stay out
+    // of this header).
+    std::shared_ptr<void> stage_keep;
     const char* cur = nullptr;   // current block data
     int64_t block = -1;
     int64_t avail = 0;           // values left in the current block
@@ -109,6 +127,9 @@ class BmScanOp : public Operator {
   void StageBlock(ColState& st);
   void SchedulePrefetch(ColState& st);
   void CancelPrefetches();
+  /// The ColumnBm's shared-scan registry when attaching can save this
+  /// column work (see BmScanSpec::shared), else null (direct loads).
+  SharedScanRegistry* RegistryFor(const ColState& st) const;
 
   ExecContext* ctx_;
   ColumnBm* bm_;
@@ -122,6 +143,9 @@ class BmScanOp : public Operator {
   bool prefetch_on_ = false;
   PrefetchStats prefetch_;
   int64_t pool_hits_ = 0, pool_misses_ = 0;
+  // Shared-scan effectiveness: blocks this scan reused from a concurrent
+  // scan's load, and loads it published for others (main thread).
+  int64_t shared_attached_ = 0, shared_published_ = 0;
   // Blocks/stored bytes staged per codec (indexed by CodecId; main thread).
   int64_t codec_blocks_[kNumCodecs] = {0};
   int64_t codec_bytes_[kNumCodecs] = {0};

@@ -82,7 +82,15 @@ struct ExchangeOp::Shared {
   bool cancel = false;
   int done = 0;
   int total = 0;
-  std::exception_ptr error;
+  /// Every worker exception, latched in arrival order. Workers can fail
+  /// concurrently (including while blocked on a full queue during a
+  /// Close()-initiated cancel); keeping only the first would silently drop
+  /// the rest. `reported` marks how many the consumer side has rethrown.
+  std::vector<std::exception_ptr> errors;
+  size_t reported = 0;
+  /// The plan's cancellation token (may be null). Polled per batch so a
+  /// worker whose pipeline has no scan still honours cancellation.
+  CancelToken* token = nullptr;
   Counter* producer_waits = nullptr;
 
   /// One producer pipeline's drain loop, run on a pool thread. Touches only
@@ -95,6 +103,7 @@ struct ExchangeOp::Shared {
           std::lock_guard<std::mutex> lock(mu);
           if (cancel) break;
         }
+        if (token != nullptr) token->Check();
         VectorBatch* b = pipe->Next();
         if (b == nullptr) break;
         if (b->sel_count() == 0) continue;
@@ -110,7 +119,7 @@ struct ExchangeOp::Shared {
       }
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu);
-      if (!error) error = std::current_exception();
+      errors.push_back(std::current_exception());
       cancel = true;
       not_full.notify_all();
       not_empty.notify_all();
@@ -118,6 +127,25 @@ struct ExchangeOp::Shared {
     std::lock_guard<std::mutex> lock(mu);
     done++;
     not_empty.notify_all();
+  }
+
+  /// First unreported non-QueryCancelled error, marking everything up to it
+  /// reported. QueryCancelled latches are expected teardown noise once the
+  /// query is being cancelled anyway — skipped, not surfaced. Caller holds
+  /// no lock.
+  std::exception_ptr TakeUnreportedError() {
+    std::lock_guard<std::mutex> lock(mu);
+    while (reported < errors.size()) {
+      std::exception_ptr e = errors[reported++];
+      try {
+        std::rethrow_exception(e);
+      } catch (const QueryCancelled&) {
+        continue;
+      } catch (...) {
+        return e;
+      }
+    }
+    return nullptr;
   }
 };
 
@@ -143,7 +171,17 @@ ExchangeOp::ExchangeOp(ExecContext* ctx, int num_workers, WorkerPlanFn factory,
   }
 }
 
-ExchangeOp::~ExchangeOp() { Shutdown(); }
+ExchangeOp::~ExchangeOp() {
+  Shutdown();
+  // Errors latched but never surfaced (the consumer stopped draining before
+  // rethrowing them, and Close() never got to). Swallowing is forced here —
+  // destructors must not throw — but never silent: each one is counted.
+  while (shared_ != nullptr) {
+    std::exception_ptr e = shared_->TakeUnreportedError();
+    if (e == nullptr) break;
+    MetricsRegistry::Get().GetCounter("exchange.dropped_errors")->Inc();
+  }
+}
 
 void ExchangeOp::Open() {
   // Serial opens: ScanOp::Open refreshes dictionary refs in shared table
@@ -154,6 +192,7 @@ void ExchangeOp::Open() {
   shared_ = std::make_shared<Shared>();
   shared_->capacity = static_cast<size_t>(queue_capacity_);
   shared_->total = num_workers();
+  shared_->token = ctx_->cancel;
   shared_->producer_waits =
       MetricsRegistry::Get().GetCounter("exchange.producer_waits");
   open_ = true;
@@ -166,12 +205,12 @@ void ExchangeOp::Open() {
 }
 
 VectorBatch* ExchangeOp::Next() {
+  ctx_->CheckCancel();
   Shared& s = *shared_;
   std::unique_lock<std::mutex> lock(s.mu);
   while (true) {
-    if (s.error) {
-      std::exception_ptr e = s.error;
-      s.error = nullptr;
+    if (s.reported < s.errors.size()) {
+      std::exception_ptr e = s.errors[s.reported++];
       s.cancel = true;
       s.not_full.notify_all();
       lock.unlock();
@@ -213,6 +252,18 @@ void ExchangeOp::Close() {
   Shutdown();
   for (auto& p : pipelines_) p->Close();
   MergeWorkerTraces();
+  // A worker that threw after the consumer stopped draining — typically
+  // while it sat blocked on a full queue when a Close()-initiated cancel
+  // woke it into a failing pipeline — latched its error with no Next() left
+  // to surface it. Rethrow here so callers see it; if Close() itself runs
+  // during unwinding (an exception is already in flight), count it instead
+  // of std::terminate-ing.
+  std::exception_ptr pending =
+      shared_ != nullptr ? shared_->TakeUnreportedError() : nullptr;
+  if (pending != nullptr) {
+    if (std::uncaught_exceptions() == 0) std::rethrow_exception(pending);
+    MetricsRegistry::Get().GetCounter("exchange.dropped_errors")->Inc();
+  }
 }
 
 void ExchangeOp::MergeWorkerTraces() {

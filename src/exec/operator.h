@@ -1,6 +1,7 @@
 #ifndef X100_EXEC_OPERATOR_H_
 #define X100_EXEC_OPERATOR_H_
 
+#include "common/cancel.h"
 #include "common/config.h"
 #include "common/profiling.h"
 #include "vector/batch.h"
@@ -33,6 +34,17 @@ struct ExecContext {
   /// this many workers when > 1; 1 keeps every plan single-threaded. Wired
   /// to env X100_THREADS by the runner and benches (EnvParallelism()).
   int num_threads = 1;
+  /// Per-query cancellation/deadline token (common/cancel.h), owned by the
+  /// submitter (QueryService session, runner, test). Source operators and
+  /// Exchange poll it once per vector via CheckCancel(); null disables
+  /// cancellation entirely (standalone plans pay one pointer test).
+  CancelToken* cancel = nullptr;
+
+  /// Per-vector cancellation poll: throws QueryCancelled when the token is
+  /// tripped or its deadline passed. No-op without a token.
+  void CheckCancel() const {
+    if (cancel != nullptr) cancel->Check();
+  }
 };
 
 /// X100 algebra operator: classical Volcano Open/Next/Close, but Next()

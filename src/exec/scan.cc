@@ -111,6 +111,7 @@ void ScanOp::Open() {
 }
 
 VectorBatch* ScanOp::Next() {
+  ctx_->CheckCancel();
   uint64_t t0 = stats_ ? ReadCycleCounter() : 0;
   while (true) {
     int64_t region_end = in_delta_ ? delta_end_ : frag_end_;

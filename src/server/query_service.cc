@@ -1,0 +1,217 @@
+#include "server/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/metrics.h"
+#include "common/profiling.h"
+#include "common/thread_pool.h"
+
+namespace x100 {
+
+namespace {
+struct ServerMetrics {
+  Counter* submitted;
+  Counter* completed;
+  Counter* failed;
+  Counter* cancelled;
+  Histogram* queue_ns;
+  Histogram* exec_ns;
+  Gauge* running;
+  static ServerMetrics& Get() {
+    static ServerMetrics m = {
+        MetricsRegistry::Get().GetCounter("server.submitted"),
+        MetricsRegistry::Get().GetCounter("server.completed"),
+        MetricsRegistry::Get().GetCounter("server.failed"),
+        MetricsRegistry::Get().GetCounter("server.cancelled"),
+        MetricsRegistry::Get().GetHistogram("server.queue_ns"),
+        MetricsRegistry::Get().GetHistogram("server.exec_ns"),
+        MetricsRegistry::Get().GetGauge("server.running")};
+    return m;
+  }
+};
+}  // namespace
+
+QuerySession::QuerySession(uint64_t id, QueryFn fn, QueryOptions opts)
+    : id_(id), fn_(std::move(fn)), opts_(std::move(opts)) {}
+
+QuerySession::State QuerySession::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+QuerySession::State QuerySession::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return state_ != State::kQueued && state_ != State::kRunning;
+  });
+  return state_;
+}
+
+std::unique_ptr<Table> QuerySession::TakeResult() {
+  Wait();
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::move(result_);
+}
+
+const QueryTrace* QuerySession::trace() const {
+  return opts_.collect_trace ? &trace_ : nullptr;
+}
+
+QueryService::QueryService() : QueryService(Options{}) {}
+
+QueryService::QueryService(Options opts) : opts_(opts) {
+  if (opts_.max_concurrent < 1) opts_.max_concurrent = 1;
+  worker_budget_ = opts_.max_worker_threads > 0
+                       ? opts_.max_worker_threads
+                       : ThreadPool::Shared().num_threads();
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& s : sessions_) s->Cancel();
+  }
+  Drain();
+}
+
+std::shared_ptr<QuerySession> QueryService::Submit(QueryFn fn,
+                                                   QueryOptions opts) {
+  ServerMetrics::Get().submitted->Inc();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto s = std::shared_ptr<QuerySession>(
+      new QuerySession(next_id_++, std::move(fn), std::move(opts)));
+  s->submit_nanos_ = NowNanos();
+  if (s->opts_.timeout_ms > 0) {
+    // The deadline covers queue time too: an overloaded server times a
+    // query out rather than running it long after its caller gave up.
+    s->token_.SetDeadlineNanos(s->submit_nanos_ +
+                               s->opts_.timeout_ms * 1'000'000ull);
+  }
+  sessions_.push_back(s);
+  admission_queue_.push_back(s->id_);
+  // The driver blocks in Admit() until Submit's lock is released.
+  drivers_.emplace_back([this, s] { RunSession(s); });
+  return s;
+}
+
+bool QueryService::Admit(const std::shared_ptr<QuerySession>& s,
+                         int reservation) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (s->token_.cancelled() || s->token_.expired()) {
+      auto it = std::find(admission_queue_.begin(), admission_queue_.end(),
+                          s->id_);
+      if (it != admission_queue_.end()) admission_queue_.erase(it);
+      admit_cv_.notify_all();  // the next-in-line predicate may now pass
+      return false;
+    }
+    if (!admission_queue_.empty() && admission_queue_.front() == s->id_ &&
+        running_ < opts_.max_concurrent &&
+        reserved_workers_ + reservation <= worker_budget_) {
+      admission_queue_.pop_front();
+      running_++;
+      reserved_workers_ += reservation;
+      ServerMetrics::Get().running->Set(static_cast<double>(running_));
+      return true;
+    }
+    // Timed wait so an armed deadline fires without anyone notifying.
+    admit_cv_.wait_for(lock, std::chrono::milliseconds(5));
+  }
+}
+
+void QueryService::Release(int reservation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  running_--;
+  reserved_workers_ -= reservation;
+  ServerMetrics::Get().running->Set(static_cast<double>(running_));
+  admit_cv_.notify_all();
+}
+
+void QueryService::RunSession(const std::shared_ptr<QuerySession>& s) {
+  // A query wider than the whole budget is clamped, not rejected: it runs
+  // with every worker the service can ever grant.
+  int width = std::max(1, std::min(s->opts_.num_threads, worker_budget_));
+  int reservation = width > 1 ? width : 0;
+
+  if (!Admit(s, reservation)) {
+    std::lock_guard<std::mutex> lock(s->mu_);
+    s->queue_nanos_ = NowNanos() - s->submit_nanos_;
+    s->state_ = QuerySession::State::kCancelled;
+    s->deadline_exceeded_ = !s->token_.cancelled() && s->token_.expired();
+    s->error_ = s->deadline_exceeded_
+                    ? "query deadline exceeded while queued"
+                    : "query cancelled while queued";
+    ServerMetrics::Get().cancelled->Inc();
+    ServerMetrics::Get().queue_ns->Record(s->queue_nanos_);
+    s->cv_.notify_all();
+    return;
+  }
+
+  uint64_t start = NowNanos();
+  {
+    std::lock_guard<std::mutex> lock(s->mu_);
+    s->queue_nanos_ = start - s->submit_nanos_;
+    s->state_ = QuerySession::State::kRunning;
+    s->cv_.notify_all();
+  }
+  ServerMetrics::Get().queue_ns->Record(s->queue_nanos_);
+
+  ExecContext ctx;
+  ctx.vector_size = s->opts_.vector_size;
+  ctx.num_threads = width;
+  ctx.cancel = &s->token_;
+  if (s->opts_.collect_trace) ctx.trace = &s->trace_;
+
+  std::unique_ptr<Table> result;
+  QuerySession::State final_state = QuerySession::State::kDone;
+  std::string error;
+  bool deadline = false;
+  try {
+    result = s->fn_(&ctx);
+  } catch (const QueryCancelled& e) {
+    final_state = QuerySession::State::kCancelled;
+    error = e.what();
+    deadline = e.deadline_exceeded();
+  } catch (const std::exception& e) {
+    final_state = QuerySession::State::kFailed;
+    error = e.what();
+  } catch (...) {
+    final_state = QuerySession::State::kFailed;
+    error = "unknown error";
+  }
+
+  Release(reservation);
+  uint64_t exec = NowNanos() - start;
+  ServerMetrics::Get().exec_ns->Record(exec);
+  switch (final_state) {
+    case QuerySession::State::kDone:
+      ServerMetrics::Get().completed->Inc();
+      break;
+    case QuerySession::State::kCancelled:
+      ServerMetrics::Get().cancelled->Inc();
+      break;
+    default:
+      ServerMetrics::Get().failed->Inc();
+      break;
+  }
+
+  std::lock_guard<std::mutex> lock(s->mu_);
+  s->exec_nanos_ = exec;
+  s->result_ = std::move(result);
+  s->error_ = std::move(error);
+  s->deadline_exceeded_ = deadline;
+  s->state_ = final_state;
+  s->cv_.notify_all();
+}
+
+void QueryService::Drain() {
+  std::vector<std::thread> drivers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drivers.swap(drivers_);
+  }
+  for (std::thread& t : drivers) t.join();
+}
+
+}  // namespace x100

@@ -1,0 +1,180 @@
+#ifndef X100_SERVER_QUERY_SERVICE_H_
+#define X100_SERVER_QUERY_SERVICE_H_
+
+// QueryService: many X100 queries concurrently against one shared engine.
+// ColumnBM is explicitly designed for many concurrent queries reusing each
+// other's I/O (§4.3); this layer supplies the serving half of that story:
+//
+//  - a per-query session (id, state, deadline, cancellation token) whose
+//    CancelToken is threaded through ExecContext and polled per vector;
+//  - an admission controller bounding in-flight queries and the exchange
+//    worker threads they may reserve on the shared ThreadPool, FIFO so a
+//    burst of sessions cannot starve an early wide query;
+//  - per-session EXPLAIN ANALYZE traces and server.* metrics (queue/exec
+//    latency histograms, completion/cancellation counters).
+//
+// Threading model: each session runs its query on a DEDICATED driver thread,
+// never on the shared ThreadPool — a pool-resident driver would occupy a
+// pool slot while blocking on its own exchange workers queued behind it
+// (deadlock once drivers fill the pool). Exchange workers themselves keep
+// using the shared pool; the admission budget keeps their aggregate demand
+// within its width. Shared scans attach via the ColumnBm's
+// SharedScanRegistry (storage/shared_scan.h), so concurrent sessions over
+// one frozen table collapse duplicate block I/O.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.h"
+#include "exec/operator.h"
+#include "exec/trace.h"
+#include "storage/table.h"
+
+namespace x100 {
+
+class QueryService;
+
+/// What a session runs: builds and drives a plan against engine state the
+/// caller owns (Catalog, ColumnBm), returning the materialized result. The
+/// ExecContext carries the session's vector size, thread budget, optional
+/// trace, and — critically — the cancellation token the pipeline polls.
+using QueryFn = std::function<std::unique_ptr<Table>(ExecContext*)>;
+
+struct QueryOptions {
+  /// Label for traces and error messages (e.g. "q1").
+  std::string label;
+  /// Exchange width the query plan will use (ExecContext::num_threads).
+  /// Widths > 1 reserve that many shared-pool workers with the admission
+  /// controller; width 1 runs serial on the session's driver thread alone.
+  int num_threads = 1;
+  int vector_size = kDefaultVectorSize;
+  /// Wall-clock budget covering queue time AND execution; 0 = none. An
+  /// expired session unwinds with QueryCancelled(deadline=true).
+  uint64_t timeout_ms = 0;
+  /// Collect a per-session EXPLAIN ANALYZE trace (QuerySession::trace()).
+  bool collect_trace = false;
+};
+
+/// One submitted query: state machine kQueued -> kRunning -> one of
+/// {kDone, kFailed, kCancelled}. Handles are shared_ptr so a session
+/// outlives whichever of caller/service lets go first. All methods are
+/// thread-safe.
+class QuerySession {
+ public:
+  enum class State { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+  uint64_t id() const { return id_; }
+  const std::string& label() const { return opts_.label; }
+  State state() const;
+
+  /// Requests cancellation: a queued session never starts; a running one
+  /// unwinds at its next per-vector poll. Idempotent, any thread.
+  void Cancel() { token_.RequestCancel(); }
+
+  /// Blocks until the session is terminal; returns its final state.
+  State Wait();
+
+  /// The materialized result (kDone only; null otherwise or after a prior
+  /// Take). Implies Wait().
+  std::unique_ptr<Table> TakeResult();
+
+  /// After Wait(): kFailed/kCancelled detail ("" for kDone).
+  const std::string& error() const { return error_; }
+  /// True when a kCancelled session died of its deadline, not Cancel().
+  bool deadline_exceeded() const { return deadline_exceeded_; }
+
+  /// Per-session EXPLAIN ANALYZE trace (QueryOptions::collect_trace); valid
+  /// after Wait(). Null when tracing was off.
+  const QueryTrace* trace() const;
+
+  /// Nanoseconds spent queued (submit -> start) and executing
+  /// (start -> terminal). Valid after Wait().
+  uint64_t queue_nanos() const { return queue_nanos_; }
+  uint64_t exec_nanos() const { return exec_nanos_; }
+
+  CancelToken* token() { return &token_; }
+
+ private:
+  friend class QueryService;
+  QuerySession(uint64_t id, QueryFn fn, QueryOptions opts);
+
+  const uint64_t id_;
+  QueryFn fn_;
+  QueryOptions opts_;
+  CancelToken token_;
+  QueryTrace trace_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // state transitions
+  State state_ = State::kQueued;
+  std::unique_ptr<Table> result_;
+  std::string error_;
+  bool deadline_exceeded_ = false;
+  uint64_t submit_nanos_ = 0;
+  uint64_t queue_nanos_ = 0;
+  uint64_t exec_nanos_ = 0;
+};
+
+class QueryService {
+ public:
+  struct Options {
+    /// Queries admitted to run concurrently (each on its own driver
+    /// thread).
+    int max_concurrent = 4;
+    /// Shared-pool worker threads the admitted set may reserve in
+    /// aggregate (exchange widths); <= 0 means the shared pool's actual
+    /// width. A query wider than the whole budget is clamped at admission
+    /// rather than rejected.
+    int max_worker_threads = 0;
+  };
+
+  QueryService();  // default Options
+  explicit QueryService(Options opts);
+  /// Cancels every live session and joins all driver threads.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues `fn`; the returned session is already owned by a driver
+  /// thread waiting on admission. The deadline (when any) starts now —
+  /// queue time counts against it.
+  std::shared_ptr<QuerySession> Submit(QueryFn fn, QueryOptions opts = {});
+
+  /// Waits until every session submitted so far is terminal and joins
+  /// their driver threads.
+  void Drain();
+
+  int max_concurrent() const { return opts_.max_concurrent; }
+  int worker_budget() const { return worker_budget_; }
+
+ private:
+  void RunSession(const std::shared_ptr<QuerySession>& s);
+  /// Blocks until `s` may run (FIFO + capacity). False when the session
+  /// was cancelled or expired while queued.
+  bool Admit(const std::shared_ptr<QuerySession>& s, int reservation);
+  void Release(int reservation);
+
+  Options opts_;
+  int worker_budget_;
+
+  std::mutex mu_;
+  std::condition_variable admit_cv_;
+  std::deque<uint64_t> admission_queue_;  // FIFO of queued session ids
+  int running_ = 0;
+  int reserved_workers_ = 0;
+  uint64_t next_id_ = 1;
+  std::vector<std::shared_ptr<QuerySession>> sessions_;
+  std::vector<std::thread> drivers_;
+};
+
+}  // namespace x100
+
+#endif  // X100_SERVER_QUERY_SERVICE_H_

@@ -1,7 +1,6 @@
 #include "storage/buffer_pool.h"
 
-#include <cstdlib>
-
+#include "common/config.h"
 #include "common/metrics.h"
 
 namespace x100 {
@@ -14,6 +13,7 @@ struct PoolMetrics {
   Counter* misses;
   Counter* evictions;
   Counter* read_bytes;
+  Counter* retries;
   Gauge* resident;
   static PoolMetrics& Get() {
     static PoolMetrics m = {
@@ -21,6 +21,7 @@ struct PoolMetrics {
         MetricsRegistry::Get().GetCounter("bm.pool.misses"),
         MetricsRegistry::Get().GetCounter("bm.pool.evictions"),
         MetricsRegistry::Get().GetCounter("bm.pool.read_bytes"),
+        MetricsRegistry::Get().GetCounter("bm.pool.load_retries"),
         MetricsRegistry::Get().GetGauge("bm.pool.resident_bytes")};
     return m;
   }
@@ -28,18 +29,7 @@ struct PoolMetrics {
 }  // namespace
 
 int64_t BufferPool::EnvPoolBytes() {
-  const char* env = std::getenv("X100_BM_BYTES");
-  if (env == nullptr || *env == '\0') return kDefaultPoolBytes;
-  char* end = nullptr;
-  double v = std::strtod(env, &end);
-  if (end == env || v <= 0) return kDefaultPoolBytes;
-  switch (*end) {
-    case 'k': case 'K': v *= 1 << 10; break;
-    case 'm': case 'M': v *= 1 << 20; break;
-    case 'g': case 'G': v *= 1 << 30; break;
-    default: break;
-  }
-  return static_cast<int64_t>(v);
+  return EnvByteSize("X100_BM_BYTES", kDefaultPoolBytes);
 }
 
 BufferPool::BufferPool(int64_t budget_bytes)
@@ -66,9 +56,16 @@ Status BufferPool::GetOrLoad(const std::string& key, size_t bytes,
       // Another thread is loading this block; rendezvous on its outcome.
       cv_.wait(lock, [&] { return frame->loaded || frame->failed; });
       if (frame->loaded) continue;  // re-find: the map entry is still ours
-      Status err = frame->error;    // load failed; not cached
+      // The load failed and the loader un-cached the key. Do NOT adopt the
+      // stale frame's error (or worse, its payload): by the time this
+      // waiter woke, another thread may already have re-inserted the key —
+      // a fresh load in flight or even completed. Failure resolution is
+      // atomic with re-lookup: loop, and either join the new frame's
+      // rendezvous or become the retrying loader via the miss path below.
       frame.reset();
-      return err;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      PoolMetrics::Get().retries->Inc();
+      continue;
     }
 
     // Miss: claim the key with an unloaded frame, making room first.
@@ -167,6 +164,7 @@ BufferPool::Stats BufferPool::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.read_bytes = read_bytes_.load(std::memory_order_relaxed);
+  s.load_retries = retries_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -87,10 +87,12 @@ class BufferPool {
 
   struct Stats {
     uint64_t hits = 0, misses = 0, evictions = 0, read_bytes = 0;
+    uint64_t load_retries = 0;  // waiters that re-looked-up after a failed load
   };
   Stats stats() const;
 
   /// env X100_BM_BYTES (bytes; k/m/g suffixes accepted), else default.
+  /// Malformed values are a fatal configuration error (common/config.h).
   static int64_t EnvPoolBytes();
 
   static constexpr int64_t kDefaultPoolBytes = 256ll << 20;
@@ -108,6 +110,7 @@ class BufferPool {
   std::atomic<size_t> resident_{0};
 
   std::atomic<uint64_t> hits_{0}, misses_{0}, evictions_{0}, read_bytes_{0};
+  std::atomic<uint64_t> retries_{0};
 };
 
 }  // namespace x100

@@ -9,6 +9,7 @@
 #include "common/profiling.h"
 #include "common/status.h"
 #include "storage/compression.h"
+#include "storage/shared_scan.h"
 
 namespace x100 {
 
@@ -67,11 +68,20 @@ struct CodecMetrics {
 ColumnBm::ColumnBm(size_t block_size)
     : ColumnBm(Options{block_size, EnvDiskDir(), 0}) {}
 
-ColumnBm::ColumnBm(const Options& opts) : block_size_(opts.block_size) {
+ColumnBm::ColumnBm(const Options& opts)
+    : block_size_(opts.block_size),
+      shared_(std::make_unique<SharedScanRegistry>()) {
   if (!opts.disk_dir.empty()) {
     store_ = std::make_unique<DiskStore>(opts.disk_dir);
     pool_ = std::make_unique<BufferPool>(opts.pool_bytes);
   }
+}
+
+void ColumnBm::EnsureStored(const std::string& file,
+                            const std::function<void()>& store) {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (Contains(file)) return;
+  store();
 }
 
 ColumnBm::~ColumnBm() = default;
@@ -355,6 +365,9 @@ int64_t ColumnBm::ReadDecompressed(const std::string& file, int64_t b,
 Status ColumnBm::WriteTableManifest(const std::string& table,
                                     const std::vector<std::string>& files) {
   if (!disk_backed()) return Status::OK();
+  // Concurrent sessions opening the same table each write the manifest;
+  // serialize so the file is never two writers' interleaving.
+  std::lock_guard<std::mutex> lock(store_mu_);
   std::vector<DiskStore::ManifestEntry> entries;
   entries.reserve(files.size());
   for (const std::string& file : files) {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -16,6 +17,8 @@
 #include "storage/disk_store.h"
 
 namespace x100 {
+
+class SharedScanRegistry;
 
 /// ColumnBM buffer manager (§4, "Disk"; §4.3).
 ///
@@ -63,6 +66,19 @@ class ColumnBm {
 
   /// Copies a column's physical data into chunked storage under `file`.
   void Store(const std::string& file, const Column& col);
+
+  /// Store-once rendezvous for concurrent scans of the same frozen column:
+  /// runs `store` (which must Store/StoreCompressed exactly `file`) iff the
+  /// file is absent, serializing racing callers so one stores and the rest
+  /// see it stored. Without this, two sessions opening the same table race
+  /// the Contains/Store pair and concurrently rewrite the file under each
+  /// other's reads.
+  void EnsureStored(const std::string& file,
+                    const std::function<void()>& store);
+
+  /// Registry letting concurrent scans of this instance attach to each
+  /// other's in-flight block loads (storage/shared_scan.h).
+  SharedScanRegistry& shared_scans() { return *shared_; }
 
   /// Stores an integral column compressed (§4.3 lightweight compression) in
   /// fixed-count blocks. Each block gets the cheapest codec by sampled
@@ -179,6 +195,11 @@ class ColumnBm {
   // Memory backend.
   mutable std::mutex mem_mu_;
   std::map<std::string, File> files_;
+
+  // Serializes EnsureStored (and manifest writes) across sessions. Ordered
+  // outermost: never taken while mem_mu_/meta_mu_ is held.
+  std::mutex store_mu_;
+  std::unique_ptr<SharedScanRegistry> shared_;
 
   // Disk backend (null in memory mode).
   std::unique_ptr<DiskStore> store_;

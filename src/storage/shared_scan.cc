@@ -1,0 +1,83 @@
+#include "storage/shared_scan.h"
+
+#include "common/metrics.h"
+
+namespace x100 {
+
+namespace {
+// Global mirrors so shared-scan effectiveness shows up in every BENCH_*.json
+// metrics snapshot; per-operator counts go to EXPLAIN ANALYZE traces.
+struct SharedMetrics {
+  Counter* attached;
+  Counter* published;
+  static SharedMetrics& Get() {
+    static SharedMetrics m = {
+        MetricsRegistry::Get().GetCounter("bm.shared.attached_blocks"),
+        MetricsRegistry::Get().GetCounter("bm.shared.published_blocks")};
+    return m;
+  }
+};
+}  // namespace
+
+SharedScanRegistry::Lease SharedScanRegistry::Acquire(const std::string& file,
+                                                      int64_t b) {
+  std::string key = file + "#" + std::to_string(b);
+  std::lock_guard<std::mutex> lock(mu_);
+  Lease lease;
+  auto it = blocks_.find(key);
+  if (it != blocks_.end()) {
+    if (std::shared_ptr<Block> live = it->second.lock()) {
+      lease.block = std::move(live);
+      lease.attached = true;
+      SharedMetrics::Get().attached->Inc();
+      return lease;
+    }
+    blocks_.erase(it);  // last referent dropped the payload; start fresh
+  }
+  lease.block = std::make_shared<Block>();
+  lease.block->key = std::move(key);
+  lease.owner = true;
+  blocks_[lease.block->key] = lease.block;
+  return lease;
+}
+
+void SharedScanRegistry::Publish(const Lease& lease) {
+  {
+    std::lock_guard<std::mutex> lk(lease.block->mu);
+    lease.block->done = true;
+  }
+  lease.block->cv.notify_all();
+  SharedMetrics::Get().published->Inc();
+}
+
+void SharedScanRegistry::Fail(const Lease& lease, std::string error) {
+  {
+    // Unregister first so a retry that races the wakeups below gets a fresh
+    // owner lease instead of attaching to a corpse.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blocks_.find(lease.block->key);
+    if (it != blocks_.end() && it->second.lock() == lease.block) {
+      blocks_.erase(it);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(lease.block->mu);
+    lease.block->done = true;
+    lease.block->failed = true;
+    lease.block->error = std::move(error);
+  }
+  lease.block->cv.notify_all();
+}
+
+bool SharedScanRegistry::Wait(const Lease& lease, std::string* error) {
+  Block* b = lease.block.get();
+  std::unique_lock<std::mutex> lk(b->mu);
+  b->cv.wait(lk, [&] { return b->done; });
+  if (b->failed) {
+    if (error != nullptr) *error = b->error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace x100

@@ -1,0 +1,94 @@
+#ifndef X100_STORAGE_SHARED_SCAN_H_
+#define X100_STORAGE_SHARED_SCAN_H_
+
+// Shared-scan registry: concurrent BmScanOps over the same frozen file
+// attach to an in-progress block load instead of duplicating the I/O and
+// decode work. The first scan to ask for a (file, block) pair becomes the
+// *owner* — it performs the read (and codec decode, for compressed blocks)
+// exactly as a solo scan would, then publishes the result. Every other scan
+// that arrives while the load is in flight (or while the published payload
+// is still referenced by someone) *attaches*: it blocks until the owner
+// resolves and reuses the payload by shared_ptr/pin, paying zero I/O.
+//
+// Entries are weak: the registry never extends a payload's lifetime. Once
+// the last scan drops its reference the entry expires and the next reader
+// loads fresh (typically a buffer-pool hit anyway). An owner whose load
+// fails removes the entry and wakes attachers with the error; attachers
+// then fall back to a direct load so one scan's I/O failure handling never
+// decides another query's fate.
+//
+// Metrics: bm.shared.published_blocks (owner loads published) and
+// bm.shared.attached_blocks (reads served by attaching) in the global
+// registry; the per-operator counts land in EXPLAIN ANALYZE traces.
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/columnbm.h"
+
+namespace x100 {
+
+class SharedScanRegistry {
+ public:
+  /// Payload of one (file, block) load. Published once by the owning scan,
+  /// then immutable; consumed concurrently by any number of attached scans.
+  struct Block {
+    /// Decoded mode (compressed blocks): the decoded values.
+    bool decoded_mode = false;
+    std::shared_ptr<std::vector<char>> decoded;
+    int64_t count = 0;  // decoded value count
+    /// Raw mode: zero-copy view; the ref carries the buffer-pool pin.
+    ColumnBm::BlockRef ref;
+    bool pool_hit = false;
+
+   private:
+    friend class SharedScanRegistry;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool failed = false;
+    std::string error;
+    std::string key;  // registry map key, for unregistering on failure
+  };
+
+  /// One scan's stake in a block load. Owners MUST resolve with exactly one
+  /// Publish() or Fail(); attachers call Wait().
+  struct Lease {
+    std::shared_ptr<Block> block;
+    bool owner = false;
+    bool attached = false;  // counted toward bm.shared.attached_blocks
+  };
+
+  /// Joins (or starts) the load of block `b` of `file`. If an entry for the
+  /// key is live — load in flight or payload still referenced — the caller
+  /// attaches to it; otherwise the caller becomes the owner.
+  Lease Acquire(const std::string& file, int64_t b);
+
+  /// Owner: the lease's Block fields are filled in; wake attachers. The
+  /// entry stays discoverable (weakly) while any scan holds the payload.
+  void Publish(const Lease& lease);
+
+  /// Owner: the load threw. Unregisters the key (a later Acquire starts
+  /// fresh) and wakes attachers with `error`.
+  void Fail(const Lease& lease, std::string error);
+
+  /// Attacher: blocks until the owner resolves. Returns true when the
+  /// payload is ready; false when the owner failed (`*error` set, caller
+  /// falls back to a direct load).
+  bool Wait(const Lease& lease, std::string* error);
+
+ private:
+  std::mutex mu_;
+  // Live loads/payloads by "file#block". Weak: expired entries are replaced
+  // on the next Acquire and erased lazily.
+  std::map<std::string, std::weak_ptr<Block>> blocks_;
+};
+
+}  // namespace x100
+
+#endif  // X100_STORAGE_SHARED_SCAN_H_

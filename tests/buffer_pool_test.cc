@@ -5,7 +5,9 @@
 // morsel-parallel disk scans.
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
@@ -19,6 +21,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/columnbm.h"
 #include "storage/disk_store.h"
+#include "storage/shared_scan.h"
 #include "tests/test_util.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
@@ -320,6 +323,52 @@ TEST(BufferPoolTest, FailedLoadIsNotCached) {
   EXPECT_EQ(static_cast<const char*>(pin.data())[7], 1);
 }
 
+TEST(BufferPoolTest, FailedLoadWaitersRetryInsteadOfAdoptingError) {
+  // Regression: when a load failed while other threads were parked on the
+  // same frame's rendezvous, the waiters used to adopt the loader's error
+  // even though their own retry would have succeeded. Only the thread whose
+  // loader actually failed may see the error; every waiter must re-lookup
+  // and load the block successfully.
+  BufferPool pool(1 << 20);
+  constexpr int kThreads = 8;
+  std::atomic<int> entered{0};
+  std::atomic<int> attempts{0};
+  std::atomic<int> failures{0}, successes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&] {
+      entered++;
+      BufferPool::Pin pin;
+      Status s = pool.GetOrLoad(
+          "flaky", 4096,
+          [&](void* dst) {
+            if (attempts.fetch_add(1) == 0) {
+              // First attempt: hold the frame loading until every other
+              // thread has entered GetOrLoad (parking them on the
+              // rendezvous), then fail.
+              while (entered.load() < kThreads) std::this_thread::yield();
+              std::this_thread::sleep_for(std::chrono::milliseconds(10));
+              return Status::Error("injected transient fault");
+            }
+            std::memset(dst, 42, 4096);
+            return Status::OK();
+          },
+          &pin);
+      if (!s.ok()) {
+        failures++;
+      } else {
+        successes++;
+        EXPECT_EQ(static_cast<const char*>(pin.data())[4095], 42);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Exactly the one injected fault surfaces; no waiter inherits it.
+  EXPECT_EQ(failures.load(), 1);
+  EXPECT_EQ(successes.load(), kThreads - 1);
+  EXPECT_GE(pool.stats().load_retries, 1u);
+}
+
 TEST(BufferPoolTest, ConcurrentPinHammer) {
   // 4 threads hammer 12 distinct 4KB blocks through a 4-frame pool: every
   // read must observe fully loaded, un-corrupted payloads even while other
@@ -357,6 +406,70 @@ TEST(BufferPoolTest, ConcurrentPinHammer) {
   BufferPool::Stats st = pool.stats();
   EXPECT_GT(st.evictions, 0u);
   EXPECT_GT(st.hits, 0u);
+}
+
+// ---- SharedScanRegistry ----------------------------------------------------
+
+TEST(SharedScanRegistryTest, AttacherReusesOwnersPayload) {
+  SharedScanRegistry reg;
+  SharedScanRegistry::Lease owner = reg.Acquire("f", 0);
+  ASSERT_TRUE(owner.owner);
+  SharedScanRegistry::Lease att = reg.Acquire("f", 0);
+  ASSERT_FALSE(att.owner);
+  ASSERT_TRUE(att.attached);
+  EXPECT_EQ(att.block, owner.block);
+
+  std::thread publisher([&] {
+    owner.block->decoded_mode = true;
+    owner.block->decoded = std::make_shared<std::vector<char>>(16, 'x');
+    owner.block->count = 16;
+    reg.Publish(owner);
+  });
+  std::string err;
+  ASSERT_TRUE(reg.Wait(att, &err)) << err;
+  EXPECT_EQ(att.block->count, 16);
+  EXPECT_EQ(att.block->decoded->at(7), 'x');
+  publisher.join();
+
+  // A later Acquire while the payload is still referenced attaches too.
+  SharedScanRegistry::Lease late = reg.Acquire("f", 0);
+  EXPECT_TRUE(late.attached);
+  EXPECT_TRUE(reg.Wait(late, &err));  // already resolved: returns at once
+
+  // Once every scan drops its reference the entry expires: fresh owner.
+  owner = {};
+  att = {};
+  late = {};
+  SharedScanRegistry::Lease fresh = reg.Acquire("f", 0);
+  EXPECT_TRUE(fresh.owner);
+}
+
+TEST(SharedScanRegistryTest, OwnerFailureWakesAttachersForFallback) {
+  SharedScanRegistry reg;
+  SharedScanRegistry::Lease owner = reg.Acquire("f", 1);
+  SharedScanRegistry::Lease att = reg.Acquire("f", 1);
+  std::thread failer([&] { reg.Fail(owner, "injected disk error"); });
+  std::string err;
+  EXPECT_FALSE(reg.Wait(att, &err));
+  EXPECT_EQ(err, "injected disk error");
+  failer.join();
+  // Fail() unregistered the key even while `att` still holds the old
+  // block, so a retry starts fresh instead of attaching to the corpse.
+  SharedScanRegistry::Lease retry = reg.Acquire("f", 1);
+  EXPECT_TRUE(retry.owner);
+}
+
+TEST(SharedScanRegistryTest, DistinctBlocksDoNotShare) {
+  SharedScanRegistry reg;
+  SharedScanRegistry::Lease a = reg.Acquire("f", 0);
+  SharedScanRegistry::Lease b = reg.Acquire("f", 1);
+  SharedScanRegistry::Lease c = reg.Acquire("g", 0);
+  EXPECT_TRUE(a.owner);
+  EXPECT_TRUE(b.owner);
+  EXPECT_TRUE(c.owner);
+  reg.Publish(a);
+  reg.Publish(b);
+  reg.Publish(c);
 }
 
 // ---- ColumnBm disk backend -------------------------------------------------

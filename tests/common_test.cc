@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/arena.h"
+#include "common/config.h"
 #include "common/date.h"
 #include "common/hash.h"
 #include "common/rng.h"
@@ -89,6 +90,45 @@ TEST(StringHeapTest, StablePointers) {
 TEST(HashTest, F64NormalizesNegativeZero) {
   EXPECT_EQ(HashF64(0.0), HashF64(-0.0));
   EXPECT_NE(HashF64(1.0), HashF64(2.0));
+}
+
+TEST(ConfigTest, ParseByteSizeAcceptsSuffixedSizes) {
+  EXPECT_EQ(ParseByteSize("4096"), 4096);
+  EXPECT_EQ(ParseByteSize("256k"), 256 * 1024);
+  EXPECT_EQ(ParseByteSize("256K"), 256 * 1024);
+  EXPECT_EQ(ParseByteSize("2m"), 2 * 1024 * 1024);
+  EXPECT_EQ(ParseByteSize("1g"), int64_t{1} << 30);
+  EXPECT_EQ(ParseByteSize("1.5k"), 1536);
+}
+
+TEST(ConfigTest, ParseByteSizeRejectsMalformedValues) {
+  // "256kb" used to silently fall back to the default; now it must fail.
+  EXPECT_EQ(ParseByteSize("256kb"), std::nullopt);
+  EXPECT_EQ(ParseByteSize("256 k"), std::nullopt);
+  EXPECT_EQ(ParseByteSize(""), std::nullopt);
+  EXPECT_EQ(ParseByteSize("abc"), std::nullopt);
+  EXPECT_EQ(ParseByteSize("-5m"), std::nullopt);
+  EXPECT_EQ(ParseByteSize("0"), std::nullopt);
+}
+
+TEST(ConfigTest, ParseIntInRange) {
+  EXPECT_EQ(ParseIntInRange("8", 1, 64), 8);
+  EXPECT_EQ(ParseIntInRange("1", 1, 64), 1);
+  EXPECT_EQ(ParseIntInRange("64", 1, 64), 64);
+  EXPECT_EQ(ParseIntInRange("-1", 1, 64), std::nullopt);
+  EXPECT_EQ(ParseIntInRange("65", 1, 64), std::nullopt);
+  EXPECT_EQ(ParseIntInRange("8x", 1, 64), std::nullopt);
+  EXPECT_EQ(ParseIntInRange("", 1, 64), std::nullopt);
+  EXPECT_EQ(ParseIntInRange("3.5", 1, 64), std::nullopt);
+}
+
+TEST(ConfigTest, ParsePositiveDouble) {
+  EXPECT_EQ(ParsePositiveDouble("0.01"), 0.01);
+  EXPECT_EQ(ParsePositiveDouble("2"), 2.0);
+  EXPECT_EQ(ParsePositiveDouble("0"), std::nullopt);
+  EXPECT_EQ(ParsePositiveDouble("-0.5"), std::nullopt);
+  EXPECT_EQ(ParsePositiveDouble("1.0sf"), std::nullopt);
+  EXPECT_EQ(ParsePositiveDouble(""), std::nullopt);
 }
 
 TEST(ValueTest, Conversions) {

@@ -193,6 +193,35 @@ TEST(MetricsTest, HistogramBucketsAndStats) {
   EXPECT_EQ(h.Min(), 0u);
 }
 
+TEST(MetricsTest, EmptyHistogramExportsNullStats) {
+  // A never-recorded histogram has no min/max/mean/percentiles: min_ starts
+  // at the ~0 sentinel, and exporting it raw put an 18-quintillion "min"
+  // into BENCH_*.json. The snapshot must emit null for every undefined stat.
+  Histogram* h =
+      MetricsRegistry::Get().GetHistogram("test.empty_histogram_export");
+  h->Reset();
+  std::string json = MetricsRegistry::Get().Snapshot().ToJson();
+  size_t at = json.find("\"test.empty_histogram_export\"");
+  ASSERT_NE(at, std::string::npos);
+  std::string row = json.substr(at, json.find('}', at) - at);
+  EXPECT_NE(row.find("\"count\":0"), std::string::npos) << row;
+  EXPECT_NE(row.find("\"min\":null"), std::string::npos) << row;
+  EXPECT_NE(row.find("\"max\":null"), std::string::npos) << row;
+  EXPECT_NE(row.find("\"mean\":null"), std::string::npos) << row;
+  EXPECT_NE(row.find("\"p50\":null"), std::string::npos) << row;
+  EXPECT_NE(row.find("\"p99\":null"), std::string::npos) << row;
+  EXPECT_EQ(row.find("18446744073709551615"), std::string::npos) << row;
+
+  // Once a value lands the stats turn numeric again.
+  h->Record(7);
+  json = MetricsRegistry::Get().Snapshot().ToJson();
+  at = json.find("\"test.empty_histogram_export\"");
+  row = json.substr(at, json.find('}', at) - at);
+  EXPECT_NE(row.find("\"min\":7"), std::string::npos) << row;
+  EXPECT_EQ(row.find("null"), std::string::npos) << row;
+  h->Reset();
+}
+
 TEST(MetricsTest, RegistryReturnsStablePointersAndSnapshots) {
   MetricsRegistry& reg = MetricsRegistry::Get();
   Counter* c = reg.GetCounter("test.registry.counter");

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cancel.h"
 #include "common/config.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
@@ -190,6 +191,90 @@ TEST(ExchangeTest, WorkerExceptionPropagatesToConsumer) {
   EXPECT_THROW(Drain(&ex), std::runtime_error);
   // Close after failure must cancel the healthy workers and not hang.
   ex.Close();
+}
+
+/// Produces nothing: sleeps, then throws. Models a worker that fails after
+/// the consumer has already stopped looking at the queue.
+class SleepThenThrowOp : public Operator {
+ public:
+  explicit SleepThenThrowOp(std::unique_ptr<Operator> child)
+      : child_(std::move(child)) {}
+  const Schema& schema() const override { return child_->schema(); }
+  void Open() override { child_->Open(); }
+  VectorBatch* Next() override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    throw std::runtime_error("late worker failure");
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+};
+
+TEST(ExchangeTest, CloseSurfacesErrorTheConsumerNeverDrained) {
+  // Regression: an error latched after the consumer's last Next() used to
+  // vanish in Close() — the query "succeeded" with partial results. Close()
+  // must rethrow it.
+  // 10000 rows so each worker's morsel (granule-aligned, granule=1000) is
+  // non-empty — worker 0 must actually produce a batch.
+  std::unique_ptr<Table> t = MakeNumbers(10000);
+  ExecContext ctx;
+  ctx.vector_size = 256;
+  ExchangeOp ex(&ctx, 2, [&](ExecContext* wctx, int w, int n) {
+    auto s = plan::Scan(wctx, *t, {.cols = {"k"}, .morsel = {w, n}});
+    if (w == 1) {
+      return plan::OpPtr(std::make_unique<SleepThenThrowOp>(std::move(s)));
+    }
+    return s;
+  });
+  ex.Open();
+  // The healthy worker's batch arrives well before worker 1 throws.
+  ASSERT_NE(ex.Next(), nullptr);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_THROW(ex.Close(), std::runtime_error);
+}
+
+TEST(ExchangeTest, RepeatedCancelLeaksNoPoolThreads) {
+  // A session cancelled mid-query unwinds through ExchangeOp many times in
+  // a server's lifetime; every iteration must join its workers and hand
+  // their pool slots back.
+  std::unique_ptr<Table> t = MakeNumbers(60000);
+  ExecContext ctx;
+  ctx.vector_size = 64;  // many batches -> workers still running at cancel
+  for (int iter = 0; iter < 25; iter++) {
+    CancelToken token;
+    ctx.cancel = &token;
+    ExchangeOp ex(
+        &ctx, 4,
+        [&](ExecContext* wctx, int w, int n) {
+          return plan::Scan(wctx, *t, {.cols = {"k"}, .morsel = {w, n}});
+        },
+        /*queue_capacity=*/2);
+    ex.Open();
+    ASSERT_NE(ex.Next(), nullptr);
+    token.RequestCancel();
+    EXPECT_THROW(
+        {
+          while (ex.Next() != nullptr) {
+          }
+        },
+        QueryCancelled);
+    // Cancellation is expected teardown, not an error: Close() is clean.
+    EXPECT_NO_THROW(ex.Close());
+    ctx.cancel = nullptr;
+  }
+  // Liveness probe: the shared pool must still execute new work. The tasks
+  // make no concurrency assumptions — each just counts itself.
+  ThreadPool& pool = ThreadPool::Shared();
+  const int n = pool.num_threads();
+  std::atomic<int> ran{0};
+  for (int i = 0; i < n; i++) {
+    pool.Submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  for (int spins = 0; ran.load() < n && spins < 5000; spins++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(ran.load(), n);
 }
 
 // ---- Parallel TPC-H plans --------------------------------------------------

@@ -1,0 +1,314 @@
+// QueryService serving-layer tests: many concurrent sessions over one shared
+// engine must produce exactly the serial results, honour the admission bound,
+// and unwind cancellation/deadlines without leaking pins or threads.
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancel.h"
+#include "common/metrics.h"
+#include "server/query_service.h"
+#include "storage/buffer_pool.h"
+#include "storage/columnbm.h"
+#include "tests/test_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace x100 {
+namespace {
+
+using testing::ExpectTablesEqual;
+
+/// Fresh scratch directory, removed on destruction.
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/x100_server_test_XXXXXX";
+    const char* d = mkdtemp(tmpl);
+    EXPECT_NE(d, nullptr);
+    path = d;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+/// The disk-backed query mix: ColumnBM plans exist for Q1/Q3/Q6/Q14.
+constexpr int kMix[] = {1, 3, 6, 14};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DbgenOptions opts;
+    opts.scale_factor = 0.02;
+    db_ = GenerateTpch(opts).release();
+    for (int q : kMix) {
+      ExecContext ctx;
+      serial_[q] = RunX100Query(q, &ctx, *db_);
+    }
+  }
+  static const Table& Serial(int q) { return *serial_[q]; }
+
+  static Catalog* db_;
+  static std::unique_ptr<Table> serial_[23];
+};
+Catalog* ServerTest::db_ = nullptr;
+std::unique_ptr<Table> ServerTest::serial_[23];
+
+/// Spins until `s` leaves kQueued (bounded); returns its state.
+QuerySession::State AwaitStart(QuerySession* s) {
+  for (int i = 0; i < 20000; i++) {
+    QuerySession::State st = s->state();
+    if (st != QuerySession::State::kQueued) return st;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return s->state();
+}
+
+TEST_F(ServerTest, ConcurrentMixedQueriesBitIdenticalToSerialRam) {
+  // 3 sessions per query, all serial-width: concurrency comes from the
+  // sessions, so every result must be bit-identical (eps 0) to the serial
+  // reference.
+  QueryService svc({/*max_concurrent=*/12, /*max_worker_threads=*/0});
+  std::vector<std::pair<int, std::shared_ptr<QuerySession>>> live;
+  for (int rep = 0; rep < 3; rep++) {
+    for (int q : kMix) {
+      QueryOptions qo;
+      qo.label = "q" + std::to_string(q);
+      live.emplace_back(q, svc.Submit([q](ExecContext* c) {
+        return RunX100Query(q, c, *db_);
+      }, qo));
+    }
+  }
+  for (auto& [q, s] : live) {
+    ASSERT_EQ(s->Wait(), QuerySession::State::kDone) << s->error();
+    std::unique_ptr<Table> r = s->TakeResult();
+    ASSERT_NE(r, nullptr);
+    ExpectTablesEqual(Serial(q), *r, 0.0);
+  }
+}
+
+TEST_F(ServerTest, ConcurrentDiskScansBitIdenticalAndLeakNoPins) {
+  // One shared disk-backed, compressed ColumnBm under every session; the
+  // first sessions to open each table race its EnsureStored and the block
+  // scans overlap through the shared-scan registry. Results must still be
+  // bit-identical to the RAM serial reference.
+  TempDir dir;
+  ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path});
+  QueryService svc({/*max_concurrent=*/8, /*max_worker_threads=*/0});
+  std::vector<std::pair<int, std::shared_ptr<QuerySession>>> live;
+  for (int rep = 0; rep < 2; rep++) {
+    for (int q : kMix) {
+      live.emplace_back(q, svc.Submit([q, &bm](ExecContext* c) {
+        return RunX100QueryDisk(q, c, *db_, &bm, /*compress=*/true);
+      }));
+    }
+  }
+  for (auto& [q, s] : live) {
+    ASSERT_EQ(s->Wait(), QuerySession::State::kDone) << s->error();
+    std::unique_ptr<Table> r = s->TakeResult();
+    ASSERT_NE(r, nullptr);
+    ExpectTablesEqual(Serial(q), *r, 0.0);
+  }
+  svc.Drain();
+  // Every pin must be back: with no query live, the whole pool is
+  // evictable. A leaked pin would survive the invalidation.
+  bm.pool()->InvalidatePrefix("");
+  EXPECT_EQ(bm.pool()->resident_bytes(), 0u);
+}
+
+TEST_F(ServerTest, WideSessionsShareTheWorkerBudget) {
+  // 4 sessions each asking for 4 exchange workers against a budget of 2:
+  // admission clamps the width and serializes the reservations; results
+  // match serial within FP-summation tolerance (worker count changes the
+  // sum order).
+  QueryService svc({/*max_concurrent=*/4, /*max_worker_threads=*/2});
+  std::vector<std::shared_ptr<QuerySession>> live;
+  for (int i = 0; i < 4; i++) {
+    QueryOptions qo;
+    qo.num_threads = 4;
+    live.push_back(svc.Submit(
+        [](ExecContext* c) { return RunX100Query(1, c, *db_); }, qo));
+  }
+  for (auto& s : live) {
+    ASSERT_EQ(s->Wait(), QuerySession::State::kDone) << s->error();
+    std::unique_ptr<Table> r = s->TakeResult();
+    ASSERT_NE(r, nullptr);
+    ExpectTablesEqual(Serial(1), *r);
+  }
+}
+
+TEST_F(ServerTest, AdmissionNeverExceedsMaxConcurrent) {
+  QueryService svc({/*max_concurrent=*/2, /*max_worker_threads=*/0});
+  std::atomic<int> running{0}, peak{0};
+  std::vector<std::shared_ptr<QuerySession>> live;
+  for (int i = 0; i < 10; i++) {
+    live.push_back(svc.Submit([&](ExecContext*) -> std::unique_ptr<Table> {
+      int cur = running.fetch_add(1) + 1;
+      int p = peak.load();
+      while (cur > p && !peak.compare_exchange_weak(p, cur)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      running.fetch_sub(1);
+      return nullptr;
+    }));
+  }
+  for (auto& s : live) {
+    EXPECT_EQ(s->Wait(), QuerySession::State::kDone);
+  }
+  EXPECT_LE(peak.load(), 2);
+  EXPECT_GE(peak.load(), 1);
+}
+
+TEST_F(ServerTest, CancelMidQueryReleasesPinsAndThreads) {
+  TempDir dir;
+  ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path});
+  {
+    QueryService svc({/*max_concurrent=*/2, /*max_worker_threads=*/0});
+    auto s = svc.Submit([&bm](ExecContext* c) -> std::unique_ptr<Table> {
+      // Loop the disk query so the cancel lands mid-pipeline with blocks
+      // pinned; the per-vector poll throws QueryCancelled out of here.
+      std::unique_ptr<Table> r;
+      for (int i = 0; i < 200000; i++) {
+        r = RunX100QueryDisk(6, c, *db_, &bm, /*compress=*/true);
+      }
+      return r;
+    });
+    ASSERT_EQ(AwaitStart(s.get()), QuerySession::State::kRunning);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    s->Cancel();
+    EXPECT_EQ(s->Wait(), QuerySession::State::kCancelled);
+    EXPECT_FALSE(s->deadline_exceeded());
+    EXPECT_EQ(s->TakeResult(), nullptr);
+    svc.Drain();
+  }
+  // The unwound query must have dropped every pin on its way out.
+  bm.pool()->InvalidatePrefix("");
+  EXPECT_EQ(bm.pool()->resident_bytes(), 0u);
+}
+
+TEST_F(ServerTest, QueuedSessionsHonourCancelAndDeadline) {
+  QueryService svc({/*max_concurrent=*/1, /*max_worker_threads=*/0});
+  std::atomic<bool> release{false};
+  auto blocker = svc.Submit([&](ExecContext*) -> std::unique_ptr<Table> {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return nullptr;
+  });
+  ASSERT_EQ(AwaitStart(blocker.get()), QuerySession::State::kRunning);
+
+  // Cancelled while queued: never runs, terminal immediately.
+  auto cancelled = svc.Submit([](ExecContext*) -> std::unique_ptr<Table> {
+    ADD_FAILURE() << "cancelled-while-queued session must never run";
+    return nullptr;
+  });
+  cancelled->Cancel();
+  EXPECT_EQ(cancelled->Wait(), QuerySession::State::kCancelled);
+  EXPECT_FALSE(cancelled->deadline_exceeded());
+  EXPECT_NE(cancelled->error().find("queued"), std::string::npos)
+      << cancelled->error();
+
+  // Deadline fires while queued behind the blocker.
+  QueryOptions qo;
+  qo.timeout_ms = 30;
+  auto expired = svc.Submit([](ExecContext*) -> std::unique_ptr<Table> {
+    ADD_FAILURE() << "expired-while-queued session must never run";
+    return nullptr;
+  }, qo);
+  EXPECT_EQ(expired->Wait(), QuerySession::State::kCancelled);
+  EXPECT_TRUE(expired->deadline_exceeded());
+
+  release.store(true);
+  EXPECT_EQ(blocker->Wait(), QuerySession::State::kDone);
+}
+
+TEST_F(ServerTest, DeadlineExpiresMidQuery) {
+  QueryService svc({/*max_concurrent=*/1, /*max_worker_threads=*/0});
+  QueryOptions qo;
+  qo.timeout_ms = 25;
+  auto s = svc.Submit([](ExecContext* c) -> std::unique_ptr<Table> {
+    std::unique_ptr<Table> r;
+    for (int i = 0; i < 200000; i++) {
+      r = RunX100Query(6, c, *db_);
+    }
+    return r;
+  }, qo);
+  EXPECT_EQ(s->Wait(), QuerySession::State::kCancelled);
+  EXPECT_TRUE(s->deadline_exceeded());
+}
+
+TEST_F(ServerTest, FailedQueryReportsErrorNotCancellation) {
+  QueryService svc;
+  auto s = svc.Submit([](ExecContext*) -> std::unique_ptr<Table> {
+    throw std::runtime_error("synthetic plan failure");
+  });
+  EXPECT_EQ(s->Wait(), QuerySession::State::kFailed);
+  EXPECT_NE(s->error().find("synthetic plan failure"), std::string::npos);
+}
+
+TEST_F(ServerTest, PerSessionTraceIsCollected) {
+  QueryService svc;
+  QueryOptions qo;
+  qo.collect_trace = true;
+  auto s = svc.Submit(
+      [](ExecContext* c) { return RunX100Query(6, c, *db_); }, qo);
+  ASSERT_EQ(s->Wait(), QuerySession::State::kDone) << s->error();
+  ASSERT_NE(s->trace(), nullptr);
+  EXPECT_NE(s->trace()->ToString().find("Scan"), std::string::npos);
+}
+
+TEST_F(ServerTest, DestructorCancelsLiveSessions) {
+  // Dropping the service mid-flight must cancel and join everything — no
+  // detached driver keeps running against a dead service.
+  std::shared_ptr<QuerySession> s;
+  {
+    QueryService svc({/*max_concurrent=*/1, /*max_worker_threads=*/0});
+    s = svc.Submit([](ExecContext* c) -> std::unique_ptr<Table> {
+      std::unique_ptr<Table> r;
+      for (int i = 0; i < 200000; i++) {
+        r = RunX100Query(6, c, *db_);
+      }
+      return r;
+    });
+    AwaitStart(s.get());
+  }
+  QuerySession::State st = s->state();
+  EXPECT_TRUE(st == QuerySession::State::kCancelled ||
+              st == QuerySession::State::kDone);
+}
+
+TEST_F(ServerTest, ServerMetricsAccount) {
+  Counter* completed = MetricsRegistry::Get().GetCounter("server.completed");
+  Counter* cancelled = MetricsRegistry::Get().GetCounter("server.cancelled");
+  uint64_t done0 = completed->Get(), can0 = cancelled->Get();
+  QueryService svc({/*max_concurrent=*/4, /*max_worker_threads=*/0});
+  auto ok = svc.Submit(
+      [](ExecContext* c) { return RunX100Query(6, c, *db_); });
+  auto dead = svc.Submit([](ExecContext* c) -> std::unique_ptr<Table> {
+    std::unique_ptr<Table> r;
+    for (int i = 0; i < 200000; i++) {
+      r = RunX100Query(6, c, *db_);
+    }
+    return r;
+  });
+  AwaitStart(dead.get());
+  dead->Cancel();
+  ok->Wait();
+  dead->Wait();
+  svc.Drain();
+  EXPECT_GE(completed->Get(), done0 + 1);
+  EXPECT_GE(cancelled->Get(), can0 + 1);
+}
+
+}  // namespace
+}  // namespace x100
