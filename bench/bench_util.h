@@ -12,6 +12,7 @@
 #include "common/config.h"
 #include "common/json.h"
 #include "common/metrics.h"
+#include "common/perf_counters.h"
 #include "common/profiling.h"
 #include "tpch/dbgen.h"
 
@@ -45,6 +46,18 @@ inline std::unique_ptr<Catalog> MakeTpch(double sf) {
 /// distribution so regressions can be told apart from noise.
 struct RepSet {
   std::vector<double> seconds;
+  /// Per-rep hardware-counter deltas, index-aligned with `seconds`. Entries
+  /// have an empty mask when counters were unavailable (degraded mode) —
+  /// the JSON export then omits the "hw" section entirely.
+  std::vector<PerfCounterValues> perf;
+
+  /// Events measured in EVERY rep (the exportable intersection).
+  uint32_t PerfMask() const {
+    if (perf.empty()) return 0;
+    uint32_t m = perf[0].mask;
+    for (const PerfCounterValues& p : perf) m &= p.mask;
+    return m;
+  }
 
   double Best() const {
     double best = 1e300;
@@ -65,15 +78,20 @@ struct RepSet {
   }
 };
 
-/// Times `fn()` `reps` times, recording every rep.
+/// Times `fn()` `reps` times, recording every rep's wall time and (when the
+/// machine permits) its hardware-counter snapshot.
 template <typename Fn>
 RepSet MeasureReps(int reps, Fn&& fn) {
+  ScopedPerfThread perf_thread;
   RepSet r;
   r.seconds.reserve(static_cast<size_t>(reps));
+  r.perf.reserve(static_cast<size_t>(reps));
   for (int i = 0; i < reps; i++) {
+    PerfCounterValues p0 = ReadThreadPerfCounters();
     uint64_t t0 = NowNanos();
     fn();
     r.seconds.push_back((NowNanos() - t0) / 1e9);
+    r.perf.push_back(ReadThreadPerfCounters().Since(p0));
   }
   return r;
 }
@@ -109,6 +127,24 @@ class BenchExport {
     w.BeginArray();
     for (double s : reps.seconds) w.Value(s);
     w.EndArray();
+    // Counter series are per-rep and index-aligned with "reps"; only events
+    // measured in every rep are exported, and the section is absent — not
+    // zero-filled — on perf-less machines.
+    uint32_t mask = reps.PerfMask();
+    if (mask != 0) {
+      w.Key("hw");
+      w.BeginObject();
+      for (int e = 0; e < kNumPerfEvents; e++) {
+        if ((mask & (1u << e)) == 0) continue;
+        w.Key(PerfEventName(static_cast<PerfEvent>(e)));
+        w.BeginArray();
+        for (const PerfCounterValues& p : reps.perf) {
+          w.Value(p.Get(static_cast<PerfEvent>(e)));
+        }
+        w.EndArray();
+      }
+      w.EndObject();
+    }
     w.EndObject();
     results_.push_back(std::move(w).Take());
   }

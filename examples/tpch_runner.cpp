@@ -5,18 +5,27 @@
 //   $ ./build/examples/tpch_runner 5 0.1 both
 //   $ ./build/examples/tpch_runner --explain-analyze 1
 //   $ ./build/examples/tpch_runner --sessions 8 6
+//   $ ./build/examples/tpch_runner --metrics-out metrics.json 1
 //
 // --explain-analyze (or env X100_TRACE=1) prints the executed X100 plan
-// annotated with per-node Next() calls, batches, tuples and cycles.
+// annotated with per-node Next() calls, batches, tuples, cycles and — when
+// the machine grants perf_event access — per-operator IPC and LLC
+// misses/tuple (absent, not zero, otherwise).
 // --sessions N additionally runs the query N times concurrently through the
 // QueryService (server/query_service.h) and reports per-session latency —
 // the serving path over one shared engine.
+// --metrics-out <path> (or env X100_METRICS_OUT) dumps the full metrics
+// registry snapshot as JSON at exit, so any run can be scraped without a
+// bench harness.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <vector>
 
+#include "common/config.h"
+#include "common/metrics.h"
+#include "common/perf_counters.h"
 #include "common/profiling.h"
 #include "common/thread_pool.h"
 #include "exec/trace.h"
@@ -32,6 +41,8 @@ int main(int argc, char** argv) {
   if (const char* env = std::getenv("X100_TRACE")) {
     explain = *env != '\0' && std::strcmp(env, "0") != 0;
   }
+  // env X100_METRICS_OUT; --metrics-out overrides.
+  std::string metrics_out = EnvString("X100_METRICS_OUT", "");
   const char* pos[3] = {nullptr, nullptr, nullptr};
   const char* sessions_arg = nullptr;
   int npos = 0;
@@ -40,6 +51,8 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
       sessions_arg = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else if (npos < 3) {
       pos[npos++] = argv[i];
     }
@@ -49,6 +62,7 @@ int main(int argc, char** argv) {
                  got ? got : "");
     std::fprintf(stderr,
                  "usage: %s [--explain-analyze] [--sessions N] "
+                 "[--metrics-out <path>] "
                  "<query 1-22> [sf=0.05] [engine=x100|mil|both]\n",
                  argv[0]);
     return 2;
@@ -90,6 +104,9 @@ int main(int argc, char** argv) {
   std::unique_ptr<Catalog> db = GenerateTpch(opts);
 
   if (std::strcmp(engine, "x100") == 0 || std::strcmp(engine, "both") == 0) {
+    // Hardware counters for the traced run (absent on perf-less machines;
+    // the trace then simply has no IPC/cache columns).
+    ScopedPerfThread perf_thread(explain);
     QueryTrace trace;
     ExecContext ctx;
     ctx.num_threads = EnvParallelism();  // X100_THREADS
@@ -135,9 +152,19 @@ int main(int argc, char** argv) {
       std::printf("\n=== Q%d x %d concurrent sessions: %.1f ms wall ===\n", q,
                   sessions, wall_ms);
       for (auto& s : live) {
-        std::printf("  %-8s queue %7.2f ms  exec %8.2f ms\n",
+        std::printf("  %-8s queue %7.2f ms  exec %8.2f ms",
                     s->label().c_str(), s->queue_nanos() / 1e6,
                     s->exec_nanos() / 1e6);
+        // Driver-thread hardware counters; omitted when unavailable.
+        if (s->perf().HasIpc()) {
+          std::printf("  ipc %5.2f", s->perf().Ipc());
+        }
+        if (s->perf().Has(PerfEvent::kCacheMisses)) {
+          std::printf("  llc-miss %9llu",
+                      static_cast<unsigned long long>(
+                          s->perf().Get(PerfEvent::kCacheMisses)));
+        }
+        std::printf("\n");
       }
       if (mismatches > 0) {
         std::fprintf(stderr, "error: %d session(s) disagreed with the serial "
@@ -159,6 +186,19 @@ int main(int argc, char** argv) {
     std::printf("\n=== Q%d on MonetDB/MIL: %.1f ms, %lld rows ===\n%s", q, ms,
                 static_cast<long long>(r->num_rows()),
                 FormatTable(*r, 30).c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::string json = MetricsRegistry::Get().ToJson();
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "[metrics] wrote %s\n", metrics_out.c_str());
   }
   return 0;
 }

@@ -84,4 +84,9 @@ double EnvPositiveDouble(const char* name, double def) {
   return *v;
 }
 
+std::string EnvString(const char* name, const std::string& def) {
+  const char* env = EnvValue(name);
+  return env == nullptr ? def : std::string(env);
+}
+
 }  // namespace x100

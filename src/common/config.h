@@ -46,6 +46,11 @@ int64_t EnvByteSize(const char* name, int64_t def);
 int64_t EnvIntInRange(const char* name, int64_t def, int64_t lo, int64_t hi);
 double EnvPositiveDouble(const char* name, double def);
 
+/// String-valued knob (e.g. X100_METRICS_OUT): unset or empty returns
+/// `def`. Strings have no malformed shape, but routing them through here
+/// keeps every X100_* knob on one documented path.
+std::string EnvString(const char* name, const std::string& def);
+
 }  // namespace x100
 
 #endif  // X100_COMMON_CONFIG_H_

@@ -73,16 +73,39 @@ std::vector<std::pair<std::string, const PrimitiveStats*>> Profiler::Rows() cons
 }
 
 std::string Profiler::ToString() const {
+  bool have_hw = false;
+  for (const auto& [name, s] : Rows()) have_hw |= s->perf.any();
   std::string out;
-  char line[256];
-  std::snprintf(line, sizeof(line), "%-12s %8s %10s %9s %7s  %s\n", "input count",
-                "MB", "time(us)", "MB/s", "cyc/tup", "primitive");
+  char line[320];
+  std::snprintf(line, sizeof(line), "%-12s %8s %10s %9s %7s", "input count",
+                "MB", "time(us)", "MB/s", "cyc/tup");
   out += line;
-  for (const auto& [name, s] : Rows()) {
-    std::snprintf(line, sizeof(line), "%-12llu %8.1f %10.0f %9.0f %7.1f  %s\n",
-                  static_cast<unsigned long long>(s->tuples), s->Megabytes(),
-                  s->Micros(), s->Bandwidth(), s->CyclesPerTuple(), name.c_str());
+  if (have_hw) {
+    std::snprintf(line, sizeof(line), " %6s %9s", "ipc", "miss/tup");
     out += line;
+  }
+  out += "  primitive\n";
+  for (const auto& [name, s] : Rows()) {
+    std::snprintf(line, sizeof(line), "%-12llu %8.1f %10.0f %9.0f %7.1f",
+                  static_cast<unsigned long long>(s->tuples), s->Megabytes(),
+                  s->Micros(), s->Bandwidth(), s->CyclesPerTuple());
+    out += line;
+    if (have_hw) {
+      // A row without counters renders "-", never a fake 0.
+      if (s->HasIpc()) {
+        std::snprintf(line, sizeof(line), " %6.2f", s->Ipc());
+      } else {
+        std::snprintf(line, sizeof(line), " %6s", "-");
+      }
+      out += line;
+      if (s->HasCacheMisses()) {
+        std::snprintf(line, sizeof(line), " %9.3f", s->CacheMissesPerTuple());
+      } else {
+        std::snprintf(line, sizeof(line), " %9s", "-");
+      }
+      out += line;
+    }
+    out += "  " + name + "\n";
   }
   return out;
 }
@@ -101,6 +124,36 @@ std::string Profiler::ToJson() const {
     w.Key("megabytes"); w.Value(s->Megabytes());
     w.Key("micros"); w.Value(s->Micros());
     w.Key("mb_per_sec"); w.Value(s->Bandwidth());
+    if (s->perf.Has(PerfEvent::kCycles)) {
+      w.Key("hw_cycles");
+      w.Value(s->perf.Get(PerfEvent::kCycles));
+    }
+    if (s->perf.Has(PerfEvent::kInstructions)) {
+      w.Key("instructions");
+      w.Value(s->perf.Get(PerfEvent::kInstructions));
+    }
+    if (s->HasIpc()) {
+      w.Key("ipc");
+      w.Value(s->Ipc());
+    }
+    if (s->perf.Has(PerfEvent::kCacheReferences)) {
+      w.Key("cache_references");
+      w.Value(s->perf.Get(PerfEvent::kCacheReferences));
+    }
+    if (s->HasCacheMisses()) {
+      w.Key("cache_misses");
+      w.Value(s->perf.Get(PerfEvent::kCacheMisses));
+      w.Key("cache_misses_per_tuple");
+      w.Value(s->CacheMissesPerTuple());
+    }
+    if (s->perf.Has(PerfEvent::kBranchInstructions)) {
+      w.Key("branch_instructions");
+      w.Value(s->perf.Get(PerfEvent::kBranchInstructions));
+    }
+    if (s->perf.Has(PerfEvent::kBranchMisses)) {
+      w.Key("branch_misses");
+      w.Value(s->perf.Get(PerfEvent::kBranchMisses));
+    }
     w.EndObject();
   }
   w.EndArray();

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/perf_counters.h"
+
 namespace x100 {
 
 /// Serializing cycle counter (rdtsc on x86-64, steady_clock-derived elsewhere).
@@ -26,6 +28,11 @@ struct PrimitiveStats {
   uint64_t tuples = 0;
   uint64_t bytes = 0;   // input + output bytes, as in Table 3/5 bandwidth
   uint64_t cycles = 0;
+  /// Hardware-counter deltas accumulated over the same windows as `cycles`,
+  /// when a perf group is installed on the executing thread
+  /// (common/perf_counters.h). Absent (empty mask) in degraded mode — the
+  /// renderers omit the columns rather than printing zeros.
+  PerfCounterValues perf;
 
   double CyclesPerTuple() const {
     return tuples ? static_cast<double>(cycles) / static_cast<double>(tuples) : 0.0;
@@ -34,6 +41,15 @@ struct PrimitiveStats {
   /// MB/s given the measured cycle frequency.
   double Bandwidth() const;
   double Micros() const;
+
+  bool HasIpc() const { return perf.HasIpc(); }
+  double Ipc() const { return perf.Ipc(); }
+  bool HasCacheMisses() const { return perf.Has(PerfEvent::kCacheMisses); }
+  double CacheMissesPerTuple() const {
+    return tuples ? static_cast<double>(perf.Get(PerfEvent::kCacheMisses)) /
+                        static_cast<double>(tuples)
+                  : 0.0;
+  }
 };
 
 /// Collects named PrimitiveStats rows in first-touch order; one per query run.
@@ -52,7 +68,11 @@ class Profiler {
   std::string ToString() const;
 
   /// Machine-readable trace: [{"name","calls","tuples","bytes","cycles",
-  /// "cycles_per_tuple","megabytes","micros","mb_per_sec"}, ...] in row order.
+  /// "cycles_per_tuple","megabytes","micros","mb_per_sec"}, ...] in row
+  /// order. Rows measured with hardware counters additionally carry
+  /// "hw_cycles","instructions","ipc","cache_references","cache_misses",
+  /// "cache_misses_per_tuple","branch_instructions","branch_misses" — these
+  /// keys are OMITTED (not zero) when counters were unavailable.
   std::string ToJson() const;
 
  private:
@@ -60,17 +80,34 @@ class Profiler {
   std::vector<std::string> order_;
 };
 
-/// RAII cycle accounting into a PrimitiveStats row.
+/// RAII cycle (and, when the thread has a perf group installed, hardware
+/// counter) accounting into a PrimitiveStats row. The perf reads happen
+/// outside the rdtsc window so their syscall cost stays out of the cycles
+/// column.
 class ScopedCycles {
  public:
-  explicit ScopedCycles(PrimitiveStats* s) : stats_(s), start_(ReadCycleCounter()) {}
-  ~ScopedCycles() { stats_->cycles += ReadCycleCounter() - start_; }
+  explicit ScopedCycles(PrimitiveStats* s)
+      : stats_(s), perf_group_(CurrentThreadPerfGroup()) {
+    if (perf_group_ != nullptr && !perf_group_->Read(&perf_start_)) {
+      perf_group_ = nullptr;
+    }
+    start_ = ReadCycleCounter();
+  }
+  ~ScopedCycles() {
+    stats_->cycles += ReadCycleCounter() - start_;
+    if (perf_group_ != nullptr) {
+      PerfCounterValues end;
+      if (perf_group_->Read(&end)) stats_->perf.Add(end.Since(perf_start_));
+    }
+  }
 
   ScopedCycles(const ScopedCycles&) = delete;
   ScopedCycles& operator=(const ScopedCycles&) = delete;
 
  private:
   PrimitiveStats* stats_;
+  PerfCounterGroup* perf_group_;
+  PerfCounterValues perf_start_;
   uint64_t start_;
 };
 

@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "common/metrics.h"
+#include "common/perf_counters.h"
 #include "common/thread_pool.h"
 
 namespace x100 {
@@ -51,6 +52,7 @@ TraceNode* CloneTree(QueryTrace* dst, const TraceNode* src) {
   n->batches = src->batches;
   n->tuples = src->tuples;
   n->cycles = src->cycles;
+  n->perf = src->perf;
   n->counters = src->counters;
   return n;
 }
@@ -64,6 +66,7 @@ void AccumulateTree(TraceNode* dst, const TraceNode* src) {
   dst->batches += src->batches;
   dst->tuples += src->tuples;
   dst->cycles += src->cycles;
+  dst->perf.Add(src->perf);
   for (const auto& kv : src->counters) dst->AddCounter(kv.first, kv.second);
   X100_CHECK(dst->children.size() == src->children.size());
   for (size_t i = 0; i < dst->children.size(); i++) {
@@ -198,9 +201,14 @@ void ExchangeOp::Open() {
   open_ = true;
   traces_merged_ = false;
 
+  // Traced workers measure hardware counters on their own pool thread; the
+  // per-worker deltas land in the worker trace and are summed at merge.
+  bool want_perf = ctx_->trace != nullptr;
   for (auto& p : pipelines_) {
-    ThreadPool::Shared().Submit(
-        [s = shared_, pipe = p.get()] { s->Produce(pipe); });
+    ThreadPool::Shared().Submit([s = shared_, pipe = p.get(), want_perf] {
+      ScopedPerfThread perf(want_perf);
+      s->Produce(pipe);
+    });
   }
 }
 

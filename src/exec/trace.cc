@@ -62,9 +62,32 @@ void RenderNode(const TraceNode* n, const std::string& prefix, bool last,
                 static_cast<unsigned long long>(n->tuples),
                 n->SelfCyclesPerTuple(), pct);
   *out += line;
-  if (!n->counters.empty()) {
+  PerfCounterValues self_perf = n->SelfPerf();
+  if (!n->counters.empty() || self_perf.any()) {
     std::string extras = is_root ? "" : prefix + (last ? "   " : "│  ");
     extras += "  ·";
+    if (self_perf.HasIpc()) {
+      std::snprintf(line, sizeof(line), " ipc=%.2f", self_perf.Ipc());
+      extras += line;
+    }
+    if (self_perf.Has(PerfEvent::kCacheMisses) && n->tuples > 0) {
+      std::snprintf(line, sizeof(line), " llcmiss/tup=%.3f",
+                    static_cast<double>(
+                        self_perf.Get(PerfEvent::kCacheMisses)) /
+                        static_cast<double>(n->tuples));
+      extras += line;
+    }
+    if (self_perf.Has(PerfEvent::kBranchMisses) &&
+        self_perf.Has(PerfEvent::kBranchInstructions) &&
+        self_perf.Get(PerfEvent::kBranchInstructions) > 0) {
+      std::snprintf(line, sizeof(line), " brmiss=%.2f%%",
+                    100.0 *
+                        static_cast<double>(
+                            self_perf.Get(PerfEvent::kBranchMisses)) /
+                        static_cast<double>(
+                            self_perf.Get(PerfEvent::kBranchInstructions)));
+      extras += line;
+    }
     for (const auto& kv : n->counters) {
       std::snprintf(line, sizeof(line), " %s=%llu", kv.first.c_str(),
                     static_cast<unsigned long long>(kv.second));
@@ -97,6 +120,27 @@ void NodeToJson(const TraceNode* n, JsonWriter* w) {
   w->Key("cycles"); w->Value(n->cycles);
   w->Key("self_cycles"); w->Value(n->SelfCycles());
   w->Key("self_cycles_per_tuple"); w->Value(n->SelfCyclesPerTuple());
+  if (n->perf.any()) {
+    w->Key("hw");
+    w->BeginObject();
+    for (int i = 0; i < kNumPerfEvents; i++) {
+      PerfEvent e = static_cast<PerfEvent>(i);
+      if (!n->perf.Has(e)) continue;
+      w->Key(PerfEventName(e));
+      w->Value(n->perf.Get(e));
+    }
+    PerfCounterValues self = n->SelfPerf();
+    if (self.HasIpc()) {
+      w->Key("self_ipc");
+      w->Value(self.Ipc());
+    }
+    if (self.Has(PerfEvent::kCacheMisses) && n->tuples > 0) {
+      w->Key("self_cache_misses_per_tuple");
+      w->Value(static_cast<double>(self.Get(PerfEvent::kCacheMisses)) /
+               static_cast<double>(n->tuples));
+    }
+    w->EndObject();
+  }
   if (!n->counters.empty()) {
     w->Key("counters");
     w->BeginObject();

@@ -30,6 +30,12 @@ struct TraceNode {
   uint64_t batches = 0;  // Next() calls that returned a batch
   uint64_t tuples = 0;   // sum of returned batches' live (selected) tuples
   uint64_t cycles = 0;   // inclusive, over Open() + Next() + Close()
+  /// Inclusive hardware-counter deltas over the same windows as `cycles`,
+  /// accumulated whenever the executing thread has a perf group installed
+  /// (common/perf_counters.h). Absent (empty mask) in degraded mode; the
+  /// renderers omit the fields instead of showing zeros. Exchange merges
+  /// sum these across workers exactly like cycles.
+  PerfCounterValues perf;
 
   /// Operator-specific counters (e.g. BmScan's prefetch.hits / bm.pool
   /// activity), in first-add order. Exchange sums them name-wise when
@@ -64,6 +70,20 @@ struct TraceNode {
                         static_cast<double>(tuples)
                   : 0.0;
   }
+  /// Hardware counters spent in this node excluding its children — the
+  /// perf analogue of SelfCycles, per-event saturating at 0.
+  PerfCounterValues SelfPerf() const {
+    PerfCounterValues child_sum;
+    for (const TraceNode* ch : children) child_sum.Add(ch->perf);
+    PerfCounterValues self = perf;
+    for (int i = 0; i < kNumPerfEvents; i++) {
+      PerfEvent e = static_cast<PerfEvent>(i);
+      if (!self.Has(e) || !child_sum.Has(e)) continue;
+      uint64_t c = child_sum.Get(e);
+      self.Set(e, self.Get(e) > c ? self.Get(e) - c : 0);
+    }
+    return self;
+  }
 };
 
 /// Owns the TraceNodes of one traced run. A query that materializes
@@ -88,11 +108,48 @@ class QueryTrace {
 
   /// [{"plan","label","detail","next_calls","batches","tuples","cycles",
   ///   "self_cycles","self_cycles_per_tuple","children":[...]}, ...]
+  /// Nodes measured with hardware counters additionally carry an "hw"
+  /// object: inclusive {"cycles","instructions","cache_references",
+  /// "cache_misses","branch_instructions","branch_misses"} plus derived
+  /// {"self_ipc","self_cache_misses_per_tuple"}. The "hw" key is OMITTED
+  /// entirely (never zero-filled) when counters were unavailable.
   std::string ToJson() const;
 
  private:
   std::deque<TraceNode> nodes_;  // stable addresses
   std::vector<TraceNode*> roots_;
+};
+
+/// RAII bracket accounting one Open/Next/Close window into a TraceNode:
+/// rdtsc cycles always, plus hardware-counter deltas when the calling
+/// thread has a perf group installed. Looked up per call, not per operator
+/// — exchange pipelines Open() on the consumer thread but Next() on pool
+/// threads, and each window must read the counters of the thread it ran on.
+class ScopedCounters {
+ public:
+  explicit ScopedCounters(TraceNode* node)
+      : node_(node), perf_group_(CurrentThreadPerfGroup()) {
+    if (perf_group_ != nullptr && !perf_group_->Read(&perf_start_)) {
+      perf_group_ = nullptr;
+    }
+    start_ = ReadCycleCounter();
+  }
+  ~ScopedCounters() {
+    node_->cycles += ReadCycleCounter() - start_;
+    if (perf_group_ != nullptr) {
+      PerfCounterValues end;
+      if (perf_group_->Read(&end)) node_->perf.Add(end.Since(perf_start_));
+    }
+  }
+
+  ScopedCounters(const ScopedCounters&) = delete;
+  ScopedCounters& operator=(const ScopedCounters&) = delete;
+
+ private:
+  TraceNode* node_;
+  PerfCounterGroup* perf_group_;
+  PerfCounterValues perf_start_;
+  uint64_t start_;
 };
 
 /// Decorator recording a wrapped operator's activity into a TraceNode.
@@ -106,16 +163,17 @@ class InstrumentedOperator : public Operator {
 
   void Open() override {
     node_->open_calls++;
-    uint64_t t0 = ReadCycleCounter();
+    ScopedCounters sc(node_);
     inner_->Open();
-    node_->cycles += ReadCycleCounter() - t0;
   }
 
   VectorBatch* Next() override {
     node_->next_calls++;
-    uint64_t t0 = ReadCycleCounter();
-    VectorBatch* batch = inner_->Next();
-    node_->cycles += ReadCycleCounter() - t0;
+    VectorBatch* batch;
+    {
+      ScopedCounters sc(node_);
+      batch = inner_->Next();
+    }
     if (batch != nullptr) {
       node_->batches++;
       node_->tuples += static_cast<uint64_t>(batch->sel_count());
@@ -124,9 +182,8 @@ class InstrumentedOperator : public Operator {
   }
 
   void Close() override {
-    uint64_t t0 = ReadCycleCounter();
+    ScopedCounters sc(node_);
     inner_->Close();
-    node_->cycles += ReadCycleCounter() - t0;
   }
 
   TraceNode* node() const { return node_; }

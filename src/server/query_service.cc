@@ -18,6 +18,11 @@ struct ServerMetrics {
   Histogram* queue_ns;
   Histogram* exec_ns;
   Gauge* running;
+  /// server.hw.<event> totals across sessions — driver-thread hardware
+  /// counters, registered lazily (and atomically: drivers race here) so a
+  /// perf-less process never shows zero-valued hw counters that look like
+  /// measurements.
+  std::atomic<Counter*> hw[kNumPerfEvents];
   static ServerMetrics& Get() {
     static ServerMetrics m = {
         MetricsRegistry::Get().GetCounter("server.submitted"),
@@ -26,8 +31,23 @@ struct ServerMetrics {
         MetricsRegistry::Get().GetCounter("server.cancelled"),
         MetricsRegistry::Get().GetHistogram("server.queue_ns"),
         MetricsRegistry::Get().GetHistogram("server.exec_ns"),
-        MetricsRegistry::Get().GetGauge("server.running")};
+        MetricsRegistry::Get().GetGauge("server.running"),
+        {}};
     return m;
+  }
+  void AddPerf(const PerfCounterValues& d) {
+    for (int i = 0; i < kNumPerfEvents; i++) {
+      PerfEvent e = static_cast<PerfEvent>(i);
+      if (!d.Has(e)) continue;
+      Counter* c = hw[i].load(std::memory_order_acquire);
+      if (c == nullptr) {
+        // Racing drivers resolve to the same registry pointer.
+        c = MetricsRegistry::Get().GetCounter(std::string("server.hw.") +
+                                              PerfEventName(e));
+        hw[i].store(c, std::memory_order_release);
+      }
+      c->Add(d.Get(e));
+    }
   }
 };
 }  // namespace
@@ -167,6 +187,10 @@ void QueryService::RunSession(const std::shared_ptr<QuerySession>& s) {
   QuerySession::State final_state = QuerySession::State::kDone;
   std::string error;
   bool deadline = false;
+  // Per-session hardware counters on the driver thread. Fresh driver thread
+  // per session, so the group is opened here and closed at thread exit.
+  ScopedPerfThread perf_thread;
+  PerfCounterValues perf_start = ReadThreadPerfCounters();
   try {
     result = s->fn_(&ctx);
   } catch (const QueryCancelled& e) {
@@ -180,6 +204,10 @@ void QueryService::RunSession(const std::shared_ptr<QuerySession>& s) {
     final_state = QuerySession::State::kFailed;
     error = "unknown error";
   }
+
+  PerfCounterValues perf_delta =
+      ReadThreadPerfCounters().Since(perf_start);
+  ServerMetrics::Get().AddPerf(perf_delta);
 
   Release(reservation);
   uint64_t exec = NowNanos() - start;
@@ -198,6 +226,7 @@ void QueryService::RunSession(const std::shared_ptr<QuerySession>& s) {
 
   std::lock_guard<std::mutex> lock(s->mu_);
   s->exec_nanos_ = exec;
+  s->perf_ = perf_delta;
   s->result_ = std::move(result);
   s->error_ = std::move(error);
   s->deadline_exceeded_ = deadline;

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/perf_counters.h"
 #include "exec/operator.h"
 #include "exec/trace.h"
 #include "storage/table.h"
@@ -99,6 +100,12 @@ class QuerySession {
   uint64_t queue_nanos() const { return queue_nanos_; }
   uint64_t exec_nanos() const { return exec_nanos_; }
 
+  /// Hardware counters over the session's execution on its driver thread
+  /// (exchange workers excluded — their activity shows in the per-session
+  /// trace, summed at merge). Absent (empty mask) on perf-less machines.
+  /// Valid after Wait().
+  const PerfCounterValues& perf() const { return perf_; }
+
   CancelToken* token() { return &token_; }
 
  private:
@@ -120,6 +127,7 @@ class QuerySession {
   uint64_t submit_nanos_ = 0;
   uint64_t queue_nanos_ = 0;
   uint64_t exec_nanos_ = 0;
+  PerfCounterValues perf_;
 };
 
 class QueryService {

@@ -1,0 +1,183 @@
+// Schema tests for the EXPLAIN ANALYZE trace JSON (exec/trace.h): the
+// documented per-node keys are always present, hardware-counter keys appear
+// only inside an "hw" object when counters were measured, that object is
+// ABSENT — not zero-filled — in degraded mode, and exchange trace-merge sums
+// counter fields (operator counters and perf alike) across workers.
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/perf_counters.h"
+#include "exec/plan.h"
+#include "exec/trace.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace x100 {
+namespace {
+
+class TraceJsonTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DbgenOptions opts;
+    opts.scale_factor = 0.01;
+    db_ = GenerateTpch(opts).release();
+  }
+  static Catalog* db_;
+};
+Catalog* TraceJsonTest::db_ = nullptr;
+
+TEST_F(TraceJsonTest, DocumentedKeysPresent) {
+  QueryTrace trace;
+  ExecContext ctx;
+  ctx.trace = &trace;
+  std::unique_ptr<Table> r = RunX100Query(1, &ctx, *db_);
+  ASSERT_NE(r, nullptr);
+  std::string json = trace.ToJson();
+  for (const char* key :
+       {"\"plan\"", "\"label\"", "\"detail\"", "\"next_calls\"",
+        "\"batches\"", "\"tuples\"", "\"cycles\"", "\"self_cycles\"",
+        "\"self_cycles_per_tuple\"", "\"children\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing:\n"
+                                                 << json;
+  }
+}
+
+TEST_F(TraceJsonTest, DegradedModeOmitsHwObjectButKeepsCycles) {
+  // Pin the degraded contract: without counters the trace is byte-for-byte
+  // the cycle-only trace — no "hw" key anywhere, no zero-filled counters.
+  SetPerfForceDisabledForTest(true);
+  QueryTrace trace;
+  ExecContext ctx;
+  ctx.trace = &trace;
+  ScopedPerfThread perf_thread;  // must be a no-op while forced degraded
+  std::unique_ptr<Table> r = RunX100Query(6, &ctx, *db_);
+  SetPerfForceDisabledForTest(false);
+  ASSERT_NE(r, nullptr);
+  for (const TraceNode* root : trace.roots()) {
+    EXPECT_FALSE(root->perf.any());
+  }
+  std::string json = trace.ToJson();
+  EXPECT_EQ(json.find("\"hw\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"self_ipc\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cycles\""), std::string::npos) << json;
+  std::string text = trace.ToString();
+  EXPECT_EQ(text.find("ipc="), std::string::npos) << text;
+  EXPECT_EQ(text.find("llcmiss/tup="), std::string::npos) << text;
+}
+
+TEST_F(TraceJsonTest, HwObjectPresentWhenCountersMeasured) {
+  if (!PerfCountersSupported()) {
+    GTEST_SKIP() << "perf unavailable; the absent path is pinned above";
+  }
+  QueryTrace trace;
+  ExecContext ctx;
+  ctx.trace = &trace;
+  ScopedPerfThread perf_thread;
+  std::unique_ptr<Table> r = RunX100Query(1, &ctx, *db_);
+  ASSERT_NE(r, nullptr);
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"hw\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"instructions\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"self_ipc\""), std::string::npos) << json;
+}
+
+TEST_F(TraceJsonTest, HandBuiltHwValuesRenderInclusiveAndDerived) {
+  // The JSON contract independent of machine perf support: nodes whose
+  // perf masks are populated render the "hw" object with inclusive values
+  // and the derived self_* ratios (self = inclusive - children, like
+  // cycles).
+  QueryTrace trace;
+  TraceNode* child = trace.NewNode("Scan", "lineitem", {});
+  child->tuples = 100;
+  child->cycles = 1000;
+  child->perf.Set(PerfEvent::kCycles, 1000);
+  child->perf.Set(PerfEvent::kInstructions, 1500);
+  child->perf.Set(PerfEvent::kCacheMisses, 40);
+  TraceNode* root = trace.NewNode("Aggr", "", {child});
+  root->tuples = 10;
+  root->cycles = 3000;
+  root->perf.Set(PerfEvent::kCycles, 3000);
+  root->perf.Set(PerfEvent::kInstructions, 4500);
+  root->perf.Set(PerfEvent::kCacheMisses, 100);
+
+  PerfCounterValues self = root->SelfPerf();
+  EXPECT_EQ(self.Get(PerfEvent::kCycles), 2000u);
+  EXPECT_EQ(self.Get(PerfEvent::kInstructions), 3000u);
+  EXPECT_EQ(self.Get(PerfEvent::kCacheMisses), 60u);
+
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"hw\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"instructions\":4500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_misses\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"self_ipc\":1.5"), std::string::npos) << json;
+  // 60 misses / 10 tuples on the root's self window.
+  EXPECT_NE(json.find("\"self_cache_misses_per_tuple\":6"),
+            std::string::npos)
+      << json;
+}
+
+TEST_F(TraceJsonTest, ExchangeMergeSumsCounterFieldsAcrossWorkers) {
+  // num_threads=2 plans run the worker subtree once per worker; the merged
+  // trace shows ONE subtree whose tuples/counters/perf are worker sums.
+  QueryTrace serial_trace;
+  ExecContext serial_ctx;
+  serial_ctx.trace = &serial_trace;
+  std::unique_ptr<Table> serial = RunX100Query(6, &serial_ctx, *db_);
+
+  QueryTrace trace;
+  ExecContext ctx;
+  ctx.num_threads = 2;
+  ctx.trace = &trace;
+  std::unique_ptr<Table> par = RunX100Query(6, &ctx, *db_);
+  ASSERT_EQ(par->num_rows(), serial->num_rows());
+
+  // Find the exchange node and its merged worker subtree.
+  const TraceNode* exchange = nullptr;
+  for (const TraceNode* root : trace.roots()) {
+    std::vector<const TraceNode*> stack = {root};
+    while (!stack.empty() && exchange == nullptr) {
+      const TraceNode* n = stack.back();
+      stack.pop_back();
+      if (n->label.find("Exchange") != std::string::npos) {
+        exchange = n;
+        break;
+      }
+      for (const TraceNode* c : n->children) stack.push_back(c);
+    }
+  }
+  ASSERT_NE(exchange, nullptr) << trace.ToString();
+  ASSERT_FALSE(exchange->children.empty());
+
+  // The scan leaf under the merged subtree covers the whole table: worker
+  // tuple counts were SUMMED, not taken from one worker.
+  uint64_t serial_scan_tuples = 0, merged_scan_tuples = 0;
+  auto leaf_tuples = [](const TraceNode* n) {
+    while (!n->children.empty()) n = n->children[0];
+    return n->tuples;
+  };
+  serial_scan_tuples = leaf_tuples(serial_trace.roots()[0]);
+  merged_scan_tuples = leaf_tuples(exchange->children[0]);
+  EXPECT_EQ(merged_scan_tuples, serial_scan_tuples)
+      << "merged worker scans must cover the same rows as the serial scan";
+
+  // Perf merge shares the cycle-merge path (TraceNode::perf summed
+  // node-wise); with counters measured the merged subtree carries them,
+  // degraded runs carry none — never zeros.
+  std::vector<const TraceNode*> stack = {exchange};
+  while (!stack.empty()) {
+    const TraceNode* n = stack.back();
+    stack.pop_back();
+    if (!PerfCountersSupported()) {
+      EXPECT_FALSE(n->perf.any()) << n->label;
+    } else if (n->perf.any() && n->perf.Has(PerfEvent::kCycles)) {
+      EXPECT_GT(n->perf.Get(PerfEvent::kCycles), 0u) << n->label;
+    }
+    for (const TraceNode* c : n->children) stack.push_back(c);
+  }
+}
+
+}  // namespace
+}  // namespace x100

@@ -13,7 +13,8 @@ Baseline schema:
         "q1_cold_mb_per_s": {          # series to gate on
           "value": 50.0,               # committed reference value
           "higher_is_better": true,
-          "tolerance": 0.25            # optional; default 0.25 (25%)
+          "tolerance": 0.25,           # optional; default 0.25 (25%)
+          "counter": false             # optional; see below
         }
       }
     }
@@ -23,6 +24,13 @@ value: below value*(1-tol) when higher is better, above value*(1+tol) when
 lower is better. Measured values come from the export's "value" (scalars) or
 "best" (rep series) field. Baseline values are conservative floors/ceilings,
 not exact expectations, so faster results always pass.
+
+Hardware-counter series (IPC, cache misses, ...) are marked "counter": true.
+They are gated like any other series when present, but the engine emits them
+only where perf_event_open works — a counter series that is missing from the
+export, or whose measured value is null, is reported as ABSENT and does NOT
+fail the gate (perf-less CI runners must pass). A baseline whose own "value"
+is null is informational only: the series is listed but never gated.
 """
 
 import json
@@ -30,18 +38,16 @@ import sys
 
 
 def measured(result):
-    if "value" in result:
+    if "value" in result and result["value"] is not None:
         return result["value"]
-    if "best" in result:
+    if "best" in result and result["best"] is not None:
         return result["best"]
     return None
 
 
-def main():
-    if len(sys.argv) != 3:
-        sys.stderr.write(__doc__)
-        return 2
-    bench_path, baseline_path = sys.argv[1], sys.argv[2]
+def run(bench_path, baseline_path):
+    """Gates `bench_path` against `baseline_path`; returns a process exit
+    code (0 ok, 1 regression/malformed)."""
     with open(bench_path) as f:
         bench = json.load(f)
     with open(baseline_path) as f:
@@ -64,16 +70,29 @@ def main():
     for name, spec in sorted(baseline.get("series", {}).items()):
         ref = spec["value"]
         tol = spec.get("tolerance", 0.25)
+        is_counter = spec.get("counter", False)
+        if ref is None:
+            # Informational series: no committed reference to gate against.
+            got = measured(results[name]) if name in results else None
+            print("%-28s %12s %12s %7s  UNGATED"
+                  % (name, "-" if got is None else "%.4g" % got, "-", "-"))
+            continue
         hib = spec["higher_is_better"]
-        if name not in results:
-            failures.append("gated series missing from export: %s" % name)
-            print("%-28s %12s %12g %7.0f%%  MISSING" % (name, "-", ref,
-                                                        100 * tol))
+        if name not in results or measured(results[name]) is None:
+            if is_counter:
+                # Hardware counters are absent (never zero) without perf
+                # access; an absent counter series is not a regression.
+                print("%-28s %12s %12g %7.0f%%  ABSENT (counters "
+                      "unavailable, ok)" % (name, "-", ref, 100 * tol))
+                continue
+            if name not in results:
+                failures.append("gated series missing from export: %s" % name)
+                print("%-28s %12s %12g %7.0f%%  MISSING" % (name, "-", ref,
+                                                            100 * tol))
+            else:
+                failures.append("series %s has no value/best field" % name)
             continue
         got = measured(results[name])
-        if got is None:
-            failures.append("series %s has no value/best field" % name)
-            continue
         bad = got < ref * (1 - tol) if hib else got > ref * (1 + tol)
         status = "FAIL" if bad else "ok"
         arrow = ">=" if hib else "<="
@@ -95,6 +114,13 @@ def main():
     print("\nbench gate ok: %s within tolerance of %s"
           % (bench_path, baseline_path))
     return 0
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    return run(sys.argv[1], sys.argv[2])
 
 
 if __name__ == "__main__":

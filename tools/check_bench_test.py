@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench regression gate (tools/check_bench.py).
+
+Run directly (CI does):  python3 tools/check_bench_test.py
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_bench  # noqa: E402
+
+
+def write_json(directory, name, obj):
+    path = os.path.join(directory, name)
+    with open(path, "w") as f:
+        json.dump(obj, f)
+    return path
+
+
+def export(results):
+    return {"bench": "t", "results": results}
+
+
+def baseline(series, require=None):
+    b = {"bench": "t", "series": series}
+    if require:
+        b["require"] = require
+    return b
+
+
+class CheckBenchTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.dir = self._tmp.name
+        # The printed table is exercised implicitly; silence it.
+        self._stdout = sys.stdout
+        sys.stdout = open(os.devnull, "w")
+
+    def tearDown(self):
+        sys.stdout.close()
+        sys.stdout = self._stdout
+        self._tmp.cleanup()
+
+    def gate(self, results, series, require=None):
+        bench = write_json(self.dir, "bench.json", export(results))
+        base = write_json(self.dir, "base.json", baseline(series, require))
+        return check_bench.run(bench, base)
+
+    def test_within_tolerance_passes(self):
+        rc = self.gate(
+            [{"name": "ms", "value": 11.0}],
+            {"ms": {"value": 10.0, "higher_is_better": False,
+                    "tolerance": 0.25}},
+        )
+        self.assertEqual(rc, 0)
+
+    def test_regression_fails(self):
+        rc = self.gate(
+            [{"name": "ms", "value": 20.0}],
+            {"ms": {"value": 10.0, "higher_is_better": False,
+                    "tolerance": 0.25}},
+        )
+        self.assertEqual(rc, 1)
+
+    def test_higher_is_better_regression_fails(self):
+        rc = self.gate(
+            [{"name": "mbps", "best": 50.0}],
+            {"mbps": {"value": 100.0, "higher_is_better": True}},
+        )
+        self.assertEqual(rc, 1)
+
+    def test_missing_gated_series_fails(self):
+        rc = self.gate(
+            [], {"ms": {"value": 10.0, "higher_is_better": False}})
+        self.assertEqual(rc, 1)
+
+    def test_missing_counter_series_passes(self):
+        # Hardware-counter series are absent on perf-less runners; the gate
+        # must not treat that as a regression.
+        rc = self.gate(
+            [],
+            {"q1_ipc": {"value": 0.5, "higher_is_better": True,
+                        "counter": True}},
+        )
+        self.assertEqual(rc, 0)
+
+    def test_null_counter_value_passes(self):
+        # A counter series exported with a JSON-null value (degraded mode
+        # writes absence, never zero) passes the same way.
+        rc = self.gate(
+            [{"name": "q1_ipc", "value": None}],
+            {"q1_ipc": {"value": 0.5, "higher_is_better": True,
+                        "counter": True}},
+        )
+        self.assertEqual(rc, 0)
+
+    def test_present_counter_series_is_gated(self):
+        # When counters ARE available the series gates like any other.
+        rc = self.gate(
+            [{"name": "q1_ipc", "value": 0.1}],
+            {"q1_ipc": {"value": 0.5, "higher_is_better": True,
+                        "counter": True}},
+        )
+        self.assertEqual(rc, 1)
+
+    def test_null_noncounter_value_fails(self):
+        rc = self.gate(
+            [{"name": "ms", "value": None}],
+            {"ms": {"value": 10.0, "higher_is_better": False}},
+        )
+        self.assertEqual(rc, 1)
+
+    def test_null_baseline_value_is_informational(self):
+        # value: null in the baseline lists the series but never gates it,
+        # present or not.
+        rc = self.gate(
+            [], {"q1_ipc": {"value": None, "higher_is_better": True}})
+        self.assertEqual(rc, 0)
+        rc = self.gate(
+            [{"name": "q1_ipc", "value": 0.01}],
+            {"q1_ipc": {"value": None, "higher_is_better": True}},
+        )
+        self.assertEqual(rc, 0)
+
+    def test_require_missing_fails(self):
+        rc = self.gate([], {}, require=["q1"])
+        self.assertEqual(rc, 1)
+
+    def test_bench_name_mismatch_fails(self):
+        bench = write_json(self.dir, "bench.json",
+                           {"bench": "other", "results": []})
+        base = write_json(self.dir, "base.json", baseline({}))
+        self.assertEqual(check_bench.run(bench, base), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
