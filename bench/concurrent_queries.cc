@@ -5,7 +5,12 @@
 // rotation of the disk-capable mix (Q1/Q3/Q6/Q14), width 1, so concurrency
 // comes purely from sessions.
 //
-// Reported per session count: aggregate throughput (queries/s), per-session
+// Queries are submitted as QueryRequests — the serving layer's one request
+// schema (server/request.h) — against an engine cache seeded with the
+// shared catalog and ColumnBm, with n admission slots standing in for n
+// sessions.
+//
+// Reported per session count: aggregate throughput (queries/s), per-request
 // exec-latency p50/p99, and fairness (p99/p50 — a FIFO admission controller
 // over a fair pool should keep this near 1). The serial baseline runs the
 // identical 16-session workload back to back on one thread; speedup_16 is
@@ -28,6 +33,7 @@
 
 #include "bench/bench_util.h"
 #include "common/metrics.h"
+#include "server/engine_cache.h"
 #include "server/query_service.h"
 #include "storage/columnbm.h"
 #include "tpch/queries.h"
@@ -133,29 +139,38 @@ int main() {
   double qps16 = 0.0;
 
   for (int n : {1, 4, 16}) {
+    // The serving-path request schema: every query of every session goes in
+    // as a QueryRequest (disk engine, compressed) against the service's
+    // engine cache, seeded with the shared catalog + ColumnBm so requests
+    // scan the very tables the serial reference scanned. n concurrent
+    // admission slots stand in for n sessions; the workload (n * rounds
+    // queries of the rotating mix) is identical to the closure-era bench.
     QueryService svc({/*max_concurrent=*/n, /*max_worker_threads=*/0});
-    std::vector<std::shared_ptr<QuerySession>> live;
+    svc.engines()->Seed(sf, db.get(), &bm);
+    std::vector<std::pair<int, std::shared_ptr<QuerySession>>> live;
     uint64_t c0 = NowNanos();
     for (int s = 0; s < n; s++) {
-      live.push_back(svc.Submit(
-          [s, rounds, &db, &bm, &ref, &mismatches](ExecContext* c) {
-            std::unique_ptr<Table> last;
-            for (int r = 0; r < rounds; r++) {
-              int q = kMix[(s + r) % kMixSize];
-              last = RunX100QueryDisk(q, c, *db, &bm, /*compress=*/true);
-              if (!SameTables(*ref[q], *last)) mismatches++;
-            }
-            return last;
-          }));
+      for (int r = 0; r < rounds; r++) {
+        int q = kMix[(s + r) % kMixSize];
+        QueryRequest req;
+        req.query = "q" + std::to_string(q);
+        req.engine = QueryEngine::kDisk;
+        req.scale_factor = sf;
+        req.compress = true;
+        req.label = "q" + std::to_string(q) + "#" + std::to_string(s);
+        live.emplace_back(q, svc.Submit(req));
+      }
     }
     std::vector<double> exec_ms;
-    for (auto& sess : live) {
+    for (auto& [q, sess] : live) {
       if (sess->Wait() != QuerySession::State::kDone) {
         std::fprintf(stderr, "session %llu failed: %s\n",
                      static_cast<unsigned long long>(sess->id()),
                      sess->error().c_str());
         return 1;
       }
+      std::unique_ptr<Table> res = sess->TakeResult();
+      if (res == nullptr || !SameTables(*ref[q], *res)) mismatches++;
       exec_ms.push_back(sess->exec_nanos() / 1e6);
     }
     double wall_s = (NowNanos() - c0) / 1e9;

@@ -1,0 +1,380 @@
+// Serving load generator: the end-to-end check that the network front-end
+// keeps the engine's answers while adding concurrency. N connections (64 by
+// default — the serving floor this repo gates in CI) each keep up to M
+// SUBMITs in flight against one server, optionally pacing submissions at an
+// open-loop arrival rate so queue delay shows up in latency instead of
+// being absorbed by a closed loop.
+//
+// Every result stream is hashed column-wise (FNV-1a over the wire codec's
+// value bytes — chunking-independent, so any batch granularity compares
+// equal) and checked against a locally computed serial reference of the
+// same query at the same SF: dbgen is deterministic, so server and client
+// hold bit-identical data and the comparison is exact, floats included.
+// Any hash mismatch or per-query error is a hard failure (exit 1).
+//
+// By default the bench starts an in-process TcpServer on an ephemeral port
+// (still full TCP through loopback); --port connects to an external server
+// such as examples/x100_server — the CI smoke job's shape.
+//
+// Reported: aggregate qps, submit->DONE latency p50/p99/p999, per-query
+// server-side exec p50, errors, hash_mismatches -> BENCH_serving.json.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/client.h"
+#include "server/engine_cache.h"
+#include "server/query_service.h"
+#include "server/tcp_server.h"
+#include "server/wire.h"
+#include "tpch/queries.h"
+
+using namespace x100;
+using namespace x100::bench;
+
+namespace {
+
+constexpr int kMix[] = {1, 3, 6, 14};
+constexpr int kMixSize = 4;
+constexpr int kVectorSize = 1024;  // result-batch granularity, both sides
+
+/// FNV-1a over a batch's decoded columns. Fixed-width columns contribute
+/// their raw value bytes and strings contribute length+bytes, so hashing
+/// batch-by-batch equals hashing the whole table in one span: the hash is
+/// independent of how the server chunked the stream.
+struct ResultHash {
+  uint64_t h = 1469598103934665603ull;
+  int64_t rows = 0;
+
+  void Mix(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < n; i++) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void Add(const BatchMsg& b) {
+    rows += b.num_rows;
+    for (const BatchMsg::Col& c : b.cols) {
+      Mix(c.fixed.data(), c.fixed.size());
+      for (const std::string& s : c.strs) {
+        uint32_t len = static_cast<uint32_t>(s.size());
+        Mix(&len, sizeof(len));
+        Mix(s.data(), s.size());
+      }
+    }
+  }
+};
+
+/// Hash of the serial in-process answer, via the same wire codec the
+/// server streams through.
+uint64_t ReferenceHash(const Table& t) {
+  ResultHash rh;
+  for (int64_t begin = 0; begin < t.num_rows(); begin += kVectorSize) {
+    int64_t end = std::min<int64_t>(begin + kVectorSize, t.num_rows());
+    std::vector<uint8_t> payload = EncodeBatch(1, t, begin, end);
+    BatchMsg b;
+    std::string err;
+    if (!DecodeBatch(payload, &b, &err)) {
+      std::fprintf(stderr, "serving_load: reference re-decode failed: %s\n",
+                   err.c_str());
+      std::exit(1);
+    }
+    rh.Add(b);
+  }
+  if (t.num_rows() == 0) rh.rows = 0;
+  return rh.h;
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t i = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[i];
+}
+
+struct Shared {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  double sf = 0.01;
+  int queries_per_conn = 8;
+  int inflight = 4;
+  double rate_qps = 0.0;  // total open-loop arrival rate; 0 = closed loop
+  uint64_t ref_hash[23] = {};
+  uint64_t start_ns = 0;
+
+  std::mutex mu;
+  std::vector<double> latency_ms;      // submit -> DONE, per query
+  std::vector<double> exec_ms;         // server-reported exec time
+  std::atomic<int> errors{0};
+  std::atomic<int> hash_mismatches{0};
+  std::atomic<int> connect_failures{0};
+};
+
+/// One connection's whole life: connect, pump `queries_per_conn` SUBMITs
+/// (pipelined up to `inflight`, paced when an arrival rate is set), verify
+/// every stream, disconnect.
+void RunConnection(Shared* sh, int conn_idx, int total_conns) {
+  std::string error;
+  std::unique_ptr<Client> c = Client::Connect(sh->host, sh->port, &error);
+  if (c == nullptr) {
+    std::fprintf(stderr, "conn %d: connect failed: %s\n", conn_idx,
+                 error.c_str());
+    sh->connect_failures++;
+    return;
+  }
+
+  struct Pending {
+    int q = 0;
+    uint64_t submit_ns = 0;
+    ResultHash hash;
+  };
+  std::map<uint64_t, Pending> live;
+  std::vector<double> latency_ms, exec_ms;
+
+  // Open-loop spacing: this connection owns every total_conns-th arrival
+  // of the aggregate schedule, so the fleet approximates `rate_qps`.
+  double interval_ns =
+      sh->rate_qps > 0.0 ? 1e9 * total_conns / sh->rate_qps : 0.0;
+
+  auto drain_one = [&]() -> bool {
+    Client::Event ev;
+    if (!c->Next(&ev, &error)) {
+      std::fprintf(stderr, "conn %d: stream died: %s\n", conn_idx,
+                   error.c_str());
+      sh->errors += static_cast<int>(live.size());
+      live.clear();
+      return false;
+    }
+    switch (ev.kind) {
+      case Client::Event::Kind::kBatch: {
+        auto it = live.find(ev.batch.id);
+        if (it != live.end()) it->second.hash.Add(ev.batch);
+        break;
+      }
+      case Client::Event::Kind::kDone: {
+        auto it = live.find(ev.done.id);
+        if (it == live.end()) break;
+        if (ev.done.outcome.status != QueryStatus::kDone) {
+          std::fprintf(stderr, "conn %d: q%d failed: %s\n", conn_idx,
+                       it->second.q, ev.done.outcome.error.c_str());
+          sh->errors++;
+        } else {
+          if (it->second.hash.h != sh->ref_hash[it->second.q]) {
+            std::fprintf(stderr,
+                         "conn %d: q%d result hash mismatch (%d rows)\n",
+                         conn_idx, it->second.q,
+                         static_cast<int>(it->second.hash.rows));
+            sh->hash_mismatches++;
+          }
+          latency_ms.push_back((NowNanos() - it->second.submit_ns) / 1e6);
+          exec_ms.push_back(ev.done.outcome.exec_nanos / 1e6);
+        }
+        live.erase(it);
+        break;
+      }
+      case Client::Event::Kind::kError:
+        std::fprintf(stderr, "conn %d: server error (id %llu): %s\n",
+                     conn_idx,
+                     static_cast<unsigned long long>(ev.error.id),
+                     ev.error.message.c_str());
+        sh->errors++;
+        live.erase(ev.error.id);
+        break;
+      case Client::Event::Kind::kMetrics:
+        break;
+    }
+    return true;
+  };
+
+  for (int k = 0; k < sh->queries_per_conn; k++) {
+    if (interval_ns > 0.0) {
+      // Arrival k of this connection is globally arrival k*conns+idx.
+      uint64_t due = sh->start_ns +
+                     static_cast<uint64_t>(
+                         (k * static_cast<double>(total_conns) + conn_idx) /
+                         static_cast<double>(total_conns) * interval_ns);
+      while (NowNanos() < due) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    while (live.size() >= static_cast<size_t>(sh->inflight)) {
+      if (!drain_one()) return;
+    }
+    int q = kMix[(conn_idx + k) % kMixSize];
+    QueryRequest req;
+    req.query = "q" + std::to_string(q);
+    req.scale_factor = sh->sf;
+    req.num_threads = 1;  // bit-identity needs serial summation order
+    req.vector_size = kVectorSize;
+    req.label = "load:q" + std::to_string(q) + "#" + std::to_string(conn_idx);
+    uint64_t id = static_cast<uint64_t>(k) + 1;
+    Pending p;
+    p.q = q;
+    p.submit_ns = NowNanos();
+    if (!c->Submit(id, req, &error)) {
+      std::fprintf(stderr, "conn %d: submit failed: %s\n", conn_idx,
+                   error.c_str());
+      sh->errors++;
+      return;
+    }
+    live.emplace(id, std::move(p));
+  }
+  while (!live.empty()) {
+    if (!drain_one()) return;
+  }
+
+  std::lock_guard<std::mutex> lock(sh->mu);
+  sh->latency_ms.insert(sh->latency_ms.end(), latency_ms.begin(),
+                        latency_ms.end());
+  sh->exec_ms.insert(sh->exec_ms.end(), exec_ms.begin(), exec_ms.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shared sh;
+  sh.sf = ScaleFactor(0.01);
+  int conns = 64;
+  int external_port = 0;
+  for (int i = 1; i < argc; i++) {
+    char* end = nullptr;
+    auto next_long = [&](long lo, long hi) {
+      long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < lo || v > hi) {
+        std::fprintf(stderr, "serving_load: bad value for %s\n", argv[i - 1]);
+        std::exit(2);
+      }
+      return v;
+    };
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      external_port = static_cast<int>(next_long(1, 65535));
+    } else if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      sh.host = argv[++i];
+    } else if (std::strcmp(argv[i], "--conns") == 0 && i + 1 < argc) {
+      conns = static_cast<int>(next_long(1, 4096));
+    } else if (std::strcmp(argv[i], "--inflight") == 0 && i + 1 < argc) {
+      sh.inflight = static_cast<int>(next_long(1, 1024));
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      sh.queries_per_conn = static_cast<int>(next_long(1, 1 << 20));
+    } else if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
+      sh.rate_qps = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || sh.rate_qps < 0.0) {
+        std::fprintf(stderr, "serving_load: bad value for --rate\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port N [--host H]] [--conns N] "
+                   "[--inflight M] [--queries K] [--rate QPS]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // The serial reference: run the mix once in-process and hash through the
+  // same codec the server streams with.
+  std::unique_ptr<Catalog> db = MakeTpch(sh.sf);
+  for (int q : kMix) {
+    ExecContext ctx;
+    ctx.vector_size = kVectorSize;
+    std::unique_ptr<Table> ref = RunX100Query(q, &ctx, *db);
+    sh.ref_hash[q] = ReferenceHash(*ref);
+  }
+
+  // In-process server by default (still real TCP over loopback); --port
+  // targets an external server, e.g. examples/x100_server in CI.
+  std::unique_ptr<QueryService> svc;
+  std::unique_ptr<TcpServer> server;
+  if (external_port > 0) {
+    sh.port = external_port;
+  } else {
+    svc = std::make_unique<QueryService>(
+        QueryService::Options{/*max_concurrent=*/8,
+                              /*max_worker_threads=*/0});
+    svc->engines()->Seed(sh.sf, db.get());
+    server = std::make_unique<TcpServer>(
+        svc.get(), TcpServer::Options{/*port=*/0,
+                                      /*max_connections=*/conns + 8,
+                                      /*outbox_bytes=*/0});
+    std::string error;
+    if (!server->Start(&error)) {
+      std::fprintf(stderr, "serving_load: server start failed: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    sh.port = server->port();
+  }
+
+  int total = conns * sh.queries_per_conn;
+  std::printf("Serving load: %d conns x %d queries (<=%d in flight), "
+              "SF=%.4g, mix Q1/Q3/Q6/Q14, %s:%d%s\n",
+              conns, sh.queries_per_conn, sh.inflight, sh.sf,
+              sh.host.c_str(), sh.port,
+              external_port > 0 ? " (external)" : " (in-process)");
+  if (sh.rate_qps > 0.0) {
+    std::printf("open-loop arrival rate: %.1f q/s aggregate\n", sh.rate_qps);
+  }
+
+  sh.start_ns = NowNanos();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(conns));
+  for (int i = 0; i < conns; i++) {
+    threads.emplace_back(RunConnection, &sh, i, conns);
+  }
+  for (std::thread& t : threads) t.join();
+  double wall_s = (NowNanos() - sh.start_ns) / 1e9;
+
+  double qps = static_cast<double>(sh.latency_ms.size()) / wall_s;
+  double p50 = Percentile(sh.latency_ms, 0.50);
+  double p99 = Percentile(sh.latency_ms, 0.99);
+  double p999 = Percentile(sh.latency_ms, 0.999);
+  int errors = sh.errors.load() + sh.connect_failures.load();
+  int mismatches = sh.hash_mismatches.load();
+
+  std::printf("\n%d/%d queries ok in %.3f s: %.1f q/s\n",
+              static_cast<int>(sh.latency_ms.size()), total, wall_s, qps);
+  std::printf("submit->done latency: p50 %.2f ms, p99 %.2f ms, "
+              "p999 %.2f ms (server exec p50 %.2f ms)\n",
+              p50, p99, p999, Percentile(sh.exec_ms, 0.50));
+  std::printf("errors: %d, hash mismatches: %d\n", errors, mismatches);
+
+  BenchExport ex("serving");
+  ex.AddScalar("scale_factor", sh.sf);
+  ex.AddScalar("connections", conns);
+  ex.AddScalar("inflight_per_conn", sh.inflight);
+  ex.AddScalar("queries_per_conn", sh.queries_per_conn);
+  ex.AddScalar("rate_qps_target", sh.rate_qps, "q/s");
+  ex.AddScalar("qps", qps, "q/s");
+  ex.AddScalar("latency_p50_ms", p50, "ms");
+  ex.AddScalar("latency_p99_ms", p99, "ms");
+  ex.AddScalar("latency_p999_ms", p999, "ms");
+  ex.AddScalar("exec_p50_ms", Percentile(sh.exec_ms, 0.50), "ms");
+  ex.AddScalar("errors", errors);
+  ex.AddScalar("hash_mismatches", mismatches);
+  ex.Write();
+
+  if (server != nullptr) server->Stop();
+  if (svc != nullptr) svc->Drain();
+
+  if (errors != 0 || mismatches != 0 ||
+      static_cast<int>(sh.latency_ms.size()) != total) {
+    std::fprintf(stderr, "serving_load: FAILED (%d errors, %d mismatches, "
+                         "%d/%d completed)\n",
+                 errors, mismatches,
+                 static_cast<int>(sh.latency_ms.size()), total);
+    return 1;
+  }
+  return 0;
+}

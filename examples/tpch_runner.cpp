@@ -29,6 +29,7 @@
 #include "common/profiling.h"
 #include "common/thread_pool.h"
 #include "exec/trace.h"
+#include "server/engine_cache.h"
 #include "server/query_service.h"
 #include "storage/print.h"
 #include "tpch/dbgen.h"
@@ -124,20 +125,23 @@ int main(int argc, char** argv) {
 
     if (sessions > 1) {
       // The serving path: N concurrent sessions over the one shared catalog,
-      // admission-controlled, each with its own cancellation token. The
-      // serial run above is the latency reference.
+      // admission-controlled, each with its own cancellation token. Queries
+      // go in as QueryRequests — the same schema a network client sends —
+      // against the service's engine cache, seeded with the already
+      // generated catalog. The serial run above is the latency reference.
       long long serial_rows = static_cast<long long>(r->num_rows());
       QueryService svc({/*max_concurrent=*/sessions, /*max_worker_threads=*/0});
+      svc.engines()->Seed(sf, db.get());
       std::vector<std::shared_ptr<QuerySession>> live;
       uint64_t c0 = NowNanos();
       for (int i = 0; i < sessions; i++) {
-        QueryOptions qo;
-        qo.label = "q" + std::to_string(q) + "#" + std::to_string(i);
-        qo.num_threads = EnvParallelism();
-        qo.collect_trace = explain;
-        live.push_back(svc.Submit(
-            [q, &db](ExecContext* c) { return RunX100Query(q, c, *db); },
-            qo));
+        QueryRequest req;
+        req.query = "q" + std::to_string(q);
+        req.scale_factor = sf;
+        req.num_threads = EnvParallelism();
+        req.collect_trace = explain;
+        req.label = "q" + std::to_string(q) + "#" + std::to_string(i);
+        live.push_back(svc.Submit(req));
       }
       int mismatches = 0;
       for (auto& s : live) {

@@ -1,0 +1,117 @@
+// x100_server: the network front-end as a standalone binary.
+//
+//   $ ./build/examples/x100_server                      # X100_PORT or 4100
+//   $ ./build/examples/x100_server --port 0 --port-file /tmp/port.txt
+//   $ ./build/examples/x100_server --preload 0.01 --max-concurrent 8
+//
+// Serves the wire protocol (src/server/wire.h) until SIGINT/SIGTERM.
+// --port-file writes the actually-bound port (after --port 0 picked an
+// ephemeral one) so harnesses can connect without racing the log output.
+// --preload SF dbgens an engine up front instead of on the first request.
+// Connection limits and outbox budget come from X100_MAX_CONNS and
+// X100_OUTBOX_BYTES (common/config.h).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/config.h"
+#include "server/engine_cache.h"
+#include "server/query_service.h"
+#include "server/tcp_server.h"
+
+using namespace x100;
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = -1;  // env default
+  std::string port_file;
+  double preload_sf = 0.0;
+  int max_concurrent = 8;
+  auto usage = [&](const char* why) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], why);
+    std::fprintf(stderr,
+                 "usage: %s [--port N] [--port-file PATH] [--preload SF] "
+                 "[--max-concurrent N]\n",
+                 argv[0]);
+    return 2;
+  };
+  for (int i = 1; i < argc; i++) {
+    char* end = nullptr;
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      long p = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || p < 0 || p > 65535) {
+        return usage("--port must be 0..65535");
+      }
+      port = static_cast<int>(p);
+    } else if (std::strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) {
+      port_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--preload") == 0 && i + 1 < argc) {
+      preload_sf = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || !(preload_sf > 0.0)) {
+        return usage("--preload must be a positive scale factor");
+      }
+    } else if (std::strcmp(argv[i], "--max-concurrent") == 0 &&
+               i + 1 < argc) {
+      long n = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 1 || n > 256) {
+        return usage("--max-concurrent must be 1..256");
+      }
+      max_concurrent = static_cast<int>(n);
+    } else {
+      return usage("unknown argument");
+    }
+  }
+
+  QueryService svc(
+      {/*max_concurrent=*/max_concurrent, /*max_worker_threads=*/0});
+  if (preload_sf > 0.0) {
+    std::printf("preloading TPC-H SF=%.4g ...\n", preload_sf);
+    svc.engines()->Get(preload_sf, /*want_disk=*/false);
+  }
+
+  TcpServer server(&svc, {port, /*max_connections=*/-1, /*outbox_bytes=*/0});
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "fatal: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("x100_server listening on port %d (max %d connections, "
+              "%zu-byte outboxes)\n",
+              server.port(), server.max_connections(), server.outbox_bytes());
+  std::fflush(stdout);
+
+  if (!port_file.empty()) {
+    // Write then rename: a poller never reads a half-written file.
+    std::string tmp = port_file + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "fatal: cannot write %s\n", tmp.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%d\n", server.port());
+    std::fclose(f);
+    if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+      std::fprintf(stderr, "fatal: cannot rename %s\n", tmp.c_str());
+      return 1;
+    }
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_stop == 0) {
+    usleep(50 * 1000);
+  }
+  std::printf("shutting down\n");
+  server.Stop();
+  svc.Drain();
+  return 0;
+}

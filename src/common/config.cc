@@ -89,4 +89,21 @@ std::string EnvString(const char* name, const std::string& def) {
   return env == nullptr ? def : std::string(env);
 }
 
+int EnvServePort() {
+  return static_cast<int>(
+      EnvIntInRange("X100_PORT", kDefaultServePort, 0, 65535));
+}
+
+int EnvMaxConnections() {
+  return static_cast<int>(
+      EnvIntInRange("X100_MAX_CONNS", kDefaultMaxConnections, 1, 65536));
+}
+
+size_t EnvOutboxBytes() {
+  // A sub-frame outbox could never buffer one result batch; floor at 64k.
+  int64_t v = EnvByteSize("X100_OUTBOX_BYTES",
+                          static_cast<int64_t>(kDefaultOutboxBytes));
+  return static_cast<size_t>(v < (64 << 10) ? (64 << 10) : v);
+}
+
 }  // namespace x100

@@ -51,6 +51,28 @@ double EnvPositiveDouble(const char* name, double def);
 /// keeps every X100_* knob on one documented path.
 std::string EnvString(const char* name, const std::string& def);
 
+// -- serving knobs (src/server) --
+//
+// Read once at server construction; the same strict-parse/exit-2 contract
+// as every other X100_* knob, so a typo'd port or outbox budget refuses to
+// serve instead of silently listening somewhere else.
+
+/// TCP port the standalone server binds (env X100_PORT, 0..65535; 0 asks
+/// the kernel for an ephemeral port, reported by TcpServer::port()).
+inline constexpr int kDefaultServePort = 4100;
+int EnvServePort();
+
+/// Concurrent client connections accepted before new ones are turned away
+/// with a SERVER-FULL error frame (env X100_MAX_CONNS, 1..65536).
+inline constexpr int kDefaultMaxConnections = 256;
+int EnvMaxConnections();
+
+/// Per-connection outbox budget: encoded-but-unsent response bytes a
+/// connection may buffer before result streaming blocks the query's driver
+/// thread — the slow-consumer backpressure bound (env X100_OUTBOX_BYTES).
+inline constexpr size_t kDefaultOutboxBytes = size_t{4} << 20;
+size_t EnvOutboxBytes();
+
 }  // namespace x100
 
 #endif  // X100_COMMON_CONFIG_H_

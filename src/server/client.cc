@@ -1,0 +1,175 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace x100 {
+
+std::unique_ptr<Client> Client::Connect(const std::string& host, int port,
+                                        std::string* error) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return nullptr;
+  }
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const char* ip = host == "localhost" ? "127.0.0.1" : host.c_str();
+  if (inet_pton(AF_INET, ip, &addr.sin_addr) != 1) {
+    *error = "bad IPv4 address '" + host + "'";
+    close(fd);
+    return nullptr;
+  }
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    *error = "connect " + host + ":" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    close(fd);
+    return nullptr;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  auto c = std::unique_ptr<Client>(new Client());
+  c->fd_ = fd;
+  if (!c->SendFrame(FrameType::kHello, EncodeHello(HelloMsg{}), error)) {
+    return nullptr;
+  }
+  Frame f;
+  if (!c->ReadFrame(&f, error)) return nullptr;
+  if (f.type == FrameType::kError) {
+    ErrorMsg e;
+    std::string ignored;
+    *error = DecodeError(f.payload, &e, &ignored)
+                 ? "server refused: " + e.message
+                 : "server refused connection";
+    return nullptr;
+  }
+  HelloMsg hello;
+  if (f.type != FrameType::kHello || !DecodeHello(f.payload, &hello, error)) {
+    if (error->empty()) *error = "handshake: expected HELLO";
+    return nullptr;
+  }
+  if (hello.version != kWireVersion) {
+    *error = "server speaks protocol version " +
+             std::to_string(hello.version) + ", client speaks " +
+             std::to_string(kWireVersion);
+    return nullptr;
+  }
+  return c;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+void Client::Abort() {
+  if (fd_ >= 0) {
+    // RST rather than FIN where possible: the server must cope with the
+    // rudest possible disappearance.
+    struct linger lg = {1, 0};
+    setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::Submit(uint64_t id, const QueryRequest& req,
+                    std::string* error) {
+  SubmitMsg m;
+  m.id = id;
+  m.req = req;
+  return SendFrame(FrameType::kSubmit, EncodeSubmit(m), error);
+}
+
+bool Client::Cancel(uint64_t id, std::string* error) {
+  return SendFrame(FrameType::kCancel, EncodeCancel(CancelMsg{id}), error);
+}
+
+bool Client::RequestMetrics(std::string* error) {
+  return SendFrame(FrameType::kMetrics, EncodeMetrics(MetricsMsg{}), error);
+}
+
+bool Client::Next(Event* ev, std::string* error) {
+  Frame f;
+  if (!ReadFrame(&f, error)) return false;
+  switch (f.type) {
+    case FrameType::kBatch:
+      ev->kind = Event::Kind::kBatch;
+      return DecodeBatch(f.payload, &ev->batch, error);
+    case FrameType::kDone:
+      ev->kind = Event::Kind::kDone;
+      return DecodeDone(f.payload, &ev->done, error);
+    case FrameType::kError:
+      ev->kind = Event::Kind::kError;
+      return DecodeError(f.payload, &ev->error, error);
+    case FrameType::kMetrics:
+      ev->kind = Event::Kind::kMetrics;
+      return DecodeMetrics(f.payload, &ev->metrics, error);
+    default:
+      *error = "unexpected frame type " +
+               std::to_string(static_cast<int>(f.type));
+      return false;
+  }
+}
+
+bool Client::SendFrame(FrameType type, const std::vector<uint8_t>& payload,
+                       std::string* error) {
+  if (fd_ < 0) {
+    *error = "connection closed";
+    return false;
+  }
+  std::vector<uint8_t> out;
+  AppendFrame(&out, type, payload);
+  size_t sent = 0;
+  while (sent < out.size()) {
+    ssize_t n = send(fd_, out.data() + sent, out.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool Client::ReadFrame(Frame* f, std::string* error) {
+  for (;;) {
+    size_t consumed = 0;
+    DecodeStatus st =
+        DecodeFrame(inbuf_.data(), inbuf_.size(), f, &consumed, error);
+    if (st == DecodeStatus::kFrame) {
+      inbuf_.erase(inbuf_.begin(),
+                   inbuf_.begin() + static_cast<ptrdiff_t>(consumed));
+      return true;
+    }
+    if (st == DecodeStatus::kBad) return false;
+    if (fd_ < 0) {
+      *error = "connection closed";
+      return false;
+    }
+    char buf[64 * 1024];
+    ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n == 0) {
+      *error = "server closed the connection";
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("read: ") + std::strerror(errno);
+      return false;
+    }
+    inbuf_.insert(inbuf_.end(), buf, buf + n);
+  }
+}
+
+}  // namespace x100

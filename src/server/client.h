@@ -1,0 +1,67 @@
+#ifndef X100_SERVER_CLIENT_H_
+#define X100_SERVER_CLIENT_H_
+
+// Blocking client for the X100 wire protocol: connect + handshake, pipeline
+// SUBMITs, then pull typed events off the stream. One Client is one
+// connection and is NOT thread-safe — the load generator runs one per
+// connection thread, which is exactly the open-loop shape it wants.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/request.h"
+#include "server/wire.h"
+
+namespace x100 {
+
+class Client {
+ public:
+  /// One server->client message, already decoded.
+  struct Event {
+    enum class Kind { kBatch, kDone, kError, kMetrics };
+    Kind kind = Kind::kError;
+    BatchMsg batch;
+    DoneMsg done;
+    ErrorMsg error;
+    MetricsMsg metrics;
+  };
+
+  /// Connects to host:port and completes the HELLO handshake. Null +
+  /// *error on refusal, version mismatch, or a non-HELLO first frame.
+  static std::unique_ptr<Client> Connect(const std::string& host, int port,
+                                         std::string* error);
+
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Any number may be in flight; the server streams each id's BATCHes
+  /// then its DONE. `id` must be nonzero and unused while in flight.
+  bool Submit(uint64_t id, const QueryRequest& req, std::string* error);
+  bool Cancel(uint64_t id, std::string* error);
+  bool RequestMetrics(std::string* error);
+
+  /// Blocks for the next server message. False + *error on EOF, socket
+  /// error, or an undecodable frame.
+  bool Next(Event* ev, std::string* error);
+
+  /// Slams the connection shut with no goodbye — the
+  /// kill-connection-mid-query regression path.
+  void Abort();
+
+ private:
+  Client() = default;
+  bool SendFrame(FrameType type, const std::vector<uint8_t>& payload,
+                 std::string* error);
+  bool ReadFrame(Frame* f, std::string* error);
+
+  int fd_ = -1;
+  std::vector<uint8_t> inbuf_;
+};
+
+}  // namespace x100
+
+#endif  // X100_SERVER_CLIENT_H_

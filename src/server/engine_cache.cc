@@ -1,0 +1,51 @@
+#include "server/engine_cache.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+#include "tpch/dbgen.h"
+
+namespace x100 {
+
+EngineCache::~EngineCache() {
+  for (auto& [sf, e] : entries_) {
+    if (!e.scratch_dir.empty()) {
+      e.owned_bm.reset();  // close chunk files before removing them
+      std::error_code ec;
+      std::filesystem::remove_all(e.scratch_dir, ec);
+    }
+  }
+}
+
+void EngineCache::Seed(double sf, const Catalog* db, ColumnBm* bm) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[sf];
+  if (e.db != nullptr) return;
+  e.db = db;
+  e.bm = bm;
+}
+
+EngineCache::Engine EngineCache::Get(double sf, bool want_disk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[sf];
+  if (e.db == nullptr) {
+    DbgenOptions opts;
+    opts.scale_factor = sf;
+    e.owned_db = GenerateTpch(opts);
+    e.db = e.owned_db.get();
+  }
+  if (want_disk && e.bm == nullptr) {
+    char tmpl[] = "/tmp/x100_engine_XXXXXX";
+    if (mkdtemp(tmpl) == nullptr) {
+      throw std::runtime_error("engine cache: mkdtemp failed");
+    }
+    e.scratch_dir = tmpl;
+    e.owned_bm = std::make_unique<ColumnBm>(
+        ColumnBm::Options{.disk_dir = e.scratch_dir});
+    e.bm = e.owned_bm.get();
+  }
+  return Engine{e.db, e.bm};
+}
+
+}  // namespace x100

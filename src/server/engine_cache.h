@@ -1,0 +1,68 @@
+#ifndef X100_SERVER_ENGINE_CACHE_H_
+#define X100_SERVER_ENGINE_CACHE_H_
+
+// Engine state behind the request API: one (catalog, optional disk
+// ColumnBm) pair per scale factor, built lazily from the deterministic
+// dbgen on first use or seeded by a caller that already generated the
+// data (tpch_runner, benches, tests). The cache is what lets a
+// QueryRequest carry nothing but an SF and still resolve to real tables
+// on any server.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "storage/catalog.h"
+#include "storage/columnbm.h"
+
+namespace x100 {
+
+class EngineCache {
+ public:
+  /// One scale factor's engine state. `db` is always set; `bm` is set once
+  /// any disk request at this SF has been served (or the seeder passed
+  /// one). Pointers stay valid for the cache's lifetime.
+  struct Engine {
+    const Catalog* db = nullptr;
+    ColumnBm* bm = nullptr;
+  };
+
+  EngineCache() = default;
+  /// Removes the scratch directories of lazily-created disk stores.
+  ~EngineCache();
+
+  EngineCache(const EngineCache&) = delete;
+  EngineCache& operator=(const EngineCache&) = delete;
+
+  /// Registers a caller-owned engine for `sf` instead of lazy dbgen — the
+  /// runner and benches already hold a generated catalog, and tests want
+  /// requests served from the very tables their serial references scanned.
+  /// `db` (and `bm` when given) must outlive the cache. No-op when `sf`
+  /// is already present.
+  void Seed(double sf, const Catalog* db, ColumnBm* bm = nullptr);
+
+  /// Engine state for `sf`, dbgen-generating the catalog on first use; with
+  /// `want_disk`, also creates a disk-backed ColumnBm under a fresh scratch
+  /// directory. Blocks concurrent callers while generating — the first
+  /// query at a new SF pays generation inside its execution window, by
+  /// design (an admission slot is exactly the budget such work should
+  /// consume). Throws std::runtime_error when a scratch dir cannot be made.
+  Engine Get(double sf, bool want_disk);
+
+ private:
+  struct Entry {
+    std::unique_ptr<Catalog> owned_db;
+    const Catalog* db = nullptr;
+    std::unique_ptr<ColumnBm> owned_bm;
+    ColumnBm* bm = nullptr;
+    std::string scratch_dir;  // non-empty only for owned disk stores
+  };
+
+  std::mutex mu_;
+  std::map<double, Entry> entries_;
+};
+
+}  // namespace x100
+
+#endif  // X100_SERVER_ENGINE_CACHE_H_

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 
 #include "common/metrics.h"
 #include "common/profiling.h"
 #include "common/thread_pool.h"
+#include "exec/algebra_parser.h"
+#include "exec/materialize.h"
+#include "server/engine_cache.h"
+#include "tpch/queries.h"
 
 namespace x100 {
 
@@ -52,6 +57,51 @@ struct ServerMetrics {
 };
 }  // namespace
 
+/// Resolves a (pre-validated) request into its materialized result: a
+/// hand-translated TPC-H plan on the RAM or disk engine, or parsed algebra
+/// text. Runs on the session's driver thread; throws to report failure.
+static std::unique_ptr<Table> ExecuteRequest(const QueryRequest& req,
+                                             EngineCache* engines,
+                                             ExecContext* ctx) {
+  int q = req.TpchQueryNumber();
+  EngineCache::Engine eng =
+      engines->Get(req.scale_factor, req.engine == QueryEngine::kDisk);
+  if (q > 0) {
+    if (req.engine == QueryEngine::kDisk) {
+      return RunX100QueryDisk(q, ctx, *eng.db, eng.bm, req.compress);
+    }
+    return RunX100Query(q, ctx, *eng.db);
+  }
+  AlgebraParser parser(ctx, *eng.db);
+  std::string error;
+  std::unique_ptr<Operator> plan = parser.Parse(req.query, &error);
+  if (plan == nullptr) {
+    throw std::invalid_argument("algebra parse error: " + error);
+  }
+  return RunPlan(std::move(plan), req.label.empty() ? "result" : req.label);
+}
+
+/// The session's terminal record as a sink sees it.
+static QueryOutcome OutcomeOf(QuerySession::State state,
+                              const std::string& error, bool deadline,
+                              int64_t rows, uint64_t queue_nanos,
+                              uint64_t exec_nanos) {
+  QueryOutcome o;
+  switch (state) {
+    case QuerySession::State::kDone: o.status = QueryStatus::kDone; break;
+    case QuerySession::State::kCancelled:
+      o.status = QueryStatus::kCancelled;
+      break;
+    default: o.status = QueryStatus::kFailed; break;
+  }
+  o.deadline_exceeded = deadline;
+  o.error = error;
+  o.rows = rows;
+  o.queue_nanos = queue_nanos;
+  o.exec_nanos = exec_nanos;
+  return o;
+}
+
 QuerySession::QuerySession(uint64_t id, QueryFn fn, QueryOptions opts)
     : id_(id), fn_(std::move(fn)), opts_(std::move(opts)) {}
 
@@ -80,7 +130,8 @@ const QueryTrace* QuerySession::trace() const {
 
 QueryService::QueryService() : QueryService(Options{}) {}
 
-QueryService::QueryService(Options opts) : opts_(opts) {
+QueryService::QueryService(Options opts)
+    : opts_(opts), engines_(std::make_unique<EngineCache>()) {
   if (opts_.max_concurrent < 1) opts_.max_concurrent = 1;
   worker_budget_ = opts_.max_worker_threads > 0
                        ? opts_.max_worker_threads
@@ -95,12 +146,36 @@ QueryService::~QueryService() {
   Drain();
 }
 
+std::shared_ptr<QuerySession> QueryService::Submit(
+    const QueryRequest& req, std::shared_ptr<ResultSink> sink) {
+  QueryOptions qo;
+  qo.label = req.label.empty() ? req.query : req.label;
+  qo.num_threads = req.num_threads;
+  qo.vector_size = req.vector_size;
+  qo.timeout_ms = req.timeout_ms;
+  qo.collect_trace = req.collect_trace;
+  EngineCache* engines = engines_.get();
+  QueryFn fn = [req, engines](ExecContext* ctx) {
+    std::string why = req.Validate();
+    if (!why.empty()) throw std::invalid_argument("invalid request: " + why);
+    return ExecuteRequest(req, engines, ctx);
+  };
+  return SubmitInternal(std::move(fn), std::move(qo), std::move(sink));
+}
+
 std::shared_ptr<QuerySession> QueryService::Submit(QueryFn fn,
                                                    QueryOptions opts) {
+  return SubmitInternal(std::move(fn), std::move(opts), nullptr);
+}
+
+std::shared_ptr<QuerySession> QueryService::SubmitInternal(
+    QueryFn fn, QueryOptions opts, std::shared_ptr<ResultSink> sink) {
   ServerMetrics::Get().submitted->Inc();
   std::lock_guard<std::mutex> lock(mu_);
   auto s = std::shared_ptr<QuerySession>(
       new QuerySession(next_id_++, std::move(fn), std::move(opts)));
+  s->sink_ = std::move(sink);
+  if (s->sink_ != nullptr) s->sink_->OnAttach(&s->token_);
   s->submit_nanos_ = NowNanos();
   if (s->opts_.timeout_ms > 0) {
     // The deadline covers queue time too: an overloaded server times a
@@ -148,6 +223,36 @@ void QueryService::Release(int reservation) {
   admit_cv_.notify_all();
 }
 
+void QueryService::StreamResult(const std::shared_ptr<QuerySession>& s,
+                                std::unique_ptr<Table>* result,
+                                QuerySession::State* final_state,
+                                std::string* error, bool* deadline) {
+  if (s->sink_ == nullptr) return;
+  if (*final_state != QuerySession::State::kDone || *result == nullptr) {
+    return;
+  }
+  const Table& t = **result;
+  int64_t rows = t.num_rows();
+  int64_t step = std::max(1, s->opts_.vector_size);
+  for (int64_t b = 0; b < rows; b += step) {
+    if (s->token_.cancelled() || s->token_.expired()) {
+      *final_state = QuerySession::State::kCancelled;
+      *deadline = !s->token_.cancelled() && s->token_.expired();
+      *error = *deadline ? "query deadline exceeded while streaming"
+                         : "query cancelled while streaming";
+      break;
+    }
+    if (!s->sink_->OnBatch(t, b, std::min(b + step, rows))) {
+      *final_state = QuerySession::State::kCancelled;
+      *error = "result stream abandoned by consumer";
+      break;
+    }
+  }
+  // The sink consumed the result: a streamed session retains no table, so
+  // TakeResult() returns null and the server holds no per-result memory.
+  result->reset();
+}
+
 void QueryService::RunSession(const std::shared_ptr<QuerySession>& s) {
   // A query wider than the whole budget is clamped, not rejected: it runs
   // with every worker the service can ever grant.
@@ -155,16 +260,23 @@ void QueryService::RunSession(const std::shared_ptr<QuerySession>& s) {
   int reservation = width > 1 ? width : 0;
 
   if (!Admit(s, reservation)) {
-    std::lock_guard<std::mutex> lock(s->mu_);
-    s->queue_nanos_ = NowNanos() - s->submit_nanos_;
-    s->state_ = QuerySession::State::kCancelled;
-    s->deadline_exceeded_ = !s->token_.cancelled() && s->token_.expired();
-    s->error_ = s->deadline_exceeded_
-                    ? "query deadline exceeded while queued"
-                    : "query cancelled while queued";
-    ServerMetrics::Get().cancelled->Inc();
-    ServerMetrics::Get().queue_ns->Record(s->queue_nanos_);
-    s->cv_.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(s->mu_);
+      s->queue_nanos_ = NowNanos() - s->submit_nanos_;
+      s->state_ = QuerySession::State::kCancelled;
+      s->deadline_exceeded_ = !s->token_.cancelled() && s->token_.expired();
+      s->error_ = s->deadline_exceeded_
+                      ? "query deadline exceeded while queued"
+                      : "query cancelled while queued";
+      ServerMetrics::Get().cancelled->Inc();
+      ServerMetrics::Get().queue_ns->Record(s->queue_nanos_);
+      s->cv_.notify_all();
+    }
+    if (s->sink_ != nullptr) {
+      s->sink_->OnDone(OutcomeOf(QuerySession::State::kCancelled, s->error_,
+                                 s->deadline_exceeded_, 0, s->queue_nanos_,
+                                 0));
+    }
     return;
   }
 
@@ -209,6 +321,11 @@ void QueryService::RunSession(const std::shared_ptr<QuerySession>& s) {
       ReadThreadPerfCounters().Since(perf_start);
   ServerMetrics::Get().AddPerf(perf_delta);
 
+  // Stream before releasing the admission slot: a slow consumer keeps the
+  // driver (and its slot) occupied — bounded buffering by construction.
+  int64_t result_rows = result != nullptr ? result->num_rows() : 0;
+  StreamResult(s, &result, &final_state, &error, &deadline);
+
   Release(reservation);
   uint64_t exec = NowNanos() - start;
   ServerMetrics::Get().exec_ns->Record(exec);
@@ -224,14 +341,22 @@ void QueryService::RunSession(const std::shared_ptr<QuerySession>& s) {
       break;
   }
 
-  std::lock_guard<std::mutex> lock(s->mu_);
-  s->exec_nanos_ = exec;
-  s->perf_ = perf_delta;
-  s->result_ = std::move(result);
-  s->error_ = std::move(error);
-  s->deadline_exceeded_ = deadline;
-  s->state_ = final_state;
-  s->cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(s->mu_);
+    s->exec_nanos_ = exec;
+    s->perf_ = perf_delta;
+    s->result_ = std::move(result);
+    s->error_ = std::move(error);
+    s->deadline_exceeded_ = deadline;
+    s->state_ = final_state;
+    s->cv_.notify_all();
+  }
+  if (s->sink_ != nullptr) {
+    int64_t rows =
+        final_state == QuerySession::State::kDone ? result_rows : 0;
+    s->sink_->OnDone(OutcomeOf(final_state, s->error_, deadline, rows,
+                               s->queue_nanos_, exec));
+  }
 }
 
 void QueryService::Drain() {

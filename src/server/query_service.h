@@ -5,6 +5,12 @@
 // ColumnBM is explicitly designed for many concurrent queries reusing each
 // other's I/O (§4.3); this layer supplies the serving half of that story:
 //
+//  - one request/response schema (server/request.h): queries arrive as a
+//    QueryRequest (named TPC-H plan or algebra text, RAM or disk engine,
+//    SF, width, deadline, trace flag) and results stream through a
+//    ResultSink — the same schema the TCP front-end (server/tcp_server.h)
+//    serializes, so in-process and network callers are indistinguishable
+//    to the engine;
 //  - a per-query session (id, state, deadline, cancellation token) whose
 //    CancelToken is threaded through ExecContext and polled per vector;
 //  - an admission controller bounding in-flight queries and the exchange
@@ -36,16 +42,17 @@
 #include "common/perf_counters.h"
 #include "exec/operator.h"
 #include "exec/trace.h"
+#include "server/request.h"
 #include "storage/table.h"
 
 namespace x100 {
 
+class EngineCache;
 class QueryService;
 
-/// What a session runs: builds and drives a plan against engine state the
-/// caller owns (Catalog, ColumnBm), returning the materialized result. The
-/// ExecContext carries the session's vector size, thread budget, optional
-/// trace, and — critically — the cancellation token the pipeline polls.
+/// DEPRECATED: what a closure-shim session runs (see
+/// QueryService::Submit(QueryFn, ...)). New callers describe queries as a
+/// QueryRequest instead, which the network path can also express.
 using QueryFn = std::function<std::unique_ptr<Table>(ExecContext*)>;
 
 struct QueryOptions {
@@ -115,6 +122,10 @@ class QuerySession {
   const uint64_t id_;
   QueryFn fn_;
   QueryOptions opts_;
+  /// Result stream consumer (request API); null for shim sessions and for
+  /// requests submitted without a sink. With a sink, the materialized
+  /// result is streamed and released, so TakeResult() returns null.
+  std::shared_ptr<ResultSink> sink_;
   CancelToken token_;
   QueryTrace trace_;
 
@@ -151,10 +162,29 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Enqueues `fn`; the returned session is already owned by a driver
-  /// thread waiting on admission. The deadline (when any) starts now —
-  /// queue time counts against it.
+  /// Submits a request — the one entry point in-process callers, tests,
+  /// and the TCP front-end share. The query resolves on the driver thread
+  /// against engines(): a named TPC-H plan (RAM or ColumnBM disk path) or
+  /// parsed algebra text. With a `sink`, the materialized result is
+  /// streamed through it in vector_size-row batches and released
+  /// (TakeResult() then returns null); without one it is retained for
+  /// TakeResult(). Invalid requests and parse errors surface as a kFailed
+  /// session (and sink OnDone), never as a throw from Submit.
+  std::shared_ptr<QuerySession> Submit(
+      const QueryRequest& req, std::shared_ptr<ResultSink> sink = nullptr);
+
+  /// DEPRECATED compat shim: ad-hoc closure submission predating the
+  /// QueryRequest/ResultSink schema. Closures cannot cross a socket and
+  /// bypass request validation; anything a network client must be able to
+  /// express goes through Submit(QueryRequest). Kept for tests and benches
+  /// that drive synthetic workloads (sleep loops, fault injection) no
+  /// request schema should have to express.
   std::shared_ptr<QuerySession> Submit(QueryFn fn, QueryOptions opts = {});
+
+  /// Engine states (catalog + optional disk ColumnBm per scale factor)
+  /// requests resolve against. Seed it when the caller already generated
+  /// data; otherwise the first request at an SF dbgens lazily.
+  EngineCache* engines() { return engines_.get(); }
 
   /// Waits until every session submitted so far is terminal and joins
   /// their driver threads.
@@ -164,7 +194,15 @@ class QueryService {
   int worker_budget() const { return worker_budget_; }
 
  private:
+  std::shared_ptr<QuerySession> SubmitInternal(
+      QueryFn fn, QueryOptions opts, std::shared_ptr<ResultSink> sink);
   void RunSession(const std::shared_ptr<QuerySession>& s);
+  /// Streams a completed result through the session's sink; flips the
+  /// final state to kCancelled when the consumer abandons the stream.
+  void StreamResult(const std::shared_ptr<QuerySession>& s,
+                    std::unique_ptr<Table>* result,
+                    QuerySession::State* final_state, std::string* error,
+                    bool* deadline);
   /// Blocks until `s` may run (FIFO + capacity). False when the session
   /// was cancelled or expired while queued.
   bool Admit(const std::shared_ptr<QuerySession>& s, int reservation);
@@ -172,6 +210,7 @@ class QueryService {
 
   Options opts_;
   int worker_budget_;
+  std::unique_ptr<EngineCache> engines_;
 
   std::mutex mu_;
   std::condition_variable admit_cv_;

@@ -1,0 +1,373 @@
+#include "server/tcp_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/config.h"
+#include "common/metrics.h"
+#include "server/wire.h"
+
+namespace x100 {
+
+/// Per-connection state. Sockets, inbuf, and inflight map are loop-thread
+/// only; the outbox is the one cross-thread surface (drivers produce into
+/// it, the loop drains it to the socket) and is guarded by `mu`.
+struct TcpServer::Conn : std::enable_shared_from_this<TcpServer::Conn> {
+  std::shared_ptr<EventLoop> loop;
+  TcpServer* server = nullptr;  // dereferenced on the loop thread only
+  size_t outbox_budget = 0;
+  bool handshaken = false;
+  bool epollout_armed = false;
+
+  std::vector<uint8_t> inbuf;
+  std::map<uint64_t, std::shared_ptr<QuerySession>> inflight;
+
+  std::mutex mu;
+  std::condition_variable cv;  // signalled when the loop drains bytes
+  int fd = -1;                 // -1 once closed; written under mu
+  std::deque<std::vector<uint8_t>> outbox;  // encoded frames
+  size_t front_written = 0;  // bytes of outbox.front() already sent
+  size_t outbox_bytes = 0;
+  bool closed = false;
+
+  /// Enqueues one encoded frame. Driver threads call with force=false and
+  /// block while the outbox is over budget, polling `cancel` so a
+  /// cancelled query never stays wedged behind a stalled consumer. The
+  /// loop thread always forces: it may never block on its own drain.
+  /// False when the connection is (or becomes) closed.
+  bool Push(std::vector<uint8_t> frame, bool force, CancelToken* cancel) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      while (!force && !closed && outbox_bytes > 0 &&
+             outbox_bytes + frame.size() > outbox_budget) {
+        if (cancel != nullptr && (cancel->cancelled() || cancel->expired())) {
+          return false;
+        }
+        cv.wait_for(lock, std::chrono::milliseconds(5));
+      }
+      if (closed) return false;
+      outbox_bytes += frame.size();
+      outbox.push_back(std::move(frame));
+    }
+    if (loop->InLoopThread()) {
+      TryWrite();
+    } else {
+      auto self = shared_from_this();
+      loop->Post([self] { self->TryWrite(); });
+    }
+    return true;
+  }
+
+  /// Loop thread: drains the outbox until EAGAIN or empty, then (re)arms
+  /// EPOLLOUT to match.
+  void TryWrite() {
+    std::unique_lock<std::mutex> lock(mu);
+    if (closed) return;
+    while (!outbox.empty()) {
+      const std::vector<uint8_t>& front = outbox.front();
+      ssize_t n = send(fd, front.data() + front_written,
+                       front.size() - front_written, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        lock.unlock();
+        server->CloseConn(shared_from_this());
+        return;
+      }
+      front_written += static_cast<size_t>(n);
+      outbox_bytes -= static_cast<size_t>(n);
+      if (front_written == front.size()) {
+        outbox.pop_front();
+        front_written = 0;
+      }
+    }
+    cv.notify_all();
+    bool want_out = !outbox.empty();
+    if (want_out != epollout_armed) {
+      loop->ModFd(fd, want_out ? (EPOLLIN | EPOLLOUT) : EPOLLIN);
+      epollout_armed = want_out;
+    }
+  }
+};
+
+/// Bridges one query's result stream onto its connection: BATCH frames
+/// under backpressure from the driver thread, then one DONE frame.
+class TcpServer::NetSink : public ResultSink {
+ public:
+  NetSink(std::shared_ptr<Conn> conn, uint64_t id)
+      : conn_(std::move(conn)), id_(id) {}
+
+  void OnAttach(CancelToken* cancel) override {
+    cancel_.store(cancel, std::memory_order_release);
+  }
+
+  bool OnBatch(const Table& result, int64_t begin, int64_t end) override {
+    std::vector<uint8_t> out;
+    AppendFrame(&out, FrameType::kBatch,
+                EncodeBatch(id_, result, begin, end));
+    return conn_->Push(std::move(out), /*force=*/false,
+                       cancel_.load(std::memory_order_acquire));
+  }
+
+  void OnDone(const QueryOutcome& outcome) override {
+    std::vector<uint8_t> out;
+    AppendFrame(&out, FrameType::kDone, EncodeDone(DoneMsg{id_, outcome}));
+    // Forced: the terminal frame is small and must not vanish behind a
+    // full outbox (a closed connection drops it, which is fine).
+    conn_->Push(std::move(out), /*force=*/true, nullptr);
+    std::shared_ptr<Conn> conn = conn_;
+    uint64_t id = id_;
+    conn_->loop->Post([conn, id] { conn->inflight.erase(id); });
+  }
+
+ private:
+  std::shared_ptr<Conn> conn_;
+  const uint64_t id_;
+  std::atomic<CancelToken*> cancel_{nullptr};
+};
+
+TcpServer::TcpServer(QueryService* svc, Options opts)
+    : svc_(svc),
+      port_(opts.port >= 0 ? opts.port : EnvServePort()),
+      max_connections_(opts.max_connections > 0 ? opts.max_connections
+                                                : EnvMaxConnections()),
+      outbox_bytes_(opts.outbox_bytes > 0 ? opts.outbox_bytes
+                                          : EnvOutboxBytes()),
+      loop_(std::make_shared<EventLoop>()) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+bool TcpServer::Start(std::string* error) {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                      0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) < 0) {
+    *error = "bind port " + std::to_string(port_) + ": " +
+             std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (listen(listen_fd_, 128) < 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  loop_->AddFd(listen_fd_, EPOLLIN, [this](uint32_t) { OnAccept(); });
+  loop_thread_ = std::thread([this] { loop_->Run(); });
+  started_ = true;
+  return true;
+}
+
+void TcpServer::Stop() {
+  if (!started_) return;
+  loop_->Post([this] {
+    std::vector<std::shared_ptr<Conn>> conns(conns_.begin(), conns_.end());
+    for (const auto& c : conns) CloseConn(c);
+    loop_->DelFd(listen_fd_);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    loop_->Stop();
+  });
+  loop_thread_.join();
+  started_ = false;
+}
+
+void TcpServer::OnAccept() {
+  for (;;) {
+    int cfd = accept4(listen_fd_, nullptr, nullptr,
+                      SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) return;  // EAGAIN and transient errors alike: wait
+    if (static_cast<int>(conns_.size()) >= max_connections_) {
+      // Best-effort refusal; the socket buffer of a fresh connection
+      // always fits this small frame.
+      std::vector<uint8_t> out;
+      AppendFrame(&out, FrameType::kError,
+                  EncodeError(ErrorMsg{0, "server at max connections"}));
+      ssize_t n = send(cfd, out.data(), out.size(), MSG_NOSIGNAL);
+      (void)n;
+      close(cfd);
+      MetricsRegistry::Get().GetCounter("server.net.refused")->Inc();
+      continue;
+    }
+    int one = 1;
+    setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>();
+    conn->loop = loop_;
+    conn->server = this;
+    conn->fd = cfd;
+    conn->outbox_budget = outbox_bytes_;
+    conns_.insert(conn);
+    MetricsRegistry::Get().GetCounter("server.net.accepted")->Inc();
+    loop_->AddFd(cfd, EPOLLIN, [this, conn](uint32_t events) {
+      OnConnEvent(conn, events);
+    });
+  }
+}
+
+void TcpServer::OnConnEvent(const std::shared_ptr<Conn>& conn,
+                            uint32_t events) {
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    CloseConn(conn);
+    return;
+  }
+  if (events & EPOLLOUT) conn->TryWrite();
+  if (events & EPOLLIN) OnReadable(conn);
+}
+
+void TcpServer::OnReadable(const std::shared_ptr<Conn>& conn) {
+  char buf[64 * 1024];
+  ssize_t n = read(conn->fd, buf, sizeof(buf));
+  if (n == 0) {
+    CloseConn(conn);  // orderly shutdown — or a mid-query walkaway
+    return;
+  }
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    CloseConn(conn);
+    return;
+  }
+  conn->inbuf.insert(conn->inbuf.end(), buf, buf + n);
+  for (;;) {
+    Frame f;
+    size_t consumed = 0;
+    std::string error;
+    DecodeStatus st = DecodeFrame(conn->inbuf.data(), conn->inbuf.size(),
+                                  &f, &consumed, &error);
+    if (st == DecodeStatus::kNeedMore) return;
+    if (st == DecodeStatus::kBad) {
+      SendNow(conn, FrameType::kError,
+              EncodeError(ErrorMsg{0, "protocol error: " + error}));
+      CloseConn(conn);
+      return;
+    }
+    conn->inbuf.erase(conn->inbuf.begin(),
+                      conn->inbuf.begin() + static_cast<ptrdiff_t>(consumed));
+    if (!HandleFrame(conn, f)) {
+      CloseConn(conn);
+      return;
+    }
+  }
+}
+
+bool TcpServer::HandleFrame(const std::shared_ptr<Conn>& conn,
+                            const Frame& f) {
+  std::string error;
+  if (!conn->handshaken) {
+    HelloMsg hello;
+    if (f.type != FrameType::kHello ||
+        !DecodeHello(f.payload, &hello, &error)) {
+      SendNow(conn, FrameType::kError,
+              EncodeError(ErrorMsg{0, "expected HELLO: " + error}));
+      return false;
+    }
+    if (hello.version != kWireVersion) {
+      SendNow(conn, FrameType::kError,
+              EncodeError(ErrorMsg{
+                  0, "unsupported protocol version " +
+                         std::to_string(hello.version) + " (server speaks " +
+                         std::to_string(kWireVersion) + ")"}));
+      return false;
+    }
+    conn->handshaken = true;
+    SendNow(conn, FrameType::kHello, EncodeHello(HelloMsg{}));
+    return true;
+  }
+  switch (f.type) {
+    case FrameType::kSubmit: {
+      SubmitMsg m;
+      if (!DecodeSubmit(f.payload, &m, &error)) {
+        SendNow(conn, FrameType::kError,
+                EncodeError(ErrorMsg{0, "bad SUBMIT: " + error}));
+        return false;
+      }
+      if (conn->inflight.count(m.id) > 0) {
+        SendNow(conn, FrameType::kError,
+                EncodeError(ErrorMsg{m.id, "duplicate query id"}));
+        return false;
+      }
+      auto sink = std::make_shared<NetSink>(conn, m.id);
+      conn->inflight[m.id] = svc_->Submit(m.req, std::move(sink));
+      return true;
+    }
+    case FrameType::kCancel: {
+      CancelMsg m;
+      if (!DecodeCancel(f.payload, &m, &error)) {
+        SendNow(conn, FrameType::kError,
+                EncodeError(ErrorMsg{0, "bad CANCEL: " + error}));
+        return false;
+      }
+      // Unknown ids are fine: the query may have completed concurrently.
+      auto it = conn->inflight.find(m.id);
+      if (it != conn->inflight.end()) it->second->Cancel();
+      return true;
+    }
+    case FrameType::kMetrics:
+      SendNow(conn, FrameType::kMetrics,
+              EncodeMetrics(MetricsMsg{MetricsRegistry::Get().ToJson()}));
+      return true;
+    default:
+      SendNow(conn, FrameType::kError,
+              EncodeError(ErrorMsg{
+                  0, "unexpected frame type " +
+                         std::to_string(static_cast<int>(f.type))}));
+      return false;
+  }
+}
+
+void TcpServer::SendNow(const std::shared_ptr<Conn>& conn, FrameType type,
+                        const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  AppendFrame(&out, type, payload);
+  conn->Push(std::move(out), /*force=*/true, nullptr);
+}
+
+void TcpServer::CloseConn(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+    loop_->DelFd(conn->fd);
+    close(conn->fd);
+    conn->fd = -1;
+    conn->outbox.clear();
+    conn->outbox_bytes = 0;
+    conn->front_written = 0;
+    // Drivers blocked in Push see closed and fail their OnBatch: the
+    // session unwinds as kCancelled and its operator destructors release
+    // every buffer-pool pin the scan held.
+    conn->cv.notify_all();
+  }
+  for (auto& [id, session] : conn->inflight) session->Cancel();
+  conn->inflight.clear();
+  conns_.erase(conn);
+  MetricsRegistry::Get().GetCounter("server.net.closed")->Inc();
+}
+
+}  // namespace x100

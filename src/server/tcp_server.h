@@ -1,0 +1,103 @@
+#ifndef X100_SERVER_TCP_SERVER_H_
+#define X100_SERVER_TCP_SERVER_H_
+
+// TCP front-end: the wire protocol (server/wire.h) served by one epoll
+// reactor thread (server/event_loop.h) on top of QueryService.
+//
+// Division of labor:
+//  - the LOOP THREAD owns all sockets: it accepts, reads and frames
+//    requests, submits them to the QueryService, and drains per-connection
+//    outboxes (EPOLLOUT is armed only while an outbox holds bytes);
+//  - each query's DRIVER THREAD produces result batches through a NetSink
+//    that encodes BATCH frames into the connection's bounded outbox. When
+//    the outbox is over budget the driver BLOCKS (polling its session's
+//    cancel token) until the loop thread drains bytes to the socket —
+//    slow-consumer backpressure lands on the query's own admission slot,
+//    not on server memory.
+//
+// A connection that disappears mid-stream (read returns 0/error, or a
+// write fails) is torn down on the loop thread: every inflight session it
+// owns is cancelled and its outbox is marked closed, so a driver blocked
+// in Push unblocks immediately, the query unwinds as kCancelled, and
+// operator destructors release buffer-pool pins. Loop-thread pushes
+// (HELLO/ERROR/DONE/METRICS frames) always bypass the budget — the loop
+// may never block on itself.
+
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "server/event_loop.h"
+#include "server/query_service.h"
+#include "server/wire.h"
+
+namespace x100 {
+
+class TcpServer {
+ public:
+  struct Options {
+    /// Listen port; 0 binds an ephemeral port (read it back via port()).
+    /// Negative: use env X100_PORT (default 4100).
+    int port = -1;
+    /// Accepted connections beyond this are refused with a
+    /// connection-level ERROR frame. Negative: env X100_MAX_CONNS.
+    int max_connections = -1;
+    /// Per-connection outbox budget a driver may fill before blocking.
+    /// Zero: env X100_OUTBOX_BYTES.
+    size_t outbox_bytes = 0;
+  };
+
+  /// `svc` must outlive the server.
+  explicit TcpServer(QueryService* svc) : TcpServer(svc, Options{}) {}
+  TcpServer(QueryService* svc, Options opts);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds 0.0.0.0:port, starts the reactor thread. False + *error on
+  /// bind/listen failure.
+  bool Start(std::string* error);
+
+  /// Closes every connection (cancelling its inflight queries), stops the
+  /// reactor and joins it. Idempotent. Callers then Drain() the
+  /// QueryService to join driver threads.
+  void Stop();
+
+  /// Bound port (after Start); the ephemeral port when Options::port == 0.
+  int port() const { return port_; }
+
+  int max_connections() const { return max_connections_; }
+  size_t outbox_bytes() const { return outbox_bytes_; }
+
+ private:
+  struct Conn;
+  class NetSink;
+
+  void OnAccept();
+  void OnConnEvent(const std::shared_ptr<Conn>& conn, uint32_t events);
+  void OnReadable(const std::shared_ptr<Conn>& conn);
+  /// Frame dispatch; false means protocol error — the connection dies.
+  bool HandleFrame(const std::shared_ptr<Conn>& conn, const Frame& f);
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  /// Loop-thread send: force-enqueue (never blocks) and kick the drain.
+  void SendNow(const std::shared_ptr<Conn>& conn, FrameType type,
+               const std::vector<uint8_t>& payload);
+
+  QueryService* svc_;
+  int port_ = -1;
+  int max_connections_;
+  size_t outbox_bytes_;
+
+  std::shared_ptr<EventLoop> loop_;
+  int listen_fd_ = -1;
+  std::thread loop_thread_;
+  bool started_ = false;
+  std::set<std::shared_ptr<Conn>> conns_;  // loop thread only
+};
+
+}  // namespace x100
+
+#endif  // X100_SERVER_TCP_SERVER_H_

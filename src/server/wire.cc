@@ -1,0 +1,374 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+namespace x100 {
+
+namespace {
+
+/// Little-endian payload builder. Scalars are memcpy'd — the targets this
+/// engine runs on (x86-64, AArch64 Linux) are little-endian, so host and
+/// wire order coincide; floats travel as their raw bit patterns, which is
+/// what makes the load generator's bit-identity check exact.
+class PayloadWriter {
+ public:
+  template <typename T>
+  void Scalar(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    size_t n = buf_.size();
+    buf_.resize(n + sizeof(T));
+    std::memcpy(buf_.data() + n, &v, sizeof(T));
+  }
+  void Bytes(const void* data, size_t n) {
+    size_t at = buf_.size();
+    buf_.resize(at + n);
+    if (n > 0) std::memcpy(buf_.data() + at, data, n);
+  }
+  void Str(const std::string& s) {
+    Scalar<uint32_t>(static_cast<uint32_t>(s.size()));
+    Bytes(s.data(), s.size());
+  }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked reader over a payload. Every getter fails sticky on
+/// truncation; Done() additionally rejects trailing garbage so a payload
+/// must parse EXACTLY — the fuzz tests lean on this.
+class PayloadReader {
+ public:
+  PayloadReader(const std::vector<uint8_t>& p, std::string* error)
+      : p_(p.data()), size_(p.size()), error_(error) {}
+
+  template <typename T>
+  bool Scalar(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!ok_ || size_ - pos_ < sizeof(T)) return Fail("truncated payload");
+    std::memcpy(out, p_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+  bool Str(std::string* out, size_t max_bytes = kMaxFrameBytes) {
+    uint32_t n = 0;
+    if (!Scalar(&n)) return false;
+    if (n > max_bytes || size_ - pos_ < n) {
+      return Fail("truncated or oversized string");
+    }
+    out->assign(reinterpret_cast<const char*>(p_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  bool Bytes(std::vector<uint8_t>* out, size_t n) {
+    if (!ok_ || size_ - pos_ < n) return Fail("truncated payload");
+    out->assign(p_ + pos_, p_ + pos_ + n);
+    pos_ += n;
+    return true;
+  }
+  size_t Remaining() const { return ok_ ? size_ - pos_ : 0; }
+  /// Final check: everything consumed, nothing left over.
+  bool Done() {
+    if (!ok_) return false;
+    if (pos_ != size_) return Fail("trailing bytes after message");
+    return true;
+  }
+  bool Fail(const char* why) {
+    if (ok_ && error_ != nullptr) *error_ = why;
+    ok_ = false;
+    return false;
+  }
+
+ private:
+  const uint8_t* p_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  std::string* error_;
+};
+
+bool ValidFrameType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kHello) &&
+         t <= static_cast<uint8_t>(FrameType::kMetrics);
+}
+
+}  // namespace
+
+void AppendFrame(std::vector<uint8_t>* out, FrameType type,
+                 const uint8_t* payload, size_t payload_bytes) {
+  uint32_t len = static_cast<uint32_t>(payload_bytes);
+  size_t at = out->size();
+  out->resize(at + kWireHeaderBytes + payload_bytes);
+  std::memcpy(out->data() + at, &len, sizeof(len));
+  (*out)[at + 4] = static_cast<uint8_t>(type);
+  if (payload_bytes > 0) {
+    std::memcpy(out->data() + at + kWireHeaderBytes, payload, payload_bytes);
+  }
+}
+
+DecodeStatus DecodeFrame(const uint8_t* data, size_t size, Frame* frame,
+                         size_t* consumed, std::string* error) {
+  *consumed = 0;
+  if (size < kWireHeaderBytes) return DecodeStatus::kNeedMore;
+  uint32_t len = 0;
+  std::memcpy(&len, data, sizeof(len));
+  if (len > kMaxFrameBytes) {
+    *error = "frame payload exceeds kMaxFrameBytes (" + std::to_string(len) +
+             " bytes)";
+    return DecodeStatus::kBad;
+  }
+  if (!ValidFrameType(data[4])) {
+    *error = "unknown frame type " + std::to_string(int{data[4]});
+    return DecodeStatus::kBad;
+  }
+  if (size - kWireHeaderBytes < len) return DecodeStatus::kNeedMore;
+  frame->type = static_cast<FrameType>(data[4]);
+  frame->payload.assign(data + kWireHeaderBytes,
+                        data + kWireHeaderBytes + len);
+  *consumed = kWireHeaderBytes + len;
+  return DecodeStatus::kFrame;
+}
+
+// -- HELLO -------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeHello(const HelloMsg& m) {
+  PayloadWriter w;
+  w.Scalar(m.magic);
+  w.Scalar(m.version);
+  return w.Take();
+}
+
+bool DecodeHello(const std::vector<uint8_t>& payload, HelloMsg* m,
+                 std::string* error) {
+  PayloadReader r(payload, error);
+  r.Scalar(&m->magic);
+  r.Scalar(&m->version);
+  if (!r.Done()) return false;
+  if (m->magic != kWireMagic) return r.Fail("bad magic (not an X100 peer)");
+  return true;
+}
+
+// -- SUBMIT ------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeSubmit(const SubmitMsg& m) {
+  PayloadWriter w;
+  w.Scalar(m.id);
+  w.Scalar(static_cast<uint8_t>(m.req.engine));
+  w.Scalar(static_cast<uint8_t>(m.req.compress));
+  w.Scalar(static_cast<uint8_t>(m.req.collect_trace));
+  w.Scalar(m.req.scale_factor);
+  w.Scalar(static_cast<int32_t>(m.req.num_threads));
+  w.Scalar(static_cast<int32_t>(m.req.vector_size));
+  w.Scalar(m.req.timeout_ms);
+  w.Str(m.req.query);
+  w.Str(m.req.label);
+  return w.Take();
+}
+
+bool DecodeSubmit(const std::vector<uint8_t>& payload, SubmitMsg* m,
+                  std::string* error) {
+  PayloadReader r(payload, error);
+  r.Scalar(&m->id);
+  uint8_t engine = 0, compress = 0, trace = 0;
+  r.Scalar(&engine);
+  r.Scalar(&compress);
+  r.Scalar(&trace);
+  r.Scalar(&m->req.scale_factor);
+  int32_t threads = 0, vecsize = 0;
+  r.Scalar(&threads);
+  r.Scalar(&vecsize);
+  r.Scalar(&m->req.timeout_ms);
+  r.Str(&m->req.query);
+  r.Str(&m->req.label);
+  if (!r.Done()) return false;
+  if (m->id == 0) return r.Fail("submit id must be nonzero");
+  if (engine > static_cast<uint8_t>(QueryEngine::kDisk)) {
+    return r.Fail("unknown engine");
+  }
+  m->req.engine = static_cast<QueryEngine>(engine);
+  m->req.compress = compress != 0;
+  m->req.collect_trace = trace != 0;
+  m->req.num_threads = threads;
+  m->req.vector_size = vecsize;
+  return true;
+}
+
+// -- DONE --------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeDone(const DoneMsg& m) {
+  PayloadWriter w;
+  w.Scalar(m.id);
+  w.Scalar(static_cast<uint8_t>(m.outcome.status));
+  w.Scalar(static_cast<uint8_t>(m.outcome.deadline_exceeded));
+  w.Scalar(m.outcome.rows);
+  w.Scalar(m.outcome.queue_nanos);
+  w.Scalar(m.outcome.exec_nanos);
+  w.Str(m.outcome.error);
+  return w.Take();
+}
+
+bool DecodeDone(const std::vector<uint8_t>& payload, DoneMsg* m,
+                std::string* error) {
+  PayloadReader r(payload, error);
+  r.Scalar(&m->id);
+  uint8_t status = 0, deadline = 0;
+  r.Scalar(&status);
+  r.Scalar(&deadline);
+  r.Scalar(&m->outcome.rows);
+  r.Scalar(&m->outcome.queue_nanos);
+  r.Scalar(&m->outcome.exec_nanos);
+  r.Str(&m->outcome.error);
+  if (!r.Done()) return false;
+  if (status > static_cast<uint8_t>(QueryStatus::kCancelled)) {
+    return r.Fail("unknown query status");
+  }
+  m->outcome.status = static_cast<QueryStatus>(status);
+  m->outcome.deadline_exceeded = deadline != 0;
+  return true;
+}
+
+// -- ERROR / CANCEL / METRICS ------------------------------------------------
+
+std::vector<uint8_t> EncodeError(const ErrorMsg& m) {
+  PayloadWriter w;
+  w.Scalar(m.id);
+  w.Str(m.message);
+  return w.Take();
+}
+
+bool DecodeError(const std::vector<uint8_t>& payload, ErrorMsg* m,
+                 std::string* error) {
+  PayloadReader r(payload, error);
+  r.Scalar(&m->id);
+  r.Str(&m->message);
+  return r.Done();
+}
+
+std::vector<uint8_t> EncodeCancel(const CancelMsg& m) {
+  PayloadWriter w;
+  w.Scalar(m.id);
+  return w.Take();
+}
+
+bool DecodeCancel(const std::vector<uint8_t>& payload, CancelMsg* m,
+                  std::string* error) {
+  PayloadReader r(payload, error);
+  r.Scalar(&m->id);
+  return r.Done();
+}
+
+std::vector<uint8_t> EncodeMetrics(const MetricsMsg& m) {
+  PayloadWriter w;
+  w.Str(m.json);
+  return w.Take();
+}
+
+bool DecodeMetrics(const std::vector<uint8_t>& payload, MetricsMsg* m,
+                   std::string* error) {
+  PayloadReader r(payload, error);
+  r.Str(&m->json);
+  return r.Done();
+}
+
+// -- BATCH -------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeBatch(uint64_t id, const Table& t, int64_t begin,
+                                 int64_t end) {
+  PayloadWriter w;
+  w.Scalar(id);
+  w.Scalar(static_cast<uint32_t>(t.num_columns()));
+  w.Scalar(static_cast<uint32_t>(end - begin));
+  // The memcpy fast path needs the span to live in a plain fragment with
+  // rowids == visible row numbers; materialized results (fresh Freeze(), no
+  // deltas, no deletions) always qualify.
+  bool plain = t.delta_rows() == 0 && t.num_deleted() == 0;
+  for (int c = 0; c < t.num_columns(); c++) {
+    TypeId type = t.schema().field(c).type;
+    w.Scalar(static_cast<uint8_t>(type));
+    const Column& col = t.column(c);
+    if (plain && !col.is_enum() && type != TypeId::kStr) {
+      size_t width = TypeWidth(type);
+      w.Bytes(static_cast<const uint8_t*>(col.raw()) +
+                  static_cast<size_t>(begin) * width,
+              static_cast<size_t>(end - begin) * width);
+      continue;
+    }
+    for (int64_t row = begin; row < end; row++) {
+      Value v = t.GetValue(row, c);
+      switch (type) {
+        case TypeId::kI8:
+          w.Scalar(static_cast<int8_t>(v.AsI64()));
+          break;
+        case TypeId::kU8:
+          w.Scalar(static_cast<uint8_t>(v.AsI64()));
+          break;
+        case TypeId::kI16:
+          w.Scalar(static_cast<int16_t>(v.AsI64()));
+          break;
+        case TypeId::kU16:
+          w.Scalar(static_cast<uint16_t>(v.AsI64()));
+          break;
+        case TypeId::kI32:
+        case TypeId::kDate:
+          w.Scalar(static_cast<int32_t>(v.AsI64()));
+          break;
+        case TypeId::kI64:
+          w.Scalar(v.AsI64());
+          break;
+        case TypeId::kF32:
+          w.Scalar(static_cast<float>(v.AsF64()));
+          break;
+        case TypeId::kF64:
+          w.Scalar(v.AsF64());
+          break;
+        case TypeId::kStr:
+          w.Str(v.AsStr());
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return w.Take();
+}
+
+bool DecodeBatch(const std::vector<uint8_t>& payload, BatchMsg* m,
+                 std::string* error) {
+  PayloadReader r(payload, error);
+  r.Scalar(&m->id);
+  uint32_t num_cols = 0, num_rows = 0;
+  r.Scalar(&num_cols);
+  r.Scalar(&num_rows);
+  if (num_cols > 4096) return r.Fail("implausible column count");
+  m->num_rows = num_rows;
+  m->cols.clear();
+  for (uint32_t c = 0; c < num_cols; c++) {
+    uint8_t type = 0;
+    if (!r.Scalar(&type)) return false;
+    if (type >= static_cast<uint8_t>(TypeId::kCount)) {
+      return r.Fail("unknown column type");
+    }
+    BatchMsg::Col col;
+    col.type = static_cast<TypeId>(type);
+    if (col.type == TypeId::kStr) {
+      // Cheapest possible row is an empty string (its u32 length); check
+      // before resize so a corrupt row count can't force a huge allocation.
+      if (r.Remaining() / sizeof(uint32_t) < num_rows) {
+        return r.Fail("truncated payload");
+      }
+      col.strs.resize(num_rows);
+      for (uint32_t i = 0; i < num_rows; i++) {
+        if (!r.Str(&col.strs[i])) return false;
+      }
+    } else {
+      size_t width = TypeWidth(col.type);
+      if (!r.Bytes(&col.fixed, static_cast<size_t>(num_rows) * width)) {
+        return false;
+      }
+    }
+    m->cols.push_back(std::move(col));
+  }
+  return r.Done();
+}
+
+}  // namespace x100

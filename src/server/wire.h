@@ -1,0 +1,174 @@
+#ifndef X100_SERVER_WIRE_H_
+#define X100_SERVER_WIRE_H_
+
+// Wire protocol of the X100 serving front-end (DESIGN.md "Wire protocol").
+//
+// Every message is a length-prefixed binary frame:
+//
+//   u32 payload_bytes (LE) | u8 type | payload
+//
+// The 5-byte header makes framing trivially incremental: a reader never
+// needs more than the header to know how much to buffer, and a payload
+// length above kMaxFrameBytes condemns the connection before any
+// allocation happens. Both directions start with a HELLO carrying magic
+// and protocol version; anything else first — including a HELLO with the
+// wrong magic — is a protocol error and the connection is dropped.
+//
+// Result batches are serialized COLUMN-WISE, mirroring the engine's
+// vector-at-a-time layout: for each column a TypeId tag then the column's
+// values for the whole row span, so fixed-width columns are one memcpy
+// out of the materialized fragment and the client can verify bit-identity
+// against a locally-encoded serial run without any float round-tripping
+// (f32/f64 travel as raw bit patterns).
+//
+// This codec is deliberately transport-free: it only turns messages into
+// bytes and byte streams into messages, so tests fuzz it without a socket
+// and the TCP server (tcp_server.h) stays a thin I/O loop.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "server/request.h"
+#include "storage/table.h"
+
+namespace x100 {
+
+/// "X100" in ASCII; first payload word of a HELLO.
+inline constexpr uint32_t kWireMagic = 0x58313030;
+inline constexpr uint32_t kWireVersion = 1;
+/// u32 payload length + u8 frame type.
+inline constexpr size_t kWireHeaderBytes = 5;
+/// Hard cap on a single frame's payload. Batches chunk results in
+/// vector_size-row spans, so real frames sit far below this; anything
+/// larger is a corrupt or hostile stream.
+inline constexpr size_t kMaxFrameBytes = size_t{16} << 20;
+
+enum class FrameType : uint8_t {
+  kHello = 1,    // both directions: magic + version handshake
+  kSubmit = 2,   // client: run this QueryRequest under a client-chosen id
+  kBatch = 3,    // server: one column-wise span of a result
+  kDone = 4,     // server: terminal outcome for an id (after its batches)
+  kError = 5,    // server: protocol-level error (id 0 = connection-level)
+  kCancel = 6,   // client: cancel the query with this id
+  kMetrics = 7,  // client: empty request; server: metrics JSON snapshot
+};
+
+/// One decoded frame: type tag plus raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<uint8_t> payload;
+};
+
+/// Appends `payload` as one `type` frame to `out`.
+void AppendFrame(std::vector<uint8_t>* out, FrameType type,
+                 const uint8_t* payload, size_t payload_bytes);
+inline void AppendFrame(std::vector<uint8_t>* out, FrameType type,
+                        const std::vector<uint8_t>& payload) {
+  AppendFrame(out, type, payload.data(), payload.size());
+}
+
+enum class DecodeStatus : uint8_t {
+  kNeedMore,  // not enough bytes buffered for a whole frame
+  kFrame,     // *frame holds a message, *consumed bytes were used
+  kBad,       // unrecoverable stream corruption; drop the connection
+};
+
+/// Incremental framing: inspects `size` buffered bytes, extracts at most
+/// one frame. On kFrame the caller discards *consumed bytes and repeats;
+/// on kBad *error says why (oversized payload, unknown frame type).
+DecodeStatus DecodeFrame(const uint8_t* data, size_t size, Frame* frame,
+                         size_t* consumed, std::string* error);
+
+// ---------------------------------------------------------------------------
+// Messages. Encode* returns the payload (frame it with AppendFrame);
+// Decode* parses a payload, returning false with *error set on any
+// truncation, trailing garbage, or out-of-domain field.
+
+struct HelloMsg {
+  uint32_t magic = kWireMagic;
+  uint32_t version = kWireVersion;
+};
+
+struct SubmitMsg {
+  /// Client-chosen id, echoed on every BATCH/DONE for this query; must be
+  /// nonzero (0 is the connection-level id in ERROR frames).
+  uint64_t id = 0;
+  QueryRequest req;
+};
+
+struct DoneMsg {
+  uint64_t id = 0;
+  QueryOutcome outcome;
+};
+
+struct ErrorMsg {
+  uint64_t id = 0;  // 0: connection-level; else the offending query id
+  std::string message;
+};
+
+struct CancelMsg {
+  uint64_t id = 0;
+};
+
+struct MetricsMsg {
+  std::string json;  // empty in the request direction
+};
+
+std::vector<uint8_t> EncodeHello(const HelloMsg& m);
+bool DecodeHello(const std::vector<uint8_t>& payload, HelloMsg* m,
+                 std::string* error);
+
+std::vector<uint8_t> EncodeSubmit(const SubmitMsg& m);
+bool DecodeSubmit(const std::vector<uint8_t>& payload, SubmitMsg* m,
+                  std::string* error);
+
+std::vector<uint8_t> EncodeDone(const DoneMsg& m);
+bool DecodeDone(const std::vector<uint8_t>& payload, DoneMsg* m,
+                std::string* error);
+
+std::vector<uint8_t> EncodeError(const ErrorMsg& m);
+bool DecodeError(const std::vector<uint8_t>& payload, ErrorMsg* m,
+                 std::string* error);
+
+std::vector<uint8_t> EncodeCancel(const CancelMsg& m);
+bool DecodeCancel(const std::vector<uint8_t>& payload, CancelMsg* m,
+                  std::string* error);
+
+std::vector<uint8_t> EncodeMetrics(const MetricsMsg& m);
+bool DecodeMetrics(const std::vector<uint8_t>& payload, MetricsMsg* m,
+                   std::string* error);
+
+// ---------------------------------------------------------------------------
+// Batches.
+
+/// Encodes rows [begin, end) of `t` column-wise under query id `id`:
+///   u64 id | u32 num_cols | u32 num_rows |
+///   per column: u8 TypeId | values
+/// Fixed-width columns are raw LE value bytes (num_rows * TypeWidth);
+/// enum-encoded columns travel decoded (logical values, not codes);
+/// strings are per-value u32 length + bytes.
+std::vector<uint8_t> EncodeBatch(uint64_t id, const Table& t, int64_t begin,
+                                 int64_t end);
+
+/// A decoded batch: fixed-width columns as raw value bytes, string
+/// columns as materialized strings.
+struct BatchMsg {
+  uint64_t id = 0;
+  int64_t num_rows = 0;
+  struct Col {
+    TypeId type = TypeId::kI64;
+    std::vector<uint8_t> fixed;      // empty for kStr
+    std::vector<std::string> strs;   // empty for fixed-width
+  };
+  std::vector<Col> cols;
+};
+
+bool DecodeBatch(const std::vector<uint8_t>& payload, BatchMsg* m,
+                 std::string* error);
+
+}  // namespace x100
+
+#endif  // X100_SERVER_WIRE_H_

@@ -1,3 +1,4 @@
+#include <cstdlib>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -129,6 +130,66 @@ TEST(ConfigTest, ParsePositiveDouble) {
   EXPECT_EQ(ParsePositiveDouble("-0.5"), std::nullopt);
   EXPECT_EQ(ParsePositiveDouble("1.0sf"), std::nullopt);
   EXPECT_EQ(ParsePositiveDouble(""), std::nullopt);
+}
+
+/// RAII env override for knob tests (tests run single-threaded).
+struct ScopedEnv {
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { unsetenv(name_); }
+  const char* name_;
+};
+
+TEST(ConfigTest, ServingKnobsDefaultWhenUnset) {
+  unsetenv("X100_PORT");
+  unsetenv("X100_MAX_CONNS");
+  unsetenv("X100_OUTBOX_BYTES");
+  EXPECT_EQ(EnvServePort(), kDefaultServePort);
+  EXPECT_EQ(EnvMaxConnections(), kDefaultMaxConnections);
+  EXPECT_EQ(EnvOutboxBytes(), kDefaultOutboxBytes);
+}
+
+TEST(ConfigTest, ServingKnobsReadEnvironment) {
+  ScopedEnv port("X100_PORT", "0");
+  ScopedEnv conns("X100_MAX_CONNS", "32");
+  ScopedEnv outbox("X100_OUTBOX_BYTES", "1m");
+  EXPECT_EQ(EnvServePort(), 0);
+  EXPECT_EQ(EnvMaxConnections(), 32);
+  EXPECT_EQ(EnvOutboxBytes(), size_t{1} << 20);
+}
+
+TEST(ConfigTest, OutboxBudgetIsFlooredToHoldAFrame) {
+  // A 1-byte outbox could never buffer one batch frame; the knob floors at
+  // 64k instead of configuring a server that deadlocks on its first result.
+  ScopedEnv outbox("X100_OUTBOX_BYTES", "1");
+  EXPECT_EQ(EnvOutboxBytes(), size_t{64} << 10);
+}
+
+using ConfigDeathTest = ::testing::Test;
+
+TEST(ConfigDeathTest, MalformedServingKnobsExitWithStatus2) {
+  // The strict-knob contract: a typo'd serving knob must refuse to serve
+  // (exit 2 with a diagnostic), not listen on a default port.
+  {
+    ScopedEnv port("X100_PORT", "http");
+    EXPECT_EXIT(EnvServePort(), ::testing::ExitedWithCode(2),
+                "env X100_PORT='http'");
+  }
+  {
+    ScopedEnv port("X100_PORT", "70000");  // > 65535
+    EXPECT_EXIT(EnvServePort(), ::testing::ExitedWithCode(2), "X100_PORT");
+  }
+  {
+    ScopedEnv conns("X100_MAX_CONNS", "0");
+    EXPECT_EXIT(EnvMaxConnections(), ::testing::ExitedWithCode(2),
+                "X100_MAX_CONNS");
+  }
+  {
+    ScopedEnv outbox("X100_OUTBOX_BYTES", "4mb");
+    EXPECT_EXIT(EnvOutboxBytes(), ::testing::ExitedWithCode(2),
+                "X100_OUTBOX_BYTES");
+  }
 }
 
 TEST(ValueTest, Conversions) {

@@ -1,0 +1,335 @@
+// Wire-protocol codec tests: every message round-trips bit-exactly,
+// truncated / oversized / garbage frames are rejected without touching a
+// socket, and a seeded fuzz loop hammers the decoders with mutated bytes.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/value.h"
+#include "server/wire.h"
+#include "storage/table.h"
+
+namespace x100 {
+namespace {
+
+/// Frames a payload and decodes it back, expecting exactly one frame.
+Frame RoundTripFrame(FrameType type, const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> buf;
+  AppendFrame(&buf, type, payload);
+  Frame f;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeFrame(buf.data(), buf.size(), &f, &consumed, &error),
+            DecodeStatus::kFrame)
+      << error;
+  EXPECT_EQ(consumed, buf.size());
+  EXPECT_EQ(f.type, type);
+  return f;
+}
+
+TEST(WireFraming, IncrementalDecodeNeedsWholeFrame) {
+  std::vector<uint8_t> buf;
+  AppendFrame(&buf, FrameType::kCancel, EncodeCancel(CancelMsg{42}));
+  Frame f;
+  size_t consumed = 0;
+  std::string error;
+  // Every strict prefix: kNeedMore, nothing consumed.
+  for (size_t n = 0; n < buf.size(); n++) {
+    EXPECT_EQ(DecodeFrame(buf.data(), n, &f, &consumed, &error),
+              DecodeStatus::kNeedMore)
+        << "prefix length " << n;
+    EXPECT_EQ(consumed, 0u);
+  }
+  EXPECT_EQ(DecodeFrame(buf.data(), buf.size(), &f, &consumed, &error),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(consumed, buf.size());
+}
+
+TEST(WireFraming, BackToBackFramesDecodeInOrder) {
+  std::vector<uint8_t> buf;
+  AppendFrame(&buf, FrameType::kCancel, EncodeCancel(CancelMsg{1}));
+  AppendFrame(&buf, FrameType::kMetrics, EncodeMetrics(MetricsMsg{"{}"}));
+  Frame f;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(DecodeFrame(buf.data(), buf.size(), &f, &consumed, &error),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(f.type, FrameType::kCancel);
+  size_t off = consumed;
+  ASSERT_EQ(DecodeFrame(buf.data() + off, buf.size() - off, &f, &consumed,
+                        &error),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(f.type, FrameType::kMetrics);
+  EXPECT_EQ(off + consumed, buf.size());
+}
+
+TEST(WireFraming, OversizedPayloadCondemnsTheStream) {
+  uint8_t header[kWireHeaderBytes];
+  uint32_t huge = static_cast<uint32_t>(kMaxFrameBytes) + 1;
+  std::memcpy(header, &huge, sizeof(huge));
+  header[4] = static_cast<uint8_t>(FrameType::kSubmit);
+  Frame f;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeFrame(header, sizeof(header), &f, &consumed, &error),
+            DecodeStatus::kBad);
+  EXPECT_NE(error.find("kMaxFrameBytes"), std::string::npos) << error;
+}
+
+TEST(WireFraming, UnknownFrameTypeCondemnsTheStream) {
+  std::vector<uint8_t> buf;
+  AppendFrame(&buf, static_cast<FrameType>(99), {});
+  Frame f;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeFrame(buf.data(), buf.size(), &f, &consumed, &error),
+            DecodeStatus::kBad);
+  EXPECT_NE(error.find("unknown frame type"), std::string::npos) << error;
+}
+
+TEST(WireMessages, HelloRoundTripsAndRejectsBadMagic) {
+  Frame f = RoundTripFrame(FrameType::kHello, EncodeHello(HelloMsg{}));
+  HelloMsg m;
+  std::string error;
+  ASSERT_TRUE(DecodeHello(f.payload, &m, &error)) << error;
+  EXPECT_EQ(m.magic, kWireMagic);
+  EXPECT_EQ(m.version, kWireVersion);
+
+  HelloMsg imposter;
+  imposter.magic = 0xDEADBEEF;
+  EXPECT_FALSE(DecodeHello(EncodeHello(imposter), &m, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(WireMessages, SubmitRoundTripsEveryField) {
+  SubmitMsg in;
+  in.id = 0x1122334455667788ull;
+  in.req.query = "Select(Table(lineitem), <(l_quantity, flt('10.0')))";
+  in.req.engine = QueryEngine::kDisk;
+  in.req.scale_factor = 0.25;
+  in.req.compress = false;
+  in.req.num_threads = 7;
+  in.req.vector_size = 4096;
+  in.req.timeout_ms = 1500;
+  in.req.collect_trace = true;
+  in.req.label = "fuzz#7";
+
+  SubmitMsg out;
+  std::string error;
+  ASSERT_TRUE(DecodeSubmit(EncodeSubmit(in), &out, &error)) << error;
+  EXPECT_EQ(out.id, in.id);
+  EXPECT_EQ(out.req.query, in.req.query);
+  EXPECT_EQ(out.req.engine, in.req.engine);
+  EXPECT_EQ(out.req.scale_factor, in.req.scale_factor);
+  EXPECT_EQ(out.req.compress, in.req.compress);
+  EXPECT_EQ(out.req.num_threads, in.req.num_threads);
+  EXPECT_EQ(out.req.vector_size, in.req.vector_size);
+  EXPECT_EQ(out.req.timeout_ms, in.req.timeout_ms);
+  EXPECT_EQ(out.req.collect_trace, in.req.collect_trace);
+  EXPECT_EQ(out.req.label, in.req.label);
+}
+
+TEST(WireMessages, SubmitRejectsZeroIdAndTrailingGarbage) {
+  SubmitMsg in;
+  in.id = 0;
+  in.req.query = "q1";
+  SubmitMsg out;
+  std::string error;
+  EXPECT_FALSE(DecodeSubmit(EncodeSubmit(in), &out, &error));
+  EXPECT_NE(error.find("nonzero"), std::string::npos) << error;
+
+  in.id = 5;
+  std::vector<uint8_t> payload = EncodeSubmit(in);
+  payload.push_back(0xAB);
+  EXPECT_FALSE(DecodeSubmit(payload, &out, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+}
+
+TEST(WireMessages, DoneErrorCancelMetricsRoundTrip) {
+  DoneMsg done;
+  done.id = 9;
+  done.outcome.status = QueryStatus::kCancelled;
+  done.outcome.deadline_exceeded = true;
+  done.outcome.error = "query deadline exceeded";
+  done.outcome.rows = 12345;
+  done.outcome.queue_nanos = 111;
+  done.outcome.exec_nanos = 222;
+  DoneMsg done2;
+  std::string error;
+  ASSERT_TRUE(DecodeDone(EncodeDone(done), &done2, &error)) << error;
+  EXPECT_EQ(done2.id, done.id);
+  EXPECT_EQ(done2.outcome.status, done.outcome.status);
+  EXPECT_EQ(done2.outcome.deadline_exceeded, true);
+  EXPECT_EQ(done2.outcome.error, done.outcome.error);
+  EXPECT_EQ(done2.outcome.rows, done.outcome.rows);
+  EXPECT_EQ(done2.outcome.queue_nanos, done.outcome.queue_nanos);
+  EXPECT_EQ(done2.outcome.exec_nanos, done.outcome.exec_nanos);
+
+  ErrorMsg err{7, "bad SUBMIT: truncated payload"};
+  ErrorMsg err2;
+  ASSERT_TRUE(DecodeError(EncodeError(err), &err2, &error)) << error;
+  EXPECT_EQ(err2.id, err.id);
+  EXPECT_EQ(err2.message, err.message);
+
+  CancelMsg cancel{31337};
+  CancelMsg cancel2;
+  ASSERT_TRUE(DecodeCancel(EncodeCancel(cancel), &cancel2, &error)) << error;
+  EXPECT_EQ(cancel2.id, cancel.id);
+
+  MetricsMsg metrics{"{\"server.completed\": 3}"};
+  MetricsMsg metrics2;
+  ASSERT_TRUE(DecodeMetrics(EncodeMetrics(metrics), &metrics2, &error))
+      << error;
+  EXPECT_EQ(metrics2.json, metrics.json);
+}
+
+/// Mixed-type result table for batch round-trips.
+std::unique_ptr<Table> MakeResult(int64_t rows) {
+  std::vector<Table::ColumnSpec> specs = {
+      {"flag", TypeId::kI8, false},   {"code", TypeId::kU16, false},
+      {"day", TypeId::kDate, false},  {"count", TypeId::kI64, false},
+      {"price", TypeId::kF64, false}, {"name", TypeId::kStr, false},
+  };
+  auto t = std::make_unique<Table>("result", std::move(specs));
+  for (int64_t i = 0; i < rows; i++) {
+    t->AppendRow({Value::I8(static_cast<int8_t>('A' + i % 3)),
+                  Value::U16(static_cast<uint16_t>(i * 7)),
+                  Value::Date(static_cast<int32_t>(10000 + i)),
+                  Value::I64(i * 1000003), Value::F64(0.1 * double(i)),
+                  Value::Str("row-" + std::to_string(i))});
+  }
+  t->Freeze();
+  return t;
+}
+
+TEST(WireBatch, RoundTripsEveryColumnTypeBitExactly) {
+  std::unique_ptr<Table> t = MakeResult(11);
+  std::vector<uint8_t> payload = EncodeBatch(77, *t, 0, t->num_rows());
+  BatchMsg m;
+  std::string error;
+  ASSERT_TRUE(DecodeBatch(payload, &m, &error)) << error;
+  EXPECT_EQ(m.id, 77u);
+  EXPECT_EQ(m.num_rows, 11);
+  ASSERT_EQ(static_cast<int>(m.cols.size()), t->num_columns());
+
+  for (int64_t i = 0; i < 11; i++) {
+    EXPECT_EQ(reinterpret_cast<const int8_t*>(m.cols[0].fixed.data())[i],
+              t->GetValue(i, 0).AsI64());
+    EXPECT_EQ(reinterpret_cast<const uint16_t*>(m.cols[1].fixed.data())[i],
+              t->GetValue(i, 1).AsI64());
+    EXPECT_EQ(reinterpret_cast<const int32_t*>(m.cols[2].fixed.data())[i],
+              t->GetValue(i, 2).AsI64());
+    EXPECT_EQ(reinterpret_cast<const int64_t*>(m.cols[3].fixed.data())[i],
+              t->GetValue(i, 3).AsI64());
+    // Bit-exact doubles: compare representations, not values.
+    double d;
+    std::memcpy(&d, m.cols[4].fixed.data() + i * sizeof(double), sizeof(d));
+    EXPECT_EQ(d, t->GetValue(i, 4).AsF64());
+    EXPECT_EQ(m.cols[5].strs[i], t->GetValue(i, 5).AsStr());
+  }
+}
+
+TEST(WireBatch, SpansChunkAndConcatenateToTheWholeTable) {
+  std::unique_ptr<Table> t = MakeResult(10);
+  std::string error;
+  int64_t total = 0;
+  for (int64_t b = 0; b < 10; b += 3) {
+    int64_t e = std::min<int64_t>(b + 3, 10);
+    BatchMsg m;
+    ASSERT_TRUE(DecodeBatch(EncodeBatch(1, *t, b, e), &m, &error)) << error;
+    EXPECT_EQ(m.num_rows, e - b);
+    EXPECT_EQ(m.cols[5].strs[0], "row-" + std::to_string(b));
+    total += m.num_rows;
+  }
+  EXPECT_EQ(total, 10);
+}
+
+TEST(WireBatch, TruncatedBatchPayloadIsRejected) {
+  std::unique_ptr<Table> t = MakeResult(8);
+  std::vector<uint8_t> payload = EncodeBatch(1, *t, 0, 8);
+  std::string error;
+  for (size_t cut : {payload.size() - 1, payload.size() / 2, size_t{9}}) {
+    BatchMsg m;
+    std::vector<uint8_t> trunc(payload.begin(),
+                               payload.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(DecodeBatch(trunc, &m, &error)) << "cut at " << cut;
+  }
+}
+
+TEST(WireFuzz, SeededMutationsNeverCrashTheDecoders) {
+  // Deterministic fuzz: flip/insert/truncate bytes of valid payloads and
+  // feed every decoder. No assertion on acceptance — only that decoding
+  // terminates and never touches memory it should not (ASan/TSan builds
+  // make this bite).
+  std::mt19937 rng(0xC0FFEE);
+  SubmitMsg submit;
+  submit.id = 3;
+  submit.req.query = "q6";
+  submit.req.label = "fuzz";
+  std::unique_ptr<Table> t = MakeResult(5);
+  std::vector<std::vector<uint8_t>> seeds = {
+      EncodeHello(HelloMsg{}),
+      EncodeSubmit(submit),
+      EncodeDone(DoneMsg{1, {}}),
+      EncodeError(ErrorMsg{1, "seed error"}),
+      EncodeCancel(CancelMsg{2}),
+      EncodeMetrics(MetricsMsg{"{}"}),
+      EncodeBatch(4, *t, 0, 5),
+  };
+  std::string error;
+  int accepted = 0;
+  for (int iter = 0; iter < 20000; iter++) {
+    std::vector<uint8_t> buf = seeds[iter % seeds.size()];
+    int mutations = 1 + static_cast<int>(rng() % 4);
+    for (int mu = 0; mu < mutations && !buf.empty(); mu++) {
+      switch (rng() % 3) {
+        case 0:  // flip a byte
+          buf[rng() % buf.size()] ^= static_cast<uint8_t>(1 + rng() % 255);
+          break;
+        case 1:  // truncate
+          buf.resize(rng() % (buf.size() + 1));
+          break;
+        default:  // insert a byte
+          buf.insert(
+              buf.begin() + static_cast<ptrdiff_t>(rng() % (buf.size() + 1)),
+              static_cast<uint8_t>(rng()));
+          break;
+      }
+    }
+    HelloMsg hello;
+    SubmitMsg sub;
+    DoneMsg done;
+    ErrorMsg err;
+    CancelMsg cancel;
+    MetricsMsg metrics;
+    BatchMsg batch;
+    accepted += DecodeHello(buf, &hello, &error);
+    accepted += DecodeSubmit(buf, &sub, &error);
+    accepted += DecodeDone(buf, &done, &error);
+    accepted += DecodeError(buf, &err, &error);
+    accepted += DecodeCancel(buf, &cancel, &error);
+    accepted += DecodeMetrics(buf, &metrics, &error);
+    accepted += DecodeBatch(buf, &batch, &error);
+
+    // And through the framing layer, prefixed with a valid-ish header.
+    std::vector<uint8_t> framed;
+    AppendFrame(&framed, FrameType::kSubmit, buf);
+    Frame f;
+    size_t consumed = 0;
+    DecodeFrame(framed.data(), framed.size() - rng() % 3, &f, &consumed,
+                &error);
+  }
+  // Sanity: mutation must sometimes produce rejects (it always does; the
+  // counter just keeps the loop from being optimized into nothing).
+  EXPECT_LT(accepted, 7 * 20000);
+}
+
+}  // namespace
+}  // namespace x100
