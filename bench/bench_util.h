@@ -4,8 +4,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -30,6 +32,35 @@ inline double ScaleFactor(double default_sf) {
 inline int Reps(int default_reps) {
   return static_cast<int>(EnvIntInRange("X100_REPS", default_reps, 1, 1000));
 }
+
+/// Fresh scratch directory under /tmp ("/tmp/<prefix>_XXXXXX"); the whole
+/// tree is removed on destruction so repeated bench runs don't accumulate
+/// chunk files. Failure to create one is fatal — a bench that silently ran
+/// against the wrong directory would measure the wrong thing.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& prefix = "x100_bench") {
+    std::string tmpl = "/tmp/" + prefix + "_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (mkdtemp(buf.data()) == nullptr) {
+      std::fprintf(stderr, "[bench] mkdtemp %s failed\n", tmpl.c_str());
+      std::exit(1);
+    }
+    path_ = buf.data();
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
 
 inline std::unique_ptr<Catalog> MakeTpch(double sf) {
   std::fprintf(stderr, "[bench] generating TPC-H SF=%.4g ...\n", sf);

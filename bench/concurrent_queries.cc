@@ -82,12 +82,8 @@ int main() {
   int rounds = Reps(3);  // queries per session
   std::unique_ptr<Catalog> db = MakeTpch(sf);
 
-  char tmpl[] = "/tmp/x100_concurrent_XXXXXX";
-  if (mkdtemp(tmpl) == nullptr) {
-    std::fprintf(stderr, "concurrent_queries: mkdtemp failed\n");
-    return 1;
-  }
-  std::string dir = tmpl;
+  ScopedTempDir scratch("x100_concurrent");
+  const std::string& dir = scratch.path();
 
   // One engine under everything. The first pass stores the chunk files and
   // computes the serial reference results; later passes are pool-warm, so
@@ -198,8 +194,6 @@ int main() {
               speedup, static_cast<unsigned long long>(attached_blocks));
 
   ex.Write();
-  std::error_code ec;
-  std::filesystem::remove_all(dir, ec);
 
   if (mismatches.load() != 0) {
     std::fprintf(stderr, "error: %d concurrent result(s) diverged from the "

@@ -39,12 +39,8 @@ int main() {
   int reps = Reps(3);
   std::unique_ptr<Catalog> db = MakeTpch(sf);
 
-  char tmpl[] = "/tmp/x100_disk_scan_XXXXXX";
-  if (mkdtemp(tmpl) == nullptr) {
-    std::fprintf(stderr, "disk_scan: mkdtemp failed\n");
-    return 1;
-  }
-  std::string dir = tmpl;
+  ScopedTempDir scratch("x100_disk_scan");
+  const std::string& dir = scratch.path();
 
   BenchExport ex("disk_scan");
   ex.AddScalar("scale_factor", sf);
@@ -173,6 +169,5 @@ int main() {
   }
 
   ex.Write();
-  std::filesystem::remove_all(dir);
   return 0;
 }

@@ -3,11 +3,18 @@
 //   $ ./build/examples/x100_server                      # X100_PORT or 4100
 //   $ ./build/examples/x100_server --port 0 --port-file /tmp/port.txt
 //   $ ./build/examples/x100_server --preload 0.01 --max-concurrent 8
+//   $ ./build/examples/x100_server --wal-dir /var/lib/x100   # durable
 //
 // Serves the wire protocol (src/server/wire.h) until SIGINT/SIGTERM.
 // --port-file writes the actually-bound port (after --port 0 picked an
 // ephemeral one) so harnesses can connect without racing the log output.
 // --preload SF dbgens an engine up front instead of on the first request.
+// --wal-dir (or X100_WAL_DIR) enables the durable write path: UPDATE
+// frames are accepted, group-committed to a WAL under the directory, and
+// replayed on the next start — kill -9 loses no acknowledged write.
+// --metrics-out (or X100_METRICS_OUT) dumps the metrics registry as JSON
+// to the given path on a clean signal-driven exit, so harnesses can
+// collect server-side counters without holding a connection open.
 // Connection limits and outbox budget come from X100_MAX_CONNS and
 // X100_OUTBOX_BYTES (common/config.h).
 
@@ -20,6 +27,7 @@
 #include <unistd.h>
 
 #include "common/config.h"
+#include "common/metrics.h"
 #include "server/engine_cache.h"
 #include "server/query_service.h"
 #include "server/tcp_server.h"
@@ -29,6 +37,16 @@ using namespace x100;
 namespace {
 volatile std::sig_atomic_t g_stop = 0;
 void OnSignal(int) { g_stop = 1; }
+
+/// Write-then-rename so a poller never reads a half-written file.
+bool WriteFileAtomic(const std::string& path, const std::string& body) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -36,11 +54,14 @@ int main(int argc, char** argv) {
   std::string port_file;
   double preload_sf = 0.0;
   int max_concurrent = 8;
+  std::string wal_dir = EnvWalDir();
+  std::string metrics_out = EnvMetricsOut();
   auto usage = [&](const char* why) {
     std::fprintf(stderr, "%s: %s\n", argv[0], why);
     std::fprintf(stderr,
                  "usage: %s [--port N] [--port-file PATH] [--preload SF] "
-                 "[--max-concurrent N]\n",
+                 "[--max-concurrent N] [--wal-dir PATH] "
+                 "[--metrics-out PATH]\n",
                  argv[0]);
     return 2;
   };
@@ -66,15 +87,25 @@ int main(int argc, char** argv) {
         return usage("--max-concurrent must be 1..256");
       }
       max_concurrent = static_cast<int>(n);
+    } else if (std::strcmp(argv[i], "--wal-dir") == 0 && i + 1 < argc) {
+      wal_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else {
       return usage("unknown argument");
     }
   }
 
-  QueryService svc(
-      {/*max_concurrent=*/max_concurrent, /*max_worker_threads=*/0});
+  QueryService::Options svc_opts;
+  svc_opts.max_concurrent = max_concurrent;
+  svc_opts.wal_dir = wal_dir;
+  svc_opts.wal_group_us = EnvWalGroupUs();
+  svc_opts.merge_threshold_rows = EnvMergeRows();
+  QueryService svc(svc_opts);
   if (preload_sf > 0.0) {
-    std::printf("preloading TPC-H SF=%.4g ...\n", preload_sf);
+    std::printf("preloading TPC-H SF=%.4g%s ...\n", preload_sf,
+                wal_dir.empty() ? "" : " (durable)");
+    std::fflush(stdout);
     svc.engines()->Get(preload_sf, /*want_disk=*/false);
   }
 
@@ -85,22 +116,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("x100_server listening on port %d (max %d connections, "
-              "%zu-byte outboxes)\n",
-              server.port(), server.max_connections(), server.outbox_bytes());
+              "%zu-byte outboxes%s)\n",
+              server.port(), server.max_connections(), server.outbox_bytes(),
+              wal_dir.empty() ? "" : (", wal " + wal_dir).c_str());
   std::fflush(stdout);
 
   if (!port_file.empty()) {
-    // Write then rename: a poller never reads a half-written file.
-    std::string tmp = port_file + ".tmp";
-    std::FILE* f = std::fopen(tmp.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "fatal: cannot write %s\n", tmp.c_str());
-      return 1;
-    }
-    std::fprintf(f, "%d\n", server.port());
-    std::fclose(f);
-    if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
-      std::fprintf(stderr, "fatal: cannot rename %s\n", tmp.c_str());
+    if (!WriteFileAtomic(port_file, std::to_string(server.port()) + "\n")) {
+      std::fprintf(stderr, "fatal: cannot write %s\n", port_file.c_str());
       return 1;
     }
   }
@@ -113,5 +136,12 @@ int main(int argc, char** argv) {
   std::printf("shutting down\n");
   server.Stop();
   svc.Drain();
+  if (!metrics_out.empty()) {
+    if (WriteFileAtomic(metrics_out, MetricsRegistry::Get().ToJson() + "\n")) {
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", metrics_out.c_str());
+    }
+  }
   return 0;
 }

@@ -106,4 +106,16 @@ size_t EnvOutboxBytes() {
   return static_cast<size_t>(v < (64 << 10) ? (64 << 10) : v);
 }
 
+std::string EnvWalDir() { return EnvString("X100_WAL_DIR", ""); }
+
+int64_t EnvWalGroupUs() {
+  return EnvIntInRange("X100_WAL_GROUP_US", kDefaultWalGroupUs, 0, 1000000);
+}
+
+int64_t EnvMergeRows() {
+  return EnvIntInRange("X100_MERGE_ROWS", kDefaultMergeRows, 1, 1000000000);
+}
+
+std::string EnvMetricsOut() { return EnvString("X100_METRICS_OUT", ""); }
+
 }  // namespace x100

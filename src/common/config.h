@@ -73,6 +73,30 @@ int EnvMaxConnections();
 inline constexpr size_t kDefaultOutboxBytes = size_t{4} << 20;
 size_t EnvOutboxBytes();
 
+// -- durability knobs (src/storage WAL + merge) --
+
+/// Directory holding WAL segments and checkpoint images; empty means
+/// durability is disabled and updates live only in memory
+/// (env X100_WAL_DIR).
+std::string EnvWalDir();
+
+/// Group-commit window in microseconds: the WAL flusher batches every
+/// append that arrives within this window into one write+fsync. 0 means
+/// fsync each commit individually (env X100_WAL_GROUP_US, 0..1000000).
+inline constexpr int64_t kDefaultWalGroupUs = 200;
+int64_t EnvWalGroupUs();
+
+/// Delta rows per table that trigger the background delta->fragment merge.
+/// Crash tests raise this to keep rowids stable across a run
+/// (env X100_MERGE_ROWS, 1..1e9).
+inline constexpr int64_t kDefaultMergeRows = 64 << 10;
+int64_t EnvMergeRows();
+
+/// Path the standalone server dumps its metrics-registry JSON to on a
+/// clean SIGINT/SIGTERM exit; empty disables the dump
+/// (env X100_METRICS_OUT).
+std::string EnvMetricsOut();
+
 }  // namespace x100
 
 #endif  // X100_COMMON_CONFIG_H_

@@ -1,5 +1,6 @@
 #include "exec/bm_scan.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstring>
 #include <mutex>
@@ -141,14 +142,20 @@ BmScanOp::BmScanOp(ExecContext* ctx, ColumnBm* bm, const Table& table,
         "' is not frozen; ColumnBM stores immutable fragments — call "
         "Freeze() first");
   }
-  if (table.delta_rows() != 0) {
+  // Under a pinned MVCC snapshot, deltas/deletes are handled by the scan
+  // itself (delta tail from memory, deletion compaction per vector), and the
+  // live counters below are moving targets owned by concurrent writers — so
+  // neither check applies (nor may it even read them).
+  bool mvcc = ctx->snapshots != nullptr &&
+              ctx->snapshots->Find(table.name()) != nullptr;
+  if (!mvcc && table.delta_rows() != 0) {
     throw std::invalid_argument(
         "BmScanOp: table '" + table.name() + "' has " +
         std::to_string(table.delta_rows()) +
         " delta rows; ColumnBM scans cover only the frozen fragment — "
         "merge the deltas (Freeze) before scanning");
   }
-  if (table.num_deleted() != 0) {
+  if (!mvcc && table.num_deleted() != 0) {
     throw std::invalid_argument(
         "BmScanOp: table '" + table.name() + "' has " +
         std::to_string(table.num_deleted()) +
@@ -184,11 +191,23 @@ void BmScanOp::Open() {
   for (int i = 0; i < kNumCodecs; i++) codec_blocks_[i] = codec_bytes_[i] = 0;
   prefetch_on_ = spec_.prefetch && bm_->disk_backed();
 
+  // Under MVCC serving every bound comes from the pinned snapshot (live
+  // counters move under concurrent writers; see ScanOp::Open).
+  snap_ = ctx_->snapshots != nullptr ? ctx_->snapshots->Find(table_.name())
+                                     : nullptr;
+  frag_rows_ = snap_ != nullptr ? snap_->fragment_rows : table_.fragment_rows();
+
   Table::RowRange range =
-      Table::MorselRange(0, table_.fragment_rows(), spec_.morsel.worker,
+      Table::MorselRange(0, frag_rows_, spec_.morsel.worker,
                          spec_.morsel.num_workers, /*align=*/1);
   pos_ = range.begin;
   end_ = range.end;
+  int64_t total = snap_ != nullptr ? snap_->total_rows : frag_rows_;
+  Table::RowRange dr = Table::MorselRange(
+      frag_rows_, total, spec_.morsel.worker, spec_.morsel.num_workers, 1);
+  delta_pos_ = dr.begin;
+  delta_end_ = dr.end;
+  in_delta_ = false;
 
   cols_.clear();
   std::vector<std::string> files;
@@ -209,7 +228,13 @@ void BmScanOp::Open() {
                    ? std::string(".") + Codec::Name(*spec_.codec)
                    : std::string(".cmp");
     }
-    st.file = table_.name() + "." + schema_.field(i).name + suffix;
+    // Post-merge fragments get a ".v<version>" infix: a delta->fragment
+    // merge rewrites the fragment in place, and block files cached under the
+    // old name must never serve the new fragment's scan (or vice versa).
+    int64_t ver =
+        snap_ != nullptr ? snap_->fragment_version : table_.fragment_version();
+    std::string vinfix = ver > 0 ? ".v" + std::to_string(ver) : "";
+    st.file = table_.name() + vinfix + "." + schema_.field(i).name + suffix;
     // Store-once rendezvous: concurrent sessions opening scans over the
     // same table must not race the contains/store pair (one wins, the rest
     // see the file stored before their first read).
@@ -394,19 +419,84 @@ bool BmScanOp::FillColumn(int c, char* dst, int64_t n) {
   return true;
 }
 
+int BmScanOp::CompactDeleted(int64_t lo, int64_t hi, int n) {
+  const std::vector<int64_t>& dels =
+      snap_ != nullptr ? *snap_->deleted : table_.deletion_list();
+  auto dbegin = std::lower_bound(dels.begin(), dels.end(), lo);
+  auto dend = std::lower_bound(dbegin, dels.end(), hi);
+  if (dbegin == dend) return n;
+  int out = n;
+  for (int c = 0; c < schema_.num_fields(); c++) {
+    // Batch columns are owned buffers (FillColumn memcpys into them), so
+    // live rows compact in place.
+    char* base = static_cast<char*>(batch_.column(c).data());
+    size_t w = TypeWidth(schema_.field(c).type);
+    auto d = dbegin;
+    int k = 0;
+    for (int64_t r = lo; r < hi; r++) {
+      if (d != dend && *d == r) {
+        ++d;
+        continue;
+      }
+      if (k != r - lo) {
+        std::memmove(base + static_cast<size_t>(k) * w,
+                     base + static_cast<size_t>(r - lo) * w, w);
+      }
+      k++;
+    }
+    out = k;
+  }
+  return out;
+}
+
 VectorBatch* BmScanOp::Next() {
   ctx_->CheckCancel();
-  int64_t remaining = end_ - pos_;
-  if (remaining <= 0) return nullptr;
-  int n = static_cast<int>(std::min<int64_t>(ctx_->vector_size, remaining));
-  for (int c = 0; c < static_cast<int>(cols_.size()); c++) {
-    bool ok = FillColumn(c, static_cast<char*>(batch_.column(c).data()), n);
-    X100_CHECK(ok);
+  while (true) {
+    if (!in_delta_) {
+      int64_t remaining = end_ - pos_;
+      if (remaining <= 0) {
+        if (delta_end_ > delta_pos_) {
+          in_delta_ = true;
+          continue;
+        }
+        return nullptr;
+      }
+      int n =
+          static_cast<int>(std::min<int64_t>(ctx_->vector_size, remaining));
+      for (int c = 0; c < static_cast<int>(cols_.size()); c++) {
+        bool ok = FillColumn(c, static_cast<char*>(batch_.column(c).data()), n);
+        X100_CHECK(ok);
+      }
+      int64_t lo = pos_;
+      pos_ += n;
+      int count = CompactDeleted(lo, lo + n, n);
+      if (count == 0) continue;  // fully deleted window; try the next one
+      batch_.set_count(count);
+      batch_.ClearSel();
+      return &batch_;
+    }
+    // Snapshot delta tail: the uncompressed-code delta columns live in
+    // memory only (never block-stored); rows below the snapshot's high-water
+    // mark are immutable, so plain memcpys off the pre-reserved buffers are
+    // race-free.
+    int64_t remaining = delta_end_ - delta_pos_;
+    if (remaining <= 0) return nullptr;
+    int n = static_cast<int>(std::min<int64_t>(ctx_->vector_size, remaining));
+    int64_t lo = delta_pos_;
+    for (int c = 0; c < static_cast<int>(cols_.size()); c++) {
+      const Column& col = table_.delta_column(col_idx_[c]);
+      size_t w = TypeWidth(schema_.field(c).type);
+      const char* base = static_cast<const char*>(col.raw()) +
+                         static_cast<size_t>(lo - frag_rows_) * w;
+      std::memcpy(batch_.column(c).data(), base, static_cast<size_t>(n) * w);
+    }
+    delta_pos_ += n;
+    int count = CompactDeleted(lo, lo + n, n);
+    if (count == 0) continue;
+    batch_.set_count(count);
+    batch_.ClearSel();
+    return &batch_;
   }
-  pos_ += n;
-  batch_.set_count(n);
-  batch_.ClearSel();
-  return &batch_;
 }
 
 void BmScanOp::CancelPrefetches() {

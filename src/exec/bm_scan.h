@@ -55,6 +55,13 @@ struct BmScanSpec {
 /// disk format); enum-compressed strings work via their code columns. The
 /// constructor throws std::invalid_argument with a precise message when the
 /// table violates these.
+///
+/// MVCC exception: when the ExecContext carries a pinned snapshot for the
+/// table, deltas and deletes are allowed — the frozen fragment still comes
+/// from ColumnBM blocks (named with a ".v<fragment_version>" infix after a
+/// merge so stale cached files are never served), deleted rows are compacted
+/// out of each vector, and the snapshot's delta tail is appended from the
+/// in-memory delta columns. Every bound comes from the snapshot.
 class BmScanOp : public Operator {
  public:
   /// Ensures each requested column of `table` is stored in `bm` under
@@ -124,6 +131,10 @@ class BmScanOp : public Operator {
   };
 
   bool FillColumn(int c, char* dst, int64_t n);
+  /// Compacts rows of window [lo, hi) that are on the (snapshot's) deletion
+  /// list out of the batch's owned buffers in place; returns the surviving
+  /// row count (== n when the window has no deletions).
+  int CompactDeleted(int64_t lo, int64_t hi, int n);
   void StageBlock(ColState& st);
   void SchedulePrefetch(ColState& st);
   void CancelPrefetches();
@@ -138,8 +149,12 @@ class BmScanOp : public Operator {
   BmScanSpec spec_;
   Schema schema_;
   std::vector<ColState> cols_;
+  const TableSnapshot* snap_ = nullptr;  // pinned view, or null for live
+  int64_t frag_rows_ = 0;  // fragment/delta boundary (snapshot or live)
   int64_t pos_ = 0;       // next row (fragment-absolute) to deliver
   int64_t end_ = 0;       // morsel end row
+  int64_t delta_pos_ = 0, delta_end_ = 0;  // snapshot delta tail (morsel)
+  bool in_delta_ = false;
   bool prefetch_on_ = false;
   PrefetchStats prefetch_;
   int64_t pool_hits_ = 0, pool_misses_ = 0;

@@ -9,6 +9,7 @@
 namespace x100 {
 
 class QueryTrace;
+struct SnapshotSet;
 
 /// Per-query execution settings shared by all operators of a plan.
 struct ExecContext {
@@ -39,6 +40,13 @@ struct ExecContext {
   /// Exchange poll it once per vector via CheckCancel(); null disables
   /// cancellation entirely (standalone plans pay one pointer test).
   CancelToken* cancel = nullptr;
+  /// Pinned MVCC snapshots (storage/snapshot.h), keyed by table name, when
+  /// the query runs against a store with concurrent writers. Scans that find
+  /// their table here take every bound — fragment rows, delta high-water
+  /// mark, deletion list — from the snapshot instead of the live table, so
+  /// in-flight appends/deletes/merges are invisible. Null (or a missing
+  /// table entry) reads the live table directly, the single-writer default.
+  const SnapshotSet* snapshots = nullptr;
 
   /// Per-vector cancellation poll: throws QueryCancelled when the token is
   /// tripped or its deadline passed. No-op without a token.

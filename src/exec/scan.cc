@@ -51,6 +51,14 @@ void ScanOp::RestrictMorsel(int worker, int num_workers) {
 }
 
 void ScanOp::Open() {
+  // Under MVCC serving, every bound — fragment rows, delta high-water mark,
+  // deletion list — comes from the pinned snapshot, never the live table:
+  // concurrent writers keep moving the latter. (Column data pointers stay
+  // valid for the pin's lifetime; structural changes fence pins out first.)
+  snap_ = ctx_->snapshots != nullptr ? ctx_->snapshots->Find(table_.name())
+                                     : nullptr;
+  frag_rows_ = snap_ != nullptr ? snap_->fragment_rows : table_.fragment_rows();
+
   // Refresh dictionary refs (bases are stable only between appends).
   for (int i = 0; i < static_cast<int>(col_idx_.size()); i++) {
     const Column& col = table_.column(col_idx_[i]);
@@ -62,7 +70,7 @@ void ScanOp::Open() {
   }
 
   frag_begin_ = 0;
-  frag_end_ = table_.fragment_rows();
+  frag_end_ = frag_rows_;
   if (restricted_) {
     int ci = table_.ColumnIndex(restrict_col_);
     const SummaryIndex* sma = table_.summary_index(ci);
@@ -72,8 +80,8 @@ void ScanOp::Open() {
       frag_end_ = r.end;
     }
   }
-  delta_begin_ = table_.fragment_rows();
-  delta_end_ = table_.total_rows();
+  delta_begin_ = frag_rows_;
+  delta_end_ = snap_ != nullptr ? snap_->total_rows : table_.total_rows();
   if (morsel_.num_workers > 1) {
     // The morsel is this worker's share of what survives SMA pruning, with
     // fragment split points granule-aligned (absolute alignment, matching
@@ -127,8 +135,10 @@ VectorBatch* ScanOp::Next() {
     int64_t n = std::min<int64_t>(ctx_->vector_size, region_end - pos_);
     int64_t lo = pos_, hi = pos_ + n;
 
-    // Deleted #rowIds inside the window.
-    const std::vector<int64_t>& dels = table_.deletion_list();
+    // Deleted #rowIds inside the window (the snapshot's immutable
+    // copy-on-write list under MVCC).
+    const std::vector<int64_t>& dels =
+        snap_ != nullptr ? *snap_->deleted : table_.deletion_list();
     auto dbegin = std::lower_bound(dels.begin(), dels.end(), lo);
     auto dend = std::lower_bound(dbegin, dels.end(), hi);
     int64_t ndel = dend - dbegin;
@@ -139,7 +149,7 @@ VectorBatch* ScanOp::Next() {
       if (i == rowid_field_) continue;
       const Column& col = in_delta_ ? table_.delta_column(col_idx_[bi])
                                     : table_.column(col_idx_[bi]);
-      int64_t off = in_delta_ ? lo - table_.fragment_rows() : lo;
+      int64_t off = in_delta_ ? lo - frag_rows_ : lo;
       size_t w = TypeWidth(schema_.field(i).type);
       const char* base = static_cast<const char*>(col.raw()) + off * w;
       if (ndel == 0) {

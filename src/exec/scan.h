@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "exec/operator.h"
+#include "storage/snapshot.h"
 #include "storage/table.h"
 
 namespace x100 {
@@ -90,6 +91,8 @@ class ScanOp : public Operator {
   ScanSpec::Morsel morsel_;
 
   // Scan state.
+  const TableSnapshot* snap_ = nullptr;  // pinned view, or null for live
+  int64_t frag_rows_ = 0;  // fragment/delta boundary (snapshot or live)
   int64_t frag_begin_ = 0, frag_end_ = 0;  // fragment region after SMA+morsel
   int64_t delta_begin_ = 0, delta_end_ = 0;  // delta region (morsel share)
   int64_t pos_ = 0;                          // next #rowId to deliver

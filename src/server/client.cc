@@ -97,6 +97,14 @@ bool Client::RequestMetrics(std::string* error) {
   return SendFrame(FrameType::kMetrics, EncodeMetrics(MetricsMsg{}), error);
 }
 
+bool Client::SubmitUpdate(uint64_t id, const UpdateRequest& req,
+                          std::string* error) {
+  UpdateMsg m;
+  m.id = id;
+  m.req = req;
+  return SendFrame(FrameType::kUpdate, EncodeUpdate(m), error);
+}
+
 bool Client::Next(Event* ev, std::string* error) {
   Frame f;
   if (!ReadFrame(&f, error)) return false;
@@ -113,6 +121,9 @@ bool Client::Next(Event* ev, std::string* error) {
     case FrameType::kMetrics:
       ev->kind = Event::Kind::kMetrics;
       return DecodeMetrics(f.payload, &ev->metrics, error);
+    case FrameType::kUpdateDone:
+      ev->kind = Event::Kind::kUpdateDone;
+      return DecodeUpdateDone(f.payload, &ev->update_done, error);
     default:
       *error = "unexpected frame type " +
                std::to_string(static_cast<int>(f.type));

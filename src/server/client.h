@@ -20,12 +20,13 @@ class Client {
  public:
   /// One server->client message, already decoded.
   struct Event {
-    enum class Kind { kBatch, kDone, kError, kMetrics };
+    enum class Kind { kBatch, kDone, kError, kMetrics, kUpdateDone };
     Kind kind = Kind::kError;
     BatchMsg batch;
     DoneMsg done;
     ErrorMsg error;
     MetricsMsg metrics;
+    UpdateDoneMsg update_done;
   };
 
   /// Connects to host:port and completes the HELLO handshake. Null +
@@ -43,6 +44,12 @@ class Client {
   bool Submit(uint64_t id, const QueryRequest& req, std::string* error);
   bool Cancel(uint64_t id, std::string* error);
   bool RequestMetrics(std::string* error);
+
+  /// Sends one row-level write; the server answers with a kUpdateDone
+  /// event for `id` once the write is applied (and, with req.durable,
+  /// fsync'd). Updates pipelined back-to-back share one group commit.
+  bool SubmitUpdate(uint64_t id, const UpdateRequest& req,
+                    std::string* error);
 
   /// Blocks for the next server message. False + *error on EOF, socket
   /// error, or an undecodable frame.

@@ -15,6 +15,7 @@
 
 #include "storage/catalog.h"
 #include "storage/columnbm.h"
+#include "storage/durable.h"
 
 namespace x100 {
 
@@ -22,18 +23,38 @@ class EngineCache {
  public:
   /// One scale factor's engine state. `db` is always set; `bm` is set once
   /// any disk request at this SF has been served (or the seeder passed
-  /// one). Pointers stay valid for the cache's lifetime.
+  /// one); `store` is set when the cache was opened with a WAL directory
+  /// (EnableDurability) — it accepts updates and hands out snapshots.
+  /// Pointers stay valid for the cache's lifetime.
   struct Engine {
     const Catalog* db = nullptr;
     ColumnBm* bm = nullptr;
+    DurableStore* store = nullptr;
+  };
+
+  /// Durable serving configuration: when `wal_dir` is set, every lazily
+  /// created engine lives behind a DurableStore whose WAL + checkpoint
+  /// images go under `<wal_dir>/sf_<sf>` — surviving restarts because the
+  /// base catalog (deterministic dbgen) plus the replayed WAL reproduces
+  /// the pre-crash state bit-identically.
+  struct DurabilityOptions {
+    std::string wal_dir;
+    int64_t group_commit_us = kDefaultWalGroupUs;
+    int64_t merge_threshold_rows = kDefaultMergeRows;
+    bool background_merge = true;
   };
 
   EngineCache() = default;
-  /// Removes the scratch directories of lazily-created disk stores.
+  /// Removes the scratch directories of lazily-created disk stores. WAL
+  /// directories are deliberately NOT removed — they are the durability.
   ~EngineCache();
 
   EngineCache(const EngineCache&) = delete;
   EngineCache& operator=(const EngineCache&) = delete;
+
+  /// Call before the first Get(). Engines created after this are durable;
+  /// Seed()ed engines stay caller-owned and read-only.
+  void EnableDurability(DurabilityOptions opts);
 
   /// Registers a caller-owned engine for `sf` instead of lazy dbgen — the
   /// runner and benches already hold a generated catalog, and tests want
@@ -56,11 +77,13 @@ class EngineCache {
     const Catalog* db = nullptr;
     std::unique_ptr<ColumnBm> owned_bm;
     ColumnBm* bm = nullptr;
+    std::unique_ptr<DurableStore> store;  // owns the catalog when set
     std::string scratch_dir;  // non-empty only for owned disk stores
   };
 
   std::mutex mu_;
   std::map<double, Entry> entries_;
+  DurabilityOptions durability_;  // wal_dir empty: durability off
 };
 
 }  // namespace x100

@@ -66,6 +66,22 @@ static std::unique_ptr<Table> ExecuteRequest(const QueryRequest& req,
   int q = req.TpchQueryNumber();
   EngineCache::Engine eng =
       engines->Get(req.scale_factor, req.engine == QueryEngine::kDisk);
+  // Durable engines serve concurrent writers: pin an epoch-consistent
+  // snapshot of every table for the whole plan build + execution (scans
+  // take all bounds from it), released when this frame unwinds — normally
+  // or by exception — letting writers' structural fences drain.
+  struct SnapshotPin {
+    ExecContext* ctx = nullptr;
+    std::shared_ptr<SnapshotSet> snaps;
+    ~SnapshotPin() {
+      if (ctx != nullptr) ctx->snapshots = nullptr;
+    }
+  } pin;
+  if (eng.store != nullptr) {
+    pin.ctx = ctx;
+    pin.snaps = eng.store->PinAll();
+    ctx->snapshots = pin.snaps.get();
+  }
   if (q > 0) {
     if (req.engine == QueryEngine::kDisk) {
       return RunX100QueryDisk(q, ctx, *eng.db, eng.bm, req.compress);
@@ -136,6 +152,13 @@ QueryService::QueryService(Options opts)
   worker_budget_ = opts_.max_worker_threads > 0
                        ? opts_.max_worker_threads
                        : ThreadPool::Shared().num_threads();
+  if (!opts_.wal_dir.empty()) {
+    EngineCache::DurabilityOptions d;
+    d.wal_dir = opts_.wal_dir;
+    d.group_commit_us = opts_.wal_group_us;
+    d.merge_threshold_rows = opts_.merge_threshold_rows;
+    engines_->EnableDurability(std::move(d));
+  }
 }
 
 QueryService::~QueryService() {
@@ -166,6 +189,65 @@ std::shared_ptr<QuerySession> QueryService::Submit(
 std::shared_ptr<QuerySession> QueryService::Submit(QueryFn fn,
                                                    QueryOptions opts) {
   return SubmitInternal(std::move(fn), std::move(opts), nullptr);
+}
+
+/// Resolves the SF's DurableStore, failing (not throwing) when the
+/// service is read-only or the engine cannot be built.
+static DurableStore* StoreFor(EngineCache* engines, double sf,
+                              const std::string& wal_dir,
+                              std::string* error) {
+  if (wal_dir.empty()) {
+    *error = "server is read-only (started without a WAL directory)";
+    return nullptr;
+  }
+  try {
+    EngineCache::Engine eng = engines->Get(sf, /*want_disk=*/false);
+    if (eng.store == nullptr) {
+      *error = "engine at this scale factor is read-only (seeded)";
+      return nullptr;
+    }
+    return eng.store;
+  } catch (const std::exception& e) {
+    *error = e.what();
+    return nullptr;
+  }
+}
+
+UpdateOutcome QueryService::SubmitUpdate(const UpdateRequest& req) {
+  UpdateOutcome out;
+  std::string why = req.Validate();
+  if (!why.empty()) {
+    out.error = "invalid update: " + why;
+    return out;
+  }
+  DurableStore* store =
+      StoreFor(engines_.get(), req.scale_factor, opts_.wal_dir, &out.error);
+  if (store == nullptr) return out;
+  Status s = req.op == UpdateOp::kAppend
+                 ? store->Append(req.table, req.row, req.durable, &out.lsn)
+                 : store->Delete(req.table, req.rowid, req.durable, &out.lsn);
+  if (!s.ok()) {
+    out.error = s.message();
+    out.lsn = 0;
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+UpdateOutcome QueryService::WaitDurable(double sf, uint64_t lsn) {
+  UpdateOutcome out;
+  DurableStore* store =
+      StoreFor(engines_.get(), sf, opts_.wal_dir, &out.error);
+  if (store == nullptr) return out;
+  Status s = store->WaitDurable(lsn);
+  if (!s.ok()) {
+    out.error = s.message();
+    return out;
+  }
+  out.ok = true;
+  out.lsn = lsn;
+  return out;
 }
 
 std::shared_ptr<QuerySession> QueryService::SubmitInternal(

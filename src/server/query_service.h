@@ -152,6 +152,15 @@ class QueryService {
     /// width. A query wider than the whole budget is clamped at admission
     /// rather than rejected.
     int max_worker_threads = 0;
+    /// Non-empty: serve durably — engines open behind a DurableStore
+    /// (WAL + checkpoints under <wal_dir>/sf_<sf>), SubmitUpdate()
+    /// accepts writes, and every query runs against a pinned MVCC
+    /// snapshot. Empty: read-only serving, updates are rejected.
+    std::string wal_dir;
+    /// Group-commit window for durable updates (X100_WAL_GROUP_US).
+    int64_t wal_group_us = kDefaultWalGroupUs;
+    /// Published delta rows that trigger a background merge.
+    int64_t merge_threshold_rows = kDefaultMergeRows;
   };
 
   QueryService();  // default Options
@@ -180,6 +189,19 @@ class QueryService {
   /// that drive synthetic workloads (sleep loops, fault injection) no
   /// request schema should have to express.
   std::shared_ptr<QuerySession> Submit(QueryFn fn, QueryOptions opts = {});
+
+  /// Applies one row-level write to the SF's durable engine, synchronously
+  /// on the caller's thread (writes are short; with req.durable the call
+  /// also rides out one group-commit window). Fails — never throws — when
+  /// the service is read-only (no wal_dir), the table is unknown, or the
+  /// row is malformed. Concurrent queries never observe the write
+  /// mid-flight: they read pinned snapshots.
+  UpdateOutcome SubmitUpdate(const UpdateRequest& req);
+
+  /// Blocks until every WAL record up to `lsn` of SF `sf`'s engine is on
+  /// stable storage. Lets a caller batch non-durable SubmitUpdates and
+  /// group-commit them with one wait (the TCP front-end's update path).
+  UpdateOutcome WaitDurable(double sf, uint64_t lsn);
 
   /// Engine states (catalog + optional disk ColumnBm per scale factor)
   /// requests resolve against. Seed it when the caller already generated

@@ -41,4 +41,20 @@ std::string QueryRequest::Validate() const {
   return "";
 }
 
+std::string UpdateRequest::Validate() const {
+  if (table.empty()) return "empty table name";
+  if (!(scale_factor > 0.0) || scale_factor > kMaxRequestScaleFactor) {
+    return "scale_factor out of range (0, " +
+           std::to_string(kMaxRequestScaleFactor) + "]";
+  }
+  if (op == UpdateOp::kAppend) {
+    if (row.empty()) return "append with no values";
+  } else if (op == UpdateOp::kDelete) {
+    if (rowid < 0) return "negative rowid";
+  } else {
+    return "unknown update op";
+  }
+  return "";
+}
+
 }  // namespace x100

@@ -14,9 +14,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/cancel.h"
 #include "common/config.h"
+#include "common/value.h"
 #include "storage/table.h"
 
 namespace x100 {
@@ -73,6 +75,46 @@ inline constexpr int kMaxRequestThreads = 64;
 inline constexpr int kMaxRequestVectorSize = 4 << 20;
 
 enum class QueryStatus : uint8_t { kDone = 0, kFailed = 1, kCancelled = 2 };
+
+// ---------------------------------------------------------------------------
+// Updates (the durable write path, storage/durable.h). Like QueryRequest,
+// one schema serves in-process callers and the wire (kUpdate frames), so a
+// network client can mutate the same tables queries read — under snapshot
+// isolation, with the write WAL-logged before it is acknowledged.
+
+enum class UpdateOp : uint8_t { kAppend = 0, kDelete = 1 };
+
+/// One row-level mutation against a served engine. Only engines opened
+/// with a WAL directory (QueryService::Options::wal_dir) accept updates;
+/// read-only engines fail the request with a clear error.
+struct UpdateRequest {
+  UpdateOp op = UpdateOp::kAppend;
+  /// Target table name in the SF's catalog (e.g. "lineitem").
+  std::string table;
+  /// Scale factor selecting the engine, same domain as QueryRequest's.
+  double scale_factor = 0.01;
+  /// kAppend: one value per declared column (join-index columns are
+  /// maintained automatically from the foreign keys).
+  std::vector<Value> row;
+  /// kDelete: the virtual #rowId to delete.
+  int64_t rowid = 0;
+  /// Wait for the WAL record to be fsync'd (group commit) before the
+  /// request is acknowledged. False returns once applied + buffered —
+  /// faster, but the write may be lost in a crash.
+  bool durable = true;
+
+  /// Shape check mirroring QueryRequest::Validate(): "" when plausible.
+  std::string Validate() const;
+};
+
+/// Terminal record of one update.
+struct UpdateOutcome {
+  bool ok = false;
+  std::string error;
+  /// WAL sequence number of the logged record (0 on failure). With
+  /// `durable`, every record up to this lsn is on stable storage.
+  uint64_t lsn = 0;
+};
 
 /// Terminal record of one request, delivered to the sink exactly once and
 /// mirrored by the session accessors (error(), queue_nanos(), ...).

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -181,12 +182,19 @@ bool TcpServer::Start(std::string* error) {
   port_ = ntohs(addr.sin_port);
   loop_->AddFd(listen_fd_, EPOLLIN, [this](uint32_t) { OnAccept(); });
   loop_thread_ = std::thread([this] { loop_->Run(); });
+  updater_ = std::thread([this] { UpdaterLoop(); });
   started_ = true;
   return true;
 }
 
 void TcpServer::Stop() {
   if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(up_mu_);
+    stop_updater_ = true;
+    up_cv_.notify_all();
+  }
+  updater_.join();
   loop_->Post([this] {
     std::vector<std::shared_ptr<Conn>> conns(conns_.begin(), conns_.end());
     for (const auto& c : conns) CloseConn(c);
@@ -332,6 +340,20 @@ bool TcpServer::HandleFrame(const std::shared_ptr<Conn>& conn,
       SendNow(conn, FrameType::kMetrics,
               EncodeMetrics(MetricsMsg{MetricsRegistry::Get().ToJson()}));
       return true;
+    case FrameType::kUpdate: {
+      UpdateMsg m;
+      if (!DecodeUpdate(f.payload, &m, &error)) {
+        SendNow(conn, FrameType::kError,
+                EncodeError(ErrorMsg{0, "bad UPDATE: " + error}));
+        return false;
+      }
+      // Hand off to the updater thread: the loop thread must never sit in
+      // an fsync. Acks come back as UPDATE_DONE frames via the outbox.
+      std::lock_guard<std::mutex> lock(up_mu_);
+      updates_.push_back(PendingUpdate{conn, m.id, std::move(m.req)});
+      up_cv_.notify_one();
+      return true;
+    }
     default:
       SendNow(conn, FrameType::kError,
               EncodeError(ErrorMsg{
@@ -346,6 +368,61 @@ void TcpServer::SendNow(const std::shared_ptr<Conn>& conn, FrameType type,
   std::vector<uint8_t> out;
   AppendFrame(&out, type, payload);
   conn->Push(std::move(out), /*force=*/true, nullptr);
+}
+
+void TcpServer::UpdaterLoop() {
+  for (;;) {
+    std::deque<PendingUpdate> batch;
+    {
+      std::unique_lock<std::mutex> lock(up_mu_);
+      up_cv_.wait(lock, [&] { return stop_updater_ || !updates_.empty(); });
+      if (stop_updater_ && updates_.empty()) return;
+      batch.swap(updates_);
+    }
+    // Pass 1: apply everything without waiting on the WAL — appends land
+    // in the log in arrival order, lsns monotone.
+    struct Acked {
+      PendingUpdate* u;
+      UpdateOutcome out;
+    };
+    std::vector<Acked> acked;
+    acked.reserve(batch.size());
+    // Highest lsn per SF whose sender asked for durability.
+    std::map<double, uint64_t> durable_high;
+    for (PendingUpdate& u : batch) {
+      UpdateRequest apply = u.req;
+      bool wants_durable = apply.durable;
+      apply.durable = false;
+      UpdateOutcome out = svc_->SubmitUpdate(apply);
+      if (out.ok && wants_durable) {
+        uint64_t& high = durable_high[apply.scale_factor];
+        high = std::max(high, out.lsn);
+      }
+      acked.push_back(Acked{&u, std::move(out)});
+    }
+    // Pass 2: one group-commit wait per SF covers the whole batch.
+    std::map<double, std::string> sync_error;
+    for (const auto& [sf, lsn] : durable_high) {
+      UpdateOutcome w = svc_->WaitDurable(sf, lsn);
+      if (!w.ok) sync_error[sf] = w.error;
+    }
+    // Pass 3: acknowledge. An acked durable write is on stable storage.
+    for (Acked& a : acked) {
+      if (a.out.ok && a.u->req.durable) {
+        auto it = sync_error.find(a.u->req.scale_factor);
+        if (it != sync_error.end()) {
+          a.out.ok = false;
+          a.out.error = "wal sync failed: " + it->second;
+          a.out.lsn = 0;
+        }
+      }
+      std::vector<uint8_t> frame;
+      AppendFrame(&frame, FrameType::kUpdateDone,
+                  EncodeUpdateDone(UpdateDoneMsg{a.u->id, a.out}));
+      // Forced: acks are small; a closed connection just drops them.
+      a.u->conn->Push(std::move(frame), /*force=*/true, nullptr);
+    }
+  }
 }
 
 void TcpServer::CloseConn(const std::shared_ptr<Conn>& conn) {

@@ -23,8 +23,11 @@
 // (HELLO/ERROR/DONE/METRICS frames) always bypass the budget — the loop
 // may never block on itself.
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -85,6 +88,13 @@ class TcpServer {
   /// Loop-thread send: force-enqueue (never blocks) and kick the drain.
   void SendNow(const std::shared_ptr<Conn>& conn, FrameType type,
                const std::vector<uint8_t>& payload);
+  /// Updater thread: drains queued UPDATE frames in batches — applies
+  /// every pending write non-durably, waits ONE group commit on the
+  /// batch's last lsn, then acks each with UPDATE_DONE. That keeps fsync
+  /// waits off the loop thread (reads stay responsive under write load)
+  /// and turns pipelined updates into one fsync per batch, while still
+  /// guaranteeing an acked write is on stable storage.
+  void UpdaterLoop();
 
   QueryService* svc_;
   int port_ = -1;
@@ -96,6 +106,17 @@ class TcpServer {
   std::thread loop_thread_;
   bool started_ = false;
   std::set<std::shared_ptr<Conn>> conns_;  // loop thread only
+
+  struct PendingUpdate {
+    std::shared_ptr<Conn> conn;
+    uint64_t id = 0;
+    UpdateRequest req;
+  };
+  std::mutex up_mu_;
+  std::condition_variable up_cv_;
+  std::deque<PendingUpdate> updates_;
+  bool stop_updater_ = false;
+  std::thread updater_;
 };
 
 }  // namespace x100

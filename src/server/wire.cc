@@ -89,7 +89,7 @@ class PayloadReader {
 
 bool ValidFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kHello) &&
-         t <= static_cast<uint8_t>(FrameType::kMetrics);
+         t <= static_cast<uint8_t>(FrameType::kUpdateDone);
 }
 
 }  // namespace
@@ -268,6 +268,130 @@ bool DecodeMetrics(const std::vector<uint8_t>& payload, MetricsMsg* m,
   PayloadReader r(payload, error);
   r.Str(&m->json);
   return r.Done();
+}
+
+// -- UPDATE / UPDATE_DONE ----------------------------------------------------
+
+std::vector<uint8_t> EncodeUpdate(const UpdateMsg& m) {
+  PayloadWriter w;
+  w.Scalar(m.id);
+  w.Scalar(static_cast<uint8_t>(m.req.op));
+  w.Scalar(static_cast<uint8_t>(m.req.durable));
+  w.Scalar(m.req.scale_factor);
+  w.Scalar(m.req.rowid);
+  w.Scalar(static_cast<uint16_t>(m.req.table.size()));
+  w.Bytes(m.req.table.data(), m.req.table.size());
+  w.Scalar(static_cast<uint16_t>(m.req.row.size()));
+  for (const Value& v : m.req.row) {
+    w.Scalar(static_cast<uint8_t>(v.type()));
+    if (v.type() == TypeId::kStr) {
+      w.Str(v.AsStr());
+    } else if (v.type() == TypeId::kF64 || v.type() == TypeId::kF32) {
+      w.Scalar(v.AsF64());
+    } else {
+      w.Scalar(v.AsI64());
+    }
+  }
+  return w.Take();
+}
+
+bool DecodeUpdate(const std::vector<uint8_t>& payload, UpdateMsg* m,
+                  std::string* error) {
+  PayloadReader r(payload, error);
+  r.Scalar(&m->id);
+  uint8_t op = 0, durable = 0;
+  r.Scalar(&op);
+  r.Scalar(&durable);
+  r.Scalar(&m->req.scale_factor);
+  r.Scalar(&m->req.rowid);
+  uint16_t table_len = 0;
+  if (!r.Scalar(&table_len)) return false;
+  {
+    std::vector<uint8_t> name;
+    if (!r.Bytes(&name, table_len)) return false;
+    m->req.table.assign(reinterpret_cast<const char*>(name.data()),
+                        name.size());
+  }
+  uint16_t n = 0;
+  if (!r.Scalar(&n)) return false;
+  m->req.row.clear();
+  for (uint16_t i = 0; i < n; i++) {
+    uint8_t type = 0;
+    if (!r.Scalar(&type)) return false;
+    if (type >= static_cast<uint8_t>(TypeId::kCount)) {
+      return r.Fail("unknown value type");
+    }
+    TypeId t = static_cast<TypeId>(type);
+    if (t == TypeId::kStr) {
+      std::string s;
+      if (!r.Str(&s)) return false;
+      m->req.row.push_back(Value::Str(std::move(s)));
+    } else if (t == TypeId::kF64 || t == TypeId::kF32) {
+      double d = 0;
+      if (!r.Scalar(&d)) return false;
+      m->req.row.push_back(t == TypeId::kF64
+                               ? Value::F64(d)
+                               : Value::F32(static_cast<float>(d)));
+    } else {
+      int64_t v = 0;
+      if (!r.Scalar(&v)) return false;
+      switch (t) {
+        case TypeId::kI8:
+          m->req.row.push_back(Value::I8(static_cast<int8_t>(v)));
+          break;
+        case TypeId::kU8:
+          m->req.row.push_back(Value::U8(static_cast<uint8_t>(v)));
+          break;
+        case TypeId::kI16:
+          m->req.row.push_back(Value::I16(static_cast<int16_t>(v)));
+          break;
+        case TypeId::kU16:
+          m->req.row.push_back(Value::U16(static_cast<uint16_t>(v)));
+          break;
+        case TypeId::kI32:
+          m->req.row.push_back(Value::I32(static_cast<int32_t>(v)));
+          break;
+        case TypeId::kDate:
+          m->req.row.push_back(Value::Date(static_cast<int32_t>(v)));
+          break;
+        case TypeId::kI64:
+          m->req.row.push_back(Value::I64(v));
+          break;
+        default:
+          return r.Fail("non-appendable value type");
+      }
+    }
+  }
+  if (!r.Done()) return false;
+  if (m->id == 0) return r.Fail("update id must be nonzero");
+  if (op > static_cast<uint8_t>(UpdateOp::kDelete)) {
+    return r.Fail("unknown update op");
+  }
+  m->req.op = static_cast<UpdateOp>(op);
+  m->req.durable = durable != 0;
+  return true;
+}
+
+std::vector<uint8_t> EncodeUpdateDone(const UpdateDoneMsg& m) {
+  PayloadWriter w;
+  w.Scalar(m.id);
+  w.Scalar(static_cast<uint8_t>(m.outcome.ok));
+  w.Scalar(m.outcome.lsn);
+  w.Str(m.outcome.error);
+  return w.Take();
+}
+
+bool DecodeUpdateDone(const std::vector<uint8_t>& payload, UpdateDoneMsg* m,
+                      std::string* error) {
+  PayloadReader r(payload, error);
+  r.Scalar(&m->id);
+  uint8_t ok = 0;
+  r.Scalar(&ok);
+  r.Scalar(&m->outcome.lsn);
+  r.Str(&m->outcome.error);
+  if (!r.Done()) return false;
+  m->outcome.ok = ok != 0;
+  return true;
 }
 
 // -- BATCH -------------------------------------------------------------------

@@ -54,6 +54,8 @@ enum class FrameType : uint8_t {
   kError = 5,    // server: protocol-level error (id 0 = connection-level)
   kCancel = 6,   // client: cancel the query with this id
   kMetrics = 7,  // client: empty request; server: metrics JSON snapshot
+  kUpdate = 8,   // client: apply this UpdateRequest under a chosen id
+  kUpdateDone = 9,  // server: terminal (durable) outcome of an update id
 };
 
 /// One decoded frame: type tag plus raw payload bytes.
@@ -117,6 +119,18 @@ struct MetricsMsg {
   std::string json;  // empty in the request direction
 };
 
+struct UpdateMsg {
+  /// Client-chosen id, echoed on the UPDATE_DONE; nonzero, and may not
+  /// collide with an in-flight query or update id on the connection.
+  uint64_t id = 0;
+  UpdateRequest req;
+};
+
+struct UpdateDoneMsg {
+  uint64_t id = 0;
+  UpdateOutcome outcome;
+};
+
 std::vector<uint8_t> EncodeHello(const HelloMsg& m);
 bool DecodeHello(const std::vector<uint8_t>& payload, HelloMsg* m,
                  std::string* error);
@@ -140,6 +154,21 @@ bool DecodeCancel(const std::vector<uint8_t>& payload, CancelMsg* m,
 std::vector<uint8_t> EncodeMetrics(const MetricsMsg& m);
 bool DecodeMetrics(const std::vector<uint8_t>& payload, MetricsMsg* m,
                    std::string* error);
+
+/// Update payload:
+///   u64 id | u8 op | u8 durable | f64 scale_factor | i64 rowid |
+///   u16 table_len | table | u16 num_values |
+///   per value: u8 TypeId | payload
+/// Value payloads are 8-byte LE (i64 for integrals/dates, f64 bit pattern
+/// for floats) or u32 length + bytes for strings — the same shape the WAL
+/// logs, so what crosses the wire is exactly what replays.
+std::vector<uint8_t> EncodeUpdate(const UpdateMsg& m);
+bool DecodeUpdate(const std::vector<uint8_t>& payload, UpdateMsg* m,
+                  std::string* error);
+
+std::vector<uint8_t> EncodeUpdateDone(const UpdateDoneMsg& m);
+bool DecodeUpdateDone(const std::vector<uint8_t>& payload, UpdateDoneMsg* m,
+                      std::string* error);
 
 // ---------------------------------------------------------------------------
 // Batches.

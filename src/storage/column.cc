@@ -114,6 +114,18 @@ void Column::AppendCode(int code) {
   rows_++;
 }
 
+void Column::WidenCodesToU16() {
+  X100_CHECK(dict_ != nullptr);
+  if (storage_ == TypeId::kU16) return;
+  Buffer wide;
+  wide.Reserve(static_cast<size_t>(rows_) * 2);
+  for (int64_t i = 0; i < rows_; i++) {
+    wide.PushBack(static_cast<uint16_t>(data_.At<uint8_t>(i)));
+  }
+  data_ = std::move(wide);
+  storage_ = TypeId::kU16;
+}
+
 void Column::AppendI64(int64_t v) {
   if (dict_) {
     AppendCode(dict_->CodeOf(type_ == TypeId::kI64 ? Value::I64(v)

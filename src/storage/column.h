@@ -75,6 +75,14 @@ class Column {
   const void* raw() const { return data_.data(); }
   void* mutable_raw() { return data_.data(); }
 
+  /// Pre-reserves physical storage for `rows` values so the data pointer
+  /// stays stable while rows up to that count are appended (delta columns
+  /// under MVCC: readers hold raw() across concurrent appends below the
+  /// reserved capacity).
+  void Reserve(int64_t rows) {
+    data_.Reserve(static_cast<size_t>(rows) * TypeWidth(storage_));
+  }
+
   // -- appends (logical values) --
   void AppendI64(int64_t v);   // all integral logical types incl. dates
   void AppendF64(double v);
@@ -97,6 +105,12 @@ class Column {
 
   /// Code at `row`; column must be enum-encoded.
   int64_t CodeAt(int64_t row) const;
+
+  /// Widens u8 codes to u16 in place (no-op if already u16). Shared-dict
+  /// delta columns normally keep a fixed code width; MVCC writers call this
+  /// on fragment AND delta column together, behind a reader fence, when the
+  /// shared dictionary outgrows 256 entries.
+  void WidenCodesToU16();
 
   /// Serialization support (storage/serialize.cc): replaces this column's
   /// physical buffer with `rows` values of physical type `storage` (codes

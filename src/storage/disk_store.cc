@@ -323,12 +323,25 @@ Status DiskStore::WriteManifest(const std::string& table,
                 Crc32(body.data(), body.size()));
   body += line;
 
+  // Temp-file + rename: the manifest is rewritten while readers of the old
+  // fragment may still be draining (MVCC merge swap), and a crash mid-write
+  // must leave either the old or the new manifest, never a torn one.
   std::string path = PathFor(table + ".manifest");
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return IoError("create", path);
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return IoError("create", tmp);
   size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  int flush_rc = n == body.size() ? std::fflush(f) : 0;
+  int sync_rc = flush_rc == 0 ? ::fsync(fileno(f)) : 0;
   int rc = std::fclose(f);
-  if (n != body.size() || rc != 0) return IoError("write", path);
+  if (n != body.size() || flush_rc != 0 || sync_rc != 0 || rc != 0) {
+    std::remove(tmp.c_str());
+    return IoError("write", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return IoError("rename", path);
+  }
   return Status::OK();
 }
 

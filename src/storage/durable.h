@@ -1,0 +1,137 @@
+#ifndef X100_STORAGE_DURABLE_H_
+#define X100_STORAGE_DURABLE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace x100 {
+
+/// Crash-safe, concurrency-safe write path over a Catalog: a WAL for
+/// durability, an MvccTable per table for snapshot isolation, periodic
+/// checkpoint images, and a background delta->fragment merge.
+///
+/// Lifecycle:
+///   1. Open() — picks the newest `checkpoint-<lsn>.cat` image in wal_dir
+///      (falling back to the caller's deterministically rebuilt base
+///      catalog) and opens the WAL, truncating any torn tail.
+///   2. Caller rebuilds derived structures the image does not carry
+///      (summary + join indices) and RegisterJoinIndex()es each `#ji_*`
+///      column so appends can maintain it.
+///   3. Recover() — replays WAL records with lsn > image lsn through the
+///      MvccTables; deterministic, so recovered state is bit-identical to
+///      the pre-crash state for every acknowledged write.
+///   4. Serve: Append/Delete (group-committed), PinAll() snapshots for
+///      queries, background merge, Checkpoint().
+///
+/// All writers across all tables are serialized by one store-wide mutex:
+/// appends read *other* tables to maintain join indices, and total ordering
+/// is what makes WAL replay deterministic.
+class DurableStore {
+ public:
+  struct Options {
+    std::string wal_dir;  // required
+    int64_t group_commit_us = kDefaultWalGroupUs;
+    int64_t merge_threshold_rows = kDefaultMergeRows;
+    bool background_merge = true;
+  };
+
+  static std::unique_ptr<DurableStore> Open(const Options& opts,
+                                            std::unique_ptr<Catalog> base,
+                                            std::string* error);
+  ~DurableStore();
+
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  Catalog* catalog() { return catalog_.get(); }
+  const Catalog& catalog() const { return *catalog_; }
+  /// Lsn covered by the loaded checkpoint image (0 when starting from base).
+  uint64_t image_lsn() const { return image_lsn_; }
+
+  /// Declares (and, if the column is missing, builds) the join index
+  /// `#ji_<target>` on `table`. Call between Open() and Recover().
+  Status RegisterJoinIndex(const std::string& table,
+                           const std::vector<std::string>& fk_cols,
+                           const std::string& target,
+                           const std::vector<std::string>& key_cols);
+
+  /// Replays the WAL past the image and starts the background merge thread.
+  Status Recover();
+
+  /// Appends one row. With `durable`, blocks until the WAL record is
+  /// fsync'd (group commit); otherwise returns once applied + buffered.
+  /// `*lsn` receives the record's lsn.
+  Status Append(const std::string& table, const std::vector<Value>& row,
+                bool durable, uint64_t* lsn);
+
+  /// Deletes by #rowId (same durability contract as Append).
+  Status Delete(const std::string& table, int64_t rowid, bool durable,
+                uint64_t* lsn);
+
+  /// Blocks until every record up to `lsn` is fsync'd — the group-commit
+  /// rendezvous for callers that batched non-durable Appends.
+  Status WaitDurable(uint64_t lsn) { return wal_->Commit(lsn); }
+
+  /// Pins an epoch-consistent snapshot of every table for one query.
+  std::shared_ptr<SnapshotSet> PinAll();
+
+  /// Quiesces writers, writes `checkpoint-<lsn>.cat` (temp-file + rename),
+  /// then truncates the WAL. Recovery after this replays nothing older.
+  Status Checkpoint();
+
+  /// Merges any table whose published delta exceeds the threshold. Only
+  /// tables no other table's join index points at are eligible (a target
+  /// merge would reassign the rowids those indices store). Returns the
+  /// number of tables merged. The background thread calls this; tests call
+  /// it directly.
+  int MergeIfNeeded();
+
+  MvccTable* mvcc(const std::string& table);
+  uint64_t last_lsn() const { return wal_->last_lsn(); }
+
+ private:
+  DurableStore(const Options& opts, std::unique_ptr<Catalog> catalog,
+               uint64_t image_lsn);
+
+  Status Apply(const WalRecord& rec);  // replay callback
+  void MergeLoop();
+
+  struct JiRegistration {
+    std::string table;
+    std::vector<std::string> fk_cols;
+    std::string target;
+    std::vector<std::string> key_cols;
+  };
+
+  Options opts_;
+  std::unique_ptr<Catalog> catalog_;
+  uint64_t image_lsn_ = 0;
+  std::unique_ptr<Wal> wal_;
+  std::map<std::string, std::unique_ptr<MvccTable>> mvcc_;
+  std::vector<JiRegistration> ji_specs_;
+  std::map<std::string, bool> is_ji_target_;  // has dependents?
+
+  std::mutex write_mu_;  // store-wide writer serialization
+
+  std::thread merger_;
+  std::mutex merge_mu_;
+  std::condition_variable merge_cv_;
+  bool stop_merge_ = false;
+};
+
+}  // namespace x100
+
+#endif  // X100_STORAGE_DURABLE_H_

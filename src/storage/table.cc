@@ -129,6 +129,45 @@ void Table::Reorganize() {
   for (const std::string& col_name : indexed) BuildSummaryIndex(col_name);
 }
 
+Table::Merged Table::BuildMerged() const {
+  X100_CHECK(frozen_);
+  Merged m;
+  for (const ColumnSpec& s : specs_) {
+    m.columns.push_back(std::make_unique<Column>(s.type, s.enum_encoded));
+  }
+  int64_t total = total_rows();
+  for (int64_t r = 0; r < total; r++) {
+    if (IsDeleted(r)) continue;
+    for (size_t c = 0; c < specs_.size(); c++) {
+      m.columns[c]->AppendValue(GetValue(r, static_cast<int>(c)));
+    }
+    m.rows++;
+  }
+  return m;
+}
+
+void Table::InstallMerged(
+    Merged merged,
+    std::vector<std::pair<std::string, std::unique_ptr<Column>>> extra) {
+  X100_CHECK(frozen_);
+  columns_ = std::move(merged.columns);
+  schema_ = Schema();
+  for (const ColumnSpec& s : specs_) schema_.Add(s.name, s.type);
+  fragment_rows_ = merged.rows;
+  deltas_.clear();
+  deleted_sorted_.clear();
+  for (auto& [ji_name, col] : extra) {
+    X100_CHECK(col->size() == fragment_rows_);
+    schema_.Add(ji_name, col->type());
+    columns_.push_back(std::move(col));
+  }
+  std::vector<std::string> indexed;
+  for (const auto& [col_name, idx] : summary_) indexed.push_back(col_name);
+  summary_.clear();
+  for (const std::string& col_name : indexed) BuildSummaryIndex(col_name);
+  fragment_version_++;
+}
+
 void Table::BuildSummaryIndex(const std::string& col_name) {
   int ci = ColumnIndex(col_name);
   summary_.insert_or_assign(
@@ -182,23 +221,43 @@ Status Table::BuildJoinIndex(const std::vector<std::string>& fk_cols,
     key_to_row[composite(target, r, key)] = r;
   }
 
-  auto ji = std::make_unique<Column>(TypeId::kI64, false);
-  for (int64_t r = 0; r < total_rows(); r++) {
-    auto it = key_to_row.find(composite(*this, r, fk));
-    if (it == key_to_row.end()) {
-      return Status::Error("BuildJoinIndex: dangling foreign key in " +
-                           fk_cols[0]);
+  // Fragment part and (when delta storage exists) delta part are built as
+  // separate columns, preserving the fragment/delta split every other
+  // column has — a catalog restored from a checkpoint image rebuilds join
+  // indices over tables that already carry delta rows.
+  auto build = [&](int64_t begin, int64_t end,
+                   std::unique_ptr<Column>* out) -> Status {
+    auto ji = std::make_unique<Column>(TypeId::kI64, false);
+    for (int64_t r = begin; r < end; r++) {
+      auto it = key_to_row.find(composite(*this, r, fk));
+      if (it == key_to_row.end()) {
+        return Status::Error("BuildJoinIndex: dangling foreign key in " +
+                             fk_cols[0]);
+      }
+      ji->AppendI64(it->second);
     }
-    ji->AppendI64(it->second);
+    *out = std::move(ji);
+    return Status::OK();
+  };
+
+  std::unique_ptr<Column> ji, ji_delta;
+  int64_t frag_end = deltas_.empty() ? total_rows() : fragment_rows_;
+  Status s = build(0, frag_end, &ji);
+  if (!s.ok()) return s;
+  if (!deltas_.empty()) {
+    s = build(fragment_rows_, total_rows(), &ji_delta);
+    if (!s.ok()) return s;
   }
 
   std::string ji_name = JoinIndexName(target.name());
   int existing = schema_.Find(ji_name);
   if (existing >= 0) {
     columns_[existing] = std::move(ji);
+    if (ji_delta != nullptr) deltas_[existing] = std::move(ji_delta);
   } else {
     schema_.Add(ji_name, TypeId::kI64);
     columns_.push_back(std::move(ji));
+    if (ji_delta != nullptr) deltas_.push_back(std::move(ji_delta));
   }
   return Status::OK();
 }

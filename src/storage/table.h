@@ -41,6 +41,12 @@ class Table {
   const Schema& schema() const { return schema_; }  // logical types
   int num_columns() const { return static_cast<int>(columns_.size()); }
   int ColumnIndex(const std::string& name) const;
+  const std::vector<ColumnSpec>& specs() const { return specs_; }
+
+  /// Bumped by InstallMerged(); disk chunk files for versions > 0 carry a
+  /// ".v<version>" infix so stale cached blocks are never served after a
+  /// merge swaps the fragments.
+  int64_t fragment_version() const { return fragment_version_; }
 
   const Column& column(int i) const { return *columns_[i]; }
   Column* load_column(int i) { return columns_[i].get(); }
@@ -78,6 +84,35 @@ class Table {
   /// summary indices rebuilt. Join indices referencing this table are stale
   /// afterwards and must be rebuilt by the caller.
   void Reorganize();
+
+  // -- staged merge (MVCC background delta->fragment fold) --
+  //
+  // Reorganize() mutates in place; under concurrent serving the fold must
+  // happen off the reader fence. BuildMerged() does the O(rows) work into
+  // private columns (row order preserved: surviving fragment rows then
+  // surviving delta rows, so order-insensitive aggregates are bit-identical
+  // before and after); InstallMerged() is the short exclusive section that
+  // swaps the staged fragments in, recreates empty delta storage, installs
+  // prebuilt extra (join-index) columns, rebuilds summary indices, clears
+  // the deletion list, and bumps fragment_version().
+  struct Merged {
+    std::vector<std::unique_ptr<Column>> columns;  // spec columns, in order
+    int64_t rows = 0;
+  };
+  Merged BuildMerged() const;
+  void InstallMerged(
+      Merged merged,
+      std::vector<std::pair<std::string, std::unique_ptr<Column>>> extra);
+
+  /// Widens an enum column's codes u8 -> u16 on fragment and delta together
+  /// (MVCC writers call this behind a reader fence when the shared
+  /// dictionary outgrows 256 entries) and bumps fragment_version(), since
+  /// the fragment's physical bytes changed.
+  void WidenEnumCodes(int ci) {
+    columns_[ci]->WidenCodesToU16();
+    if (!deltas_.empty()) deltas_[ci]->WidenCodesToU16();
+    fragment_version_++;
+  }
 
   // -- morsel partitioning (for exchange-parallel scans) --
   struct RowRange {
@@ -126,6 +161,7 @@ class Table {
   std::vector<std::unique_ptr<Column>> columns_;  // immutable after Freeze()
   std::vector<std::unique_ptr<Column>> deltas_;
   int64_t fragment_rows_ = 0;
+  int64_t fragment_version_ = 0;
   bool frozen_ = false;
 
   std::vector<int64_t> deleted_sorted_;

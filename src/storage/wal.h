@@ -1,0 +1,126 @@
+#ifndef X100_STORAGE_WAL_H_
+#define X100_STORAGE_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+
+namespace x100 {
+
+/// Logical record types the durable store logs. The WAL itself treats record
+/// bodies as opaque bytes; encode/decode of bodies lives in durable.cc.
+enum class WalRecordType : uint8_t {
+  kAppend = 1,      // body: one encoded row for `table`
+  kDelete = 2,      // body: u64 rowid
+  kMerge = 3,       // body: empty (replay re-runs the deterministic merge)
+  kCheckpoint = 4,  // body: empty; lsn names the image file checkpoint-<lsn>.cat
+};
+
+/// One decoded WAL record handed to the replay callback.
+struct WalRecord {
+  WalRecordType type;
+  uint64_t lsn = 0;
+  std::string table;
+  std::string body;
+};
+
+/// Checksummed append-only write-ahead log with group commit.
+///
+/// On-disk format, CRC-framed like X100COL2 blocks: segment files
+/// `wal-<first_lsn>.log`, each a sequence of frames
+///
+///   u32 payload_len | u32 crc32(payload) | payload
+///   payload = u8 type | u64 lsn | u16 table_len | table bytes | body bytes
+///
+/// (little-endian throughout). A torn frame is tolerated only as the
+/// physical tail of the *last* segment: Open() truncates the segment to its
+/// valid prefix; a bad frame in any earlier segment is corruption and fails
+/// recovery.
+///
+/// Group commit: Append() assigns the lsn and buffers the encoded frame;
+/// a background flusher batches every frame that arrives within the
+/// `group_commit_us` window into one write+fsync. Commit(lsn) blocks until
+/// the durable lsn covers `lsn`. With group_commit_us == 0 each Commit
+/// triggers its own fsync (the no-batching baseline EXPERIMENTS.md E16
+/// measures against).
+class Wal {
+ public:
+  struct Options {
+    std::string dir;
+    int64_t group_commit_us = kDefaultWalGroupUs;
+    size_t segment_bytes = size_t{16} << 20;  // rotate above this
+  };
+
+  /// Opens (creating the directory if needed), scans existing segments to
+  /// find the next lsn, truncates a torn tail on the last segment, and
+  /// starts the flusher. Returns nullptr with `*error` set on failure.
+  static std::unique_ptr<Wal> Open(const Options& opts, std::string* error);
+
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends a record to the commit buffer and returns its lsn. The record
+  /// is NOT durable until Commit(lsn) returns.
+  uint64_t Append(WalRecordType type, const std::string& table,
+                  std::string body);
+
+  /// Blocks until every record with lsn' <= lsn is on disk (fsync'd).
+  Status Commit(uint64_t lsn);
+
+  /// Appends a checkpoint record stamped `image_lsn` (the lsn covered by the
+  /// just-written catalog image), makes it durable, then rotates to a fresh
+  /// segment and unlinks all older segments. The caller must have quiesced
+  /// writers: every record in the old segments must have lsn <= image_lsn.
+  Status Checkpoint(uint64_t image_lsn);
+
+  /// Replays records with lsn > after_lsn in log order, invoking `fn` for
+  /// each. Reads the segment files directly; call before serving writes.
+  Status Replay(uint64_t after_lsn,
+                const std::function<Status(const WalRecord&)>& fn) const;
+
+  /// Highest lsn assigned so far (0 if none).
+  uint64_t last_lsn() const;
+  /// Highest lsn known durable.
+  uint64_t durable_lsn() const;
+
+ private:
+  explicit Wal(const Options& opts);
+
+  Status OpenSegment(uint64_t first_lsn);
+  Status ScanExisting(std::string* error);
+  void FlusherLoop();
+  Status WriteAndSync(const std::string& bytes, uint64_t batch_last_lsn);
+
+  Options opts_;
+  std::vector<std::string> segments_;  // paths, log order; last is active
+
+  mutable std::mutex mu_;              // buffer + lsn state
+  std::condition_variable cv_pending_;  // flusher wakeup
+  std::condition_variable cv_durable_;  // Commit() wakeup
+  std::string pending_;                // encoded frames not yet written
+  uint64_t pending_last_lsn_ = 0;
+  uint64_t next_lsn_ = 1;
+  uint64_t durable_lsn_ = 0;
+  bool stop_ = false;
+  std::string io_error_;  // sticky: first write/fsync failure
+
+  std::mutex io_mu_;  // serializes write/fsync/rotate on fd_
+  int fd_ = -1;
+  size_t segment_written_ = 0;
+
+  std::thread flusher_;
+};
+
+}  // namespace x100
+
+#endif  // X100_STORAGE_WAL_H_

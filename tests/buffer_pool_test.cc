@@ -30,27 +30,13 @@ namespace x100 {
 namespace {
 
 using testing::ExpectTablesEqual;
-
-/// Fresh scratch directory, removed on destruction.
-struct TempDir {
-  TempDir() {
-    char tmpl[] = "/tmp/x100_bm_test_XXXXXX";
-    const char* d = mkdtemp(tmpl);
-    EXPECT_NE(d, nullptr);
-    path = d;
-  }
-  ~TempDir() {
-    std::error_code ec;
-    std::filesystem::remove_all(path, ec);
-  }
-  std::string path;
-};
+using testing::ScopedTempDir;
 
 // ---- DiskStore: chunk-file format ------------------------------------------
 
 TEST(DiskStoreTest, WriteReadRoundTrip) {
-  TempDir dir;
-  DiskStore store(dir.path);
+  ScopedTempDir dir("x100_bm_test");
+  DiskStore store(dir.path());
 
   std::vector<std::vector<int64_t>> blocks;
   for (int b = 0; b < 3; b++) {
@@ -94,8 +80,8 @@ TEST(DiskStoreTest, WriteReadRoundTrip) {
 }
 
 TEST(DiskStoreTest, DetectsPayloadCorruption) {
-  TempDir dir;
-  DiskStore store(dir.path);
+  ScopedTempDir dir("x100_bm_test");
+  DiskStore store(dir.path());
   std::vector<int64_t> block(512);
   for (size_t i = 0; i < block.size(); i++) block[i] = static_cast<int64_t>(i);
   Status s;
@@ -122,8 +108,8 @@ TEST(DiskStoreTest, DetectsPayloadCorruption) {
 }
 
 TEST(DiskStoreTest, RejectsTruncatedFile) {
-  TempDir dir;
-  DiskStore store(dir.path);
+  ScopedTempDir dir("x100_bm_test");
+  DiskStore store(dir.path());
   std::vector<int64_t> block(256, 7);
   Status s;
   auto w = store.NewFile("t.col", false, 8, &s);
@@ -146,7 +132,7 @@ TEST(DiskStoreTest, ReadsV1FormatFiles) {
   // footer whose entries still have the zeroed reserved field where v2
   // stores the codec id. OpenMeta must read it and infer kFor from the
   // compressed flag; the ColumnBm read path must decode it.
-  TempDir dir;
+  ScopedTempDir dir("x100_bm_test");
   std::vector<int32_t> vals(5000);
   for (size_t i = 0; i < vals.size(); i++) {
     vals[i] = 8035 + static_cast<int32_t>(i / 64);
@@ -175,7 +161,7 @@ TEST(DiskStoreTest, ReadsV1FormatFiles) {
     char magic[4];
   } tail{1, sizeof(e), Crc32(&e, sizeof(e)), {'X', 'F', 'T', 'R'}};
 
-  std::FILE* f = std::fopen((dir.path + "/old.cmp").c_str(), "wb");
+  std::FILE* f = std::fopen((dir.path() + "/old.cmp").c_str(), "wb");
   ASSERT_NE(f, nullptr);
   ASSERT_EQ(std::fwrite(&h, sizeof(h), 1, f), 1u);
   ASSERT_EQ(std::fwrite(enc.data(), 1, enc_bytes, f), enc_bytes);
@@ -183,14 +169,14 @@ TEST(DiskStoreTest, ReadsV1FormatFiles) {
   ASSERT_EQ(std::fwrite(&tail, sizeof(tail), 1, f), 1u);
   ASSERT_EQ(std::fclose(f), 0);
 
-  DiskStore store(dir.path);
+  DiskStore store(dir.path());
   DiskStore::FileMeta meta;
   ASSERT_TRUE(store.OpenMeta("old.cmp", &meta).ok());
   EXPECT_TRUE(meta.compressed);
   ASSERT_EQ(meta.blocks.size(), 1u);
   EXPECT_EQ(meta.blocks[0].codec, CodecId::kFor);
 
-  ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path});
+  ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path()});
   EXPECT_EQ(bm.BlockCodec("old.cmp", 0), CodecId::kFor);
   std::vector<int32_t> out(vals.size());
   ASSERT_EQ(bm.ReadDecompressed("old.cmp", 0, out.data()),
@@ -199,8 +185,8 @@ TEST(DiskStoreTest, ReadsV1FormatFiles) {
 }
 
 TEST(DiskStoreTest, RejectsUnknownCodecId) {
-  TempDir dir;
-  DiskStore store(dir.path);
+  ScopedTempDir dir("x100_bm_test");
+  DiskStore store(dir.path());
   std::vector<int64_t> block(64, 9);
   Status s;
   auto w = store.NewFile("bad.cmp", /*compressed=*/true, 8, &s);
@@ -218,8 +204,8 @@ TEST(DiskStoreTest, RejectsUnknownCodecId) {
 }
 
 TEST(DiskStoreTest, ManifestRoundTrip) {
-  TempDir dir;
-  DiskStore store(dir.path);
+  ScopedTempDir dir("x100_bm_test");
+  DiskStore store(dir.path());
   std::vector<DiskStore::ManifestEntry> entries(2);
   entries[0] = {"t.a.plain", 4096, 2, 0xDEADBEEF, false};
   entries[1] = {"t.b.for", 128, 1, 0x12345678, true};
@@ -475,12 +461,12 @@ TEST(SharedScanRegistryTest, DistinctBlocksDoNotShare) {
 // ---- ColumnBm disk backend -------------------------------------------------
 
 TEST(ColumnBmDiskTest, StoreReadRoundTripAndPersistence) {
-  TempDir dir;
+  ScopedTempDir dir("x100_bm_test");
   Column col(TypeId::kI64);
   for (int64_t i = 0; i < 300000; i++) col.AppendI64(i);  // 2.4MB -> 3 blocks
 
   {
-    ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path});
+    ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path()});
     ASSERT_TRUE(bm.disk_backed());
     bm.Store("t.col", col);
     EXPECT_EQ(bm.NumBlocks("t.col"), 3);
@@ -498,7 +484,7 @@ TEST(ColumnBmDiskTest, StoreReadRoundTripAndPersistence) {
 
   // A fresh instance over the same directory serves the same blocks from
   // the files alone (footer metadata, no in-memory state).
-  ColumnBm bm2(ColumnBm::Options{.disk_dir = dir.path});
+  ColumnBm bm2(ColumnBm::Options{.disk_dir = dir.path()});
   EXPECT_TRUE(bm2.Contains("t.col"));
   EXPECT_EQ(bm2.NumBlocks("t.col"), 3);
   ColumnBm::BlockRef ref = bm2.ReadBlock("t.col", 2);
@@ -510,10 +496,10 @@ TEST(ColumnBmDiskTest, StoreReadRoundTripAndPersistence) {
 }
 
 TEST(ColumnBmDiskTest, CompressedRoundTripAndAccounting) {
-  TempDir dir;
+  ScopedTempDir dir("x100_bm_test");
   Column col(TypeId::kDate);
   for (int i = 0; i < 300000; i++) col.AppendI64(8035 + i / 100);
-  ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path});
+  ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path()});
   size_t comp = bm.StoreCompressed("comp", col);
   EXPECT_LT(comp, col.bytes() / 2);
   EXPECT_EQ(bm.FileBytes("comp"), static_cast<int64_t>(comp));
@@ -536,12 +522,12 @@ TEST(ColumnBmDiskTest, CompressedRoundTripAndAccounting) {
 }
 
 TEST(ColumnBmDiskTest, TinyPoolForcesEvictionButStaysCorrect) {
-  TempDir dir;
+  ScopedTempDir dir("x100_bm_test");
   Column col(TypeId::kI64);
   for (int64_t i = 0; i < 500000; i++) col.AppendI64(i * 3);  // 4MB -> 4 blocks
   // Pool holds barely one 1MB block: every sequential pass re-reads.
   ColumnBm bm(ColumnBm::Options{
-      .disk_dir = dir.path, .pool_bytes = (1 << 20) + (64 << 10)});
+      .disk_dir = dir.path(), .pool_bytes = (1 << 20) + (64 << 10)});
   bm.Store("t.c", col);
   for (int pass = 0; pass < 2; pass++) {
     int64_t expect = 0;
@@ -577,7 +563,7 @@ Catalog* DiskQueryTest::db_ = nullptr;
 TEST_F(DiskQueryTest, Q1AndQ6MatchAcrossBackends) {
   for (int q : {1, 6}) {
     for (bool compress : {false, true}) {
-      TempDir dir;
+      ScopedTempDir dir("x100_bm_test");
       ExecContext ctx;
       std::unique_ptr<Table> ram = RunX100Query(q, &ctx, *db_);
 
@@ -586,7 +572,7 @@ TEST_F(DiskQueryTest, Q1AndQ6MatchAcrossBackends) {
       // plan, so results are bit-identical (eps 0).
       // Pool budget pinned (not env X100_BM_BYTES): the warm-run hit
       // assertion below needs the working set to actually fit.
-      ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path,
+      ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path(),
                                     .pool_bytes = 64 << 20});
       std::unique_ptr<Table> cold = RunX100QueryDisk(q, &ctx, *db_, &bm,
                                                      compress);
@@ -614,11 +600,11 @@ TEST_F(DiskQueryTest, Q1AndQ6MatchAcrossBackends) {
 TEST_F(DiskQueryTest, DiskScanSurvivesEvictionPressure) {
   // Q6 with small blocks and a pool far smaller than the working set: the
   // scan must stream through eviction and still match.
-  TempDir dir;
+  ScopedTempDir dir("x100_bm_test");
   ExecContext ctx;
   std::unique_ptr<Table> ram = RunX100Query(6, &ctx, *db_);
   ColumnBm bm(ColumnBm::Options{.block_size = 64 << 10,
-                                .disk_dir = dir.path,
+                                .disk_dir = dir.path(),
                                 .pool_bytes = 256 << 10});
   std::unique_ptr<Table> disk = RunX100QueryDisk(6, &ctx, *db_, &bm, false);
   ExpectTablesEqual(*ram, *disk, 0.0);
@@ -635,10 +621,10 @@ TEST_F(DiskQueryTest, Q3AndQ14JoinsMatchAcrossBackends) {
   // the codec path like any other integral column.
   for (int q : {3, 14}) {
     for (bool compress : {false, true}) {
-      TempDir dir;
+      ScopedTempDir dir("x100_bm_test");
       ExecContext ctx;
       std::unique_ptr<Table> ram = RunX100Query(q, &ctx, *db_);
-      ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path,
+      ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path(),
                                     .pool_bytes = 64 << 20});
       std::unique_ptr<Table> cold = RunX100QueryDisk(q, &ctx, *db_, &bm,
                                                      compress);
@@ -663,8 +649,8 @@ TEST_F(DiskQueryTest, EveryPinnedCodecIsBitIdenticalOnQ1AndQ6) {
                           CodecId::kPforDelta}) {
       SCOPED_TRACE(std::string("q") + std::to_string(q) + " codec=" +
                    Codec::Name(codec));
-      TempDir dir;
-      ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path,
+      ScopedTempDir dir("x100_bm_test");
+      ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path(),
                                     .pool_bytes = 64 << 20});
       std::unique_ptr<Table> cold =
           RunX100QueryDisk(q, &ctx, *db_, &bm, true, codec);
@@ -684,11 +670,11 @@ TEST_F(DiskQueryTest, EveryPinnedCodecIsBitIdenticalOnQ1AndQ6) {
 TEST_F(DiskQueryTest, TraceShowsCodecCounters) {
   // A compressed disk Q6 must report per-codec staging counters on the
   // BmScan trace node.
-  TempDir dir;
+  ScopedTempDir dir("x100_bm_test");
   QueryTrace trace;
   ExecContext ctx;
   ctx.trace = &trace;
-  ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path});
+  ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path()});
   std::unique_ptr<Table> r =
       RunX100QueryDisk(6, &ctx, *db_, &bm, true, CodecId::kFor);
   ASSERT_EQ(r->num_rows(), 1);
@@ -698,11 +684,11 @@ TEST_F(DiskQueryTest, TraceShowsCodecCounters) {
 }
 
 TEST_F(DiskQueryTest, TraceShowsPrefetchAndPoolCounters) {
-  TempDir dir;
+  ScopedTempDir dir("x100_bm_test");
   QueryTrace trace;
   ExecContext ctx;
   ctx.trace = &trace;
-  ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path});
+  ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path()});
   std::unique_ptr<Table> r = RunX100QueryDisk(6, &ctx, *db_, &bm, false);
   ASSERT_EQ(r->num_rows(), 1);
   std::string txt = trace.ToString();

@@ -1,0 +1,249 @@
+// Crash-recovery test: a forked child drives a group-committed update load
+// against a DurableStore and reports every acknowledged append over a pipe;
+// the parent SIGKILLs it mid-stream (twice — the second child first recovers
+// the first child's WAL), then recovers the store itself and verifies the
+// durability contract: no acknowledged write is lost, every recovered row is
+// bit-identical to what was submitted, and a Q1/Q3/Q6/Q14 sweep matches a
+// never-crashed store that replayed the same updates serially.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/operator.h"
+#include "storage/catalog.h"
+#include "storage/durable.h"
+#include "tests/test_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace x100 {
+namespace {
+
+using testing::ExpectTablesEqual;
+using testing::ScopedTempDir;
+
+constexpr double kSf = 0.005;
+
+std::unique_ptr<Catalog> MakeBase() {
+  DbgenOptions gen;
+  gen.scale_factor = kSf;
+  return GenerateTpch(gen);
+}
+
+Status RegisterLineitemJis(DurableStore* store) {
+  Status s = store->RegisterJoinIndex("lineitem", {"l_orderkey"}, "orders",
+                                      {"o_orderkey"});
+  if (!s.ok()) return s;
+  s = store->RegisterJoinIndex("lineitem", {"l_partkey"}, "part",
+                               {"p_partkey"});
+  if (!s.ok()) return s;
+  s = store->RegisterJoinIndex("lineitem", {"l_suppkey"}, "supplier",
+                               {"s_suppkey"});
+  if (!s.ok()) return s;
+  return store->RegisterJoinIndex("lineitem", {"l_partkey", "l_suppkey"},
+                                  "partsupp", {"ps_partkey", "ps_suppkey"});
+}
+
+/// The i-th update row: a copy of an existing lineitem row (so every foreign
+/// key resolves) with quantity and price overridden deterministically —
+/// recovery verification and the serial-replay reference both rebuild the
+/// exact bytes from the index alone.
+std::vector<Value> UpdateRow(const Table& li, int64_t base_rows,
+                             int num_declared, int64_t i) {
+  std::vector<Value> row;
+  row.reserve(static_cast<size_t>(num_declared));
+  int64_t src = (i * 31) % base_rows;
+  for (int c = 0; c < num_declared; c++) row.push_back(li.GetValue(src, c));
+  row[4] = Value::F64(static_cast<double>(i % 50) + 1.0);  // l_quantity
+  row[5] = Value::F64(1000.0 + static_cast<double>(i % 997));
+  return row;
+}
+
+DurableStore::Options StoreOpts(const std::string& dir) {
+  DurableStore::Options o;
+  o.wal_dir = dir;
+  o.group_commit_us = 200;  // the group-committed load the issue specifies
+  // Keep rowids stable across the run so per-index verification can address
+  // appended rows as base_rows + i.
+  o.merge_threshold_rows = 1 << 30;
+  o.background_merge = false;
+  return o;
+}
+
+/// Child body: open (recovering), then append durable update rows forever,
+/// writing each acknowledged index to `ack_fd` AFTER Append returns. Never
+/// returns except on error.
+[[noreturn]] void RunWriterChild(const std::string& wal_dir, int ack_fd) {
+  std::unique_ptr<Catalog> base = MakeBase();
+  const int64_t base_rows = base->Find("lineitem")->total_rows();
+  std::string error;
+  auto store = DurableStore::Open(StoreOpts(wal_dir), std::move(base), &error);
+  if (store == nullptr) _exit(3);
+  if (!RegisterLineitemJis(store.get()).ok()) _exit(4);
+  if (!store->Recover().ok()) _exit(5);
+
+  const Table* li = store->catalog()->Find("lineitem");
+  const int num_declared = static_cast<int>(li->specs().size());
+  int64_t next = li->total_rows() - base_rows;  // continue where we crashed
+  for (int64_t i = next; i < 100000; i++) {
+    uint64_t lsn = 0;
+    Status s = store->Append(
+        "lineitem", UpdateRow(*li, base_rows, num_declared, i),
+        /*durable=*/true, &lsn);
+    if (!s.ok()) _exit(6);
+    uint32_t idx = static_cast<uint32_t>(i);
+    if (write(ack_fd, &idx, 4) != 4) _exit(7);
+  }
+  _exit(0);
+}
+
+struct CrashResult {
+  std::vector<uint32_t> acks;
+  int child_status = 0;
+};
+
+/// Forks a writer child, blocks until at least `min_acks` acknowledgements
+/// arrive, SIGKILLs it, and drains the pipe. Must run before the parent
+/// creates any threads (fork + running flusher threads do not mix).
+CrashResult CrashOneWriter(const std::string& wal_dir, size_t min_acks) {
+  CrashResult r;
+  int fds[2];
+  if (pipe(fds) != 0) {
+    ADD_FAILURE() << "pipe failed";
+    return r;
+  }
+  pid_t pid = fork();
+  if (pid == 0) {
+    close(fds[0]);
+    RunWriterChild(wal_dir, fds[1]);
+  }
+  close(fds[1]);
+  uint32_t idx = 0;
+  while (r.acks.size() < min_acks) {
+    ssize_t n = read(fds[0], &idx, 4);
+    if (n != 4) break;  // child died early — surfaced via child_status
+    r.acks.push_back(idx);
+  }
+  kill(pid, SIGKILL);
+  while (read(fds[0], &idx, 4) == 4) r.acks.push_back(idx);
+  close(fds[0]);
+  waitpid(pid, &r.child_status, 0);
+  return r;
+}
+
+TEST(RecoveryTest, KillNineLosesNoAcknowledgedWrite) {
+  ScopedTempDir dir("x100_recovery_test");
+
+  // Two crash cycles: the second child recovers the first child's WAL before
+  // taking more writes, so recovery-then-continue is itself crash-tested.
+  CrashResult first = CrashOneWriter(dir.path(), 120);
+  ASSERT_GE(first.acks.size(), 120u)
+      << "writer child exited early, status " << first.child_status;
+  CrashResult second = CrashOneWriter(dir.path(), 120);
+  ASSERT_GE(second.acks.size(), 120u)
+      << "writer child exited early, status " << second.child_status;
+
+  // Acks are per-child contiguous, and the second child resumed at or past
+  // the first child's high-water mark (it may legitimately skip one index:
+  // a record the flusher made durable whose ack never left the child).
+  for (size_t i = 1; i < first.acks.size(); i++) {
+    ASSERT_EQ(first.acks[i], first.acks[i - 1] + 1);
+  }
+  for (size_t i = 1; i < second.acks.size(); i++) {
+    ASSERT_EQ(second.acks[i], second.acks[i - 1] + 1);
+  }
+  uint32_t first_high = first.acks.back();
+  ASSERT_GE(second.acks.front(), first_high + 1);
+  ASSERT_LE(second.acks.front(), first_high + 2);
+  const int64_t max_acked = second.acks.back();
+
+  // Recover in-process and check the contract.
+  std::unique_ptr<Catalog> base = MakeBase();
+  const int64_t base_rows = base->Find("lineitem")->total_rows();
+  std::string error;
+  auto store = DurableStore::Open(StoreOpts(dir.path()), std::move(base),
+                                  &error);
+  ASSERT_NE(store, nullptr) << error;
+  ASSERT_TRUE(RegisterLineitemJis(store.get()).ok());
+  ASSERT_TRUE(store->Recover().ok());
+
+  const Table* li = store->catalog()->Find("lineitem");
+  const int num_declared = static_cast<int>(li->specs().size());
+  const int64_t applied = li->total_rows() - base_rows;
+  ASSERT_GE(applied, max_acked + 1) << "an acknowledged write was lost";
+
+  // Every recovered row — acked or trailing-unacked — is bit-identical to
+  // what the writer submitted for that index.
+  for (int64_t i = 0; i < applied; i++) {
+    std::vector<Value> want = UpdateRow(*li, base_rows, num_declared, i);
+    for (int c = 0; c < num_declared; c++) {
+      Value got = li->GetValue(base_rows + i, c);
+      if (got.type() == TypeId::kStr) {
+        ASSERT_EQ(got.AsStr(), want[static_cast<size_t>(c)].AsStr())
+            << "row " << i << " col " << c;
+      } else if (got.type() == TypeId::kF64 || got.type() == TypeId::kF32) {
+        ASSERT_EQ(got.AsF64(), want[static_cast<size_t>(c)].AsF64())
+            << "row " << i << " col " << c;
+      } else {
+        ASSERT_EQ(got.AsI64(), want[static_cast<size_t>(c)].AsI64())
+            << "row " << i << " col " << c;
+      }
+    }
+  }
+
+  // Never-crashed reference: a fresh store replays the same updates
+  // serially; the post-recovery query sweep must be bit-identical.
+  ScopedTempDir ref_dir("x100_recovery_ref");
+  std::unique_ptr<Catalog> ref_base = MakeBase();
+  auto ref = DurableStore::Open(StoreOpts(ref_dir.path()),
+                                std::move(ref_base), &error);
+  ASSERT_NE(ref, nullptr) << error;
+  ASSERT_TRUE(RegisterLineitemJis(ref.get()).ok());
+  ASSERT_TRUE(ref->Recover().ok());
+  const Table* ref_li = ref->catalog()->Find("lineitem");
+  for (int64_t i = 0; i < applied; i++) {
+    uint64_t lsn = 0;
+    ASSERT_TRUE(ref->Append("lineitem",
+                            UpdateRow(*ref_li, base_rows, num_declared, i),
+                            /*durable=*/false, &lsn)
+                    .ok());
+  }
+
+  std::shared_ptr<SnapshotSet> got_snaps = store->PinAll();
+  std::shared_ptr<SnapshotSet> want_snaps = ref->PinAll();
+  for (int q : {1, 3, 6, 14}) {
+    ExecContext got_ctx;
+    got_ctx.snapshots = got_snaps.get();
+    std::unique_ptr<Table> got = RunX100Query(q, &got_ctx, *store->catalog());
+    ExecContext want_ctx;
+    want_ctx.snapshots = want_snaps.get();
+    std::unique_ptr<Table> want = RunX100Query(q, &want_ctx, *ref->catalog());
+    ExpectTablesEqual(*want, *got, /*eps=*/0.0);
+  }
+
+  // A checkpoint taken now shortens future recovery without changing state.
+  ASSERT_TRUE(store->Checkpoint().ok());
+  got_snaps.reset();
+  store.reset();
+  std::unique_ptr<Catalog> base2 = MakeBase();
+  auto store2 = DurableStore::Open(StoreOpts(dir.path()), std::move(base2),
+                                   &error);
+  ASSERT_NE(store2, nullptr) << error;
+  EXPECT_GT(store2->image_lsn(), 0u);
+  ASSERT_TRUE(RegisterLineitemJis(store2.get()).ok());
+  ASSERT_TRUE(store2->Recover().ok());
+  EXPECT_EQ(store2->catalog()->Find("lineitem")->total_rows(),
+            base_rows + applied);
+}
+
+}  // namespace
+}  // namespace x100

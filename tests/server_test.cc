@@ -33,21 +33,7 @@ namespace x100 {
 namespace {
 
 using testing::ExpectTablesEqual;
-
-/// Fresh scratch directory, removed on destruction.
-struct TempDir {
-  TempDir() {
-    char tmpl[] = "/tmp/x100_server_test_XXXXXX";
-    const char* d = mkdtemp(tmpl);
-    EXPECT_NE(d, nullptr);
-    path = d;
-  }
-  ~TempDir() {
-    std::error_code ec;
-    std::filesystem::remove_all(path, ec);
-  }
-  std::string path;
-};
+using testing::ScopedTempDir;
 
 /// The disk-backed query mix: ColumnBM plans exist for Q1/Q3/Q6/Q14.
 constexpr int kMix[] = {1, 3, 6, 14};
@@ -138,8 +124,8 @@ TEST_F(ServerTest, ConcurrentDiskScansBitIdenticalAndLeakNoPins) {
   // first sessions to open each table race its EnsureStored and the block
   // scans overlap through the shared-scan registry. Results must still be
   // bit-identical to the RAM serial reference.
-  TempDir dir;
-  ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path});
+  ScopedTempDir dir("x100_server_test");
+  ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path()});
   QueryService svc({/*max_concurrent=*/8, /*max_worker_threads=*/0});
   svc.engines()->Seed(kSf, db_, &bm);
   std::vector<std::pair<int, std::shared_ptr<QuerySession>>> live;
@@ -205,8 +191,8 @@ TEST_F(ServerTest, AdmissionNeverExceedsMaxConcurrent) {
 }
 
 TEST_F(ServerTest, CancelMidQueryReleasesPinsAndThreads) {
-  TempDir dir;
-  ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path});
+  ScopedTempDir dir("x100_server_test");
+  ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path()});
   {
     QueryService svc({/*max_concurrent=*/2, /*max_worker_threads=*/0});
     auto s = svc.Submit([&bm](ExecContext* c) -> std::unique_ptr<Table> {

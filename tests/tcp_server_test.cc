@@ -24,6 +24,7 @@
 #include "server/wire.h"
 #include "storage/buffer_pool.h"
 #include "storage/columnbm.h"
+#include "tests/test_util.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
@@ -36,20 +37,6 @@ namespace x100 {
 namespace {
 
 constexpr double kSf = 0.02;
-
-struct TempDir {
-  TempDir() {
-    char tmpl[] = "/tmp/x100_tcp_test_XXXXXX";
-    const char* d = mkdtemp(tmpl);
-    EXPECT_NE(d, nullptr);
-    path = d;
-  }
-  ~TempDir() {
-    std::error_code ec;
-    std::filesystem::remove_all(path, ec);
-  }
-  std::string path;
-};
 
 class TcpServerTest : public ::testing::Test {
  protected:
@@ -318,8 +305,8 @@ TEST_F(TcpServerTest, KillConnectionMidQueryCancelsAndReleasesPins) {
   // THE disconnect regression: a client that vanishes while its disk query
   // runs must (a) cancel the session, (b) release every buffer-pool pin
   // the scan held, and (c) leave the service able to run new queries.
-  TempDir dir;
-  ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path});
+  testing::ScopedTempDir dir("x100_tcp_test");
+  ColumnBm bm(ColumnBm::Options{.disk_dir = dir.path()});
   Counter* cancelled = MetricsRegistry::Get().GetCounter("server.cancelled");
   uint64_t cancelled0 = cancelled->Get();
   {

@@ -2,14 +2,46 @@
 #define X100_TESTS_TEST_UTIL_H_
 
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <system_error>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "storage/table.h"
 
 namespace x100::testing {
+
+/// Fresh scratch directory under /tmp ("/tmp/<prefix>_XXXXXX"), with the
+/// whole tree removed on destruction — including when the owning test
+/// fails, so aborted runs don't leak chunk files into /tmp.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& prefix = "x100_test") {
+    std::string tmpl = "/tmp/" + prefix + "_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    const char* d = mkdtemp(buf.data());
+    EXPECT_NE(d, nullptr) << "mkdtemp " << tmpl << " failed";
+    if (d != nullptr) path_ = d;
+  }
+  ~ScopedTempDir() {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
 
 /// Pretty-prints a result table (first `max_rows` rows) for failure messages.
 inline std::string TableToString(const Table& t, int64_t max_rows = 20) {

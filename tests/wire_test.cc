@@ -263,6 +263,96 @@ TEST(WireBatch, TruncatedBatchPayloadIsRejected) {
   }
 }
 
+TEST(WireMessages, UpdateRoundTripsAppendWithEveryValueType) {
+  UpdateMsg in;
+  in.id = 77;
+  in.req.op = UpdateOp::kAppend;
+  in.req.table = "lineitem";
+  in.req.scale_factor = 0.25;
+  in.req.durable = false;
+  in.req.row = {Value::I8(-8),         Value::U8(200),
+                Value::I16(-3000),     Value::U16(60000),
+                Value::I32(-1234567),  Value::I64(1LL << 40),
+                Value::F32(1.5f),      Value::F64(2.75),
+                Value::Date(8035),     Value::Str("MAIL"),
+                Value::Str(std::string("nul\0byte", 8))};
+
+  UpdateMsg out;
+  std::string error;
+  ASSERT_TRUE(DecodeUpdate(EncodeUpdate(in), &out, &error)) << error;
+  EXPECT_EQ(out.id, in.id);
+  EXPECT_EQ(out.req.op, UpdateOp::kAppend);
+  EXPECT_EQ(out.req.table, "lineitem");
+  EXPECT_EQ(out.req.scale_factor, 0.25);
+  EXPECT_FALSE(out.req.durable);
+  ASSERT_EQ(out.req.row.size(), in.req.row.size());
+  for (size_t i = 0; i < in.req.row.size(); i++) {
+    EXPECT_EQ(out.req.row[i].type(), in.req.row[i].type()) << "value " << i;
+    if (in.req.row[i].type() == TypeId::kStr) {
+      EXPECT_EQ(out.req.row[i].AsStr(), in.req.row[i].AsStr());
+    } else if (in.req.row[i].type() == TypeId::kF64 ||
+               in.req.row[i].type() == TypeId::kF32) {
+      EXPECT_EQ(out.req.row[i].AsF64(), in.req.row[i].AsF64());
+    } else {
+      EXPECT_EQ(out.req.row[i].AsI64(), in.req.row[i].AsI64());
+    }
+  }
+}
+
+TEST(WireMessages, UpdateRoundTripsDeleteAndDoneMessages) {
+  UpdateMsg in;
+  in.id = 9;
+  in.req.op = UpdateOp::kDelete;
+  in.req.table = "orders";
+  in.req.rowid = 123456789;
+  in.req.durable = true;
+  UpdateMsg out;
+  std::string error;
+  ASSERT_TRUE(DecodeUpdate(EncodeUpdate(in), &out, &error)) << error;
+  EXPECT_EQ(out.req.op, UpdateOp::kDelete);
+  EXPECT_EQ(out.req.rowid, 123456789);
+  EXPECT_TRUE(out.req.durable);
+  EXPECT_TRUE(out.req.row.empty());
+
+  UpdateDoneMsg din;
+  din.id = 9;
+  din.outcome.ok = false;
+  din.outcome.lsn = 42;
+  din.outcome.error = "no such rowid";
+  UpdateDoneMsg dout;
+  ASSERT_TRUE(DecodeUpdateDone(EncodeUpdateDone(din), &dout, &error))
+      << error;
+  EXPECT_EQ(dout.id, 9u);
+  EXPECT_FALSE(dout.outcome.ok);
+  EXPECT_EQ(dout.outcome.lsn, 42u);
+  EXPECT_EQ(dout.outcome.error, "no such rowid");
+}
+
+TEST(WireMessages, UpdateRejectsZeroIdBadOpAndBadTypeTag) {
+  UpdateMsg in;
+  in.id = 5;
+  in.req.op = UpdateOp::kAppend;
+  in.req.table = "t";
+  in.req.row = {Value::I64(1)};
+  std::vector<uint8_t> good = EncodeUpdate(in);
+
+  UpdateMsg out;
+  std::string error;
+  ASSERT_TRUE(DecodeUpdate(good, &out, &error)) << error;
+
+  std::vector<uint8_t> zero_id = good;
+  std::fill(zero_id.begin(), zero_id.begin() + 8, uint8_t{0});
+  EXPECT_FALSE(DecodeUpdate(zero_id, &out, &error));
+
+  std::vector<uint8_t> bad_op = good;
+  bad_op[8] = 200;  // op byte follows the u64 id
+  EXPECT_FALSE(DecodeUpdate(bad_op, &out, &error));
+
+  std::vector<uint8_t> truncated = good;
+  truncated.pop_back();
+  EXPECT_FALSE(DecodeUpdate(truncated, &out, &error));
+}
+
 TEST(WireFuzz, SeededMutationsNeverCrashTheDecoders) {
   // Deterministic fuzz: flip/insert/truncate bytes of valid payloads and
   // feed every decoder. No assertion on acceptance — only that decoding
@@ -283,6 +373,15 @@ TEST(WireFuzz, SeededMutationsNeverCrashTheDecoders) {
       EncodeMetrics(MetricsMsg{"{}"}),
       EncodeBatch(4, *t, 0, 5),
   };
+  {
+    UpdateMsg up;
+    up.id = 6;
+    up.req.op = UpdateOp::kAppend;
+    up.req.table = "lineitem";
+    up.req.row = {Value::I64(1), Value::F64(2.0), Value::Str("x")};
+    seeds.push_back(EncodeUpdate(up));
+    seeds.push_back(EncodeUpdateDone(UpdateDoneMsg{7, {true, "", 12}}));
+  }
   std::string error;
   int accepted = 0;
   for (int iter = 0; iter < 20000; iter++) {
@@ -310,6 +409,8 @@ TEST(WireFuzz, SeededMutationsNeverCrashTheDecoders) {
     CancelMsg cancel;
     MetricsMsg metrics;
     BatchMsg batch;
+    UpdateMsg update;
+    UpdateDoneMsg update_done;
     accepted += DecodeHello(buf, &hello, &error);
     accepted += DecodeSubmit(buf, &sub, &error);
     accepted += DecodeDone(buf, &done, &error);
@@ -317,6 +418,8 @@ TEST(WireFuzz, SeededMutationsNeverCrashTheDecoders) {
     accepted += DecodeCancel(buf, &cancel, &error);
     accepted += DecodeMetrics(buf, &metrics, &error);
     accepted += DecodeBatch(buf, &batch, &error);
+    accepted += DecodeUpdate(buf, &update, &error);
+    accepted += DecodeUpdateDone(buf, &update_done, &error);
 
     // And through the framing layer, prefixed with a valid-ish header.
     std::vector<uint8_t> framed;
