@@ -80,7 +80,11 @@ class HashAggrOp : public Operator {
   const Schema& schema() const override { return schema_; }
   void Open() override;
   VectorBatch* Next() override;
-  void Close() override { child_->Close(); }
+  void Close() override;
+
+  /// EXPLAIN ANALYZE node that receives the table's ht.* counters at Close
+  /// (wired by the plan::HashAggr factory).
+  void set_trace_node(TraceNode* node) { trace_node_ = node; }
 
  private:
   struct Impl;
@@ -91,6 +95,7 @@ class HashAggrOp : public Operator {
   std::vector<std::string> group_by_;
   std::vector<AggrSpec> specs_;
   Schema schema_;
+  TraceNode* trace_node_ = nullptr;
   std::unique_ptr<Impl> impl_;
 };
 

@@ -8,10 +8,15 @@ namespace x100 {
 using aggr_internal::BoundAggr;
 
 // Hash aggregation (§4.1.2): per input vector, hash vectors are computed with
-// the map_hash / map_rehash primitives, then a probe/insert loop assigns each
-// tuple its group slot, and the aggr_* primitives update the accumulators
-// (the hash-table-maintenance half of Figure 6).
+// the map_hash / map_rehash primitives, then a vectorized probe over the
+// shared hash-table layer assigns each tuple its group slot, and the aggr_*
+// primitives update the accumulators (the hash-table-maintenance half of
+// Figure 6). New groups are created in first-encounter (lane) order, so
+// group ids — and therefore output row order — are identical across every
+// HashImpl.
 struct HashAggrOp::Impl {
+  explicit Impl(HashImpl hash_impl) : table(hash_impl) {}
+
   std::unique_ptr<MultiExprEvaluator> inputs;
   std::vector<BoundAggr> aggrs;
 
@@ -20,8 +25,8 @@ struct HashAggrOp::Impl {
   std::vector<bool> key_is_str;
   std::vector<Buffer> key_store;   // per key column: one value per group
 
-  std::vector<uint32_t> buckets;   // group index + 1; 0 = empty
-  std::vector<uint64_t> group_hash;
+  HashTable table;  // distinct key -> group id
+  HashTable::Probe probe;
   size_t num_groups = 0;
 
   // Hash pipeline: one map_hash step then rehash steps, ping-ponging between
@@ -63,15 +68,18 @@ struct HashAggrOp::Impl {
     return true;
   }
 
-  void Rehash() {
-    m_rehashes->Inc();
-    size_t cap = buckets.size() * 2;
-    buckets.assign(cap, 0);
-    for (size_t g = 0; g < num_groups; g++) {
-      size_t b = group_hash[g] & (cap - 1);
-      while (buckets[b] != 0) b = (b + 1) & (cap - 1);
-      buckets[b] = static_cast<uint32_t>(g + 1);
+  // Creates the next group from position `pos` of `batch`: copies the key
+  // values and extends the accumulator arrays.
+  uint32_t NewGroup(const VectorBatch* batch, int pos) {
+    uint32_t g = static_cast<uint32_t>(num_groups++);
+    for (size_t c = 0; c < key_cols.size(); c++) {
+      const char* data =
+          static_cast<const char*>(batch->column(key_cols[c]).data());
+      key_store[c].Append(data + static_cast<size_t>(pos) * key_widths[c],
+                          key_widths[c]);
     }
+    for (BoundAggr& a : aggrs) a.EnsureSlots(num_groups);
+    return g;
   }
 };
 
@@ -92,7 +100,7 @@ HashAggrOp::~HashAggrOp() = default;
 
 void HashAggrOp::Open() {
   child_->Open();
-  impl_ = std::make_unique<Impl>();
+  impl_ = std::make_unique<Impl>(ctx_->hash_impl);
   Impl& im = *impl_;
 
   im.inputs = aggr_internal::BindAggrInputs(ctx_, child_->schema(), specs_,
@@ -108,7 +116,7 @@ void HashAggrOp::Open() {
   }
   im.key_store.resize(im.key_cols.size());
 
-  im.buckets.assign(1024, 0);
+  im.table.Reset(0);
   im.groups = std::make_unique<uint32_t[]>(ctx_->vector_size);
   im.hash_a.Allocate(TypeId::kI64, ctx_->vector_size);
   im.hash_b.Allocate(TypeId::kI64, ctx_->vector_size);
@@ -166,38 +174,40 @@ void HashAggrOp::Build() {
       }
 
       // Probe / insert (operator loop; accounted to the HashAggr row).
+      // Reserve up front: every tuple of the batch could be a new group, and
+      // growth must stay off the probe path.
       uint64_t t0 = im.op_stats ? ReadCycleCounter() : 0;
-      size_t mask = im.buckets.size() - 1;
+      im.table.Reserve(static_cast<size_t>(n));
+      im.table.ProbeBegin(&im.probe, cur, sel, n);
+      while (int nc = im.table.ProbeRound(&im.probe)) {
+        for (int k = 0; k < nc; k++) {
+          int pos = sel ? sel[im.probe.cand_lane(k)] : im.probe.cand_lane(k);
+          if (im.KeysEqual(batch, pos,
+                           im.table.EntryValue(im.probe.cand_entry(k)))) {
+            im.table.Accept(&im.probe, k);
+          } else {
+            im.table.Reject(&im.probe, k);
+          }
+        }
+      }
       for (int j = 0; j < n; j++) {
         int i = sel ? sel[j] : j;
-        uint64_t h = cur[i];
-        size_t b = h & mask;
-        uint32_t g;
-        while (true) {
-          uint32_t slot = im.buckets[b];
-          if (slot == 0) {
-            g = static_cast<uint32_t>(im.num_groups++);
-            im.buckets[b] = g + 1;
-            im.group_hash.push_back(h);
-            for (size_t c = 0; c < im.key_cols.size(); c++) {
-              const char* data = static_cast<const char*>(
-                  batch->column(im.key_cols[c]).data());
-              im.key_store[c].Append(
-                  data + static_cast<size_t>(i) * im.key_widths[c],
-                  im.key_widths[c]);
+        uint32_t g = im.probe.result(j);
+        if (g == HashTable::kNone) {
+          uint32_t cand = HashTable::kNone;
+          for (;;) {
+            if (im.table.InsertMiss(&im.probe, j,
+                                    static_cast<uint32_t>(im.num_groups),
+                                    &cand)) {
+              g = im.NewGroup(batch, i);
+              break;
             }
-            for (BoundAggr& a : im.aggrs) a.EnsureSlots(im.num_groups);
-            // Grow before the table can fill up mid-batch (a full table
-            // would turn the probe loop into an infinite scan).
-            if (im.num_groups * 10 > im.buckets.size() * 7) {
-              im.Rehash();
-              mask = im.buckets.size() - 1;
+            uint32_t g2 = im.table.EntryValue(cand);
+            if (im.KeysEqual(batch, i, g2)) {
+              g = g2;
+              break;
             }
-            break;
           }
-          g = slot - 1;
-          if (im.group_hash[g] == h && im.KeysEqual(batch, i, g)) break;
-          b = (b + 1) & mask;
         }
         im.groups[i] = g;
       }
@@ -216,6 +226,7 @@ void HashAggrOp::Build() {
   MetricsRegistry& reg = MetricsRegistry::Get();
   reg.GetHistogram("aggr.hash.groups")->Record(im.num_groups);
   reg.GetCounter("aggr.hash.input_tuples")->Add(im.input_tuples);
+  im.m_rehashes->Add(im.table.stats().grows);
   im.built = true;
   im.emit_pos = 0;
   im.out = VectorBatch(schema_, ctx_->vector_size);
@@ -245,6 +256,11 @@ VectorBatch* HashAggrOp::Next() {
   im.out.ClearSel();
   im.emit_pos += static_cast<size_t>(n);
   return &im.out;
+}
+
+void HashAggrOp::Close() {
+  if (impl_) impl_->table.PublishStats(trace_node_);
+  child_->Close();
 }
 
 }  // namespace x100

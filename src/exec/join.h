@@ -49,6 +49,10 @@ class HashJoinOp : public Operator {
   VectorBatch* Next() override;
   void Close() override;
 
+  /// EXPLAIN ANALYZE node that receives the table's ht.* counters at Close
+  /// (wired by the plan::Join factory).
+  void set_trace_node(TraceNode* node) { trace_node_ = node; }
+
  private:
   struct Impl;
   void BuildSide();
@@ -59,6 +63,7 @@ class HashJoinOp : public Operator {
   std::vector<std::string> probe_keys_, build_keys_, probe_out_, build_out_;
   JoinType type_;
   Schema schema_;
+  TraceNode* trace_node_ = nullptr;
   std::unique_ptr<Impl> impl_;
 };
 
@@ -85,6 +90,9 @@ class RadixJoinOp : public Operator {
   VectorBatch* Next() override;
   void Close() override;
 
+  /// EXPLAIN ANALYZE node that receives the table's ht.* counters at Close.
+  void set_trace_node(TraceNode* node) { trace_node_ = node; }
+
  private:
   struct Impl;
   void BuildAll();
@@ -94,6 +102,7 @@ class RadixJoinOp : public Operator {
   std::vector<std::string> probe_keys_, build_keys_, probe_out_, build_out_;
   int radix_bits_;
   Schema schema_;
+  TraceNode* trace_node_ = nullptr;
   std::unique_ptr<Impl> impl_;
 };
 

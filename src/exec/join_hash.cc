@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cstring>
 
 #include "common/hash.h"
@@ -14,10 +15,17 @@ using join_internal::GatherByRow;
 // ---- HashJoinOp -------------------------------------------------------------
 
 struct HashJoinOp::Impl {
-  DrainedStore store;            // build keys first, then build outputs
+  explicit Impl(HashImpl hash_impl) : table(hash_impl) {}
+
+  DrainedStore store;  // build keys first, then build outputs
   size_t num_keys = 0;
-  std::vector<uint32_t> buckets;  // head row + 1; 0 = empty
-  std::vector<uint32_t> next;     // collision chain, per build row
+  // Shared vectorized table: distinct key -> head build row. Duplicate rows
+  // chain through next_dup (head = latest row, so a chain walk visits rows
+  // in reverse insertion order — the same emission order the old push-front
+  // chained table produced, for any HashImpl).
+  HashTable table;
+  HashTable::Probe probe;
+  std::vector<uint32_t> next_dup;  // per build row; kNone ends the chain
   std::vector<uint64_t> row_hash;
 
   // Probe-side hash pipeline.
@@ -72,6 +80,22 @@ struct HashJoinOp::Impl {
     }
     return true;
   }
+
+  bool BuildKeysEqual(size_t a, size_t b) const {
+    for (size_t c = 0; c < num_keys; c++) {
+      const char* pa = store.ColData(c) + a * store.widths[c];
+      const char* pb = store.ColData(c) + b * store.widths[c];
+      if (key_is_str[c]) {
+        if (std::strcmp(*reinterpret_cast<const char* const*>(pa),
+                        *reinterpret_cast<const char* const*>(pb)) != 0) {
+          return false;
+        }
+      } else if (std::memcmp(pa, pb, store.widths[c]) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
 };
 
 HashJoinOp::HashJoinOp(ExecContext* ctx, std::unique_ptr<Operator> probe,
@@ -105,7 +129,7 @@ HashJoinOp::~HashJoinOp() = default;
 void HashJoinOp::Open() {
   probe_->Open();
   build_->Open();
-  impl_ = std::make_unique<Impl>();
+  impl_ = std::make_unique<Impl>(ctx_->hash_impl);
   Impl& im = *impl_;
 
   // Refresh output fields (children resolve dictionary bases in Open).
@@ -179,11 +203,10 @@ void HashJoinOp::BuildSide() {
   while (VectorBatch* batch = build_->Next()) {
     im.store.Append(batch);
   }
-  // Hash all build rows.
-  size_t cap = 64;
-  while (cap < im.store.rows * 2) cap *= 2;
-  im.buckets.assign(cap, 0);
-  im.next.assign(im.store.rows, 0);
+  // Hash all build rows, then find-or-chain them batch-at-a-time. The apply
+  // pass runs in row order after each probe pass drains, so duplicate chains
+  // form in insertion order regardless of which lanes resolved vectorized
+  // and which went through the scalar InsertMiss path.
   im.row_hash.resize(im.store.rows);
   for (size_t r = 0; r < im.store.rows; r++) {
     uint64_t h = 0;
@@ -200,9 +223,46 @@ void HashJoinOp::BuildSide() {
       h = c == 0 ? hv : HashCombine(h, hv);
     }
     im.row_hash[r] = h;
-    size_t b = h & (cap - 1);
-    im.next[r] = im.buckets[b];
-    im.buckets[b] = static_cast<uint32_t>(r + 1);
+  }
+  im.next_dup.assign(im.store.rows, HashTable::kNone);
+  im.table.Reset(im.store.rows);
+  size_t chunk = static_cast<size_t>(ctx_->vector_size);
+  for (size_t base = 0; base < im.store.rows; base += chunk) {
+    int n = static_cast<int>(std::min(chunk, im.store.rows - base));
+    im.table.Reserve(static_cast<size_t>(n));
+    im.table.ProbeBegin(&im.probe, im.row_hash.data() + base, nullptr, n);
+    while (int nc = im.table.ProbeRound(&im.probe)) {
+      for (int k = 0; k < nc; k++) {
+        size_t row = base + static_cast<size_t>(im.probe.cand_lane(k));
+        if (im.BuildKeysEqual(row,
+                              im.table.EntryValue(im.probe.cand_entry(k)))) {
+          im.table.Accept(&im.probe, k);
+        } else {
+          im.table.Reject(&im.probe, k);
+        }
+      }
+    }
+    for (int j = 0; j < n; j++) {
+      uint32_t r = static_cast<uint32_t>(base) + static_cast<uint32_t>(j);
+      uint32_t e = im.probe.result_entry(j);
+      if (e == HashTable::kNone) {
+        uint32_t cand = HashTable::kNone;
+        for (;;) {
+          if (im.table.InsertMiss(&im.probe, j, r, &cand)) break;
+          if (im.BuildKeysEqual(r, im.table.EntryValue(cand))) {
+            e = cand;
+            break;
+          }
+        }
+      }
+      if (e != HashTable::kNone) {
+        // Same key as the entry's current head: push-front onto the chain.
+        // EntryValue is re-read here (not the probe-time result) because an
+        // earlier row of this batch may already have moved the head.
+        im.next_dup[r] = im.table.EntryValue(e);
+        im.table.SetEntryValue(e, r);
+      }
+    }
   }
   im.m_build_rows->Record(im.store.rows);
   im.built = true;
@@ -233,31 +293,36 @@ void HashJoinOp::ProcessProbeBatch(VectorBatch* batch) {
 
   uint64_t t0 = im.op_stats ? ReadCycleCounter() : 0;
   uint64_t hits = 0;
-  size_t mask = im.buckets.size() - 1;
+  // Vectorized probe-all: every lane advances per round, candidates come
+  // back as a selection vector for key verification; match emission then
+  // runs lane-order so output order matches the scalar chain walk.
+  im.table.ProbeBegin(&im.probe, cur, sel, n);
+  while (int nc = im.table.ProbeRound(&im.probe)) {
+    for (int k = 0; k < nc; k++) {
+      int pos = sel ? sel[im.probe.cand_lane(k)] : im.probe.cand_lane(k);
+      if (im.KeysEqual(batch, pos, im.table.EntryValue(im.probe.cand_entry(k)))) {
+        im.table.Accept(&im.probe, k);
+      } else {
+        im.table.Reject(&im.probe, k);
+      }
+    }
+  }
   for (int j = 0; j < n; j++) {
     int i = sel ? sel[j] : j;
-    uint64_t h = cur[i];
-    uint32_t r = im.buckets[h & mask];
-    bool matched = false;
-    while (r != 0) {
-      size_t row = r - 1;
-      if (im.row_hash[row] == h && im.KeysEqual(batch, i, row)) {
-        matched = true;
-        if (type_ == JoinType::kInner || type_ == JoinType::kLeftOuterDefault) {
+    uint32_t head = im.probe.result(j);
+    if (head != HashTable::kNone) {
+      hits++;
+      if (type_ == JoinType::kInner || type_ == JoinType::kLeftOuterDefault) {
+        for (uint32_t r = head; r != HashTable::kNone; r = im.next_dup[r]) {
           im.pend_pos.push_back(i);
-          im.pend_row.push_back(static_cast<int64_t>(row));
-        } else {
-          break;  // semi/anti need only existence
+          im.pend_row.push_back(static_cast<int64_t>(r));
         }
+      } else if (type_ == JoinType::kSemi) {
+        im.pend_pos.push_back(i);
+        im.pend_row.push_back(-1);
       }
-      r = im.next[row];
-    }
-    if (matched) hits++;
-    if (!matched && (type_ == JoinType::kAnti ||
-                     type_ == JoinType::kLeftOuterDefault)) {
-      im.pend_pos.push_back(i);
-      im.pend_row.push_back(-1);
-    } else if (matched && type_ == JoinType::kSemi) {
+    } else if (type_ == JoinType::kAnti ||
+               type_ == JoinType::kLeftOuterDefault) {
       im.pend_pos.push_back(i);
       im.pend_row.push_back(-1);
     }
@@ -313,6 +378,7 @@ VectorBatch* HashJoinOp::Next() {
 }
 
 void HashJoinOp::Close() {
+  if (impl_) impl_->table.PublishStats(trace_node_);
   probe_->Close();
   build_->Close();
 }

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cstring>
 
 #include "common/hash.h"
@@ -17,10 +18,17 @@ using join_internal::GatherByRow;
 // same principle X100 applies to vectors, applied to join state.
 
 struct RadixJoinOp::Impl {
+  explicit Impl(HashImpl hash_impl) : table(hash_impl) {}
+
   DrainedStore probe_store;  // keys first, then outputs
   DrainedStore build_store;
   size_t num_keys = 0;
   std::vector<size_t> probe_out_store, build_out_store;
+
+  // Partition-local shared vectorized table, reused (Reset) per partition:
+  // distinct key -> head local build index, duplicates chained via next_dup.
+  HashTable table;
+  HashTable::Probe probe;
 
   int bits = 0;
   // Per side: row ids ordered by partition + partition boundaries.
@@ -61,6 +69,22 @@ struct RadixJoinOp::Impl {
           return false;
         }
       } else if (std::memcmp(a, b, probe_store.widths[c]) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool BuildRowsEqual(size_t a, size_t b) const {
+    for (size_t c = 0; c < num_keys; c++) {
+      const char* pa = build_store.ColData(c) + a * build_store.widths[c];
+      const char* pb = build_store.ColData(c) + b * build_store.widths[c];
+      if (build_store.schema.field(static_cast<int>(c)).type == TypeId::kStr) {
+        if (std::strcmp(*reinterpret_cast<const char* const*>(pa),
+                        *reinterpret_cast<const char* const*>(pb)) != 0) {
+          return false;
+        }
+      } else if (std::memcmp(pa, pb, build_store.widths[c]) != 0) {
         return false;
       }
     }
@@ -118,7 +142,7 @@ RadixJoinOp::~RadixJoinOp() = default;
 void RadixJoinOp::Open() {
   probe_->Open();
   build_->Open();
-  impl_ = std::make_unique<Impl>();
+  impl_ = std::make_unique<Impl>(ctx_->hash_impl);
   Impl& im = *impl_;
   {
     int fi = 0;
@@ -173,37 +197,101 @@ void RadixJoinOp::BuildAll() {
   Impl::Cluster(im.build_hash, bits, &im.build_order, &im.build_bounds);
   Impl::Cluster(im.probe_hash, bits, &im.probe_order, &im.probe_bounds);
 
-  // Join partition pairs with a small open-addressing table reused across
-  // partitions.
-  std::vector<uint32_t> buckets;
-  std::vector<uint32_t> next;
+  // Join partition pairs with the shared vectorized table, Reset per
+  // partition so its slot array stays cache-resident. All rows of a
+  // partition share the low `bits` hash bits, so the table is fed
+  // hash >> bits (shifted equality == full equality within a partition;
+  // feeding the raw hash would alias every row onto a few slots).
+  std::vector<uint32_t> next_dup;   // local build index -> older same-key row
+  std::vector<uint64_t> lane_hash;  // contiguous shifted hashes per chunk
+  size_t chunk = static_cast<size_t>(ctx_->vector_size);
   size_t parts = size_t{1} << bits;
   for (size_t p = 0; p < parts; p++) {
     int64_t b0 = im.build_bounds[p], b1 = im.build_bounds[p + 1];
     int64_t p0 = im.probe_bounds[p], p1 = im.probe_bounds[p + 1];
     if (b0 == b1 || p0 == p1) continue;
     size_t n = static_cast<size_t>(b1 - b0);
-    size_t cap = 16;
-    while (cap < n * 2) cap *= 2;
-    buckets.assign(cap, 0);
-    next.assign(n, 0);
-    for (int64_t i = b0; i < b1; i++) {
-      uint32_t row = im.build_order[i];
-      size_t slot = (im.build_hash[row] >> im.bits) & (cap - 1);
-      next[i - b0] = buckets[slot];
-      buckets[slot] = static_cast<uint32_t>(i - b0 + 1);
-    }
-    for (int64_t j = p0; j < p1; j++) {
-      uint32_t prow = im.probe_order[j];
-      uint64_t h = im.probe_hash[prow];
-      uint32_t c = buckets[(h >> im.bits) & (cap - 1)];
-      while (c != 0) {
-        uint32_t brow = im.build_order[b0 + c - 1];
-        if (im.build_hash[brow] == h && im.KeysEqual(prow, brow)) {
-          im.out_probe.push_back(prow);
-          im.out_build.push_back(brow);
+    im.table.Reset(n);
+    next_dup.assign(n, HashTable::kNone);
+    for (size_t base = 0; base < n; base += chunk) {
+      int cn = static_cast<int>(std::min(chunk, n - base));
+      lane_hash.resize(static_cast<size_t>(cn));
+      for (int j = 0; j < cn; j++) {
+        uint32_t row = im.build_order[static_cast<size_t>(b0) + base +
+                                      static_cast<size_t>(j)];
+        lane_hash[static_cast<size_t>(j)] = im.build_hash[row] >> im.bits;
+      }
+      im.table.Reserve(static_cast<size_t>(cn));
+      im.table.ProbeBegin(&im.probe, lane_hash.data(), nullptr, cn);
+      while (int nc = im.table.ProbeRound(&im.probe)) {
+        for (int k = 0; k < nc; k++) {
+          size_t li = base + static_cast<size_t>(im.probe.cand_lane(k));
+          uint32_t le = im.table.EntryValue(im.probe.cand_entry(k));
+          if (im.BuildRowsEqual(
+                  im.build_order[static_cast<size_t>(b0) + li],
+                  im.build_order[static_cast<size_t>(b0) + le])) {
+            im.table.Accept(&im.probe, k);
+          } else {
+            im.table.Reject(&im.probe, k);
+          }
         }
-        c = next[c - 1];
+      }
+      for (int j = 0; j < cn; j++) {
+        uint32_t li = static_cast<uint32_t>(base) + static_cast<uint32_t>(j);
+        uint32_t brow = im.build_order[static_cast<size_t>(b0) + li];
+        uint32_t e = im.probe.result_entry(j);
+        if (e == HashTable::kNone) {
+          uint32_t cand = HashTable::kNone;
+          for (;;) {
+            if (im.table.InsertMiss(&im.probe, j, li, &cand)) break;
+            uint32_t le = im.table.EntryValue(cand);
+            if (im.BuildRowsEqual(
+                    brow, im.build_order[static_cast<size_t>(b0) + le])) {
+              e = cand;
+              break;
+            }
+          }
+        }
+        if (e != HashTable::kNone) {
+          next_dup[li] = im.table.EntryValue(e);
+          im.table.SetEntryValue(e, li);
+        }
+      }
+    }
+    size_t pn = static_cast<size_t>(p1 - p0);
+    for (size_t base = 0; base < pn; base += chunk) {
+      int cn = static_cast<int>(std::min(chunk, pn - base));
+      lane_hash.resize(static_cast<size_t>(cn));
+      for (int j = 0; j < cn; j++) {
+        uint32_t prow = im.probe_order[static_cast<size_t>(p0) + base +
+                                       static_cast<size_t>(j)];
+        lane_hash[static_cast<size_t>(j)] = im.probe_hash[prow] >> im.bits;
+      }
+      im.table.ProbeBegin(&im.probe, lane_hash.data(), nullptr, cn);
+      while (int nc = im.table.ProbeRound(&im.probe)) {
+        for (int k = 0; k < nc; k++) {
+          uint32_t prow =
+              im.probe_order[static_cast<size_t>(p0) + base +
+                             static_cast<size_t>(im.probe.cand_lane(k))];
+          uint32_t le = im.table.EntryValue(im.probe.cand_entry(k));
+          if (im.KeysEqual(prow,
+                           im.build_order[static_cast<size_t>(b0) + le])) {
+            im.table.Accept(&im.probe, k);
+          } else {
+            im.table.Reject(&im.probe, k);
+          }
+        }
+      }
+      for (int j = 0; j < cn; j++) {
+        uint32_t head = im.probe.result(j);
+        if (head == HashTable::kNone) continue;
+        uint32_t prow = im.probe_order[static_cast<size_t>(p0) + base +
+                                       static_cast<size_t>(j)];
+        for (uint32_t li = head; li != HashTable::kNone; li = next_dup[li]) {
+          im.out_probe.push_back(prow);
+          im.out_build.push_back(
+              im.build_order[static_cast<size_t>(b0) + li]);
+        }
       }
     }
   }
@@ -246,6 +334,7 @@ VectorBatch* RadixJoinOp::Next() {
 }
 
 void RadixJoinOp::Close() {
+  if (impl_) impl_->table.PublishStats(trace_node_);
   probe_->Close();
   build_->Close();
 }

@@ -92,7 +92,13 @@ inline OpPtr HashAggr(ExecContext* ctx, OpPtr child,
   const Operator* c = child.get();
   auto op = std::make_unique<HashAggrOp>(ctx, std::move(child),
                                          std::move(group_by), std::move(aggrs));
-  return MaybeTrace(ctx, std::move(op), "HashAggr", "", {c});
+  HashAggrOp* raw = op.get();
+  OpPtr wrapped = MaybeTrace(ctx, std::move(op), "HashAggr", "", {c});
+  if (ctx->trace != nullptr) {
+    raw->set_trace_node(
+        static_cast<InstrumentedOperator*>(wrapped.get())->node());
+  }
+  return wrapped;
 }
 
 inline OpPtr DirectAggr(ExecContext* ctx, OpPtr child,
@@ -124,7 +130,13 @@ inline OpPtr Join(ExecContext* ctx, OpPtr probe, OpPtr build, JoinSpec spec) {
                                                      : "HashJoin";
   auto op = std::make_unique<HashJoinOp>(ctx, std::move(probe),
                                          std::move(build), std::move(spec));
-  return MaybeTrace(ctx, std::move(op), label, "", {p, b});
+  HashJoinOp* raw = op.get();
+  OpPtr wrapped = MaybeTrace(ctx, std::move(op), label, "", {p, b});
+  if (ctx->trace != nullptr) {
+    raw->set_trace_node(
+        static_cast<InstrumentedOperator*>(wrapped.get())->node());
+  }
+  return wrapped;
 }
 
 inline OpPtr SemiJoin(ExecContext* ctx, OpPtr probe, OpPtr build,
