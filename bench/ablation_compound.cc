@@ -100,6 +100,7 @@ int main() {
   // End to end: TPC-H Q1 with the binder's compound fusion on vs off.
   std::unique_ptr<Catalog> db = MakeTpch(ScaleFactor(0.25));
   ExecContext plain;
+  plain.fuse_compound_primitives = false;
   ExecContext fused;
   fused.fuse_compound_primitives = true;
   RunX100Query(1, &plain, *db);  // warm-up

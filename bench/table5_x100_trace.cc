@@ -29,13 +29,17 @@ int main() {
   // Warm-up untraced run.
   {
     ExecContext ctx;
+    ctx.fuse_compound_primitives = false;
     RunX100Query(1, &ctx, *db);
   }
   // The gated timed run stays perf-free: reading the counter group costs two
   // syscalls per primitive invocation, and total_ms must keep measuring the
-  // same work the baseline was recorded against.
+  // same work the baseline was recorded against. Binder fusion is pinned off
+  // for the same reason: this bench reproduces the paper's single-primitive
+  // Table 5 trace (the fused pipeline has its own bench, fusion.cc).
   Profiler profiler;
   ExecContext ctx;
+  ctx.fuse_compound_primitives = false;
   ctx.profiler = &profiler;
   uint64_t t0 = NowNanos();
   RunX100Query(1, &ctx, *db);
@@ -75,6 +79,7 @@ int main() {
     ScopedPerfThread perf_thread;
     Profiler hw_profiler;
     ExecContext hw_ctx;
+    hw_ctx.fuse_compound_primitives = false;
     hw_ctx.profiler = &hw_profiler;
     RunX100Query(1, &hw_ctx, *db);
     bool have_hw = false;
@@ -99,11 +104,13 @@ int main() {
   for (int q : {1, 3, 6, 14}) {
     {
       ExecContext warm;
+      warm.fuse_compound_primitives = false;
       RunX100Query(q, &warm, *db);
     }
     ScopedPerfThread perf_thread;
     PerfCounterValues before = ReadThreadPerfCounters();
     ExecContext qctx;
+    qctx.fuse_compound_primitives = false;
     RunX100Query(q, &qctx, *db);
     PerfCounterValues d = ReadThreadPerfCounters().Since(before);
     std::string prefix = "q" + std::to_string(q);

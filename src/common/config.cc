@@ -89,6 +89,10 @@ std::string EnvString(const char* name, const std::string& def) {
   return env == nullptr ? def : std::string(env);
 }
 
+int EnvFuse() {
+  return static_cast<int>(EnvIntInRange("X100_FUSE", 1, 0, 1));
+}
+
 int EnvServePort() {
   return static_cast<int>(
       EnvIntInRange("X100_PORT", kDefaultServePort, 0, 65535));

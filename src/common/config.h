@@ -51,6 +51,13 @@ double EnvPositiveDouble(const char* name, double def);
 /// keeps every X100_* knob on one documented path.
 std::string EnvString(const char* name, const std::string& def);
 
+// -- execution knobs --
+
+/// Whether the binder fuses map-primitive chains into single compound
+/// kernels (§4.2); the ExecContext default, overridable per query via
+/// QueryRequest (env X100_FUSE, 0 or 1, default on).
+int EnvFuse();
+
 // -- serving knobs (src/server) --
 //
 // Read once at server construction; the same strict-parse/exit-2 contract

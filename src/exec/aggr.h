@@ -114,6 +114,10 @@ class DirectAggrOp : public Operator {
   VectorBatch* Next() override;
   void Close() override { child_->Close(); }
 
+  /// EXPLAIN ANALYZE hook (set by the plan factory): fused-chain steps in
+  /// the aggregate inputs attach their fused[...] trace nodes here.
+  void set_trace_node(TraceNode* node) { trace_node_ = node; }
+
  private:
   struct Impl;
   void Build();
@@ -123,6 +127,7 @@ class DirectAggrOp : public Operator {
   std::vector<std::string> group_by_;
   std::vector<AggrSpec> specs_;
   Schema schema_;
+  TraceNode* trace_node_ = nullptr;
   std::unique_ptr<Impl> impl_;
 };
 
@@ -139,6 +144,10 @@ class OrdAggrOp : public Operator {
   VectorBatch* Next() override;
   void Close() override { child_->Close(); }
 
+  /// EXPLAIN ANALYZE hook (set by the plan factory): fused-chain steps in
+  /// the aggregate inputs attach their fused[...] trace nodes here.
+  void set_trace_node(TraceNode* node) { trace_node_ = node; }
+
  private:
   struct Impl;
 
@@ -147,6 +156,7 @@ class OrdAggrOp : public Operator {
   std::vector<std::string> group_by_;
   std::vector<AggrSpec> specs_;
   Schema schema_;
+  TraceNode* trace_node_ = nullptr;
   std::unique_ptr<Impl> impl_;
 };
 

@@ -100,7 +100,8 @@ std::vector<int> BuildAggrSchema(const Schema& child,
 
 std::unique_ptr<MultiExprEvaluator> BindAggrInputs(
     ExecContext* ctx, const Schema& child, const std::vector<AggrSpec>& specs,
-    std::vector<BoundAggr>* bound, const std::string& label) {
+    std::vector<BoundAggr>* bound, const std::string& label,
+    TraceNode* trace_parent) {
   // Binding copies everything it needs (constants, arg refs); the widened
   // expression trees can be dropped once the evaluator is constructed.
   std::vector<ExprPtr> widened;
@@ -117,7 +118,8 @@ std::unique_ptr<MultiExprEvaluator> BindAggrInputs(
   }
   std::unique_ptr<MultiExprEvaluator> eval;
   if (!ptrs.empty()) {
-    eval = std::make_unique<MultiExprEvaluator>(ctx, child, ptrs, label);
+    eval = std::make_unique<MultiExprEvaluator>(ctx, child, ptrs, label,
+                                                trace_parent);
   }
   for (size_t i = 0; i < specs.size(); i++) {
     TypeId t = TypeId::kI64;

@@ -52,8 +52,8 @@ void DirectAggrOp::Open() {
   impl_ = std::make_unique<Impl>();
   Impl& im = *impl_;
 
-  im.inputs = aggr_internal::BindAggrInputs(ctx_, child_->schema(), specs_,
-                                            &im.aggrs, "DirectAggr");
+  im.inputs = aggr_internal::BindAggrInputs(
+      ctx_, child_->schema(), specs_, &im.aggrs, "DirectAggr", trace_node_);
   schema_ = Schema();
   im.key_cols = aggr_internal::BuildAggrSchema(child_->schema(), group_by_,
                                                im.aggrs, &schema_);

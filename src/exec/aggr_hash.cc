@@ -103,8 +103,8 @@ void HashAggrOp::Open() {
   impl_ = std::make_unique<Impl>(ctx_->hash_impl);
   Impl& im = *impl_;
 
-  im.inputs = aggr_internal::BindAggrInputs(ctx_, child_->schema(), specs_,
-                                            &im.aggrs, "HashAggr");
+  im.inputs = aggr_internal::BindAggrInputs(
+      ctx_, child_->schema(), specs_, &im.aggrs, "HashAggr", trace_node_);
   schema_ = Schema();
   im.key_cols = aggr_internal::BuildAggrSchema(child_->schema(), group_by_,
                                                im.aggrs, &schema_);

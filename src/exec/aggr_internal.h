@@ -27,9 +27,12 @@ std::vector<int> BuildAggrSchema(const Schema& child,
 
 /// Wraps each aggregate input in widen() and binds them all in one program.
 /// Fills input_idx on the BoundAggrs. Returns null if there are no inputs.
+/// `trace_parent` (optional): plan-trace node fused-chain steps in the
+/// inputs attach their fused[...] sub-nodes to.
 std::unique_ptr<MultiExprEvaluator> BindAggrInputs(
     ExecContext* ctx, const Schema& child, const std::vector<AggrSpec>& specs,
-    std::vector<BoundAggr>* bound, const std::string& label);
+    std::vector<BoundAggr>* bound, const std::string& label,
+    TraceNode* trace_parent = nullptr);
 
 /// Runs one aggregate update over the live positions of `batch`.
 void UpdateAggr(BoundAggr* a, MultiExprEvaluator* inputs, VectorBatch* batch,

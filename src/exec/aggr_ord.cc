@@ -97,7 +97,7 @@ void OrdAggrOp::Open() {
   Impl& im = *impl_;
 
   im.inputs = aggr_internal::BindAggrInputs(ctx_, child_->schema(), specs_,
-                                            &im.aggrs, "OrdAggr");
+                                            &im.aggrs, "OrdAggr", trace_node_);
   schema_ = Schema();
   im.key_cols = aggr_internal::BuildAggrSchema(child_->schema(), group_by_,
                                                im.aggrs, &schema_);

@@ -12,7 +12,7 @@ SelectOp::SelectOp(ExecContext* ctx, std::unique_ptr<Operator> child, ExprPtr pr
 void SelectOp::Open() {
   child_->Open();
   eval_ = std::make_unique<PredicateEvaluator>(ctx_, child_->schema(), *pred_,
-                                               "Select");
+                                               "Select", trace_node_);
   stats_ = ctx_->profiler ? ctx_->profiler->GetStats("Select") : nullptr;
 }
 
@@ -57,7 +57,7 @@ void ProjectOp::Open() {
   std::vector<const Expr*> ptrs;
   for (const NamedExpr& ne : exprs_) ptrs.push_back(ne.expr.get());
   eval_ = std::make_unique<MultiExprEvaluator>(ctx_, child_->schema(), ptrs,
-                                               "Project");
+                                               "Project", trace_node_);
   // Refresh dictionary refs now that the child has resolved them.
   for (int i = 0; i < schema_.num_fields(); i++) {
     const_cast<Field*>(&schema_.field(i))->dict = eval_->dict(i);

@@ -21,12 +21,17 @@ class SelectOp : public Operator {
   VectorBatch* Next() override;
   void Close() override { child_->Close(); }
 
+  /// EXPLAIN ANALYZE hook (set by the plan factory): fused-chain steps in
+  /// the predicate attach their fused[...] trace nodes under this node.
+  void set_trace_node(TraceNode* node) { trace_node_ = node; }
+
  private:
   ExecContext* ctx_;
   std::unique_ptr<Operator> child_;
   ExprPtr pred_;
   std::unique_ptr<PredicateEvaluator> eval_;
   PrimitiveStats* stats_ = nullptr;
+  TraceNode* trace_node_ = nullptr;
 };
 
 /// Project(Dataflow, List<Exp>): pure expression calculation (§4.1.2) — the
@@ -44,6 +49,10 @@ class ProjectOp : public Operator {
   VectorBatch* Next() override;
   void Close() override { child_->Close(); }
 
+  /// EXPLAIN ANALYZE hook (set by the plan factory): fused-chain steps in
+  /// the projection attach their fused[...] trace nodes under this node.
+  void set_trace_node(TraceNode* node) { trace_node_ = node; }
+
  private:
   ExecContext* ctx_;
   std::unique_ptr<Operator> child_;
@@ -53,6 +62,7 @@ class ProjectOp : public Operator {
   VectorBatch out_;
   std::vector<Vector> const_bufs_;  // broadcast constants
   PrimitiveStats* stats_ = nullptr;
+  TraceNode* trace_node_ = nullptr;
 };
 
 }  // namespace x100

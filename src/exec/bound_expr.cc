@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "exec/trace.h"
+#include "primitives/fused.h"
+
 namespace x100 {
 namespace bind_internal {
 
@@ -53,6 +56,30 @@ bool IsComparisonFn(const std::string& fn) {
   return fn == "lt" || fn == "le" || fn == "gt" || fn == "ge" || fn == "eq" ||
          fn == "ne" || fn == "like" || fn == "notlike";
 }
+
+/// Op kind of a call node the chain fuser can absorb, checked against the
+/// node's explicit arity (a malformed `sub` with one argument must not be
+/// treated as a binary candidate — it falls through to the generic path's
+/// arity CHECK).
+std::optional<fused::OpK> FusibleOp(const std::string& fn, size_t arity) {
+  using fused::OpK;
+  if (arity == 2) {
+    if (fn == "add") return OpK::kAdd;
+    if (fn == "sub") return OpK::kSub;
+    if (fn == "mul") return OpK::kMul;
+    if (fn == "div") return OpK::kDiv;
+  } else if (arity == 1) {
+    if (fn == "neg") return OpK::kNeg;
+    if (fn == "square") return OpK::kSquare;
+  }
+  return std::nullopt;
+}
+
+/// Minimum intermediate-vector traffic (bytes/tuple) a fused chain must
+/// eliminate to be worth binding. Chains of 8-byte types always clear it
+/// (one 8-byte store + load per collapsed edge = 16); a hypothetical 4-byte
+/// chain would not.
+constexpr size_t kMinFusedSavedBytes = 16;
 
 Value ConvertConst(const Value& v, TypeId to) {
   switch (PrimType(to)) {
@@ -203,6 +230,269 @@ ValueNode Program::Cast(ValueNode node, TypeId to) {
   return out;
 }
 
+void Program::NoteSubtreeUses(const Expr& expr) {
+  if (expr.kind() != Expr::Kind::kCall) return;
+  use_counts_[expr.Signature()]++;
+  for (const ExprPtr& a : expr.args()) NoteSubtreeUses(*a);
+}
+
+std::optional<TypeId> Program::InferType(const Schema& input,
+                                         const Expr& expr) const {
+  switch (expr.kind()) {
+    case Expr::Kind::kColumn: {
+      int ci = input.Find(expr.name());
+      if (ci < 0) return std::nullopt;
+      const Field& f = input.field(ci);
+      return PrimType(f.dict.valid() ? f.dict.value_type : f.type);
+    }
+    case Expr::Kind::kConst:
+      return PrimType(expr.value().type());
+    case Expr::Kind::kCall:
+      break;
+  }
+  const std::string& fn = expr.name();
+  const auto& args = expr.args();
+  if (fn == "fused_submul" || fn == "fused_addmul" || fn == "mahalanobis") {
+    return args.size() == 3 ? std::optional<TypeId>(TypeId::kF64)
+                            : std::nullopt;
+  }
+  if (fn == "sqrt" || fn == "square") {
+    return args.size() == 1 ? std::optional<TypeId>(TypeId::kF64)
+                            : std::nullopt;
+  }
+  if (fn == "neg") {
+    if (args.size() != 1) return std::nullopt;
+    std::optional<TypeId> a = InferType(input, *args[0]);
+    if (!a) return std::nullopt;
+    return ArithType(*a) == TypeId::kI64 ? TypeId::kI64 : TypeId::kF64;
+  }
+  if (fn == "dbl") {
+    return args.size() == 1 ? std::optional<TypeId>(TypeId::kF64)
+                            : std::nullopt;
+  }
+  if (fn == "i64") {
+    return args.size() == 1 ? std::optional<TypeId>(TypeId::kI64)
+                            : std::nullopt;
+  }
+  if (fn == "year") {
+    return args.size() == 1 ? std::optional<TypeId>(TypeId::kI32)
+                            : std::nullopt;
+  }
+  if (fn == "widen") {
+    if (args.size() != 1) return std::nullopt;
+    std::optional<TypeId> a = InferType(input, *args[0]);
+    if (!a) return std::nullopt;
+    return *a == TypeId::kStr ? *a : ArithType(*a);
+  }
+  if ((fn == "add" || fn == "sub" || fn == "mul" || fn == "div") &&
+      args.size() == 2) {
+    std::optional<TypeId> l = InferType(input, *args[0]);
+    std::optional<TypeId> r = InferType(input, *args[1]);
+    if (!l || !r || *l == TypeId::kStr || *r == TypeId::kStr)
+      return std::nullopt;
+    // CommonType(ArithType, ArithType) without the mixed-string abort.
+    TypeId aa = ArithType(*l), bb = ArithType(*r);
+    if (aa == TypeId::kF64 || bb == TypeId::kF64) return TypeId::kF64;
+    if (aa == TypeId::kI64 || bb == TypeId::kI64) return TypeId::kI64;
+    return TypeId::kI32;
+  }
+  return std::nullopt;
+}
+
+bool Program::TryFuseChain(const Schema& input, const Expr& expr,
+                           ValueNode* out) {
+  if (!ctx_->fuse_compound_primitives) return false;
+  if (expr.kind() != Expr::Kind::kCall) return false;
+  if (!FusibleOp(expr.name(), expr.args().size())) return false;
+  std::optional<TypeId> rt = InferType(input, expr);
+  if (!rt || (*rt != TypeId::kF64 && *rt != TypeId::kI64)) return false;
+  const TypeId T = *rt;
+
+  // --- Probe phase: walk the chain root-down without emitting anything. ---
+  // (The original pattern-matcher bound its operands *before* checking they
+  // qualified; a miss then left the operand Decode/Cast steps orphaned in
+  // steps_, executed dead on every vector. The probe below is pure: until a
+  // registry kernel is resolved, no step, register or constant is created.)
+  struct Link {
+    const Expr* node = nullptr;   // the chain's call node
+    fused::OpK op{};
+    fused::Shape shape{};
+    const Expr* leaf0 = nullptr;  // leaves in kernel-slot order
+    const Expr* leaf1 = nullptr;
+  };
+
+  std::vector<Link> rev;  // root-first; reversed into execution order below
+  const Expr* cur = &expr;
+  while (true) {
+    const auto& args = cur->args();
+    fused::OpK opk = *FusibleOp(cur->name(), args.size());
+    // Pick the operand the chain continues through (left preferred): a
+    // fusible call of the same uniform type that is neither already bound
+    // (reuse its register instead) nor independently used by another
+    // expression (recomputing it inside the kernel would defeat CSE). A
+    // child whose use count equals its parent's only ever occurs inside the
+    // parent, so absorbing it is CSE-safe — this is what lets Q1's
+    // disc_price chain fuse even though disc_price itself feeds two
+    // aggregates (the second reuses the memoized fused register).
+    auto use_count = [&](const Expr& e) {
+      auto it = use_counts_.find(e.Signature());
+      return it == use_counts_.end() ? 0 : it->second;
+    };
+    const Expr* prev_child = nullptr;
+    int prev_side = -1;
+    if (static_cast<int>(rev.size()) + 1 < fused::kMaxFusedChain) {
+      for (size_t side = 0; side < args.size(); side++) {
+        const Expr& c = *args[side];
+        if (c.kind() != Expr::Kind::kCall) continue;
+        if (!FusibleOp(c.name(), c.args().size())) continue;
+        if (memo_.count(c.Signature()) > 0) continue;
+        if (use_count(c) > use_count(*cur)) continue;
+        std::optional<TypeId> ct = InferType(input, c);
+        if (!ct || *ct != T) continue;
+        prev_child = &c;
+        prev_side = static_cast<int>(side);
+        break;
+      }
+    }
+    Link link;
+    link.node = cur;
+    link.op = opk;
+    if (args.size() == 1) {
+      if (prev_child != nullptr) {
+        link.shape = fused::Shape::kP;
+      } else {
+        link.shape = fused::Shape::kC;
+        link.leaf0 = args[0].get();
+      }
+    } else if (prev_child == nullptr) {
+      const Expr* l = args[0].get();
+      const Expr* r = args[1].get();
+      bool lval = l->kind() == Expr::Kind::kConst;
+      bool rval = r->kind() == Expr::Kind::kConst;
+      if (lval && rval) return false;  // no val-val kernels
+      link.shape = lval ? fused::Shape::kVC
+                        : rval ? fused::Shape::kCV : fused::Shape::kCC;
+      link.leaf0 = l;
+      link.leaf1 = r;
+    } else if (prev_side == 0) {  // prev <op> leaf
+      const Expr* leaf = args[1].get();
+      link.shape = leaf->kind() == Expr::Kind::kConst ? fused::Shape::kPV
+                                                      : fused::Shape::kPC;
+      link.leaf0 = leaf;
+    } else {  // leaf <op> prev
+      const Expr* leaf = args[0].get();
+      link.shape = leaf->kind() == Expr::Kind::kConst ? fused::Shape::kVP
+                                                      : fused::Shape::kCP;
+      link.leaf0 = leaf;
+    }
+    rev.push_back(link);
+    if (prev_child == nullptr) break;
+    cur = prev_child;
+  }
+  if (rev.size() < 2) return false;
+  std::reverse(rev.begin(), rev.end());
+  std::vector<Link> chain = std::move(rev);
+
+  // Adaptive registry match: the generator pre-instantiates every depth-2
+  // shape but trims the deep enumerations, so on a miss the deepest node
+  // leaves the chain (its subtree becomes an ordinary leaf, bound
+  // recursively — where it may fuse on its own) and the shorter chain is
+  // probed again. A depth-4 chain thus degrades to a fused prefix plus
+  // interpreted steps, never to a whole-chain fallback.
+  const MapPrimitive* prim = nullptr;
+  std::vector<fused::StepSig> sig;
+  std::string name;
+  while (chain.size() >= 2) {
+    sig.clear();
+    for (const Link& l : chain) sig.emplace_back(l.op, l.shape);
+    name = fused::KernelName(T, sig);
+    prim = PrimitiveRegistry::Get().FindMap(name);
+    if (prim != nullptr) break;
+    const Expr* dropped = chain.front().node;
+    chain.erase(chain.begin());
+    Link& first = chain.front();
+    switch (first.shape) {
+      case fused::Shape::kP:
+        first.shape = fused::Shape::kC;
+        first.leaf0 = dropped;
+        break;
+      case fused::Shape::kPC:  // prev op col  ->  col op col
+        first.shape = fused::Shape::kCC;
+        first.leaf1 = first.leaf0;
+        first.leaf0 = dropped;
+        break;
+      case fused::Shape::kPV:  // prev op val  ->  col op val
+        first.shape = fused::Shape::kCV;
+        first.leaf1 = first.leaf0;
+        first.leaf0 = dropped;
+        break;
+      case fused::Shape::kCP:  // col op prev  ->  col op col
+        first.shape = fused::Shape::kCC;
+        first.leaf1 = dropped;
+        break;
+      case fused::Shape::kVP:  // val op prev  ->  val op col
+        first.shape = fused::Shape::kVC;
+        first.leaf1 = dropped;
+        break;
+      default:
+        X100_CHECK(false && "first link cannot have a prev-extension shape");
+    }
+  }
+  if (prim == nullptr) return false;
+
+  // Validate leaves: constants must be numeric (StoreConst converts them to
+  // T exactly like the generic path), columns/subtrees must bind to a
+  // castable non-string type. Still no emission.
+  size_t saved = 2 * TypeWidth(T) * (chain.size() - 1);
+  if (saved < kMinFusedSavedBytes) return false;
+  for (const Link& l : chain) {
+    for (const Expr* leaf : {l.leaf0, l.leaf1}) {
+      if (leaf == nullptr) continue;
+      if (leaf->kind() == Expr::Kind::kConst) {
+        if (leaf->value().type() == TypeId::kStr) return false;
+      } else {
+        std::optional<TypeId> lt = InferType(input, *leaf);
+        if (!lt || *lt == TypeId::kStr) return false;
+      }
+    }
+  }
+
+  // --- Emit phase: bind the leaves, then one fused step. ---
+  MapStep step;
+  step.prim = prim;
+  int ncols = 0;
+  for (const Link& l : chain) {
+    for (const Expr* leaf : {l.leaf0, l.leaf1}) {
+      if (leaf == nullptr) continue;
+      if (leaf->kind() == Expr::Kind::kConst) {
+        step.args.push_back(
+            {ArgRef::Src::kConst, 0, StoreConst(leaf->value(), T), false, 0});
+      } else {
+        ValueNode n = Cast(Decode(BindValue(input, *leaf)), T);
+        X100_CHECK(n.ref.is_col);
+        step.args.push_back(n.ref);
+        ncols++;
+      }
+    }
+  }
+  X100_CHECK(static_cast<int>(step.args.size()) == prim->num_args);
+  step.res_reg = AllocReg(T);
+  step.stats = Stats(name);
+  step.bytes_per_tuple = TypeWidth(T) * (1 + ncols);
+  step.saved_bytes_per_tuple = saved;
+  if (trace_parent_ != nullptr && ctx_->trace != nullptr) {
+    step.tnode = ctx_->trace->NewNode(fused::DisplayName(sig), name, {});
+    ctx_->trace->AttachChild(trace_parent_, step.tnode);
+  }
+  steps_.push_back(std::move(step));
+
+  out->ref = {ArgRef::Src::kReg, steps_.back().res_reg, nullptr, true,
+              TypeWidth(T)};
+  out->type = T;
+  out->dict = DictRef{};
+  return true;
+}
+
 ValueNode Program::BindValue(const Schema& input, const Expr& expr) {
   std::string sig = expr.Signature();
   auto it = memo_.find(sig);
@@ -241,6 +531,15 @@ ValueNode Program::BindValue(const Schema& input, const Expr& expr) {
 ValueNode Program::BindCall(const Schema& input, const Expr& expr) {
   const std::string& fn = expr.name();
   X100_CHECK(!IsComparisonFn(fn) && fn != "and" && fn != "or");
+
+  // Adaptive chain fusion (§4.2 generalized): probe for a 2..4-node
+  // arithmetic chain rooted here whose pre-generated kernel exists in the
+  // registry, and bind the whole chain as one fused step — the intermediates
+  // stay in registers instead of round-tripping through vectors.
+  {
+    ValueNode fused_out;
+    if (TryFuseChain(input, expr, &fused_out)) return fused_out;
+  }
 
   // Compound primitives: fused_submul(V,a,b) = (V-a)*b; fused_addmul(V,a,b) =
   // (V+a)*b; mahalanobis(a,b,c) = (a-b)^2/c. All f64 (§4.2).
@@ -341,37 +640,6 @@ ValueNode Program::BindCall(const Schema& input, const Expr& expr) {
   const Expr& re = *expr.args()[1];
   X100_CHECK(fn == "add" || fn == "sub" || fn == "mul" || fn == "div");
 
-  // Compound-primitive fusion (§4.2): rewrite  mul(sub(V, a), b)  and
-  // mul(add(V, a), b)  into one fused kernel so the intermediate stays in a
-  // register. The paper does this statically from signature requests; here
-  // the binder recognizes the pattern when the optimizer flag is on.
-  if (ctx_->fuse_compound_primitives && fn == "mul" &&
-      le.kind() == Expr::Kind::kCall &&
-      (le.name() == "sub" || le.name() == "add") &&
-      le.args()[0]->kind() == Expr::Kind::kConst &&
-      le.args()[0]->value().type() == TypeId::kF64) {
-    ValueNode a = Cast(Decode(BindValue(input, *le.args()[1])), TypeId::kF64);
-    ValueNode b = Cast(Decode(BindValue(input, re)), TypeId::kF64);
-    if (a.ref.is_col && b.ref.is_col) {
-      std::string name =
-          le.name() == "sub" ? "map_fused_submul_f64" : "map_fused_addmul_f64";
-      MapStep step;
-      step.prim = PrimitiveRegistry::Get().FindMap(name);
-      X100_CHECK(step.prim != nullptr);
-      step.args = {a.ref, b.ref,
-                   {ArgRef::Src::kConst, 0,
-                    StoreConst(le.args()[0]->value(), TypeId::kF64), false, 0}};
-      step.res_reg = AllocReg(TypeId::kF64);
-      step.stats = Stats(name);
-      step.bytes_per_tuple = 24;
-      steps_.push_back(std::move(step));
-      ValueNode out;
-      out.ref = {ArgRef::Src::kReg, steps_.back().res_reg, nullptr, true, 8};
-      out.type = TypeId::kF64;
-      return out;
-    }
-  }
-
   ValueNode l = Decode(BindValue(input, le));
   ValueNode r = Decode(BindValue(input, re));
   TypeId t = CommonType(ArithType(l.type), ArithType(r.type));
@@ -430,20 +698,37 @@ void Program::RunSteps(VectorBatch* batch) {
   X100_CHECK(batch->count() <= ctx_->vector_size);
   const int* sel = batch->sel();
   int n = batch->sel_count();
-  const void* args[4];
+  const void* args[8];  // fused depth-4 chains take up to 5 operands
   for (MapStep& step : steps_) {
+    X100_CHECK(step.args.size() <= 8);
     for (size_t i = 0; i < step.args.size(); i++) {
       args[i] = ArgPtr(step.args[i], batch);
     }
     void* res = registers_[step.res_reg].data();
-    if (step.stats) {
-      ScopedCycles cycles(step.stats);
-      step.prim->fn(n, res, args, sel);
-      step.stats->calls++;
-      step.stats->tuples += n;
-      step.stats->bytes += static_cast<uint64_t>(n) * step.bytes_per_tuple;
+    auto run = [&] {
+      if (step.stats) {
+        ScopedCycles cycles(step.stats);
+        step.prim->fn(n, res, args, sel);
+        step.stats->calls++;
+        step.stats->tuples += n;
+        step.stats->bytes += static_cast<uint64_t>(n) * step.bytes_per_tuple;
+      } else {
+        step.prim->fn(n, res, args, sel);
+      }
+    };
+    if (step.tnode != nullptr) {
+      // Fused steps show up in EXPLAIN ANALYZE as their own plan node under
+      // the operator that bound them.
+      step.tnode->next_calls++;
+      step.tnode->batches++;
+      step.tnode->tuples += static_cast<uint64_t>(n);
+      step.tnode->AddCounter(
+          "map.fused.saved_bytes",
+          static_cast<uint64_t>(n) * step.saved_bytes_per_tuple);
+      ScopedCounters sc(step.tnode);
+      run();
     } else {
-      step.prim->fn(n, res, args, sel);
+      run();
     }
   }
 }
@@ -454,8 +739,12 @@ void Program::RunSteps(VectorBatch* batch) {
 
 MultiExprEvaluator::MultiExprEvaluator(ExecContext* ctx, const Schema& input,
                                        const std::vector<const Expr*>& exprs,
-                                       const std::string& label)
-    : program_(ctx, label) {
+                                       const std::string& label,
+                                       TraceNode* trace_parent)
+    : program_(ctx, label, trace_parent) {
+  // Count shared subtrees across all expressions first: the chain fuser must
+  // not absorb a subtree that CSE would otherwise compute once.
+  for (const Expr* e : exprs) program_.NoteSubtreeUses(*e);
   results_.reserve(exprs.size());
   for (const Expr* e : exprs) {
     results_.push_back(program_.BindValue(input, *e));

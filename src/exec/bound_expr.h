@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,8 @@
 #include "vector/batch.h"
 
 namespace x100 {
+
+struct TraceNode;
 
 // The binder: resolves Expr trees against a Dataflow schema into a program of
 // vectorized primitive calls — the analogue of X100's "dynamic signatures"
@@ -40,6 +43,12 @@ struct MapStep {
   int res_reg = 0;
   PrimitiveStats* stats = nullptr;
   size_t bytes_per_tuple = 0;
+  /// Set on fused-chain steps when EXPLAIN ANALYZE tracing is on: the
+  /// fused[sub>mul]-style node accounting this kernel's tuples/cycles.
+  TraceNode* tnode = nullptr;
+  /// Intermediate-vector traffic the fusion avoided (fused steps only):
+  /// one store + one load per collapsed chain edge, per tuple.
+  size_t saved_bytes_per_tuple = 0;
 };
 
 /// Typed 8-byte constant slot with stable address.
@@ -59,8 +68,11 @@ struct ValueNode {
 /// Shared state of a bound program: constants, registers, map steps, CSE memo.
 class Program {
  public:
-  Program(ExecContext* ctx, std::string label)
-      : ctx_(ctx), label_(std::move(label)) {}
+  /// `trace_parent`, when non-null with ctx->trace set, is the plan node
+  /// fused-chain steps hang their fused[...] trace nodes under.
+  Program(ExecContext* ctx, std::string label,
+          TraceNode* trace_parent = nullptr)
+      : ctx_(ctx), label_(std::move(label)), trace_parent_(trace_parent) {}
 
   ExecContext* ctx() { return ctx_; }
   const std::string& label() const { return label_; }
@@ -70,8 +82,18 @@ class Program {
   const char** StoreStrConst(const std::string& s);
   PrimitiveStats* Stats(const std::string& prim_name);
 
+  /// Pre-counts call-subtree occurrences across a program's expressions so
+  /// the chain fuser refuses to absorb a shared subtree into a fused kernel
+  /// (which would defeat CSE by recomputing it). Call once per expression,
+  /// before any BindValue.
+  void NoteSubtreeUses(const Expr& expr);
+
   /// Binds an expression into this program (recursive, CSE-memoized).
   ValueNode BindValue(const Schema& input, const Expr& expr);
+
+  /// The bound step list (exposed for the fusion regression tests: a fusion
+  /// miss must leave no orphaned steps behind).
+  const std::vector<MapStep>& steps() const { return steps_; }
 
   /// Inserts a decode (fetch) step if `node` carries enum codes.
   ValueNode Decode(ValueNode node);
@@ -88,12 +110,24 @@ class Program {
  private:
   ValueNode BindCall(const Schema& input, const Expr& expr);
 
+  /// Pattern-matches a fusable map-primitive chain rooted at `expr` and, on
+  /// a registry hit, binds it as one fused step into `*out`. Pure on a miss:
+  /// the probe emits nothing until the kernel is resolved.
+  bool TryFuseChain(const Schema& input, const Expr& expr, ValueNode* out);
+
+  /// Predicts the physical type `expr` would bind to, mirroring the binder's
+  /// typing rules without emitting steps; nullopt when the expression would
+  /// not bind cleanly (the generic path then reports the error).
+  std::optional<TypeId> InferType(const Schema& input, const Expr& expr) const;
+
   ExecContext* ctx_;
   std::string label_;
+  TraceNode* trace_parent_ = nullptr;
   std::vector<MapStep> steps_;
   std::vector<Vector> registers_;
   std::deque<ConstSlot> consts_;
   std::map<std::string, ValueNode> memo_;
+  std::map<std::string, int> use_counts_;
 };
 
 }  // namespace bind_internal
@@ -109,9 +143,12 @@ class MultiExprEvaluator {
     bool is_col;  // false: `data` points at one constant to broadcast
   };
 
+  /// `trace_parent` (optional): plan-trace node fused-chain steps attach
+  /// their fused[...] sub-nodes to when EXPLAIN ANALYZE tracing is on.
   MultiExprEvaluator(ExecContext* ctx, const Schema& input,
                      const std::vector<const Expr*>& exprs,
-                     const std::string& label);
+                     const std::string& label,
+                     TraceNode* trace_parent = nullptr);
 
   /// Physical result type / dictionary of expression `i`.
   TypeId type(int i) const { return results_[i].type; }
@@ -132,8 +169,8 @@ class MultiExprEvaluator {
 class ExprEvaluator {
  public:
   ExprEvaluator(ExecContext* ctx, const Schema& input, const Expr& expr,
-                const std::string& label)
-      : multi_(ctx, input, {&expr}, label) {}
+                const std::string& label, TraceNode* trace_parent = nullptr)
+      : multi_(ctx, input, {&expr}, label, trace_parent) {}
 
   TypeId result_type() const { return multi_.type(0); }
   const DictRef& result_dict() const { return multi_.dict(0); }
@@ -153,7 +190,8 @@ class ExprEvaluator {
 class PredicateEvaluator {
  public:
   PredicateEvaluator(ExecContext* ctx, const Schema& input, const Expr& pred,
-                     const std::string& label);
+                     const std::string& label,
+                     TraceNode* trace_parent = nullptr);
   ~PredicateEvaluator();
 
   /// Writes qualifying positions (a subset of batch's live positions,

@@ -19,11 +19,13 @@ struct ExecContext {
   /// Use the predicated select primitives instead of the branching ones
   /// (Figure 2's two code shapes).
   bool predicated_selects = false;
-  /// Let the binder fuse recognized expression sub-trees into compound
-  /// primitives (§4.2: "dynamic compilation of compound primitives ...
-  /// mandated by an optimizer"). Off by default so the Table 5 trace shows
-  /// the paper's single-primitive pipeline.
-  bool fuse_compound_primitives = false;
+  /// Let the binder fuse arithmetic map-primitive chains into single
+  /// compound kernels (§4.2: "dynamic compilation of compound primitives
+  /// ... mandated by an optimizer"). Fused plans are bit-identical to the
+  /// interpreted chain, so this defaults on via the strict-parsed X100_FUSE
+  /// env knob; paper-trace benchmarks that want Table 5's single-primitive
+  /// pipeline pin it off, and QueryRequest.fuse overrides it per query.
+  bool fuse_compound_primitives = EnvFuse() != 0;
   /// When set, primitives and operators account calls/tuples/bytes/cycles
   /// here (the Table 5 trace). Null disables tracing.
   Profiler* profiler = nullptr;

@@ -77,13 +77,25 @@ inline OpPtr BmScan(ExecContext* ctx, ColumnBm* bm, const Table& t,
 inline OpPtr Select(ExecContext* ctx, OpPtr child, ExprPtr pred) {
   const Operator* c = child.get();
   auto op = std::make_unique<SelectOp>(ctx, std::move(child), std::move(pred));
-  return MaybeTrace(ctx, std::move(op), "Select", "", {c});
+  SelectOp* raw = op.get();
+  OpPtr wrapped = MaybeTrace(ctx, std::move(op), "Select", "", {c});
+  if (ctx->trace != nullptr) {
+    raw->set_trace_node(
+        static_cast<InstrumentedOperator*>(wrapped.get())->node());
+  }
+  return wrapped;
 }
 
 inline OpPtr Project(ExecContext* ctx, OpPtr child, std::vector<NamedExpr> e) {
   const Operator* c = child.get();
   auto op = std::make_unique<ProjectOp>(ctx, std::move(child), std::move(e));
-  return MaybeTrace(ctx, std::move(op), "Project", "", {c});
+  ProjectOp* raw = op.get();
+  OpPtr wrapped = MaybeTrace(ctx, std::move(op), "Project", "", {c});
+  if (ctx->trace != nullptr) {
+    raw->set_trace_node(
+        static_cast<InstrumentedOperator*>(wrapped.get())->node());
+  }
+  return wrapped;
 }
 
 inline OpPtr HashAggr(ExecContext* ctx, OpPtr child,
@@ -108,7 +120,13 @@ inline OpPtr DirectAggr(ExecContext* ctx, OpPtr child,
   auto op = std::make_unique<DirectAggrOp>(ctx, std::move(child),
                                            std::move(group_by),
                                            std::move(aggrs));
-  return MaybeTrace(ctx, std::move(op), "DirectAggr", "", {c});
+  DirectAggrOp* raw = op.get();
+  OpPtr wrapped = MaybeTrace(ctx, std::move(op), "DirectAggr", "", {c});
+  if (ctx->trace != nullptr) {
+    raw->set_trace_node(
+        static_cast<InstrumentedOperator*>(wrapped.get())->node());
+  }
+  return wrapped;
 }
 
 inline OpPtr OrdAggr(ExecContext* ctx, OpPtr child,
@@ -117,7 +135,13 @@ inline OpPtr OrdAggr(ExecContext* ctx, OpPtr child,
   const Operator* c = child.get();
   auto op = std::make_unique<OrdAggrOp>(ctx, std::move(child),
                                         std::move(group_by), std::move(aggrs));
-  return MaybeTrace(ctx, std::move(op), "OrdAggr", "", {c});
+  OrdAggrOp* raw = op.get();
+  OpPtr wrapped = MaybeTrace(ctx, std::move(op), "OrdAggr", "", {c});
+  if (ctx->trace != nullptr) {
+    raw->set_trace_node(
+        static_cast<InstrumentedOperator*>(wrapped.get())->node());
+  }
+  return wrapped;
 }
 
 /// Equi-hash-join configured by a JoinSpec (keys, outputs, type — see

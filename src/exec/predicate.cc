@@ -52,8 +52,11 @@ struct PredicateEvaluator::PredNode {
 };
 
 PredicateEvaluator::PredicateEvaluator(ExecContext* ctx, const Schema& input,
-                                       const Expr& pred, const std::string& label)
-    : program_(ctx, label) {
+                                       const Expr& pred,
+                                       const std::string& label,
+                                       TraceNode* trace_parent)
+    : program_(ctx, label, trace_parent) {
+  program_.NoteSubtreeUses(pred);
   root_ = BindPred(input, pred);
 }
 

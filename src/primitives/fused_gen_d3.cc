@@ -1,0 +1,29 @@
+#include "primitives/fused_gen.h"
+
+// Depth-3 fused chains (f64 only — long i64 chains fall back to the
+// interpreted path via registry miss). Deep chains pay compile time per
+// instantiation, so only the common prev-first extension direction is
+// enumerated; the binder shrinks a chain until its name hits the registry,
+// so a missing depth-3 shape binds as a depth-2 fused step plus one
+// interpreted step, never worse than that. Two disjoint families:
+//   - binary middle (add/sub/mul of prev with a leaf);
+//   - unary middle (neg/square of the running value), which covers the
+//     paper's mahalanobis shape sub_cc > square_p > div_pc.
+
+namespace x100::fused_gen {
+
+namespace {
+
+using ExtMid = CatT<Ext2<OpK::kAdd>, Ext2<OpK::kSub>, Ext2<OpK::kMul>>;
+using ExtLast = CatT<ExtMid, Ext2<OpK::kDiv>,
+                     L<St<OpK::kNeg, Shape::kP>, St<OpK::kSquare, Shape::kP>>>;
+using UnaryExt = L<St<OpK::kNeg, Shape::kP>, St<OpK::kSquare, Shape::kP>>;
+
+}  // namespace
+
+void RegisterFusedD3(PrimitiveRegistry* r) {
+  Gen3<double, FirstF64, ExtMid, ExtLast>(r);    // 14 × 6 × 10
+  Gen3<double, FirstF64, UnaryExt, ExtLast>(r);  // 14 × 2 × 10
+}
+
+}  // namespace x100::fused_gen

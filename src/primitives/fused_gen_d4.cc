@@ -1,0 +1,23 @@
+#include "primitives/fused_gen.h"
+
+// Depth-4 fused chains (f64, add/sub/mul, prev-first extensions plus
+// scale-by-constant): the longest shapes are the rarest and the costliest
+// to instantiate, so only the accumulate/scale patterns are pre-generated
+// (e.g. ((a-b)*c+d, (a*b+c)*V). Anything else shrinks to a depth-3 or -2
+// fused prefix in the binder via registry miss.
+
+namespace x100::fused_gen {
+
+namespace {
+
+using First = CatT<Bin3<OpK::kAdd>, Bin3<OpK::kSub>, Bin3<OpK::kMul>>;
+using Ext = L<St<OpK::kAdd, Shape::kPC>, St<OpK::kSub, Shape::kPC>,
+              St<OpK::kMul, Shape::kPC>, St<OpK::kMul, Shape::kPV>>;
+
+}  // namespace
+
+void RegisterFusedD4(PrimitiveRegistry* r) {
+  Gen4<double, First, Ext, Ext, Ext>(r);  // 9 × 4 × 4 × 4
+}
+
+}  // namespace x100::fused_gen

@@ -88,6 +88,7 @@ void RegisterAggrPrimitives(PrimitiveRegistry* r);
 void RegisterFetchHash(PrimitiveRegistry* r);
 void RegisterStringPrimitives(PrimitiveRegistry* r);
 void RegisterCompoundPrimitives(PrimitiveRegistry* r);
+void RegisterFusedChainPrimitives(PrimitiveRegistry* r);
 
 }  // namespace x100
 

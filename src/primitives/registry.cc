@@ -14,6 +14,7 @@ const PrimitiveRegistry& PrimitiveRegistry::Get() {
     RegisterFetchHash(r);
     RegisterStringPrimitives(r);
     RegisterCompoundPrimitives(r);
+    RegisterFusedChainPrimitives(r);
     return r;
   }();
   return *kRegistry;

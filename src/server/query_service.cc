@@ -177,6 +177,7 @@ std::shared_ptr<QuerySession> QueryService::Submit(
   qo.vector_size = req.vector_size;
   qo.timeout_ms = req.timeout_ms;
   qo.collect_trace = req.collect_trace;
+  qo.fuse = req.fuse;
   EngineCache* engines = engines_.get();
   QueryFn fn = [req, engines](ExecContext* ctx) {
     std::string why = req.Validate();
@@ -376,6 +377,8 @@ void QueryService::RunSession(const std::shared_ptr<QuerySession>& s) {
   ctx.num_threads = width;
   ctx.cancel = &s->token_;
   if (s->opts_.collect_trace) ctx.trace = &s->trace_;
+  // -1 keeps the engine default (the X100_FUSE knob baked into ExecContext).
+  if (s->opts_.fuse >= 0) ctx.fuse_compound_primitives = s->opts_.fuse != 0;
 
   std::unique_ptr<Table> result;
   QuerySession::State final_state = QuerySession::State::kDone;

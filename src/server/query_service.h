@@ -66,6 +66,9 @@ struct QueryOptions {
   /// Wall-clock budget covering queue time AND execution; 0 = none. An
   /// expired session unwinds with QueryCancelled(deadline=true).
   uint64_t timeout_ms = 0;
+  /// Fused map-primitive chains: -1 engine default (X100_FUSE), 0 off,
+  /// 1 on (QueryRequest::fuse).
+  int fuse = -1;
   /// Collect a per-session EXPLAIN ANALYZE trace (QuerySession::trace()).
   bool collect_trace = false;
 };

@@ -31,6 +31,9 @@ std::string QueryRequest::Validate() const {
     return "vector_size out of range [1, " +
            std::to_string(kMaxRequestVectorSize) + "]";
   }
+  if (fuse < -1 || fuse > 1) {
+    return "fuse out of range [-1, 1]";
+  }
   if (engine == QueryEngine::kDisk) {
     int q = TpchQueryNumber();
     if (q != 1 && q != 3 && q != 6 && q != 14) {

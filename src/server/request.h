@@ -54,6 +54,11 @@ struct QueryRequest {
   uint64_t timeout_ms = 0;
   /// Collect a per-session EXPLAIN ANALYZE trace (QuerySession::trace()).
   bool collect_trace = false;
+  /// Fused map-primitive chains (§4.2): -1 uses the server's engine default
+  /// (the X100_FUSE knob), 0 forces interpreted chains, 1 forces fusion.
+  /// Fused and interpreted plans return bit-identical results; this exists
+  /// so clients can A/B the two executions. Validate() rejects other values.
+  int fuse = -1;
   /// Label for traces and error messages; defaults to `query` when empty.
   std::string label;
 

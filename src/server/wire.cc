@@ -160,6 +160,7 @@ std::vector<uint8_t> EncodeSubmit(const SubmitMsg& m) {
   w.Scalar(static_cast<int32_t>(m.req.num_threads));
   w.Scalar(static_cast<int32_t>(m.req.vector_size));
   w.Scalar(m.req.timeout_ms);
+  w.Scalar(static_cast<int8_t>(m.req.fuse));
   w.Str(m.req.query);
   w.Str(m.req.label);
   return w.Take();
@@ -178,6 +179,8 @@ bool DecodeSubmit(const std::vector<uint8_t>& payload, SubmitMsg* m,
   r.Scalar(&threads);
   r.Scalar(&vecsize);
   r.Scalar(&m->req.timeout_ms);
+  int8_t fuse = -1;
+  r.Scalar(&fuse);
   r.Str(&m->req.query);
   r.Str(&m->req.label);
   if (!r.Done()) return false;
@@ -185,11 +188,13 @@ bool DecodeSubmit(const std::vector<uint8_t>& payload, SubmitMsg* m,
   if (engine > static_cast<uint8_t>(QueryEngine::kDisk)) {
     return r.Fail("unknown engine");
   }
+  if (fuse < -1 || fuse > 1) return r.Fail("fuse out of range [-1, 1]");
   m->req.engine = static_cast<QueryEngine>(engine);
   m->req.compress = compress != 0;
   m->req.collect_trace = trace != 0;
   m->req.num_threads = threads;
   m->req.vector_size = vecsize;
+  m->req.fuse = fuse;
   return true;
 }
 

@@ -38,7 +38,10 @@ namespace x100 {
 
 /// "X100" in ASCII; first payload word of a HELLO.
 inline constexpr uint32_t kWireMagic = 0x58313030;
-inline constexpr uint32_t kWireVersion = 1;
+// v2: SubmitMsg gained the per-query `fuse` override (int8, -1/0/1) between
+// timeout_ms and the query string. The handshake rejects mismatched peers,
+// so there is no cross-version decode path to keep compatible.
+inline constexpr uint32_t kWireVersion = 2;
 /// u32 payload length + u8 frame type.
 inline constexpr size_t kWireHeaderBytes = 5;
 /// Hard cap on a single frame's payload. Batches chunk results in

@@ -159,6 +159,19 @@ TEST(ConfigTest, ServingKnobsReadEnvironment) {
   EXPECT_EQ(EnvOutboxBytes(), size_t{1} << 20);
 }
 
+TEST(ConfigTest, FuseKnobDefaultsOnAndReadsEnvironment) {
+  unsetenv("X100_FUSE");
+  EXPECT_EQ(EnvFuse(), 1);  // fused chains are the engine default
+  {
+    ScopedEnv fuse("X100_FUSE", "0");
+    EXPECT_EQ(EnvFuse(), 0);
+  }
+  {
+    ScopedEnv fuse("X100_FUSE", "1");
+    EXPECT_EQ(EnvFuse(), 1);
+  }
+}
+
 TEST(ConfigTest, OutboxBudgetIsFlooredToHoldAFrame) {
   // A 1-byte outbox could never buffer one batch frame; the knob floors at
   // 64k instead of configuring a server that deadlocks on its first result.
@@ -189,6 +202,17 @@ TEST(ConfigDeathTest, MalformedServingKnobsExitWithStatus2) {
     ScopedEnv outbox("X100_OUTBOX_BYTES", "4mb");
     EXPECT_EXIT(EnvOutboxBytes(), ::testing::ExitedWithCode(2),
                 "X100_OUTBOX_BYTES");
+  }
+  {
+    // Execution knobs follow the same contract: a typo'd X100_FUSE must not
+    // silently run with the default plan shape.
+    ScopedEnv fuse("X100_FUSE", "yes");
+    EXPECT_EXIT(EnvFuse(), ::testing::ExitedWithCode(2),
+                "env X100_FUSE='yes'");
+  }
+  {
+    ScopedEnv fuse("X100_FUSE", "2");
+    EXPECT_EXIT(EnvFuse(), ::testing::ExitedWithCode(2), "X100_FUSE");
   }
 }
 

@@ -254,6 +254,7 @@ TEST(ExprTest, CompoundFusionSameResult) {
     return RunPlan(std::move(op), "r");
   };
   ExecContext plain;
+  plain.fuse_compound_primitives = false;
   ExecContext fused;
   fused.fuse_compound_primitives = true;
   Profiler prof;
@@ -263,7 +264,7 @@ TEST(ExprTest, CompoundFusionSameResult) {
   ExpectTablesEqual(*a, *b, 0.0);
   bool saw_fused = false;
   for (const auto& [name, s] : prof.Rows()) {
-    if (name == "map_fused_submul_f64") saw_fused = true;
+    if (name == "map_fused_sub_vc_mul_pc_f64") saw_fused = true;
   }
   EXPECT_TRUE(saw_fused);
 }

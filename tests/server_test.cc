@@ -443,6 +443,36 @@ TEST_F(ServerTest, RequestValidation) {
   EXPECT_NE(req.Validate().find("disk engine"), std::string::npos);
   req.query = "q14";
   EXPECT_EQ(req.Validate(), "");
+  req.fuse = 2;
+  EXPECT_NE(req.Validate().find("fuse"), std::string::npos);
+  req.fuse = -2;
+  EXPECT_NE(req.Validate().find("fuse"), std::string::npos);
+  for (int fuse : {-1, 0, 1}) {
+    req.fuse = fuse;
+    EXPECT_EQ(req.Validate(), "");
+  }
+}
+
+TEST_F(ServerTest, FuseToggleIsBitIdenticalPerRequest) {
+  // The per-request fusion override is an A/B knob: the same query with
+  // fuse=0 (interpreted chains), fuse=1 (fused kernels) and fuse=-1 (engine
+  // default) must produce bit-identical tables.
+  QueryService svc({/*max_concurrent=*/4, /*max_worker_threads=*/0});
+  svc.engines()->Seed(kSf, db_);
+  for (int q : kMix) {
+    std::unique_ptr<Table> results[3];
+    for (int fuse : {-1, 0, 1}) {
+      QueryRequest req = Req(q);
+      req.fuse = fuse;
+      std::shared_ptr<QuerySession> s = svc.Submit(req);
+      ASSERT_EQ(s->Wait(), QuerySession::State::kDone) << s->error();
+      results[fuse + 1] = s->TakeResult();
+      ASSERT_NE(results[fuse + 1], nullptr);
+    }
+    ExpectTablesEqual(*results[0], *results[1], 0.0);
+    ExpectTablesEqual(*results[0], *results[2], 0.0);
+    ExpectTablesEqual(Serial(q), *results[0], 0.0);
+  }
 }
 
 TEST_F(ServerTest, LazyEngineCacheServesUnseededScaleFactor) {

@@ -119,6 +119,7 @@ TEST(WireMessages, SubmitRoundTripsEveryField) {
   in.req.vector_size = 4096;
   in.req.timeout_ms = 1500;
   in.req.collect_trace = true;
+  in.req.fuse = 0;
   in.req.label = "fuzz#7";
 
   SubmitMsg out;
@@ -133,7 +134,19 @@ TEST(WireMessages, SubmitRoundTripsEveryField) {
   EXPECT_EQ(out.req.vector_size, in.req.vector_size);
   EXPECT_EQ(out.req.timeout_ms, in.req.timeout_ms);
   EXPECT_EQ(out.req.collect_trace, in.req.collect_trace);
+  EXPECT_EQ(out.req.fuse, in.req.fuse);
   EXPECT_EQ(out.req.label, in.req.label);
+}
+
+TEST(WireMessages, SubmitRejectsOutOfRangeFuse) {
+  SubmitMsg in;
+  in.id = 6;
+  in.req.query = "q1";
+  in.req.fuse = 2;  // encoder truncates to int8; decoder must reject 2
+  SubmitMsg out;
+  std::string error;
+  EXPECT_FALSE(DecodeSubmit(EncodeSubmit(in), &out, &error));
+  EXPECT_NE(error.find("fuse"), std::string::npos) << error;
 }
 
 TEST(WireMessages, SubmitRejectsZeroIdAndTrailingGarbage) {
